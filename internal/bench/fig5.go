@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tempo/internal/fpaxos"
+	"tempo/internal/ids"
+	"tempo/internal/metrics"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+	"tempo/internal/workload"
+)
+
+// Fig5Row is one protocol's per-site mean latency (Figure 5 of the
+// paper): 5 EC2 sites, 512 clients/site, 2% conflicts.
+type Fig5Row struct {
+	Protocol string
+	PerSite  map[ids.SiteID]time.Duration
+	Average  time.Duration
+}
+
+// Fig5 regenerates Figure 5: per-site latency fairness of Tempo, Atlas,
+// FPaxos (f ∈ {1,2}) and Caesar.
+//
+// Paper expectations: FPaxos is up to 3.3x worse at non-leader sites
+// than at the leader; the leaderless protocols are far more uniform;
+// Tempo f=2 beats Atlas f=2 on average.
+func Fig5(o Options) []Fig5Row {
+	o = o.withDefaults()
+	topo := topology.EC2(1)
+	topo2 := topology.EC2(2)
+	clients := o.clients(512)
+
+	protos := []struct {
+		p    Protocol
+		topo *topology.Topology
+	}{
+		{TempoProto(1, tempo.Config{}), topo},
+		{TempoProto(2, tempo.Config{}), topo2},
+		{AtlasProto(1), topo},
+		{AtlasProto(2), topo2},
+		{FPaxosProto(1, fpaxos.Config{}), topo},
+		{FPaxosProto(2, fpaxos.Config{}), topo2},
+		{CaesarProto(false), topo2},
+	}
+
+	var rows []Fig5Row
+	tbl := metrics.NewTable("protocol", "singapore", "canada", "ireland", "s.paulo", "n.calif", "avg (ms)")
+	for _, pc := range protos {
+		wl := workload.NewMicrobench(0.02, 100, newRng(o.Seed))
+		res := run(pc.p, pc.topo, wl, clients, nil, nil, o)
+		row := Fig5Row{Protocol: pc.p.Name, PerSite: map[ids.SiteID]time.Duration{}}
+		var sum time.Duration
+		for s := ids.SiteID(0); s < 5; s++ {
+			m := res.SiteMean(s)
+			row.PerSite[s] = m
+			sum += m
+		}
+		row.Average = sum / 5
+		rows = append(rows, row)
+		// Figure 5's site order: Singapore, Canada, Ireland, S. Paulo,
+		// N. California.
+		tbl.Row(pc.p.Name,
+			ms(row.PerSite[2]), ms(row.PerSite[3]), ms(row.PerSite[0]),
+			ms(row.PerSite[4]), ms(row.PerSite[1]), ms(row.Average))
+	}
+	fmt.Fprintf(o.Out, "Figure 5 — per-site mean latency (ms), %d clients/site, 2%% conflicts\n%s\n", clients, tbl)
+	return rows
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tempo/internal/metrics"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+	"tempo/internal/workload"
+)
+
+// Fig6Row is one protocol's tail-latency profile (Figure 6): latency
+// percentiles under 256 and 512 clients per site, 2% conflicts.
+type Fig6Row struct {
+	Protocol       string
+	ClientsPerSite int
+	P95, P99       time.Duration
+	P999, P9999    time.Duration
+}
+
+// Fig6 regenerates Figure 6: latency distribution tails from the 95th to
+// the 99.99th percentile.
+//
+// Paper expectations: Atlas/EPaxos/Caesar tails reach seconds and degrade
+// sharply from 256 to 512 clients; Tempo's tail stays within ~1.5x of its
+// p95 (an order of magnitude below the dependency-based protocols).
+func Fig6(o Options) []Fig6Row {
+	o = o.withDefaults()
+	topo1 := topology.EC2(1)
+	topo2 := topology.EC2(2)
+
+	protos := []struct {
+		p    Protocol
+		topo *topology.Topology
+	}{
+		{TempoProto(1, tempo.Config{}), topo1},
+		{TempoProto(2, tempo.Config{}), topo2},
+		{AtlasProto(1), topo1},
+		{AtlasProto(2), topo2},
+		{EPaxosProto(), topo1},
+		{CaesarProto(false), topo2},
+	}
+
+	var rows []Fig6Row
+	tbl := metrics.NewTable("protocol", "clients", "p95", "p99", "p99.9", "p99.99 (ms)")
+	for _, load := range []int{256, 512} {
+		clients := o.clients(load)
+		for _, pc := range protos {
+			wl := workload.NewMicrobench(0.02, 100, newRng(o.Seed))
+			res := run(pc.p, pc.topo, wl, clients, nil, nil, o)
+			row := Fig6Row{
+				Protocol:       pc.p.Name,
+				ClientsPerSite: load,
+				P95:            res.All.Percentile(95),
+				P99:            res.All.Percentile(99),
+				P999:           res.All.Percentile(99.9),
+				P9999:          res.All.Percentile(99.99),
+			}
+			rows = append(rows, row)
+			tbl.Row(pc.p.Name, fmt.Sprint(load), ms(row.P95), ms(row.P99), ms(row.P999), ms(row.P9999))
+		}
+	}
+	fmt.Fprintf(o.Out, "Figure 6 — latency percentiles (ms), 2%% conflicts (client counts scaled 1/%d)\n%s\n", o.Scale, tbl)
+	return rows
+}

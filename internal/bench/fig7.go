@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tempo/internal/fpaxos"
+	"tempo/internal/metrics"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+	"tempo/internal/workload"
+)
+
+// Fig7Point is one (protocol, load) measurement of Figure 7: throughput
+// vs latency as load grows, 4KB payloads.
+type Fig7Point struct {
+	Protocol       string
+	ConflictRate   float64
+	ClientsPerSite int
+	Throughput     float64 // ops per simulated second
+	Mean           time.Duration
+	P99            time.Duration
+	CPUUtil        float64
+	ExecUtil       float64
+	NetUtil        float64
+}
+
+// fig7Loads is the paper's client sweep (32..20480 per site), thinned.
+var fig7Loads = []int{32, 128, 512, 2048, 8192, 20480}
+
+// Fig7 regenerates Figure 7: throughput and latency under increasing
+// load at 2% (top) and 10% (bottom) conflicts, with the utilization
+// heatmap data for the 2% runs.
+//
+// Paper expectations: FPaxos saturates first (leader bottleneck,
+// unaffected by conflicts); Atlas loses 36-48% of throughput when
+// conflicts rise to 10% (dependency-graph execution bottleneck); Caesar*
+// degrades even more; Tempo delivers the highest throughput, independent
+// of the conflict rate and of f.
+func Fig7(o Options) []Fig7Point {
+	o = o.withDefaults()
+	topo1 := topology.EC2(1)
+	topo2 := topology.EC2(2)
+
+	protos := []struct {
+		p    Protocol
+		topo *topology.Topology
+	}{
+		{TempoProto(1, tempo.Config{PromiseInterval: gossip(o)}), topo1},
+		{TempoProto(2, tempo.Config{PromiseInterval: gossip(o)}), topo2},
+		{AtlasProto(1), topo1},
+		{AtlasProto(2), topo2},
+		{FPaxosProto(1, fpaxos.Config{}), topo1},
+		{FPaxosProto(2, fpaxos.Config{}), topo2},
+		{CaesarProto(true), topo2}, // Caesar*: execute on commit
+	}
+
+	var points []Fig7Point
+	for _, rho := range []float64{0.02, 0.10} {
+		tbl := metrics.NewTable("protocol", "clients/site", "Kops/s", "mean", "p99 (ms)", "cpu%", "exec%", "net%")
+		for _, pc := range protos {
+			for _, load := range fig7Loads {
+				clients := o.clients(load)
+				wl := workload.NewMicrobench(rho, 4096, newRng(o.Seed))
+				res := run(pc.p, pc.topo, wl, clients, nil, pc.p.Cost, o)
+				pt := Fig7Point{
+					Protocol:       pc.p.Name,
+					ConflictRate:   rho,
+					ClientsPerSite: load,
+					Throughput:     res.Throughput,
+					Mean:           res.All.Mean(),
+					P99:            res.All.Percentile(99),
+					CPUUtil:        res.CPUUtil,
+					ExecUtil:       res.ExecUtil,
+					NetUtil:        res.NetUtil,
+				}
+				points = append(points, pt)
+				tbl.Row(pc.p.Name, fmt.Sprint(load),
+					fmt.Sprintf("%.1f", pt.Throughput/1000),
+					ms(pt.Mean), ms(pt.P99),
+					fmt.Sprintf("%.0f", pt.CPUUtil*100),
+					fmt.Sprintf("%.0f", pt.ExecUtil*100),
+					fmt.Sprintf("%.0f", pt.NetUtil*100))
+			}
+		}
+		fmt.Fprintf(o.Out, "Figure 7 — throughput/latency sweep, %.0f%% conflicts, 4KB payload (clients scaled 1/%d)\n%s\n",
+			rho*100, o.Scale, tbl)
+	}
+	return points
+}
+
+// MaxThroughput returns the best throughput a protocol achieved across
+// the sweep at the given conflict rate.
+func MaxThroughput(points []Fig7Point, protocol string, rho float64) float64 {
+	best := 0.0
+	for _, pt := range points {
+		if pt.Protocol == protocol && pt.ConflictRate == rho && pt.Throughput > best {
+			best = pt.Throughput
+		}
+	}
+	return best
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tempo/internal/ids"
+	"tempo/internal/metrics"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+	"tempo/internal/workload"
+)
+
+// Fig9Row is one partial-replication maximum-throughput measurement
+// (Figure 9): YCSB+T over 2/4/6 shards, zipf 0.5/0.7.
+type Fig9Row struct {
+	Protocol   string
+	Shards     int
+	Zipf       float64
+	WriteRatio float64
+	MaxTput    float64
+}
+
+// Fig9 regenerates Figure 9: Tempo vs Janus* under YCSB+T. Each shard is
+// replicated at 3 sites; transactions access two zipfian keys. Janus* is
+// measured at w ∈ {0%, 5%, 50%} writes (YCSB C/B/A); Tempo does not
+// distinguish reads from writes, so it has a single series.
+//
+// Paper expectations: Tempo matches Janus*'s best case (w=0%) and is
+// unaffected by contention; Janus* loses 25-56% at zipf 0.5 and up to
+// 87-94% at zipf 0.7 as the write ratio grows; throughput scales with
+// the number of shards for Tempo.
+func Fig9(o Options) []Fig9Row {
+	o = o.withDefaults()
+	keysPerShard := 100_000 / o.Scale
+	loads := []int{2048, 8192, 32768}
+	sites := []ids.SiteID{0, 1, 2}
+
+	var rows []Fig9Row
+	tbl := metrics.NewTable("shards", "zipf", "protocol", "writes", "max Kops/s")
+	for _, shards := range []int{2, 4, 6} {
+		topo := topology.EC2Sharded(shards)
+		keys := keysPerShard * shards
+		for _, zipf := range []float64{0.5, 0.7} {
+			type series struct {
+				p Protocol
+				w float64
+			}
+			var all []series
+			all = append(all, series{TempoProto(1, tempo.Config{PromiseInterval: gossip(o)}), 0.5})
+			for _, w := range []float64{0, 0.05, 0.5} {
+				all = append(all, series{JanusProto(), w})
+			}
+			for _, sr := range all {
+				best := 0.0
+				for _, load := range loads {
+					clients := o.clients(load)
+					wl := workload.NewYCSBT(keys, zipf, sr.w, newRng(o.Seed))
+					res := run(sr.p, topo, wl, clients, sites, sr.p.Cost, o)
+					if res.Throughput > best {
+						best = res.Throughput
+					}
+				}
+				name := sr.p.Name
+				rows = append(rows, Fig9Row{
+					Protocol: name, Shards: shards, Zipf: zipf,
+					WriteRatio: sr.w, MaxTput: best,
+				})
+				tbl.Row(fmt.Sprint(shards), fmt.Sprintf("%.1f", zipf), name,
+					fmt.Sprintf("%.0f%%", sr.w*100), fmt.Sprintf("%.1f", best/1000))
+			}
+		}
+	}
+	fmt.Fprintf(o.Out, "Figure 9 — partial replication max throughput, YCSB+T (scaled 1/%d)\n%s\n", o.Scale, tbl)
+	return rows
+}
+
+// FindFig9 returns the matching row's throughput (0 if absent).
+func FindFig9(rows []Fig9Row, protocol string, shards int, zipf, w float64) float64 {
+	for _, r := range rows {
+		if r.Protocol == protocol && r.Shards == shards && r.Zipf == zipf && r.WriteRatio == w {
+			return r.MaxTput
+		}
+	}
+	return 0
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,11 @@
+package bench
+
+import (
+	"os"
+	"time"
+)
+
+// smokeOpts keeps harness tests fast: heavy scaling, short windows.
+func smokeOpts() Options {
+	return Options{Scale: 128, Duration: 800 * time.Millisecond, Warmup: 300 * time.Millisecond, Seed: 7, Out: os.Stdout}
+}

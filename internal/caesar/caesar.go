@@ -1,0 +1,628 @@
+// Package caesar implements the Caesar baseline of the paper (Arun et al.,
+// DSN 2017): a leaderless protocol that, like Tempo, orders commands by
+// timestamp, but detects timestamp stability through explicit
+// dependencies. Its distinguishing (and costly) feature is the *wait
+// condition*: a replica receiving a proposal with timestamp t must delay
+// its answer while any conflicting command with a higher pending
+// timestamp is uncommitted, so that the invariant
+//
+//	ts(c) < ts(c') ⇒ c ∈ dep(c')
+//
+// can be maintained. The paper shows this blocking causes both high tail
+// latency (§6.3) and outright livelock under continuous arrivals
+// (Appendix D); both behaviours are reproduced by this implementation and
+// its tests.
+//
+// Timestamps are globally unique: process with rank k proposes values
+// ≡ k (mod r). The fast quorum has size ⌈3r/4⌉. Recovery is not
+// implemented (the evaluation runs baselines failure-free).
+package caesar
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/kvstore"
+	"tempo/internal/proto"
+	"tempo/internal/topology"
+)
+
+// CPropose carries a command and its proposed timestamp to the fast
+// quorum.
+type CPropose struct {
+	ID  ids.Dot
+	Cmd *command.Command
+	TS  uint64
+}
+
+// CProposeAck answers CPropose. OK=false (a NACK) suggests a higher
+// timestamp. Deps lists the conflicting commands with lower timestamps
+// known to the sender.
+type CProposeAck struct {
+	ID   ids.Dot
+	OK   bool
+	TS   uint64
+	Deps []ids.Dot
+}
+
+// CRetry re-proposes the command at a higher timestamp after a NACK.
+type CRetry struct {
+	ID   ids.Dot
+	Cmd  *command.Command
+	TS   uint64
+	Deps []ids.Dot
+}
+
+// CRetryAck acknowledges a retry, contributing additional dependencies.
+type CRetryAck struct {
+	ID   ids.Dot
+	Deps []ids.Dot
+}
+
+// CCommit finalizes a command's timestamp and dependencies.
+type CCommit struct {
+	ID   ids.Dot
+	Cmd  *command.Command
+	TS   uint64
+	Deps []ids.Dot
+}
+
+const hdr = 24
+
+func cmdSize(c *command.Command) int {
+	if c == nil {
+		return 0
+	}
+	return c.SizeBytes()
+}
+
+// Size implements proto.Message.
+func (m *CPropose) Size() int { return hdr + 8 + cmdSize(m.Cmd) }
+
+// Size implements proto.Message.
+func (m *CProposeAck) Size() int { return hdr + 9 + 16*len(m.Deps) }
+
+// Size implements proto.Message.
+func (m *CRetry) Size() int { return hdr + 8 + cmdSize(m.Cmd) + 16*len(m.Deps) }
+
+// Size implements proto.Message.
+func (m *CRetryAck) Size() int { return hdr + 16*len(m.Deps) }
+
+// Size implements proto.Message.
+func (m *CCommit) Size() int { return hdr + 8 + cmdSize(m.Cmd) + 16*len(m.Deps) }
+
+// Config tunes a replica.
+type Config struct {
+	// ExecuteOnCommit executes commands as soon as they commit, skipping
+	// the timestamp-order executor. This is the paper's "Caesar*"
+	// idealization (Figure 7): it measures the commit protocol alone and
+	// must only be used for throughput experiments.
+	ExecuteOnCommit bool
+}
+
+type status uint8
+
+const (
+	statusUnknown status = iota
+	statusPending
+	statusCommitted
+	statusExecuted
+)
+
+type cstate struct {
+	cmd    *command.Command
+	ts     uint64
+	deps   []ids.Dot
+	status status
+	// Coordinator state.
+	acks    map[ids.ProcessID]*CProposeAck
+	retries map[ids.ProcessID]*CRetryAck
+	retried bool
+}
+
+// deferred is a propose reply parked by the wait condition.
+type deferred struct {
+	id    ids.Dot
+	coord ids.ProcessID
+	ts    uint64
+}
+
+// Process is a Caesar replica. It implements proto.Replica.
+type Process struct {
+	id    ids.ProcessID
+	shard ids.ShardID
+	rank  ids.Rank
+	r, f  int
+	topo  *topology.Topology
+	cfg   Config
+
+	clock   uint64
+	nextSeq uint64
+	cmds    map[ids.Dot]*cstate
+	// byKey indexes known commands by key for conflict computation.
+	byKey map[command.Key]map[ids.Dot]bool
+	// blockedOn maps a pending command to the propose replies waiting
+	// for it to commit.
+	blockedOn map[ids.Dot][]deferred
+	store     *kvstore.Store
+
+	executedOut []proto.Executed
+	crashed     bool
+
+	statFast, statRetry uint64
+	statBlocked         uint64
+	commitOrder         []ids.Dot // local commit sequence (tests, metrics)
+}
+
+var _ proto.Replica = (*Process)(nil)
+var _ proto.Crashable = (*Process)(nil)
+
+// FastQuorumSize is ⌈3r/4⌉.
+func FastQuorumSize(r int) int { return (3*r + 3) / 4 }
+
+// New creates a Caesar replica.
+func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
+	pi := topo.Process(id)
+	if pi.ID != id {
+		panic(fmt.Sprintf("caesar: unknown process %d", id))
+	}
+	return &Process{
+		id:        id,
+		shard:     pi.Shard,
+		rank:      pi.Rank,
+		r:         topo.R(),
+		f:         topo.F(),
+		topo:      topo,
+		cfg:       cfg,
+		cmds:      make(map[ids.Dot]*cstate),
+		byKey:     make(map[command.Key]map[ids.Dot]bool),
+		blockedOn: make(map[ids.Dot][]deferred),
+		store:     kvstore.New(),
+	}
+}
+
+// ID implements proto.Replica.
+func (p *Process) ID() ids.ProcessID { return p.id }
+
+// Store returns the replica's key-value store.
+func (p *Process) Store() *kvstore.Store { return p.store }
+
+// Stats returns (fast commits, retried commits, propose-replies blocked).
+func (p *Process) Stats() (fast, retry, blocked uint64) {
+	return p.statFast, p.statRetry, p.statBlocked
+}
+
+// Crash implements proto.Crashable.
+func (p *Process) Crash() { p.crashed = true }
+
+// NextID mints a fresh command identifier.
+func (p *Process) NextID() ids.Dot {
+	p.nextSeq++
+	return ids.Dot{Source: p.id, Seq: p.nextSeq}
+}
+
+// nextTS returns the smallest unused timestamp owned by this process
+// (≡ rank mod r) greater than both the local clock and min.
+func (p *Process) nextTS(min uint64) uint64 {
+	base := p.clock
+	if min > base {
+		base = min
+	}
+	// Smallest t > base with t ≡ rank (mod r).
+	k := base / uint64(p.r)
+	for {
+		t := k*uint64(p.r) + uint64(p.rank)
+		if t > base {
+			p.clock = t
+			return t
+		}
+		k++
+	}
+}
+
+func (p *Process) observe(ts uint64) {
+	if ts > p.clock {
+		p.clock = ts
+	}
+}
+
+// Submit implements proto.Replica.
+func (p *Process) Submit(cmd *command.Command) []proto.Action {
+	if p.crashed {
+		return nil
+	}
+	ts := p.nextTS(0)
+	fq := p.topo.FastQuorum(p.id, FastQuorumSize(p.r))
+	st := p.state(cmd.ID)
+	st.cmd = cmd
+	st.acks = make(map[ids.ProcessID]*CProposeAck, len(fq))
+	return p.route([]proto.Action{proto.Send(&CPropose{ID: cmd.ID, Cmd: cmd, TS: ts}, fq...)})
+}
+
+// Handle implements proto.Replica.
+func (p *Process) Handle(from ids.ProcessID, msg proto.Message) []proto.Action {
+	if p.crashed {
+		return nil
+	}
+	return p.route(p.handle(from, msg))
+}
+
+// Tick implements proto.Replica (no periodic machinery).
+func (p *Process) Tick(time.Duration) []proto.Action { return nil }
+
+// Drain implements proto.Replica.
+func (p *Process) Drain() []proto.Executed {
+	out := p.executedOut
+	p.executedOut = nil
+	return out
+}
+
+func (p *Process) route(acts []proto.Action) []proto.Action {
+	var out []proto.Action
+	queue := acts
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		var others []ids.ProcessID
+		self := false
+		for _, to := range a.To {
+			if to == p.id {
+				self = true
+			} else {
+				others = append(others, to)
+			}
+		}
+		if len(others) > 0 {
+			out = append(out, proto.Action{To: others, Msg: a.Msg})
+		}
+		if self {
+			queue = append(queue, p.handle(p.id, a.Msg)...)
+		}
+	}
+	return out
+}
+
+func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
+	switch m := msg.(type) {
+	case *CPropose:
+		return p.onPropose(from, m)
+	case *CProposeAck:
+		return p.onProposeAck(from, m)
+	case *CRetry:
+		return p.onRetry(from, m)
+	case *CRetryAck:
+		return p.onRetryAck(from, m)
+	case *CCommit:
+		return p.onCommit(m)
+	default:
+		panic(fmt.Sprintf("caesar: unknown message %T", msg))
+	}
+}
+
+func (p *Process) state(id ids.Dot) *cstate {
+	st, ok := p.cmds[id]
+	if !ok {
+		st = &cstate{}
+		p.cmds[id] = st
+	}
+	return st
+}
+
+func (p *Process) index(cmd *command.Command) {
+	for _, op := range cmd.Ops {
+		m := p.byKey[op.Key]
+		if m == nil {
+			m = make(map[ids.Dot]bool)
+			p.byKey[op.Key] = m
+		}
+		m[cmd.ID] = true
+	}
+}
+
+// conflicts returns the known commands conflicting with cmd, filtered by
+// pred.
+func (p *Process) conflicts(cmd *command.Command, pred func(*cstate) bool) []ids.Dot {
+	seen := map[ids.Dot]bool{}
+	var out []ids.Dot
+	for _, op := range cmd.Ops {
+		for id := range p.byKey[op.Key] {
+			if id == cmd.ID || seen[id] {
+				continue
+			}
+			st := p.cmds[id]
+			if st == nil || st.cmd == nil || !st.cmd.Conflicts(cmd) {
+				continue
+			}
+			if pred(st) {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// onPropose applies the wait condition and answers with dependencies.
+func (p *Process) onPropose(from ids.ProcessID, m *CPropose) []proto.Action {
+	st := p.state(m.ID)
+	if st.cmd == nil {
+		st.cmd = m.Cmd
+	}
+	if st.status == statusUnknown {
+		st.status = statusPending
+	}
+	st.ts = m.TS
+	p.observe(m.TS)
+	p.index(m.Cmd)
+	return p.answerPropose(deferred{id: m.ID, coord: from, ts: m.TS})
+}
+
+// answerPropose replies to a (possibly previously deferred) proposal, or
+// parks it again if the wait condition still holds.
+func (p *Process) answerPropose(d deferred) []proto.Action {
+	st := p.cmds[d.id]
+	if st == nil || st.cmd == nil || st.status != statusPending {
+		return nil // committed meanwhile (e.g. via retry); nothing to do
+	}
+	// Wait condition: any conflicting pending command with a higher
+	// timestamp blocks the reply until it commits.
+	blockers := p.conflicts(st.cmd, func(o *cstate) bool {
+		return o.status == statusPending && tsAfter(o, st)
+	})
+	if len(blockers) > 0 {
+		p.statBlocked++
+		p.blockedOn[blockers[0]] = append(p.blockedOn[blockers[0]], d)
+		return nil
+	}
+	// Reject if a conflicting command already committed with a higher
+	// timestamp that does not include this command among its deps: the
+	// timestamp invariant would break.
+	rejected := p.conflicts(st.cmd, func(o *cstate) bool {
+		return (o.status == statusCommitted || o.status == statusExecuted) &&
+			tsAfter(o, st) && !containsDot(o.deps, d.id)
+	})
+	if len(rejected) > 0 {
+		return []proto.Action{proto.Send(&CProposeAck{
+			ID: d.id, OK: false, TS: p.nextTS(d.ts), Deps: nil,
+		}, d.coord)}
+	}
+	deps := p.conflicts(st.cmd, func(o *cstate) bool {
+		return o.status != statusUnknown && !tsAfter(o, st)
+	})
+	return []proto.Action{proto.Send(&CProposeAck{ID: d.id, OK: true, TS: d.ts, Deps: deps}, d.coord)}
+}
+
+// tsAfter orders states by (ts, id); o strictly after c.
+func tsAfter(o *cstate, c *cstate) bool {
+	if o.ts != c.ts {
+		return o.ts > c.ts
+	}
+	return false // distinct timestamps are guaranteed unique
+}
+
+// onProposeAck gathers the fast quorum at the coordinator.
+func (p *Process) onProposeAck(from ids.ProcessID, m *CProposeAck) []proto.Action {
+	st, ok := p.cmds[m.ID]
+	if !ok || st.acks == nil || st.status == statusCommitted || st.status == statusExecuted || st.retried {
+		return nil
+	}
+	if _, dup := st.acks[from]; dup {
+		return nil
+	}
+	st.acks[from] = m
+	p.observe(m.TS)
+	if len(st.acks) < FastQuorumSize(p.r) {
+		return nil
+	}
+	allOK := true
+	var maxSuggest uint64
+	var deps []ids.Dot
+	for _, a := range st.acks {
+		if !a.OK {
+			allOK = false
+			if a.TS > maxSuggest {
+				maxSuggest = a.TS
+			}
+		}
+		deps = unionDots(deps, a.Deps)
+	}
+	if allOK {
+		p.statFast++
+		return p.commitActions(m.ID, st, st.ts, deps)
+	}
+	// Retry at a higher, still-unique timestamp.
+	p.statRetry++
+	st.retried = true
+	st.retries = make(map[ids.ProcessID]*CRetryAck, p.r)
+	newTS := p.nextTS(maxSuggest)
+	st.ts = newTS
+	st.deps = deps
+	return []proto.Action{proto.Send(&CRetry{ID: m.ID, Cmd: st.cmd, TS: newTS, Deps: deps},
+		p.topo.ShardProcesses(p.shard)...)}
+}
+
+// onRetry records the new timestamp and contributes deps.
+func (p *Process) onRetry(from ids.ProcessID, m *CRetry) []proto.Action {
+	st := p.state(m.ID)
+	if st.cmd == nil {
+		st.cmd = m.Cmd
+		p.index(m.Cmd)
+	}
+	if st.status == statusUnknown {
+		st.status = statusPending
+	}
+	oldBlocked := p.takeBlocked(m.ID)
+	st.ts = m.TS
+	p.observe(m.TS)
+	deps := p.conflicts(st.cmd, func(o *cstate) bool {
+		return o.status != statusUnknown && !tsAfter(o, st)
+	})
+	acts := []proto.Action{proto.Send(&CRetryAck{ID: m.ID, Deps: deps}, from)}
+	// The timestamp moved: replies that were blocked on this command at
+	// its old timestamp stay blocked (it is still pending), re-park them.
+	for _, d := range oldBlocked {
+		acts = append(acts, p.answerPropose(d)...)
+	}
+	return acts
+}
+
+// onRetryAck finishes the retry once a majority answered.
+func (p *Process) onRetryAck(from ids.ProcessID, m *CRetryAck) []proto.Action {
+	st, ok := p.cmds[m.ID]
+	if !ok || st.retries == nil || st.status == statusCommitted || st.status == statusExecuted {
+		return nil
+	}
+	if _, dup := st.retries[from]; dup {
+		return nil
+	}
+	st.retries[from] = m
+	if len(st.retries) < p.r/2+1 {
+		return nil
+	}
+	deps := st.deps
+	for _, a := range st.retries {
+		deps = unionDots(deps, a.Deps)
+	}
+	st.retries = nil
+	return p.commitActions(m.ID, st, st.ts, deps)
+}
+
+func (p *Process) commitActions(id ids.Dot, st *cstate, ts uint64, deps []ids.Dot) []proto.Action {
+	return []proto.Action{proto.Send(&CCommit{ID: id, Cmd: st.cmd, TS: ts, Deps: deps},
+		p.topo.ShardProcesses(p.shard)...)}
+}
+
+// onCommit finalizes a command, releases replies blocked on it, and runs
+// the executor.
+func (p *Process) onCommit(m *CCommit) []proto.Action {
+	st := p.state(m.ID)
+	if st.status == statusCommitted || st.status == statusExecuted {
+		return nil
+	}
+	if st.cmd == nil {
+		st.cmd = m.Cmd
+		p.index(m.Cmd)
+	}
+	st.ts = m.TS
+	st.deps = m.Deps
+	st.status = statusCommitted
+	p.commitOrder = append(p.commitOrder, m.ID)
+	p.observe(m.TS)
+
+	var acts []proto.Action
+	for _, d := range p.takeBlocked(m.ID) {
+		acts = append(acts, p.answerPropose(d)...)
+	}
+	if p.cfg.ExecuteOnCommit {
+		p.executeNow(st)
+	} else {
+		p.runExecutor()
+	}
+	return acts
+}
+
+func (p *Process) takeBlocked(id ids.Dot) []deferred {
+	ds := p.blockedOn[id]
+	delete(p.blockedOn, id)
+	return ds
+}
+
+// runExecutor executes committed commands in timestamp order once their
+// dependencies are satisfied (executed, or ordered after this command).
+func (p *Process) runExecutor() {
+	for {
+		progress := false
+		var ready []*cstate
+		var readyIDs []ids.Dot
+		for id, st := range p.cmds {
+			if st.status != statusCommitted {
+				continue
+			}
+			if p.depsSatisfied(st) {
+				ready = append(ready, st)
+				readyIDs = append(readyIDs, id)
+			}
+		}
+		// Execute in (ts, id) order for determinism.
+		idx := make([]int, len(ready))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ra, rb := ready[idx[a]], ready[idx[b]]
+			if ra.ts != rb.ts {
+				return ra.ts < rb.ts
+			}
+			return readyIDs[idx[a]].Less(readyIDs[idx[b]])
+		})
+		for _, i := range idx {
+			p.executeNow(ready[i])
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (p *Process) depsSatisfied(st *cstate) bool {
+	for _, d := range st.deps {
+		o := p.cmds[d]
+		if o == nil {
+			return false // dependency not even known yet
+		}
+		if o.status == statusExecuted {
+			continue
+		}
+		// A dependency ordered after us by timestamp does not gate us
+		// (it will have us among its own deps).
+		if (o.status == statusCommitted) && o.ts > st.ts {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func (p *Process) executeNow(st *cstate) {
+	if st.status == statusExecuted {
+		return
+	}
+	st.status = statusExecuted
+	res := p.store.Apply(st.cmd, p.shard, p.topo.ShardOf)
+	p.executedOut = append(p.executedOut, proto.Executed{Cmd: st.cmd, Shard: p.shard, Result: res})
+}
+
+// --- helpers ---
+
+func unionDots(a, b []ids.Dot) []ids.Dot {
+	if len(b) == 0 {
+		return a
+	}
+	set := make(map[ids.Dot]bool, len(a)+len(b))
+	for _, d := range a {
+		set[d] = true
+	}
+	for _, d := range b {
+		set[d] = true
+	}
+	out := make([]ids.Dot, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func containsDot(list []ids.Dot, d ids.Dot) bool {
+	for _, x := range list {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}

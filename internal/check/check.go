@@ -1,0 +1,154 @@
+// Package check verifies executions against the PSMR specification (§2 of
+// the paper): Validity (each command executed at most once per process,
+// only if submitted) and Ordering (the union of per-process execution
+// orders on conflicting commands, plus the real-time order, is acyclic).
+//
+// Runtimes feed it per-process execution logs; tests call Verify at the
+// end of a run.
+package check
+
+import (
+	"fmt"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// Log is one process's execution history for one shard, in order.
+type Log struct {
+	Process ids.ProcessID
+	Shard   ids.ShardID
+	Order   []ids.Dot
+}
+
+// Checker accumulates logs and command metadata.
+type Checker struct {
+	cmds      map[ids.Dot]*command.Command
+	submitted map[ids.Dot]bool
+	logs      []Log
+}
+
+// New creates a Checker.
+func New() *Checker {
+	return &Checker{
+		cmds:      make(map[ids.Dot]*command.Command),
+		submitted: make(map[ids.Dot]bool),
+	}
+}
+
+// Submitted registers a submitted command (for Validity).
+func (c *Checker) Submitted(cmd *command.Command) {
+	c.cmds[cmd.ID] = cmd
+	c.submitted[cmd.ID] = true
+}
+
+// Executed appends a full execution log for a process/shard.
+func (c *Checker) Executed(l Log) { c.logs = append(c.logs, l) }
+
+// Verify checks Validity and Ordering; it returns the first violation
+// found, or nil.
+func (c *Checker) Verify() error {
+	// Validity: executed at most once per process, and only submitted
+	// commands.
+	for _, l := range c.logs {
+		seen := make(map[ids.Dot]bool, len(l.Order))
+		for _, id := range l.Order {
+			if seen[id] {
+				return fmt.Errorf("validity: process %d executed %v twice", l.Process, id)
+			}
+			seen[id] = true
+			if !c.submitted[id] {
+				return fmt.Errorf("validity: process %d executed unsubmitted %v", l.Process, id)
+			}
+		}
+	}
+	// Ordering: build the ↦ relation restricted to conflicting pairs and
+	// detect cycles. Since each process's log is a total order, a cycle
+	// can only appear if two processes order some conflicting pair in
+	// opposite directions, or via longer cycles; we detect both with a
+	// DFS over the pairwise edges.
+	edges := make(map[ids.Dot]map[ids.Dot]bool)
+	addEdge := func(a, b ids.Dot) {
+		if edges[a] == nil {
+			edges[a] = make(map[ids.Dot]bool)
+		}
+		edges[a][b] = true
+	}
+	for _, l := range c.logs {
+		for i := 0; i < len(l.Order); i++ {
+			ci := c.cmds[l.Order[i]]
+			for j := i + 1; j < len(l.Order); j++ {
+				cj := c.cmds[l.Order[j]]
+				if ci != nil && cj != nil && ci.Conflicts(cj) {
+					addEdge(l.Order[i], l.Order[j])
+				}
+			}
+		}
+	}
+	// Direct contradiction check (fast, yields good messages).
+	for a, out := range edges {
+		for b := range out {
+			if edges[b][a] {
+				return fmt.Errorf("ordering: conflicting commands %v and %v executed in opposite orders", a, b)
+			}
+		}
+	}
+	// General cycle detection.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[ids.Dot]int)
+	var visit func(ids.Dot) error
+	visit = func(n ids.Dot) error {
+		color[n] = grey
+		for m := range edges[n] {
+			switch color[m] {
+			case grey:
+				return fmt.Errorf("ordering: cycle through %v and %v", n, m)
+			case white:
+				if err := visit(m); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for n := range edges {
+		if color[n] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyTotalOrder additionally requires that all logs of the same shard
+// are prefixes of one common total order (Tempo and FPaxos provide this;
+// EPaxos-family protocols only order conflicting commands).
+func (c *Checker) VerifyTotalOrder() error {
+	byShard := make(map[ids.ShardID][]Log)
+	for _, l := range c.logs {
+		byShard[l.Shard] = append(byShard[l.Shard], l)
+	}
+	for shard, logs := range byShard {
+		var ref Log
+		for _, l := range logs {
+			if len(l.Order) > len(ref.Order) {
+				ref = l
+			}
+		}
+		for _, l := range logs {
+			for i, id := range l.Order {
+				if ref.Order[i] != id {
+					return fmt.Errorf("total order: shard %d, process %d diverges from process %d at index %d (%v vs %v)",
+						shard, l.Process, ref.Process, i, id, ref.Order[i])
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+func dot(s, q int) ids.Dot { return ids.Dot{Source: ids.ProcessID(s), Seq: uint64(q)} }
+
+func put(id ids.Dot, k command.Key) *command.Command { return command.NewPut(id, k, nil) }
+
+func TestValidOrdering(t *testing.T) {
+	c := New()
+	a, b := put(dot(1, 1), "x"), put(dot(2, 1), "x")
+	c.Submitted(a)
+	c.Submitted(b)
+	c.Executed(Log{Process: 1, Order: []ids.Dot{a.ID, b.ID}})
+	c.Executed(Log{Process: 2, Order: []ids.Dot{a.ID, b.ID}})
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsOppositeOrders(t *testing.T) {
+	c := New()
+	a, b := put(dot(1, 1), "x"), put(dot(2, 1), "x")
+	c.Submitted(a)
+	c.Submitted(b)
+	c.Executed(Log{Process: 1, Order: []ids.Dot{a.ID, b.ID}})
+	c.Executed(Log{Process: 2, Order: []ids.Dot{b.ID, a.ID}})
+	err := c.Verify()
+	if err == nil || !strings.Contains(err.Error(), "opposite orders") {
+		t.Fatalf("want opposite-orders violation, got %v", err)
+	}
+}
+
+func TestNonConflictingReorderAllowed(t *testing.T) {
+	c := New()
+	a, b := put(dot(1, 1), "x"), put(dot(2, 1), "y")
+	c.Submitted(a)
+	c.Submitted(b)
+	c.Executed(Log{Process: 1, Order: []ids.Dot{a.ID, b.ID}})
+	c.Executed(Log{Process: 2, Order: []ids.Dot{b.ID, a.ID}})
+	if err := c.Verify(); err != nil {
+		t.Fatalf("non-conflicting reorder must be allowed: %v", err)
+	}
+	if err := c.VerifyTotalOrder(); err == nil {
+		t.Fatal("total-order check should flag the reorder")
+	}
+}
+
+func TestReadsDoNotConflict(t *testing.T) {
+	c := New()
+	a := command.NewGet(dot(1, 1), "x")
+	b := command.NewGet(dot(2, 1), "x")
+	c.Submitted(a)
+	c.Submitted(b)
+	c.Executed(Log{Process: 1, Order: []ids.Dot{a.ID, b.ID}})
+	c.Executed(Log{Process: 2, Order: []ids.Dot{b.ID, a.ID}})
+	if err := c.Verify(); err != nil {
+		t.Fatalf("reads must not conflict: %v", err)
+	}
+}
+
+func TestDetectsDuplicateExecution(t *testing.T) {
+	c := New()
+	a := put(dot(1, 1), "x")
+	c.Submitted(a)
+	c.Executed(Log{Process: 1, Order: []ids.Dot{a.ID, a.ID}})
+	if err := c.Verify(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("want duplicate violation, got %v", err)
+	}
+}
+
+func TestDetectsUnsubmitted(t *testing.T) {
+	c := New()
+	c.Executed(Log{Process: 1, Order: []ids.Dot{dot(9, 9)}})
+	if err := c.Verify(); err == nil || !strings.Contains(err.Error(), "unsubmitted") {
+		t.Fatalf("want unsubmitted violation, got %v", err)
+	}
+}
+
+func TestDetectsThreeCycle(t *testing.T) {
+	// a<b at p1, b<c at p2, c<a at p3: no pair contradicts, but the
+	// union is cyclic. Commands pairwise conflict via distinct keys.
+	c := New()
+	a := command.New(dot(1, 1),
+		command.Op{Kind: command.Put, Key: "ab"},
+		command.Op{Kind: command.Put, Key: "ca"})
+	b := command.New(dot(2, 1),
+		command.Op{Kind: command.Put, Key: "ab"},
+		command.Op{Kind: command.Put, Key: "bc"})
+	cc := command.New(dot(3, 1),
+		command.Op{Kind: command.Put, Key: "bc"},
+		command.Op{Kind: command.Put, Key: "ca"})
+	c.Submitted(a)
+	c.Submitted(b)
+	c.Submitted(cc)
+	c.Executed(Log{Process: 1, Shard: 0, Order: []ids.Dot{a.ID, b.ID}})
+	c.Executed(Log{Process: 2, Shard: 1, Order: []ids.Dot{b.ID, cc.ID}})
+	c.Executed(Log{Process: 3, Shard: 2, Order: []ids.Dot{cc.ID, a.ID}})
+	if err := c.Verify(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle violation, got %v", err)
+	}
+}

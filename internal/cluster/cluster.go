@@ -1,0 +1,374 @@
+// Package cluster runs replicas as real networked processes: one Node per
+// replica, TCP links with gob-encoded envelopes, a periodic tick loop for
+// protocol timers, and a small client protocol (submit a command, get the
+// results once it executes locally).
+//
+// The cmd/tempo-server and cmd/tempo-client binaries are thin wrappers
+// around this package; TestLoopback runs a full cluster over localhost.
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/tempo"
+)
+
+func init() {
+	// Protocol messages crossing TCP links. Only Tempo runs over the
+	// cluster runtime (the baselines are evaluated in simulation).
+	gob.Register(&tempo.MSubmit{})
+	gob.Register(&tempo.MPayload{})
+	gob.Register(&tempo.MPropose{})
+	gob.Register(&tempo.MProposeAck{})
+	gob.Register(&tempo.MBump{})
+	gob.Register(&tempo.MCommit{})
+	gob.Register(&tempo.MConsensus{})
+	gob.Register(&tempo.MConsensusAck{})
+	gob.Register(&tempo.MRec{})
+	gob.Register(&tempo.MRecAck{})
+	gob.Register(&tempo.MRecNAck{})
+	gob.Register(&tempo.MCommitRequest{})
+	gob.Register(&tempo.MPromises{})
+	gob.Register(&tempo.MStable{})
+}
+
+// envelope is the wire frame between nodes.
+type envelope struct {
+	From ids.ProcessID
+	Msg  proto.Message
+}
+
+// hello identifies a connecting peer (or a client, with From == 0).
+type hello struct {
+	From ids.ProcessID
+}
+
+// ClientRequest submits a command; the node assigns the identifier.
+type ClientRequest struct {
+	Ops []command.Op
+}
+
+// ClientReply returns the local shard's execution results.
+type ClientReply struct {
+	OK     bool
+	Error  string
+	Values [][]byte
+}
+
+// Node runs one replica.
+type Node struct {
+	id    ids.ProcessID
+	rep   proto.Replica
+	addrs map[ids.ProcessID]string
+
+	mu sync.Mutex // guards rep
+	// out holds per-peer outbound queues; a writer goroutine per peer
+	// dials and encodes, so protocol steps never block on the network.
+	outMu sync.Mutex
+	out   map[ids.ProcessID]chan proto.Message
+
+	// waiters maps a command id to the channel signalled when the
+	// command executes locally.
+	waitMu  sync.Mutex
+	waiters map[ids.Dot]chan *command.Result
+
+	ln     net.Listener
+	done   chan struct{}
+	closed sync.Once
+	tick   time.Duration
+}
+
+// NewNode creates a node for process id with the given replica and the
+// listen addresses of every process.
+func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string) *Node {
+	return &Node{
+		id:      id,
+		rep:     rep,
+		addrs:   addrs,
+		out:     make(map[ids.ProcessID]chan proto.Message),
+		waiters: make(map[ids.Dot]chan *command.Result),
+		done:    make(chan struct{}),
+		tick:    5 * time.Millisecond,
+	}
+}
+
+// Start listens on the node's address and runs the tick loop. It returns
+// once the listener is ready.
+func (n *Node) Start() error {
+	ln, err := net.Listen("tcp", n.addrs[n.id])
+	if err != nil {
+		return fmt.Errorf("cluster: listen %s: %w", n.addrs[n.id], err)
+	}
+	n.StartListener(ln)
+	return nil
+}
+
+// StartListener runs the node on an already-bound listener; useful when
+// ports are allocated dynamically and the full address map must be known
+// before any node starts.
+func (n *Node) StartListener(ln net.Listener) {
+	n.ln = ln
+	go n.acceptLoop()
+	go n.tickLoop()
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close shuts the node down.
+func (n *Node) Close() {
+	n.closed.Do(func() {
+		close(n.done)
+		n.ln.Close()
+	})
+}
+
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		go n.serveConn(conn)
+	}
+}
+
+// serveConn handles an inbound connection: a peer (streams envelopes) or
+// a client (request/reply).
+func (n *Node) serveConn(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		conn.Close()
+		return
+	}
+	if h.From != 0 {
+		// Peer connection: stream envelopes.
+		for {
+			var env envelope
+			if err := dec.Decode(&env); err != nil {
+				conn.Close()
+				return
+			}
+			n.deliver(env.From, env.Msg)
+		}
+	}
+	// Client connection: serve requests until EOF.
+	for {
+		var req ClientRequest
+		if err := dec.Decode(&req); err != nil {
+			conn.Close()
+			return
+		}
+		res := n.serveClient(&req)
+		if err := enc.Encode(res); err != nil {
+			conn.Close()
+			return
+		}
+	}
+}
+
+type idMinter interface{ NextID() ids.Dot }
+
+// serveClient submits a command and waits for local execution.
+func (n *Node) serveClient(req *ClientRequest) *ClientReply {
+	if len(req.Ops) == 0 {
+		return &ClientReply{Error: "empty command"}
+	}
+	n.mu.Lock()
+	id := n.rep.(idMinter).NextID()
+	cmd := command.New(id, req.Ops...)
+	ch := make(chan *command.Result, 1)
+	n.waitMu.Lock()
+	n.waiters[id] = ch
+	n.waitMu.Unlock()
+	acts := n.rep.Submit(cmd)
+	n.afterStepLocked(acts)
+	n.mu.Unlock()
+
+	select {
+	case res := <-ch:
+		return &ClientReply{OK: true, Values: res.Values}
+	case <-time.After(10 * time.Second):
+		n.waitMu.Lock()
+		delete(n.waiters, id)
+		n.waitMu.Unlock()
+		return &ClientReply{Error: "timeout waiting for execution"}
+	case <-n.done:
+		return &ClientReply{Error: "node shutting down"}
+	}
+}
+
+// deliver feeds a message into the replica.
+func (n *Node) deliver(from ids.ProcessID, msg proto.Message) {
+	n.mu.Lock()
+	acts := n.rep.Handle(from, msg)
+	n.afterStepLocked(acts)
+	n.mu.Unlock()
+}
+
+func (n *Node) tickLoop() {
+	t := time.NewTicker(n.tick)
+	defer t.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+			n.mu.Lock()
+			acts := n.rep.Tick(time.Since(start))
+			n.afterStepLocked(acts)
+			n.mu.Unlock()
+		}
+	}
+}
+
+// afterStepLocked sends actions and completes waiting clients. Callers
+// hold n.mu.
+func (n *Node) afterStepLocked(acts []proto.Action) {
+	for _, a := range acts {
+		for _, to := range a.To {
+			n.sendLocked(to, a.Msg)
+		}
+	}
+	ex := n.rep.Drain()
+	if len(ex) == 0 {
+		return
+	}
+	n.waitMu.Lock()
+	for _, e := range ex {
+		if ch, ok := n.waiters[e.Cmd.ID]; ok {
+			ch <- e.Result
+			delete(n.waiters, e.Cmd.ID)
+		}
+	}
+	n.waitMu.Unlock()
+}
+
+// sendLocked enqueues an envelope for a peer; a writer goroutine per
+// peer performs the dialing and encoding. A full queue drops the message
+// — the protocol's liveness machinery retries.
+func (n *Node) sendLocked(to ids.ProcessID, msg proto.Message) {
+	n.outMu.Lock()
+	ch, ok := n.out[to]
+	if !ok {
+		ch = make(chan proto.Message, 4096)
+		n.out[to] = ch
+		go n.writer(to, ch)
+	}
+	n.outMu.Unlock()
+	select {
+	case ch <- msg:
+	default:
+	}
+}
+
+// writer drains a peer's outbound queue over a (re)dialed connection.
+func (n *Node) writer(to ids.ProcessID, ch chan proto.Message) {
+	var conn net.Conn
+	var enc *gob.Encoder
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var msg proto.Message
+		select {
+		case <-n.done:
+			return
+		case msg = <-ch:
+		}
+		for attempt := 0; attempt < 2; attempt++ {
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", n.addrs[to], 2*time.Second)
+				if err != nil {
+					break // drop; liveness machinery retries
+				}
+				e := gob.NewEncoder(c)
+				if err := e.Encode(&hello{From: n.id}); err != nil {
+					c.Close()
+					break
+				}
+				conn, enc = c, e
+			}
+			if err := enc.Encode(&envelope{From: n.id, Msg: msg}); err != nil {
+				conn.Close()
+				conn, enc = nil, nil
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Client is a TCP client session against one node.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects a client to a node.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(&hello{From: 0}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, enc: enc, dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Execute submits a command and returns the serving shard's results.
+func (c *Client) Execute(ops ...command.Op) ([][]byte, error) {
+	if err := c.enc.Encode(&ClientRequest{Ops: ops}); err != nil {
+		return nil, err
+	}
+	var rep ClientReply
+	if err := c.dec.Decode(&rep); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errors.New("cluster: connection closed")
+		}
+		return nil, err
+	}
+	if !rep.OK {
+		return nil, errors.New("cluster: " + rep.Error)
+	}
+	return rep.Values, nil
+}
+
+// Put writes a key.
+func (c *Client) Put(key string, value []byte) error {
+	_, err := c.Execute(command.Op{Kind: command.Put, Key: command.Key(key), Value: value})
+	return err
+}
+
+// Get reads a key.
+func (c *Client) Get(key string) ([]byte, error) {
+	vals, err := c.Execute(command.Op{Kind: command.Get, Key: command.Key(key)})
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 {
+		return nil, nil
+	}
+	return vals[0], nil
+}

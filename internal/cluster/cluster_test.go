@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// startCluster boots r Tempo nodes on loopback and returns them with
+// their client addresses.
+func startCluster(t *testing.T, r, f int) ([]*Node, map[ids.ProcessID]string, *topology.Topology) {
+	t.Helper()
+	names := make([]string, r)
+	rtt := make([][]time.Duration, r)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, r)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bind every listener first so the address map is complete and
+	// immutable before any node starts sending.
+	addrs := make(map[ids.ProcessID]string)
+	lns := make(map[ids.ProcessID]net.Listener)
+	for _, pi := range topo.Processes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[pi.ID] = ln
+		addrs[pi.ID] = ln.Addr().String()
+	}
+	var nodes []*Node
+	for _, pi := range topo.Processes() {
+		rep := tempo.New(pi.ID, topo, tempo.Config{
+			PromiseInterval: 2 * time.Millisecond,
+			RecoveryTimeout: time.Hour,
+		})
+		n := NewNode(pi.ID, rep, addrs)
+		n.StartListener(lns[pi.ID])
+		nodes = append(nodes, n)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes, addrs, topo
+}
+
+func TestLoopbackPutGet(t *testing.T) {
+	nodes, addrs, topo := startCluster(t, 3, 1)
+	_ = nodes
+	c, err := Dial(addrs[topo.ProcessAt(0, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestLoopbackCrossNodeVisibility(t *testing.T) {
+	_, addrs, topo := startCluster(t, 3, 1)
+	c0, err := Dial(addrs[topo.ProcessAt(0, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	if err := c0.Put("shared", []byte("from-node-0")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(addrs[topo.ProcessAt(2, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// Linearizability: the read at another node sees the earlier write.
+	v, err := c2.Get("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, []byte("from-node-0")) {
+		t.Fatalf("read at node 2 = %q", v)
+	}
+}
+
+func TestLoopbackConcurrentClients(t *testing.T) {
+	_, addrs, topo := startCluster(t, 3, 1)
+	var wg sync.WaitGroup
+	errs := make(chan error, 30)
+	for site := 0; site < 3; site++ {
+		addr := addrs[topo.ProcessAt(ids.SiteID(site), 0)]
+		for k := 0; k < 2; k++ {
+			wg.Add(1)
+			go func(addr string, who int) {
+				defer wg.Done()
+				c, err := Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				for i := 0; i < 5; i++ {
+					if err := c.Put("contended", []byte{byte(who), byte(i)}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(addr, site*2+k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All replicas converge to the same final value.
+	var vals [][]byte
+	for site := 0; site < 3; site++ {
+		c, err := Dial(addrs[topo.ProcessAt(ids.SiteID(site), 0)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.Get("contended")
+		c.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	if !bytes.Equal(vals[0], vals[1]) || !bytes.Equal(vals[1], vals[2]) {
+		t.Fatalf("replicas diverged: %v", vals)
+	}
+}
+
+func TestLoopbackFiveNodesF2(t *testing.T) {
+	_, addrs, topo := startCluster(t, 5, 2)
+	c, err := Dial(addrs[topo.ProcessAt(0, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := c.Get("k7")
+	if err != nil || len(v) != 1 || v[0] != 7 {
+		t.Fatalf("k7 = %v, %v", v, err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	_, addrs, topo := startCluster(t, 3, 1)
+	c, err := Dial(addrs[topo.ProcessAt(0, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Execute(); err == nil {
+		t.Fatal("empty command should fail")
+	}
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dialing a dead address should fail")
+	}
+}

@@ -1,0 +1,173 @@
+// Package command defines the client command model shared by all protocols:
+// keyed read/write operations against the replicated key-value state
+// machine, the conflict relation used by dependency-based protocols, and
+// multi-shard access sets used by the partial-replication protocols.
+package command
+
+import (
+	"fmt"
+	"sort"
+
+	"tempo/internal/ids"
+)
+
+// Key is a state-machine key. In the paper's partial-replication model each
+// key is its own partition; keys map to shards via the topology.
+type Key string
+
+// OpKind distinguishes reads from writes. Tempo deliberately does not
+// exploit the distinction (§3.3); EPaxos/Atlas/Janus* do: two commands
+// conflict only if they share a key and at least one writes it.
+type OpKind uint8
+
+const (
+	// Get reads a key.
+	Get OpKind = iota
+	// Put writes a key.
+	Put
+)
+
+func (k OpKind) String() string {
+	if k == Get {
+		return "get"
+	}
+	return "put"
+}
+
+// Op is a single operation on one key.
+type Op struct {
+	Kind  OpKind
+	Key   Key
+	Value []byte // payload for Put; ignored for Get
+}
+
+// Command is a client command: a set of operations plus the unique
+// identifier assigned by the submitting process. A command may touch keys
+// in several shards; a PSMR protocol executes it once per accessed shard.
+type Command struct {
+	ID  ids.Dot
+	Ops []Op
+	// Padding emulates extra payload bytes (the paper's microbenchmark
+	// varies payload size from 100B to 4KB); it has no semantic effect.
+	Padding int
+}
+
+// New builds a command with the given id and operations.
+func New(id ids.Dot, ops ...Op) *Command {
+	return &Command{ID: id, Ops: ops}
+}
+
+// NewPut builds a single-key write command.
+func NewPut(id ids.Dot, key Key, value []byte) *Command {
+	return New(id, Op{Kind: Put, Key: key, Value: value})
+}
+
+// NewGet builds a single-key read command.
+func NewGet(id ids.Dot, key Key) *Command {
+	return New(id, Op{Kind: Get, Key: key})
+}
+
+// Keys returns the distinct keys accessed by the command, sorted.
+func (c *Command) Keys() []Key {
+	seen := make(map[Key]struct{}, len(c.Ops))
+	var out []Key
+	for _, op := range c.Ops {
+		if _, ok := seen[op.Key]; !ok {
+			seen[op.Key] = struct{}{}
+			out = append(out, op.Key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WritesKey reports whether the command writes the given key.
+func (c *Command) WritesKey(k Key) bool {
+	for _, op := range c.Ops {
+		if op.Key == k && op.Kind == Put {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadOnly reports whether the command performs no writes.
+func (c *Command) ReadOnly() bool {
+	for _, op := range c.Ops {
+		if op.Kind == Put {
+			return false
+		}
+	}
+	return true
+}
+
+// Conflicts reports whether two commands conflict: they access a common
+// key and at least one of them writes it. This is the relation used by the
+// dependency-based baselines. Tempo never calls it.
+func (c *Command) Conflicts(d *Command) bool {
+	for _, opC := range c.Ops {
+		for _, opD := range d.Ops {
+			if opC.Key == opD.Key && (opC.Kind == Put || opD.Kind == Put) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ConflictsAny is Conflicts restricted to a single shard's keys: two
+// commands conflict within a shard if they conflict on a key of that
+// shard. shardOf maps keys to shards.
+func (c *Command) ConflictsOnShard(d *Command, shard ids.ShardID, shardOf func(Key) ids.ShardID) bool {
+	for _, opC := range c.Ops {
+		if shardOf(opC.Key) != shard {
+			continue
+		}
+		for _, opD := range d.Ops {
+			if opC.Key == opD.Key && (opC.Kind == Put || opD.Kind == Put) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Shards returns the sorted set of shards accessed by the command, given a
+// key-to-shard mapping.
+func (c *Command) Shards(shardOf func(Key) ids.ShardID) []ids.ShardID {
+	seen := make(map[ids.ShardID]struct{}, 2)
+	var out []ids.ShardID
+	for _, op := range c.Ops {
+		s := shardOf(op.Key)
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SizeBytes approximates the wire size of the command: key and value bytes
+// plus padding plus a small per-op overhead. The simulator's NIC model
+// uses it.
+func (c *Command) SizeBytes() int {
+	n := 16 + c.Padding // id + padding
+	for _, op := range c.Ops {
+		n += 8 + len(op.Key) + len(op.Value)
+	}
+	return n
+}
+
+func (c *Command) String() string {
+	return fmt.Sprintf("cmd(%s,%d ops)", c.ID, len(c.Ops))
+}
+
+// Result is the value returned by executing a command against one shard's
+// state: one entry per operation on that shard (reads return the value
+// read, writes return nil).
+type Result struct {
+	ID     ids.Dot
+	Shard  ids.ShardID
+	Values [][]byte
+}

@@ -1,0 +1,109 @@
+package command
+
+import (
+	"testing"
+
+	"tempo/internal/ids"
+)
+
+func dot(s, q int) ids.Dot { return ids.Dot{Source: ids.ProcessID(s), Seq: uint64(q)} }
+
+func TestKeysDedupSorted(t *testing.T) {
+	c := New(dot(1, 1),
+		Op{Kind: Put, Key: "b"},
+		Op{Kind: Get, Key: "a"},
+		Op{Kind: Put, Key: "b"},
+	)
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys() = %v, want [a b]", keys)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	w1 := NewPut(dot(1, 1), "x", nil)
+	w2 := NewPut(dot(1, 2), "x", nil)
+	r1 := NewGet(dot(1, 3), "x")
+	r2 := NewGet(dot(1, 4), "x")
+	other := NewPut(dot(1, 5), "y", nil)
+
+	if !w1.Conflicts(w2) {
+		t.Error("write-write on same key must conflict")
+	}
+	if !w1.Conflicts(r1) || !r1.Conflicts(w1) {
+		t.Error("read-write on same key must conflict (both directions)")
+	}
+	if r1.Conflicts(r2) {
+		t.Error("read-read must not conflict")
+	}
+	if w1.Conflicts(other) {
+		t.Error("disjoint keys must not conflict")
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	if !NewGet(dot(1, 1), "x").ReadOnly() {
+		t.Error("get should be read-only")
+	}
+	if NewPut(dot(1, 1), "x", nil).ReadOnly() {
+		t.Error("put should not be read-only")
+	}
+	mixed := New(dot(1, 1), Op{Kind: Get, Key: "a"}, Op{Kind: Put, Key: "b"})
+	if mixed.ReadOnly() {
+		t.Error("mixed command should not be read-only")
+	}
+}
+
+func TestShards(t *testing.T) {
+	shardOf := func(k Key) ids.ShardID {
+		if k < "m" {
+			return 0
+		}
+		return 1
+	}
+	c := New(dot(1, 1), Op{Kind: Put, Key: "a"}, Op{Kind: Put, Key: "z"}, Op{Kind: Get, Key: "b"})
+	sh := c.Shards(shardOf)
+	if len(sh) != 2 || sh[0] != 0 || sh[1] != 1 {
+		t.Fatalf("Shards = %v, want [0 1]", sh)
+	}
+	single := NewPut(dot(1, 2), "a", nil)
+	if got := single.Shards(shardOf); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Shards = %v, want [0]", got)
+	}
+}
+
+func TestConflictsOnShard(t *testing.T) {
+	shardOf := func(k Key) ids.ShardID {
+		if k < "m" {
+			return 0
+		}
+		return 1
+	}
+	a := New(dot(1, 1), Op{Kind: Put, Key: "a"}, Op{Kind: Put, Key: "z"})
+	b := New(dot(2, 1), Op{Kind: Put, Key: "z"})
+	if a.ConflictsOnShard(b, 0, shardOf) {
+		t.Error("no shared key on shard 0")
+	}
+	if !a.ConflictsOnShard(b, 1, shardOf) {
+		t.Error("shared written key z on shard 1 must conflict")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	c := NewPut(dot(1, 1), "key!", make([]byte, 100))
+	c.Padding = 50
+	want := 16 + 50 + 8 + 4 + 100
+	if got := c.SizeBytes(); got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestWritesKey(t *testing.T) {
+	c := New(dot(1, 1), Op{Kind: Get, Key: "a"}, Op{Kind: Put, Key: "b"})
+	if c.WritesKey("a") {
+		t.Error("a is only read")
+	}
+	if !c.WritesKey("b") {
+		t.Error("b is written")
+	}
+}

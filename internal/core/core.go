@@ -1,0 +1,240 @@
+// Package core is the library facade: it wires a topology, a replication
+// protocol and a runtime into a usable replicated key-value service.
+//
+// Cluster runs every replica in-process with synchronous message delivery
+// — the easiest way to embed the library, used by the examples and the
+// cmd tools. For real deployments over TCP see internal/cluster; for
+// simulated geo-distributed experiments see internal/sim.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/epaxos"
+	"tempo/internal/fpaxos"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/tempo"
+	"tempo/internal/testnet"
+	"tempo/internal/topology"
+)
+
+// ProtocolKind selects the replication protocol.
+type ProtocolKind string
+
+// Available protocols.
+const (
+	ProtocolTempo  ProtocolKind = "tempo"
+	ProtocolAtlas  ProtocolKind = "atlas"
+	ProtocolEPaxos ProtocolKind = "epaxos"
+	ProtocolFPaxos ProtocolKind = "fpaxos"
+)
+
+// Options configure a Cluster.
+type Options struct {
+	// Sites are the replica locations; default: the paper's five EC2
+	// regions.
+	Sites []string
+	// F is the number of tolerated failures per shard (default 1).
+	F int
+	// Shards is the number of shards (default 1 = full replication).
+	Shards int
+	// Protocol selects the SMR protocol (default Tempo).
+	Protocol ProtocolKind
+	// Tempo tunes the Tempo protocol when selected.
+	Tempo tempo.Config
+}
+
+// Cluster is an in-process deployment of the replicated service.
+type Cluster struct {
+	topo *topology.Topology
+	net  *testnet.Net
+	reps map[ids.ProcessID]proto.Replica
+	// executed[id] holds the processes that executed the command.
+	executed map[ids.Dot]map[ids.ProcessID]*command.Result
+}
+
+// NewReplicaFunc builds protocol replicas for a topology.
+func NewReplicaFunc(kind ProtocolKind, topo *topology.Topology, tcfg tempo.Config) (func(ids.ProcessID) proto.Replica, error) {
+	switch kind {
+	case "", ProtocolTempo:
+		return func(id ids.ProcessID) proto.Replica { return tempo.New(id, topo, tcfg) }, nil
+	case ProtocolAtlas:
+		return func(id ids.ProcessID) proto.Replica {
+			return epaxos.New(id, topo, epaxos.Config{Variant: epaxos.VariantAtlas, NonGenuineCommit: topo.NumShards() > 1})
+		}, nil
+	case ProtocolEPaxos:
+		return func(id ids.ProcessID) proto.Replica {
+			return epaxos.New(id, topo, epaxos.Config{Variant: epaxos.VariantEPaxos})
+		}, nil
+	case ProtocolFPaxos:
+		return func(id ids.ProcessID) proto.Replica { return fpaxos.New(id, topo, fpaxos.Config{}) }, nil
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %q", kind)
+	}
+}
+
+// New creates an in-process cluster.
+func New(opts Options) (*Cluster, error) {
+	sites := opts.Sites
+	if sites == nil {
+		sites = topology.EC2Sites
+	}
+	f := opts.F
+	if f == 0 {
+		f = 1
+	}
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	var rtt [][]time.Duration
+	if len(sites) == len(topology.EC2Sites) {
+		rtt = topology.EC2RTT()
+	} else {
+		rtt = make([][]time.Duration, len(sites))
+		for i := range rtt {
+			rtt[i] = make([]time.Duration, len(sites))
+			for j := range rtt[i] {
+				if i != j {
+					rtt[i][j] = 2 * time.Millisecond
+				}
+			}
+		}
+	}
+	topo, err := topology.New(topology.Config{
+		SiteNames: sites, RTT: rtt, NumShards: shards, F: f,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nr, err := NewReplicaFunc(opts.Protocol, topo, opts.Tempo)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		topo:     topo,
+		reps:     make(map[ids.ProcessID]proto.Replica),
+		executed: make(map[ids.Dot]map[ids.ProcessID]*command.Result),
+	}
+	var all []proto.Replica
+	for _, pi := range topo.Processes() {
+		r := nr(pi.ID)
+		c.reps[pi.ID] = r
+		all = append(all, r)
+	}
+	c.net = testnet.New(all...)
+	return c, nil
+}
+
+// Topology exposes the cluster's topology.
+func (c *Cluster) Topology() *topology.Topology { return c.topo }
+
+// Client returns a session bound to a site.
+func (c *Cluster) Client(site int) *Client {
+	return &Client{c: c, site: ids.SiteID(site)}
+}
+
+// Crash fail-stops the process of the given shard at the given site.
+func (c *Cluster) Crash(site, shard int) {
+	c.net.Crash(c.topo.ProcessAt(ids.SiteID(site), ids.ShardID(shard)))
+}
+
+// SetLeader informs leader-aware replicas of the Ω oracle's choice.
+func (c *Cluster) SetLeader(rank int) { c.net.SetLeader(ids.Rank(rank)) }
+
+// Settle pumps messages and periodic work (promise gossip, recovery) for
+// the given number of rounds.
+func (c *Cluster) Settle(rounds int, dt time.Duration) {
+	c.net.Settle(rounds, dt)
+	c.collect()
+}
+
+// collect gathers executions from all replicas.
+func (c *Cluster) collect() {
+	for id, r := range c.reps {
+		for _, e := range r.Drain() {
+			m := c.executed[e.Cmd.ID]
+			if m == nil {
+				m = make(map[ids.ProcessID]*command.Result)
+				c.executed[e.Cmd.ID] = m
+			}
+			m[id] = e.Result
+		}
+	}
+}
+
+// Client is a session submitting commands at one site.
+type Client struct {
+	c    *Cluster
+	site ids.SiteID
+}
+
+type idMinter interface{ NextID() ids.Dot }
+
+// Execute submits a command built from ops and waits (synchronously
+// pumping the in-process network) until it executes at every co-located
+// shard replica. It returns the per-shard results.
+func (cl *Client) Execute(ops ...command.Op) ([]*command.Result, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("core: empty command")
+	}
+	topo := cl.c.topo
+	first := topo.ShardOf(ops[0].Key)
+	proc := topo.ProcessAt(cl.site, first)
+	if proc == 0 {
+		return nil, fmt.Errorf("core: site %d does not replicate shard %d", cl.site, first)
+	}
+	rep := cl.c.reps[proc]
+	cmd := command.New(rep.(idMinter).NextID(), ops...)
+
+	need := make(map[ids.ProcessID]bool)
+	for _, s := range cmd.Shards(topo.ShardOf) {
+		p := topo.ProcessAt(cl.site, s)
+		if p == 0 {
+			return nil, fmt.Errorf("core: site %d does not replicate shard %d", cl.site, s)
+		}
+		need[p] = true
+	}
+
+	cl.c.net.Submit(proc, cmd)
+	// Pump until executed at all co-located replicas (bounded).
+	for i := 0; i < 1000; i++ {
+		cl.c.net.Drain(0)
+		cl.c.collect()
+		if got := cl.c.executed[cmd.ID]; got != nil {
+			done := true
+			for p := range need {
+				if _, ok := got[p]; !ok {
+					done = false
+				}
+			}
+			if done {
+				var out []*command.Result
+				for p := range need {
+					out = append(out, got[p])
+				}
+				return out, nil
+			}
+		}
+		cl.c.net.Tick(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("core: command %v did not execute (crashed quorum?)", cmd.ID)
+}
+
+// Put writes a key.
+func (cl *Client) Put(key string, value []byte) error {
+	_, err := cl.Execute(command.Op{Kind: command.Put, Key: command.Key(key), Value: value})
+	return err
+}
+
+// Get reads a key.
+func (cl *Client) Get(key string) ([]byte, error) {
+	res, err := cl.Execute(command.Op{Kind: command.Get, Key: command.Key(key)})
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Values[0], nil
+}

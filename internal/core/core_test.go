@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/tempo"
+)
+
+func TestPutGetTempo(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client(0)
+	if err := cl.Put("greeting", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Get("greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("got %q", v)
+	}
+	// A client at another site reads the same value (linearizability).
+	v, err = c.Client(2).Get("greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("remote client got %q", v)
+	}
+}
+
+func TestAllProtocols(t *testing.T) {
+	for _, kind := range []ProtocolKind{ProtocolTempo, ProtocolAtlas, ProtocolEPaxos, ProtocolFPaxos} {
+		t.Run(string(kind), func(t *testing.T) {
+			c, err := New(Options{Protocol: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl := c.Client(1)
+			if err := cl.Put("k", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			v, err := cl.Get("k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(v) != "v" {
+				t.Fatalf("got %q", v)
+			}
+		})
+	}
+}
+
+func TestMultiShardTransaction(t *testing.T) {
+	c, err := New(Options{Shards: 2, Sites: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client(0)
+	// Find keys on both shards.
+	var k0, k1 string
+	for i := 0; k0 == "" || k1 == ""; i++ {
+		k := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if c.Topology().ShardOf(command.Key(k)) == 0 && k0 == "" {
+			k0 = k
+		} else if c.Topology().ShardOf(command.Key(k)) == 1 && k1 == "" {
+			k1 = k
+		}
+	}
+	res, err := cl.Execute(
+		command.Op{Kind: command.Put, Key: command.Key(k0), Value: []byte("x")},
+		command.Op{Kind: command.Put, Key: command.Key(k1), Value: []byte("y")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("want results from 2 shards, got %d", len(res))
+	}
+	v, err := cl.Get(k1)
+	if err != nil || string(v) != "y" {
+		t.Fatalf("k1 = %q, %v", v, err)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	c, err := New(Options{
+		Tempo: tempoRecoveryConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Client(0)
+	if err := cl.Put("before", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the Ireland replica (rank 1); clients there are out of luck,
+	// but the rest of the system keeps going once Ω settles on rank 2.
+	c.Crash(0, 0)
+	c.SetLeader(2)
+	c.Settle(5, 20*time.Millisecond)
+	cl2 := c.Client(1)
+	if err := cl2.Put("after", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl2.Get("before")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("pre-crash write lost: %q, %v", v, err)
+	}
+}
+
+func TestUnknownProtocol(t *testing.T) {
+	if _, err := New(Options{Protocol: "zab"}); err == nil {
+		t.Fatal("unknown protocol should error")
+	}
+}
+
+// tempoRecoveryConfig enables fast recovery for the crash test.
+func tempoRecoveryConfig() (c tempo.Config) {
+	c.RecoveryTimeout = 20 * time.Millisecond
+	c.PromiseInterval = 5 * time.Millisecond
+	return c
+}

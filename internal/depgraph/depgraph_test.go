@@ -1,0 +1,213 @@
+package depgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tempo/internal/ids"
+)
+
+func dot(s, q int) ids.Dot { return ids.Dot{Source: ids.ProcessID(s), Seq: uint64(q)} }
+
+func idsOf(nodes []*Node) []ids.Dot {
+	out := make([]ids.Dot, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+func TestLinearChainExecutesInOrder(t *testing.T) {
+	g := New()
+	a, b, c := dot(1, 1), dot(1, 2), dot(1, 3)
+	g.Commit(c, 3, []ids.Dot{b}, nil)
+	g.Commit(b, 2, []ids.Dot{a}, nil)
+	// a missing: nothing executable.
+	if got := g.Executable(); got != nil {
+		t.Fatalf("executed %v before chain head committed", idsOf(got))
+	}
+	g.Commit(a, 1, nil, nil)
+	got := idsOf(g.Executable())
+	want := []ids.Dot{a, b, c}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if g.MaxSCC() != 1 {
+		t.Errorf("MaxSCC = %d, want 1", g.MaxSCC())
+	}
+}
+
+func TestCycleExecutesAsOneComponent(t *testing.T) {
+	g := New()
+	a, b := dot(1, 1), dot(2, 1)
+	g.Commit(a, 2, []ids.Dot{b}, nil)
+	g.Commit(b, 1, []ids.Dot{a}, nil)
+	got := idsOf(g.Executable())
+	// Cycle: executes as one SCC, ordered by (seq, id): b (seq 1) then a.
+	if len(got) != 2 || got[0] != b || got[1] != a {
+		t.Fatalf("got %v, want [b a]", got)
+	}
+	if g.MaxSCC() != 2 {
+		t.Errorf("MaxSCC = %d, want 2", g.MaxSCC())
+	}
+}
+
+func TestSCCBlockedOnUncommittedDependency(t *testing.T) {
+	// Figure 3's dependency graph: w -> y, y -> z, z -> {w, x}; x is
+	// never committed, so the SCC {w,y,z} cannot execute (unlike Tempo).
+	g := New()
+	w, x, y, z := dot(1, 1), dot(1, 2), dot(2, 1), dot(3, 1)
+	g.Commit(w, 1, []ids.Dot{y}, nil)
+	g.Commit(y, 2, []ids.Dot{z}, nil)
+	g.Commit(z, 3, []ids.Dot{w, x}, nil)
+	if got := g.Executable(); got != nil {
+		t.Fatalf("executed %v despite uncommitted dependency x", idsOf(got))
+	}
+	if g.Pending() != 3 {
+		t.Errorf("pending = %d, want 3", g.Pending())
+	}
+	// Once x commits, the whole component unblocks.
+	g.Commit(x, 4, []ids.Dot{w}, nil) // x depends on w: 4-cycle
+	got := idsOf(g.Executable())
+	if len(got) != 4 {
+		t.Fatalf("got %v, want all four", got)
+	}
+	if g.MaxSCC() != 4 {
+		t.Errorf("MaxSCC = %d, want 4", g.MaxSCC())
+	}
+}
+
+func TestBlockedSCCBlocksDownstream(t *testing.T) {
+	// c depends on SCC {a<->b}; a,b blocked on uncommitted u; c must not
+	// execute even though its direct deps are committed.
+	g := New()
+	a, b, c, u := dot(1, 1), dot(2, 1), dot(3, 1), dot(4, 1)
+	g.Commit(a, 1, []ids.Dot{b, u}, nil)
+	g.Commit(b, 2, []ids.Dot{a}, nil)
+	g.Commit(c, 3, []ids.Dot{a}, nil)
+	if got := g.Executable(); got != nil {
+		t.Fatalf("executed %v despite transitive block", idsOf(got))
+	}
+	g.Commit(u, 0, nil, nil)
+	if got := g.Executable(); len(got) != 4 {
+		t.Fatalf("got %v after unblock, want 4 commands", idsOf(got))
+	}
+}
+
+func TestIndependentCommandsDeterministicOrder(t *testing.T) {
+	mk := func() []ids.Dot {
+		g := New()
+		for i := 10; i >= 1; i-- {
+			g.Commit(dot(i, 1), uint64(i), nil, nil)
+		}
+		return idsOf(g.Executable())
+	}
+	first := mk()
+	for i := 0; i < 10; i++ {
+		if got := mk(); fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("nondeterministic order: %v vs %v", got, first)
+		}
+	}
+	// Order must be by (seq, id).
+	for i := 1; i < len(first); i++ {
+		if first[i].Source < first[i-1].Source {
+			t.Fatalf("not in seq order: %v", first)
+		}
+	}
+}
+
+func TestCommitIdempotent(t *testing.T) {
+	g := New()
+	a := dot(1, 1)
+	g.Commit(a, 1, nil, nil)
+	g.Commit(a, 99, []ids.Dot{dot(2, 2)}, nil) // ignored
+	got := g.Executable()
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("duplicate commit mutated node: %+v", got)
+	}
+	g.Commit(a, 1, nil, nil) // after execution: still ignored
+	if g.Pending() != 0 {
+		t.Error("re-commit after execution should be dropped")
+	}
+}
+
+func TestAppendixDEPaxosUnboundedSCC(t *testing.T) {
+	// Appendix D: the EPaxos arrival order produces dep[1]={2},
+	// dep[2]={3}, dep[3]={1,4}, dep[4]={1,2,5}, dep[5]={2,3,6}, ... —
+	// one giant strongly connected component that keeps growing: as long
+	// as commands keep arriving, nothing executes.
+	g := New()
+	n := 60
+	depsOf := func(i int) []ids.Dot {
+		// Chain structure from the appendix: i depends on i+1 (committed
+		// later) plus earlier commands, forming one SCC.
+		var d []ids.Dot
+		if i+1 <= n+1 {
+			d = append(d, dot(1, i+1))
+		}
+		if i >= 3 {
+			d = append(d, dot(1, i-2))
+		}
+		return d
+	}
+	for i := 1; i <= n; i++ {
+		g.Commit(dot(1, i), uint64(i), depsOf(i), nil)
+		if got := g.Executable(); got != nil {
+			t.Fatalf("executed %d commands at i=%d; expected indefinite blocking", len(got), i)
+		}
+	}
+	if g.Pending() != n {
+		t.Fatalf("pending = %d, want %d", g.Pending(), n)
+	}
+	// Only when the chain is cut (command n+1 commits with no forward
+	// dep) does everything execute — as one giant component.
+	g.Commit(dot(1, n+1), uint64(n+1), []ids.Dot{dot(1, n-1)}, nil)
+	got := g.Executable()
+	if len(got) != n+1 {
+		t.Fatalf("got %d, want %d", len(got), n+1)
+	}
+	if g.MaxSCC() < n {
+		t.Errorf("expected a giant SCC, got max %d", g.MaxSCC())
+	}
+}
+
+func TestRandomGraphsEventuallyExecuteAll(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 50
+		perm := rng.Perm(n)
+		total := 0
+		for _, i := range perm {
+			// Deps point at arbitrary other commands.
+			var deps []ids.Dot
+			for k := 0; k < rng.Intn(4); k++ {
+				deps = append(deps, dot(1, 1+rng.Intn(n)))
+			}
+			g.Commit(dot(1, i+1), uint64(i+1), deps, nil)
+			total += len(g.Executable())
+		}
+		total += len(g.Executable())
+		if total != n {
+			t.Fatalf("seed %d: executed %d of %d", seed, total, n)
+		}
+		if g.Pending() != 0 {
+			t.Fatalf("seed %d: %d stuck", seed, g.Pending())
+		}
+	}
+}
+
+func BenchmarkExecutableChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := New()
+		for j := 1; j <= 200; j++ {
+			var deps []ids.Dot
+			if j > 1 {
+				deps = []ids.Dot{dot(1, j-1)}
+			}
+			g.Commit(dot(1, j), uint64(j), deps, nil)
+			g.Executable()
+		}
+	}
+}

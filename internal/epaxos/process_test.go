@@ -1,0 +1,265 @@
+package epaxos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tempo/internal/check"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/testnet"
+	"tempo/internal/topology"
+)
+
+func lineTopo(t *testing.T, r, f, shards int) *topology.Topology {
+	t.Helper()
+	names := make([]string, r)
+	rtt := make([][]time.Duration, r)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+		rtt[i] = make([]time.Duration, r)
+		for j := range rtt[i] {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			rtt[i][j] = time.Duration(d) * 2 * time.Millisecond
+		}
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: shards, F: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func makeNet(t *testing.T, topo *topology.Topology, cfg Config) (map[ids.ProcessID]*Process, *testnet.Net) {
+	t.Helper()
+	procs := make(map[ids.ProcessID]*Process)
+	var reps []proto.Replica
+	for _, pi := range topo.Processes() {
+		p := New(pi.ID, topo, cfg)
+		procs[pi.ID] = p
+		reps = append(reps, p)
+	}
+	return procs, testnet.New(reps...)
+}
+
+func at(topo *topology.Topology, site, shard int) ids.ProcessID {
+	return topo.ProcessAt(ids.SiteID(site), ids.ShardID(shard))
+}
+
+func TestAtlasSingleCommand(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, Config{Variant: VariantAtlas})
+	a := at(topo, 0, 0)
+	cmd := command.NewPut(procs[a].NextID(), "x", []byte("v"))
+	net.Submit(a, cmd)
+	net.Drain(0)
+	for pid, p := range procs {
+		if got := p.graph.Executed(); got != 1 {
+			t.Fatalf("process %d executed %d, want 1", pid, got)
+		}
+		if v, ok := p.Store().Get("x"); !ok || string(v) != "v" {
+			t.Errorf("process %d store missing x", pid)
+		}
+	}
+	if fast, slow := procs[a].Stats(); fast != 1 || slow != 0 {
+		t.Errorf("want fast path, got fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestAtlasF1AlwaysFast(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, Config{Variant: VariantAtlas})
+	for site := 0; site < 5; site++ {
+		p := procs[at(topo, site, 0)]
+		for k := 0; k < 4; k++ {
+			net.Submit(p.ID(), command.NewPut(p.NextID(), "hot", nil))
+		}
+	}
+	net.Drain(0)
+	for _, p := range procs {
+		if _, slow := p.Stats(); slow != 0 {
+			t.Fatalf("Atlas f=1 must always take the fast path")
+		}
+	}
+}
+
+func TestEPaxosConflictForcesSlowPath(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, Config{Variant: VariantEPaxos})
+	// Two conflicting commands from different coordinators, delivered
+	// concurrently: at least one coordinator sees mismatched deps.
+	pa := procs[at(topo, 0, 0)]
+	pe := procs[at(topo, 4, 0)]
+	net.Submit(pa.ID(), command.NewPut(pa.NextID(), "hot", nil))
+	net.Submit(pe.ID(), command.NewPut(pe.NextID(), "hot", nil))
+	net.Drain(0)
+	var slowTotal uint64
+	for _, p := range procs {
+		_, slow := p.Stats()
+		slowTotal += slow
+	}
+	if slowTotal == 0 {
+		t.Fatal("concurrent conflicts must force EPaxos off the fast path")
+	}
+	// Both commands still execute everywhere, consistently.
+	for pid, p := range procs {
+		if got := p.graph.Executed(); got != 2 {
+			t.Fatalf("process %d executed %d, want 2", pid, got)
+		}
+	}
+}
+
+func TestEPaxosNonConflictingStayFast(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, Config{Variant: VariantEPaxos})
+	for site := 0; site < 5; site++ {
+		p := procs[at(topo, site, 0)]
+		net.Submit(p.ID(), command.NewPut(p.NextID(), command.Key(fmt.Sprintf("k%d", site)), nil))
+	}
+	net.Drain(0)
+	for _, p := range procs {
+		if _, slow := p.Stats(); slow != 0 {
+			t.Fatal("disjoint keys must stay on the fast path")
+		}
+	}
+}
+
+func TestReadsDoNotDependOnReads(t *testing.T) {
+	topo := lineTopo(t, 3, 1, 1)
+	procs, net := makeNet(t, topo, Config{Variant: VariantAtlas})
+	p := procs[at(topo, 0, 0)]
+	w := command.NewPut(p.NextID(), "k", []byte("v"))
+	net.Submit(p.ID(), w)
+	net.Drain(0)
+	r1 := command.NewGet(p.NextID(), "k")
+	net.Submit(p.ID(), r1)
+	net.Drain(0)
+	r2 := command.NewGet(p.NextID(), "k")
+	net.Submit(p.ID(), r2)
+	net.Drain(0)
+	// r2 depends on w (last write) but not on r1.
+	st := p.cmds[r2.ID]
+	if !containsDot(st.deps, w.ID) {
+		t.Error("read must depend on the last write")
+	}
+	if containsDot(st.deps, r1.ID) {
+		t.Error("read must not depend on a read")
+	}
+	// A subsequent write depends on both reads.
+	w2 := command.NewPut(p.NextID(), "k", []byte("v2"))
+	net.Submit(p.ID(), w2)
+	net.Drain(0)
+	st2 := p.cmds[w2.ID]
+	if !containsDot(st2.deps, r1.ID) || !containsDot(st2.deps, r2.ID) {
+		t.Errorf("write must depend on prior reads, got %v", st2.deps)
+	}
+}
+
+func randomWorkload(t *testing.T, variant Variant, seed int64, f int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	topo := lineTopo(t, 5, f, 1)
+	procs, net := makeNet(t, topo, Config{Variant: variant})
+	net.Rng = rng
+	chk := check.New()
+	n := 30
+	for i := 0; i < n; i++ {
+		p := procs[at(topo, rng.Intn(5), 0)]
+		var c *command.Command
+		key := command.Key(fmt.Sprintf("k%d", rng.Intn(3)))
+		if rng.Intn(2) == 0 {
+			c = command.NewPut(p.NextID(), key, nil)
+		} else {
+			c = command.NewGet(p.NextID(), key)
+		}
+		chk.Submitted(c)
+		net.Submit(p.ID(), c)
+		for s := 0; s < rng.Intn(15); s++ {
+			net.Step()
+		}
+	}
+	net.Drain(0)
+	for pid, p := range procs {
+		if got := p.graph.Executed(); got != uint64(n) {
+			t.Fatalf("process %d executed %d/%d (pending %d)", pid, got, n, p.graph.Pending())
+		}
+		var order []ids.Dot
+		for _, e := range p.Drain() {
+			order = append(order, e.Cmd.ID)
+		}
+		chk.Executed(check.Log{Process: pid, Shard: 0, Order: order})
+	}
+	if err := chk.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWorkloadsOrdering(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, v := range []Variant{VariantEPaxos, VariantAtlas} {
+			for _, f := range []int{1, 2} {
+				if v == VariantEPaxos && f == 2 {
+					continue // classic EPaxos fixes f = ⌊(r-1)/2⌋; skip
+				}
+				t.Run(fmt.Sprintf("%v_seed%d_f%d", v, seed, f), func(t *testing.T) {
+					randomWorkload(t, v, seed, f)
+				})
+			}
+		}
+	}
+}
+
+func TestJanusStyleMultiShard(t *testing.T) {
+	topo := lineTopo(t, 3, 1, 2)
+	procs, net := makeNet(t, topo, Config{Variant: VariantAtlas, NonGenuineCommit: true})
+	// Find keys on each shard.
+	var k0, k1 command.Key
+	for i := 0; k0 == "" || k1 == ""; i++ {
+		k := command.Key(fmt.Sprintf("key%d", i))
+		if topo.ShardOf(k) == 0 && k0 == "" {
+			k0 = k
+		} else if topo.ShardOf(k) == 1 && k1 == "" {
+			k1 = k
+		}
+	}
+	p := procs[at(topo, 0, 0)]
+	c := command.New(p.NextID(),
+		command.Op{Kind: command.Put, Key: k0, Value: []byte("v0")},
+		command.Op{Kind: command.Put, Key: k1, Value: []byte("v1")},
+	)
+	net.Submit(p.ID(), c)
+	net.Drain(0)
+	// Executed at every replica of both shards.
+	for pid, proc := range procs {
+		if got := proc.graph.Executed(); got != 1 {
+			t.Fatalf("process %d executed %d, want 1", pid, got)
+		}
+	}
+	if v, ok := procs[at(topo, 1, 1)].Store().Get(k1); !ok || string(v) != "v1" {
+		t.Error("shard-1 replica missing write")
+	}
+	if _, ok := procs[at(topo, 1, 1)].Store().Get(k0); ok {
+		t.Error("shard-1 replica must not store shard-0 key")
+	}
+}
+
+func TestExecuteOnCommit(t *testing.T) {
+	topo := lineTopo(t, 3, 1, 1)
+	procs, net := makeNet(t, topo, Config{Variant: VariantAtlas, ExecuteOnCommit: true})
+	p := procs[at(topo, 0, 0)]
+	c := command.NewPut(p.NextID(), "k", []byte("v"))
+	net.Submit(p.ID(), c)
+	net.Drain(0)
+	if len(p.Drain()) != 1 {
+		t.Fatal("command should execute immediately on commit")
+	}
+	if p.graph.Pending() != 0 || p.graph.Executed() != 0 {
+		t.Error("graph should be bypassed")
+	}
+}

@@ -1,0 +1,212 @@
+package fpaxos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tempo/internal/check"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/testnet"
+	"tempo/internal/topology"
+)
+
+func makeNet(t *testing.T, f int, cfg Config) (*topology.Topology, map[ids.ProcessID]*Process, *testnet.Net) {
+	t.Helper()
+	topo := topology.EC2(f)
+	procs := make(map[ids.ProcessID]*Process)
+	var reps []proto.Replica
+	for _, pi := range topo.Processes() {
+		p := New(pi.ID, topo, cfg)
+		procs[pi.ID] = p
+		reps = append(reps, p)
+	}
+	return topo, procs, testnet.New(reps...)
+}
+
+func TestLeaderCommitsAndAllExecute(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{})
+	leader := topo.ProcessAt(0, 0) // rank 1 is site 0
+	c := command.NewPut(procs[leader].NextID(), "k", []byte("v"))
+	net.Submit(leader, c)
+	net.Drain(0)
+	for pid, p := range procs {
+		ex := p.Drain()
+		if len(ex) != 1 || ex[0].Cmd.ID != c.ID {
+			t.Fatalf("process %d executed %d commands", pid, len(ex))
+		}
+		if v, ok := p.Store().Get("k"); !ok || string(v) != "v" {
+			t.Errorf("process %d store missing k", pid)
+		}
+	}
+}
+
+func TestFollowerForwardsToLeader(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{})
+	follower := topo.ProcessAt(2, 0)
+	leader := topo.ProcessAt(0, 0)
+	c := command.NewPut(procs[follower].NextID(), "k", []byte("v"))
+	net.Submit(follower, c)
+	net.Drain(0)
+	if procs[leader].Proposed() != 1 {
+		t.Error("leader should have proposed the forwarded command")
+	}
+	if procs[follower].Proposed() != 0 {
+		t.Error("follower must not propose")
+	}
+	if len(procs[follower].Drain()) != 1 {
+		t.Error("follower should execute the committed command")
+	}
+}
+
+func TestTotalOrderUnderConcurrency(t *testing.T) {
+	topo, procs, net := makeNet(t, 2, Config{})
+	net.Rng = rand.New(rand.NewSource(7))
+	chk := check.New()
+	n := 0
+	for site := 0; site < 5; site++ {
+		p := procs[topo.ProcessAt(ids.SiteID(site), 0)]
+		for k := 0; k < 6; k++ {
+			c := command.NewPut(p.NextID(), command.Key(fmt.Sprintf("k%d", k%2)), nil)
+			chk.Submitted(c)
+			net.Submit(p.ID(), c)
+			n++
+		}
+	}
+	net.Drain(0)
+	for pid, p := range procs {
+		var order []ids.Dot
+		for _, e := range p.Drain() {
+			order = append(order, e.Cmd.ID)
+		}
+		if len(order) != n {
+			t.Fatalf("process %d executed %d/%d", pid, len(order), n)
+		}
+		chk.Executed(check.Log{Process: pid, Shard: 0, Order: order})
+	}
+	if err := chk.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.VerifyTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchingAggregates(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{Batching: true, BatchWindow: 5 * time.Millisecond, MaxBatch: 100})
+	leader := topo.ProcessAt(0, 0)
+	p := procs[leader]
+	for i := 0; i < 10; i++ {
+		net.Submit(leader, command.NewPut(p.NextID(), command.Key(fmt.Sprintf("k%d", i)), nil))
+	}
+	// Nothing proposed yet: the batch window has not elapsed.
+	if p.Proposed() != 0 {
+		t.Fatal("batch flushed too early")
+	}
+	net.Settle(2, 6*time.Millisecond)
+	if p.Proposed() != 1 {
+		t.Fatalf("proposed %d slots, want 1 batch", p.Proposed())
+	}
+	if got := len(p.Drain()); got != 10 {
+		t.Fatalf("executed %d commands, want 10", got)
+	}
+}
+
+func TestBatchingMaxBatchFlushesEarly(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{Batching: true, BatchWindow: time.Hour, MaxBatch: 4})
+	leader := topo.ProcessAt(0, 0)
+	p := procs[leader]
+	for i := 0; i < 4; i++ {
+		net.Submit(leader, command.NewPut(p.NextID(), "k", nil))
+	}
+	net.Drain(0)
+	if p.Proposed() != 1 {
+		t.Fatalf("proposed %d, want 1 (size-triggered flush)", p.Proposed())
+	}
+}
+
+func TestFollowerBatchForwarding(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{Batching: true, BatchWindow: 5 * time.Millisecond})
+	follower := topo.ProcessAt(3, 0)
+	p := procs[follower]
+	for i := 0; i < 7; i++ {
+		net.Submit(follower, command.NewPut(p.NextID(), "k", nil))
+	}
+	net.Settle(3, 6*time.Millisecond)
+	leader := procs[topo.ProcessAt(0, 0)]
+	if leader.Proposed() != 1 {
+		t.Fatalf("leader proposed %d slots, want 1 forwarded batch", leader.Proposed())
+	}
+	if got := len(p.Drain()); got != 7 {
+		t.Fatalf("follower executed %d, want 7", got)
+	}
+}
+
+func TestQuorumIsFPlusOne(t *testing.T) {
+	// With f=1 and 5 replicas, FAccept must reach exactly 2 processes.
+	topo, procs, net := makeNet(t, 1, Config{})
+	leader := topo.ProcessAt(0, 0)
+	accepts := 0
+	net.Hold = func(e testnet.Env) bool {
+		if _, ok := e.Msg.(*FAccept); ok {
+			accepts++
+		}
+		return false
+	}
+	net.Submit(leader, command.NewPut(procs[leader].NextID(), "k", nil))
+	net.Drain(0)
+	// Leader self-accept is internal; one external FAccept (f+1 = 2
+	// total, one of which is the leader itself).
+	if accepts != 1 {
+		t.Errorf("external FAccepts = %d, want 1 (quorum f+1 includes leader)", accepts)
+	}
+}
+
+func TestLeaderChangeRedirectsForwards(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{})
+	oldLeader := topo.ProcessAt(0, 0) // rank 1
+	newLeader := topo.ProcessAt(1, 0) // rank 2
+	follower := topo.ProcessAt(3, 0)
+
+	// The oracle switches everyone to rank 2.
+	net.SetLeader(2)
+	c := command.NewPut(procs[follower].NextID(), "k", []byte("v"))
+	net.Submit(follower, c)
+	net.Drain(0)
+	if procs[oldLeader].Proposed() != 0 {
+		t.Error("old leader must not propose after the switch")
+	}
+	if procs[newLeader].Proposed() != 1 {
+		t.Error("new leader should have proposed the forwarded command")
+	}
+	if len(procs[follower].Drain()) != 1 {
+		t.Error("command should still execute at the follower")
+	}
+}
+
+func TestStaleForwardReForwarded(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{})
+	stale := topo.ProcessAt(4, 0) // rank 5, still believes rank 1 leads
+	// The rest of the cluster has moved to rank 3; the old leader
+	// re-forwards the stale submission to the new one.
+	for pid, p := range procs {
+		if pid != stale {
+			p.SetLeader(3)
+		}
+	}
+	c := command.NewPut(procs[stale].NextID(), "k", nil)
+	net.Submit(stale, c)
+	net.Drain(0)
+	if got := procs[topo.ProcessAt(2, 0)].Proposed(); got != 1 {
+		t.Fatalf("new leader proposed %d, want 1 (re-forwarded)", got)
+	}
+	if procs[topo.ProcessAt(0, 0)].Proposed() != 0 {
+		t.Error("old leader must not propose")
+	}
+	if len(procs[stale].Drain()) != 1 {
+		t.Error("command should execute despite the stale leader view")
+	}
+}

@@ -1,0 +1,80 @@
+// Package ids defines the identifier types shared by every protocol in the
+// repository: process, site and shard identifiers, command identifiers
+// (dots), and the round-robin ballot arithmetic used by Tempo's recovery
+// protocol (Algorithm 5 of the paper).
+package ids
+
+import "fmt"
+
+// ProcessID identifies a process globally (across all shards). Process ids
+// are dense, starting at 1; 0 is reserved as "no process".
+type ProcessID uint32
+
+// ShardID identifies a shard: a group of partitions replicated together by
+// the same set of processes. In the full-replication experiments there is a
+// single shard 0.
+type ShardID uint32
+
+// SiteID identifies a geographic site (an EC2 region in the paper's
+// evaluation). Each site hosts one process per shard.
+type SiteID uint32
+
+// Rank is the index of a process within its shard's replica group,
+// 1-based as in the paper (ballot i is reserved for the initial
+// coordinator i, and ballots larger than r for recovery).
+type Rank uint32
+
+// Dot is a unique command identifier: the process that created it plus a
+// per-process sequence number. Dots double as the identifier space D of
+// the paper.
+type Dot struct {
+	Source ProcessID
+	Seq    uint64
+}
+
+// IsZero reports whether d is the zero Dot (no command).
+func (d Dot) IsZero() bool { return d.Source == 0 && d.Seq == 0 }
+
+// Less orders dots lexicographically by (Source, Seq). It is used only to
+// break ties between equal timestamps, so any total order works as long as
+// every process applies the same one.
+func (d Dot) Less(o Dot) bool {
+	if d.Source != o.Source {
+		return d.Source < o.Source
+	}
+	return d.Seq < o.Seq
+}
+
+func (d Dot) String() string { return fmt.Sprintf("%d.%d", d.Source, d.Seq) }
+
+// Ballot is a consensus ballot number. Ballot 0 means "no ballot"; ballot
+// b in 1..r is reserved for the initial coordinator with rank b; higher
+// ballots are allocated round-robin to ranks for recovery.
+type Ballot uint64
+
+// InitialBallot is the ballot owned by the initial coordinator of a
+// command at a process with the given rank.
+func InitialBallot(rank Rank) Ballot { return Ballot(rank) }
+
+// NextBallot returns the smallest ballot larger than cur that is owned by
+// rank, following the paper's formula b = i + r*(floor((bal-1)/r) + 1).
+func NextBallot(rank Rank, cur Ballot, r int) Ballot {
+	var prev uint64
+	if cur > 0 {
+		prev = (uint64(cur) - 1) / uint64(r)
+	}
+	b := uint64(rank) + uint64(r)*(prev+1)
+	for b <= uint64(cur) {
+		b += uint64(r)
+	}
+	return Ballot(b)
+}
+
+// BallotLeader returns the rank that owns ballot b in a group of r
+// processes: bal_leader(b) = b - r*floor((b-1)/r).
+func BallotLeader(b Ballot, r int) Rank {
+	if b == 0 {
+		return 0
+	}
+	return Rank(uint64(b) - uint64(r)*((uint64(b)-1)/uint64(r)))
+}

@@ -1,0 +1,33 @@
+// Package janus constructs the Janus* baseline of the paper (§6): Janus
+// (Mu et al., OSDI 2016) generalizes EPaxos to partial replication; the
+// paper's improved variant ("Janus*") is built on Atlas instead, giving
+// fast quorums of size ⌊r/2⌋+f and a more permissive fast-path condition.
+//
+// Janus* is exactly the multi-shard Atlas of internal/epaxos with
+// non-genuine commit broadcast: dependency graphs reference commands of
+// other shards, so every commit is disseminated to every process in the
+// system — the cross-shard traffic that costs Janus* its scalability
+// (Figure 9).
+package janus
+
+import (
+	"tempo/internal/epaxos"
+	"tempo/internal/ids"
+	"tempo/internal/topology"
+)
+
+// Config tunes a Janus* replica.
+type Config struct {
+	// ExecuteOnCommit measures the commit protocol alone (throughput
+	// harness only).
+	ExecuteOnCommit bool
+}
+
+// New creates a Janus* replica: Atlas with non-genuine commits.
+func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *epaxos.Process {
+	return epaxos.New(id, topo, epaxos.Config{
+		Variant:          epaxos.VariantAtlas,
+		NonGenuineCommit: true,
+		ExecuteOnCommit:  cfg.ExecuteOnCommit,
+	})
+}

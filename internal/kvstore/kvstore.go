@@ -1,0 +1,73 @@
+// Package kvstore implements the replicated state machine of the
+// evaluation: an in-memory key-value store. Each shard's replica holds one
+// Store and applies the operations of executed commands that touch its
+// shard, in execution order.
+package kvstore
+
+import (
+	"sync"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// Store is an in-memory key-value store. It is safe for concurrent use;
+// protocols apply commands sequentially but runtimes may read
+// concurrently.
+type Store struct {
+	mu      sync.RWMutex
+	data    map[command.Key][]byte
+	applied uint64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{data: make(map[command.Key][]byte)}
+}
+
+// Apply executes the operations of cmd that belong to the given shard and
+// returns their results (one entry per operation on the shard; reads
+// return the stored value, writes return nil).
+func (s *Store) Apply(cmd *command.Command, shard ids.ShardID, shardOf func(command.Key) ids.ShardID) *command.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := &command.Result{ID: cmd.ID, Shard: shard}
+	for _, op := range cmd.Ops {
+		if shardOf != nil && shardOf(op.Key) != shard {
+			continue
+		}
+		switch op.Kind {
+		case command.Get:
+			res.Values = append(res.Values, s.data[op.Key])
+		case command.Put:
+			v := make([]byte, len(op.Value))
+			copy(v, op.Value)
+			s.data[op.Key] = v
+			res.Values = append(res.Values, nil)
+		}
+	}
+	s.applied++
+	return res
+}
+
+// Get returns the current value of a key and whether it is present.
+func (s *Store) Get(k command.Key) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[k]
+	return v, ok
+}
+
+// Len returns the number of keys stored.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Applied returns the number of commands applied.
+func (s *Store) Applied() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}

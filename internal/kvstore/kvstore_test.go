@@ -1,0 +1,88 @@
+package kvstore
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+func dot(s, q int) ids.Dot { return ids.Dot{Source: ids.ProcessID(s), Seq: uint64(q)} }
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	put := command.NewPut(dot(1, 1), "k", []byte("v1"))
+	res := s.Apply(put, 0, nil)
+	if len(res.Values) != 1 || res.Values[0] != nil {
+		t.Fatalf("put result = %v", res.Values)
+	}
+	get := command.NewGet(dot(1, 2), "k")
+	res = s.Apply(get, 0, nil)
+	if len(res.Values) != 1 || !bytes.Equal(res.Values[0], []byte("v1")) {
+		t.Fatalf("get result = %q", res.Values)
+	}
+	if v, ok := s.Get("k"); !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if s.Applied() != 2 || s.Len() != 1 {
+		t.Fatalf("applied=%d len=%d", s.Applied(), s.Len())
+	}
+}
+
+func TestApplyShardFilter(t *testing.T) {
+	s := New()
+	shardOf := func(k command.Key) ids.ShardID {
+		if k == "a" {
+			return 0
+		}
+		return 1
+	}
+	c := command.New(dot(1, 1),
+		command.Op{Kind: command.Put, Key: "a", Value: []byte("x")},
+		command.Op{Kind: command.Put, Key: "b", Value: []byte("y")},
+	)
+	s.Apply(c, 0, shardOf)
+	if _, ok := s.Get("b"); ok {
+		t.Error("shard 0 store must not apply shard 1 keys")
+	}
+	if v, _ := s.Get("a"); !bytes.Equal(v, []byte("x")) {
+		t.Error("shard 0 key not applied")
+	}
+}
+
+func TestWriteIsolation(t *testing.T) {
+	s := New()
+	val := []byte("mutable")
+	s.Apply(command.NewPut(dot(1, 1), "k", val), 0, nil)
+	val[0] = 'X'
+	if v, _ := s.Get("k"); v[0] == 'X' {
+		t.Error("store must copy values on write")
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	s := New()
+	s.Apply(command.NewPut(dot(1, 1), "k", []byte("v")), 0, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Get("k")
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMissingKey(t *testing.T) {
+	s := New()
+	res := s.Apply(command.NewGet(dot(1, 1), "nope"), 0, nil)
+	if res.Values[0] != nil {
+		t.Error("missing key should read nil")
+	}
+}

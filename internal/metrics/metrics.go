@@ -1,0 +1,180 @@
+// Package metrics provides the latency/throughput instrumentation used by
+// the evaluation harness: sample-based histograms with percentile queries
+// and throughput accounting with warmup exclusion.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Histogram collects duration samples. The zero value is ready to use.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records a sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Merge adds all samples of o.
+func (h *Histogram) Merge(o *Histogram) {
+	h.samples = append(h.samples, o.samples...)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank; it returns 0 on an empty histogram.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Mean returns the average sample, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary renders mean and key percentiles.
+func (h *Histogram) Summary() string {
+	if h.Count() == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s p99.9=%s max=%s",
+		h.Count(),
+		round(h.Mean()), round(h.Percentile(50)), round(h.Percentile(95)),
+		round(h.Percentile(99)), round(h.Percentile(99.9)), round(h.Max()))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }
+
+// Throughput accounts completed operations over a measurement window.
+type Throughput struct {
+	completed uint64
+	start     time.Duration
+	end       time.Duration
+}
+
+// NewThroughput creates an accounting window starting at start.
+func NewThroughput(start time.Duration) *Throughput {
+	return &Throughput{start: start}
+}
+
+// Done records n completed operations at time now.
+func (t *Throughput) Done(now time.Duration, n int) {
+	t.completed += uint64(n)
+	if now > t.end {
+		t.end = now
+	}
+}
+
+// Completed returns the operations counted.
+func (t *Throughput) Completed() uint64 { return t.completed }
+
+// OpsPerSec returns the completion rate over [start, end].
+func (t *Throughput) OpsPerSec() float64 {
+	window := t.end - t.start
+	if window <= 0 {
+		return 0
+	}
+	return float64(t.completed) / window.Seconds()
+}
+
+// Table is a minimal fixed-width table printer for the experiment
+// harness's paper-style outputs.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row.
+func (t *Table) Row(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

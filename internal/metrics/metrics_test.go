@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	cases := map[float64]time.Duration{
+		50:  50 * time.Millisecond,
+		95:  95 * time.Millisecond,
+		99:  99 * time.Millisecond,
+		100: 100 * time.Millisecond,
+	}
+	for p, want := range cases {
+		if got := h.Percentile(p); got != want {
+			t.Errorf("p%.0f = %v, want %v", p, got, want)
+		}
+	}
+	if h.Min() != time.Millisecond || h.Max() != 100*time.Millisecond {
+		t.Error("min/max wrong")
+	}
+	if h.Mean() != 50500*time.Microsecond {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := &Histogram{}
+	if h.Percentile(99) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+	if h.Summary() != "no samples" {
+		t.Error("empty summary")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	a.Add(time.Millisecond)
+	b.Add(3 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Max() != 3*time.Millisecond {
+		t.Error("merge lost samples")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput(time.Second)
+	tp.Done(2*time.Second, 100)
+	tp.Done(3*time.Second, 100)
+	if tp.Completed() != 200 {
+		t.Fatalf("completed = %d", tp.Completed())
+	}
+	if got := tp.OpsPerSec(); got != 100 {
+		t.Fatalf("ops/s = %v, want 100", got)
+	}
+}
+
+func TestThroughputEmptyWindow(t *testing.T) {
+	tp := NewThroughput(time.Second)
+	if tp.OpsPerSec() != 0 {
+		t.Error("empty window should be 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("proto", "p99")
+	tb.Row("tempo", "280ms")
+	tb.Row("atlas", "586ms")
+	s := tb.String()
+	if !strings.Contains(s, "tempo") || !strings.Contains(s, "586ms") {
+		t.Errorf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Errorf("want header+sep+2 rows, got %d lines", len(lines))
+	}
+}

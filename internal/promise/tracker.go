@@ -1,0 +1,129 @@
+package promise
+
+import (
+	"sort"
+
+	"tempo/internal/ids"
+)
+
+// Attached is a promise attached to a command: process rank owner promised
+// timestamp TS for command ID and will not reuse it (line 37 of
+// Algorithm 1).
+type Attached struct {
+	Owner ids.Rank
+	ID    ids.Dot
+	TS    uint64
+}
+
+// Tracker is the Promises variable of Algorithm 2 for one shard: the
+// promises known from each of the r processes of the shard, plus the
+// stability computation of Theorem 1.
+//
+// Detached promises are incorporated immediately; attached promises only
+// once their command is known to be committed (the caller signals commits
+// via Committed). Attached promises received earlier are buffered.
+type Tracker struct {
+	r       int
+	perRank []*IntervalSet // rank-1 indexed
+	// pending holds attached promises whose command is not yet committed
+	// locally, keyed by command id.
+	pending map[ids.Dot][]Attached
+	// committed remembers command ids whose attached promises may be
+	// incorporated.
+	committed map[ids.Dot]struct{}
+}
+
+// NewTracker creates a tracker for a replica group of r processes.
+func NewTracker(r int) *Tracker {
+	t := &Tracker{
+		r:         r,
+		perRank:   make([]*IntervalSet, r),
+		pending:   make(map[ids.Dot][]Attached),
+		committed: make(map[ids.Dot]struct{}),
+	}
+	for i := range t.perRank {
+		t.perRank[i] = &IntervalSet{}
+	}
+	return t
+}
+
+// AddDetached records a detached promise range [lo, hi] by rank.
+func (t *Tracker) AddDetached(rank ids.Rank, lo, hi uint64) {
+	t.perRank[rank-1].AddRange(lo, hi)
+}
+
+// AddDetachedSet records a set of detached promises by rank.
+func (t *Tracker) AddDetachedSet(rank ids.Rank, s *IntervalSet) {
+	t.perRank[rank-1].AddSet(s)
+}
+
+// AddAttached records an attached promise. If the command is already known
+// committed the promise is incorporated immediately; otherwise it is
+// buffered until Committed is called for the command. It returns true if
+// the promise was incorporated and false if buffered.
+func (t *Tracker) AddAttached(a Attached) bool {
+	if _, ok := t.committed[a.ID]; ok {
+		t.perRank[a.Owner-1].Add(a.TS)
+		return true
+	}
+	t.pending[a.ID] = append(t.pending[a.ID], a)
+	return false
+}
+
+// Committed marks a command as committed (or executed), releasing any
+// buffered attached promises for it (line 47 of Algorithm 2).
+func (t *Tracker) Committed(id ids.Dot) {
+	if _, ok := t.committed[id]; ok {
+		return
+	}
+	t.committed[id] = struct{}{}
+	for _, a := range t.pending[id] {
+		t.perRank[a.Owner-1].Add(a.TS)
+	}
+	delete(t.pending, id)
+}
+
+// IsCommitted reports whether the tracker has been told id is committed.
+func (t *Tracker) IsCommitted(id ids.Dot) bool {
+	_, ok := t.committed[id]
+	return ok
+}
+
+// PendingIDs returns the ids with buffered attached promises: commands
+// some process has proposed a timestamp for, but that are not committed
+// locally. The liveness protocol sends MCommitRequest for these.
+func (t *Tracker) PendingIDs() []ids.Dot {
+	out := make([]ids.Dot, 0, len(t.pending))
+	for id := range t.pending {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// HighestContiguous returns highest_contiguous_promise(rank).
+func (t *Tracker) HighestContiguous(rank ids.Rank) uint64 {
+	return t.perRank[rank-1].HighestContiguous()
+}
+
+// Stable returns the highest stable timestamp per Theorem 1: the largest s
+// such that some majority (⌊r/2⌋+1 processes) have all promises up to s.
+// Sorting the per-rank highest contiguous promises ascending, this is the
+// element at index ⌊r/2⌋ (Algorithm 2, line 50-51).
+func (t *Tracker) Stable() uint64 {
+	h := make([]uint64, t.r)
+	for i, s := range t.perRank {
+		h[i] = s.HighestContiguous()
+	}
+	sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
+	return h[t.r/2]
+}
+
+// Forget drops commit bookkeeping for a command once its attached
+// promises can no longer arrive (after global execution); it bounds the
+// committed map. The promise intervals themselves are retained (they are
+// compressed).
+func (t *Tracker) Forget(id ids.Dot) {
+	delete(t.committed, id)
+	delete(t.pending, id)
+}

@@ -1,0 +1,86 @@
+// Package proto defines the contract between replication protocols and the
+// runtimes that drive them (the discrete-event simulator and the TCP
+// cluster runtime).
+//
+// Protocols are deterministic state machines: every input (a submitted
+// command, a delivered message, a periodic tick) returns a list of output
+// actions. Protocols never spawn goroutines, read clocks, or perform I/O;
+// that makes them trivially testable and lets the same code run under
+// simulation and over a real network.
+package proto
+
+import (
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// Message is a protocol message. Concrete types live in each protocol
+// package; runtimes treat them opaquely (the cluster runtime serializes
+// them with gob, so all message types must be gob-encodable and
+// registered).
+type Message interface {
+	// Size returns an approximate wire size in bytes, used by the
+	// simulator's network model.
+	Size() int
+}
+
+// Action is an output of a protocol step: send a message to a set of
+// processes. Self-addressed sends are allowed and must be delivered
+// immediately by the runtime (the paper assumes self-messages are
+// delivered instantaneously).
+type Action struct {
+	To  []ids.ProcessID
+	Msg Message
+}
+
+// Send builds an action addressed to the given processes.
+func Send(msg Message, to ...ids.ProcessID) Action {
+	return Action{To: to, Msg: msg}
+}
+
+// Executed records one command execution at one process for one shard:
+// the execute_p(c) upcall of the PSMR specification.
+type Executed struct {
+	Cmd    *command.Command
+	Shard  ids.ShardID
+	Result *command.Result
+}
+
+// Replica is a protocol instance at one process (replicating one shard).
+type Replica interface {
+	// ID returns the process id of this replica.
+	ID() ids.ProcessID
+
+	// Submit hands a client command to this process, which must
+	// replicate one of the shards the command accesses. It returns the
+	// protocol messages to send.
+	Submit(cmd *command.Command) []Action
+
+	// Handle delivers a message from another process (or from self).
+	Handle(from ids.ProcessID, msg Message) []Action
+
+	// Tick drives periodic work: promise broadcasting, recovery
+	// timeouts, batch flushing. now is the runtime's current time.
+	Tick(now time.Duration) []Action
+
+	// Drain returns the commands executed since the last call, in
+	// execution order. Runtimes use it to complete client requests and
+	// to feed the correctness checker.
+	Drain() []Executed
+}
+
+// LeaderAware is implemented by protocols that depend on a leader oracle
+// (the Ω failure detector of the paper, or the FPaxos leader). Runtimes
+// call SetLeader when the oracle's output changes.
+type LeaderAware interface {
+	SetLeader(rank ids.Rank)
+}
+
+// Crashable is implemented by replicas that support fail-stop crash
+// injection in tests; after Crash, the runtime stops delivering messages
+// to and from the replica.
+type Crashable interface {
+	Crash()
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostModelNilIsFree(t *testing.T) {
+	var c *CostModel
+	if c.msgCost(4096) != 0 || c.execCost(10, 100) != 0 || c.txTime(1<<20) != 0 || c.sendCost(100) != 0 {
+		t.Error("nil cost model must be free")
+	}
+}
+
+func TestMsgCost(t *testing.T) {
+	c := &CostModel{PerMsg: 10 * time.Microsecond, PerByte: 2 * time.Nanosecond}
+	if got := c.msgCost(1000); got != 12*time.Microsecond {
+		t.Errorf("msgCost = %v, want 12µs", got)
+	}
+}
+
+func TestExecCostWithGraph(t *testing.T) {
+	c := &CostModel{PerExec: 5 * time.Microsecond, PerGraphNode: time.Microsecond}
+	if got := c.execCost(2, 10); got != 20*time.Microsecond {
+		t.Errorf("execCost = %v, want 20µs", got)
+	}
+	// Without a graph penalty configured, pending nodes are free.
+	c2 := &CostModel{PerExec: 5 * time.Microsecond}
+	if got := c2.execCost(2, 10); got != 10*time.Microsecond {
+		t.Errorf("execCost = %v, want 10µs", got)
+	}
+}
+
+func TestTxTime(t *testing.T) {
+	c := &CostModel{NICBytesPerSec: 1 << 20} // 1 MiB/s
+	if got := c.txTime(1 << 20); got != time.Second {
+		t.Errorf("txTime = %v, want 1s", got)
+	}
+	if (&CostModel{}).txTime(1<<20) != 0 {
+		t.Error("zero bandwidth means infinite")
+	}
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	s := &Sim{}
+	var fired []int
+	s.schedule(3*time.Millisecond, func() { fired = append(fired, 3) })
+	s.schedule(1*time.Millisecond, func() { fired = append(fired, 1) })
+	s.schedule(2*time.Millisecond, func() { fired = append(fired, 2) })
+	// Ties break by scheduling order.
+	s.schedule(2*time.Millisecond, func() { fired = append(fired, 22) })
+	s.Run(time.Second)
+	want := []int{1, 2, 22, 3}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Errorf("now = %v", s.Now())
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	s := &Sim{}
+	ran := false
+	s.schedule(2*time.Second, func() { ran = true })
+	s.Run(time.Second)
+	if ran {
+		t.Error("event beyond the deadline must not fire")
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tempo/internal/check"
+	"tempo/internal/ids"
+	"tempo/internal/metrics"
+	"tempo/internal/proto"
+	"tempo/internal/topology"
+	"tempo/internal/workload"
+)
+
+// idMinter is implemented by replicas that mint command identifiers
+// (every protocol in this repository does).
+type idMinter interface{ NextID() ids.Dot }
+
+// Config describes one experiment run.
+type Config struct {
+	Topo       *topology.Topology
+	NewReplica func(ids.ProcessID) proto.Replica
+	Workload   workload.Workload
+	// ClientsPerSite closed-loop clients are colocated with each client
+	// site (default: every site).
+	ClientsPerSite int
+	ClientSites    []ids.SiteID
+	// Warmup is excluded from measurement; the run lasts Warmup +
+	// Duration of simulated time.
+	Warmup   time.Duration
+	Duration time.Duration
+	// TickInterval drives periodic protocol work (default 2ms).
+	TickInterval time.Duration
+	Cost         *CostModel
+	Seed         int64
+	// Check runs the PSMR checker over the full execution logs (slows
+	// large runs; meant for tests).
+	Check bool
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	PerSite    map[ids.SiteID]*metrics.Histogram
+	All        *metrics.Histogram
+	Throughput float64 // completed ops per simulated second (measured window)
+	Completed  uint64
+	CPUUtil    float64
+	ExecUtil   float64
+	NetUtil    float64
+	CheckErr   error
+}
+
+// SiteMean returns the mean latency at a site.
+func (r *Result) SiteMean(s ids.SiteID) time.Duration { return r.PerSite[s].Mean() }
+
+type client struct {
+	id      int
+	site    ids.SiteID
+	rng     *rand.Rand
+	pending ids.Dot
+	start   time.Duration
+	// remaining co-located processes that still must execute the
+	// command.
+	remaining map[ids.ProcessID]bool
+}
+
+type runner struct {
+	cfg     Config
+	sim     *Sim
+	clients []*client
+	byCmd   map[ids.Dot]*client
+	res     *Result
+	tp      *metrics.Throughput
+	chk     *check.Checker
+	logs    map[ids.ProcessID][]ids.Dot
+}
+
+// Run executes the experiment and returns its measurements.
+func Run(cfg Config) *Result {
+	if cfg.ClientsPerSite == 0 {
+		cfg.ClientsPerSite = 1
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 2 * time.Millisecond
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.ClientSites == nil {
+		for _, s := range cfg.Topo.Sites() {
+			cfg.ClientSites = append(cfg.ClientSites, s.ID)
+		}
+	}
+	r := &runner{
+		cfg:   cfg,
+		sim:   New(cfg.Topo, cfg.NewReplica, cfg.Cost, cfg.Seed),
+		byCmd: make(map[ids.Dot]*client),
+		res: &Result{
+			PerSite: make(map[ids.SiteID]*metrics.Histogram),
+			All:     &metrics.Histogram{},
+		},
+		tp:   metrics.NewThroughput(cfg.Warmup),
+		logs: make(map[ids.ProcessID][]ids.Dot),
+	}
+	if cfg.Check {
+		r.chk = check.New()
+	}
+	for _, s := range cfg.ClientSites {
+		r.res.PerSite[s] = &metrics.Histogram{}
+	}
+	r.sim.SetExecutedHook(r.onExecuted)
+
+	// Clients, staggered over the first millisecond.
+	n := 0
+	for _, site := range cfg.ClientSites {
+		for i := 0; i < cfg.ClientsPerSite; i++ {
+			c := &client{
+				id:   n,
+				site: site,
+				rng:  rand.New(rand.NewSource(cfg.Seed + int64(n) + 1)),
+			}
+			r.clients = append(r.clients, c)
+			delay := time.Duration(n%100) * 10 * time.Microsecond
+			cl := c
+			r.sim.schedule(delay, func() { r.submitNext(cl) })
+			n++
+		}
+	}
+	r.sim.StartTicks(cfg.TickInterval)
+	r.sim.Run(cfg.Warmup + cfg.Duration)
+
+	r.res.Throughput = r.tp.OpsPerSec()
+	r.res.Completed = r.tp.Completed()
+	r.res.CPUUtil, r.res.ExecUtil, r.res.NetUtil = r.sim.Utilization()
+	if r.chk != nil {
+		for pid, order := range r.logs {
+			r.chk.Executed(check.Log{
+				Process: pid,
+				Shard:   cfg.Topo.Process(pid).Shard,
+				Order:   order,
+			})
+		}
+		r.res.CheckErr = r.chk.Verify()
+	}
+	return r.res
+}
+
+// submitNext generates and submits the client's next command.
+func (r *runner) submitNext(c *client) {
+	ops := r.cfg.Workload.NextOps(c.id)
+	// Submit at the co-located replica of the first accessed shard.
+	firstShard := r.cfg.Topo.ShardOf(ops[0].Key)
+	proc := r.cfg.Topo.ProcessAt(c.site, firstShard)
+	if proc == 0 {
+		panic(fmt.Sprintf("sim: site %d does not replicate shard %d", c.site, firstShard))
+	}
+	rep := r.sim.Replica(proc)
+	id := rep.(idMinter).NextID()
+	cmd := workload.MakeCommand(id, ops, r.cfg.Workload.PayloadBytes())
+
+	c.pending = id
+	c.start = r.sim.Now()
+	c.remaining = make(map[ids.ProcessID]bool, 2)
+	for _, s := range cmd.Shards(r.cfg.Topo.ShardOf) {
+		p := r.cfg.Topo.ProcessAt(c.site, s)
+		if p == 0 {
+			// The client's site does not replicate this shard: fall back
+			// to the closest replica (return-value aggregation would
+			// fetch it remotely; latency-wise we wait for the closest).
+			p = r.cfg.Topo.ClosestPerShard(proc, []ids.ShardID{s})[0]
+		}
+		c.remaining[p] = true
+	}
+	r.byCmd[id] = c
+	if r.chk != nil {
+		r.chk.Submitted(cmd)
+	}
+	r.sim.Submit(proc, func(rep proto.Replica) []proto.Action { return rep.Submit(cmd) })
+}
+
+// onExecuted completes client commands and records logs.
+func (r *runner) onExecuted(at time.Duration, p ids.ProcessID, ex []proto.Executed) {
+	completedHere := 0
+	for _, e := range ex {
+		if r.chk != nil {
+			r.logs[p] = append(r.logs[p], e.Cmd.ID)
+		}
+		c, ok := r.byCmd[e.Cmd.ID]
+		if !ok || !c.remaining[p] {
+			continue
+		}
+		delete(c.remaining, p)
+		if len(c.remaining) > 0 {
+			continue
+		}
+		// Command complete at this client.
+		delete(r.byCmd, e.Cmd.ID)
+		lat := at - c.start
+		if at >= r.cfg.Warmup {
+			r.res.PerSite[c.site].Add(lat)
+			r.res.All.Add(lat)
+			r.tp.Done(at, 1)
+			completedHere++
+		}
+		cl := c
+		r.sim.schedule(at, func() { r.submitNext(cl) })
+	}
+	_ = completedHere
+}

@@ -1,0 +1,96 @@
+package tempo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/testnet"
+)
+
+// TestDuplicatedMessagesAreIdempotent delivers every protocol message
+// twice (modelling sender retries over an at-least-once link): commits
+// must not double-execute, acks must not double-count, and all replicas
+// must still converge to identical execution sequences.
+func TestDuplicatedMessagesAreIdempotent(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			topo := lineTopo(t, 5, 2, 1)
+			procs, net := makeNet(t, topo, Config{})
+			net.Rng = rng
+			net.Duplicate = func(e testnet.Env) bool { return rng.Intn(2) == 0 }
+
+			var cmds []*command.Command
+			for i := 0; i < 20; i++ {
+				p := procs[at(topo, rng.Intn(5), 0)]
+				c := command.NewPut(p.NextID(), command.Key(fmt.Sprintf("k%d", rng.Intn(3))), nil)
+				cmds = append(cmds, c)
+				net.Submit(p.ID(), c)
+				for s := 0; s < rng.Intn(10); s++ {
+					net.Step()
+				}
+			}
+			net.Drain(0)
+			net.Settle(6, 5*time.Millisecond)
+
+			var ref []ids.Dot
+			for pid, p := range procs {
+				var got []ids.Dot
+				for _, e := range p.Drain() {
+					got = append(got, e.Cmd.ID)
+				}
+				if len(got) != len(cmds) {
+					t.Fatalf("process %d executed %d/%d under duplication", pid, len(got), len(cmds))
+				}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				for i := range ref {
+					if ref[i] != got[i] {
+						t.Fatalf("divergence under duplication at %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDuplicatedCommitIsIgnored replays an MCommit directly and checks
+// the executor does not run the command twice.
+func TestDuplicatedCommitIsIgnored(t *testing.T) {
+	topo := lineTopo(t, 3, 1, 1)
+	procs, net := makeNet(t, topo, Config{})
+	a := at(topo, 0, 0)
+	b := at(topo, 1, 0)
+	cmd := command.NewPut(procs[a].NextID(), "k", nil)
+
+	var commit *MCommit
+	net.Hold = func(e testnet.Env) bool {
+		if mc, ok := e.Msg.(*MCommit); ok && commit == nil {
+			commit = mc
+		}
+		return false
+	}
+	net.Submit(a, cmd)
+	net.Drain(0)
+	net.Settle(3, 5*time.Millisecond)
+	if commit == nil {
+		t.Fatal("setup: no commit captured")
+	}
+	before := len(procs[b].Drain())
+
+	// Replay the commit at B several times.
+	for i := 0; i < 3; i++ {
+		net.Deliver(a, b, commit)
+	}
+	net.Drain(0)
+	net.Settle(2, 5*time.Millisecond)
+	if extra := len(procs[b].Drain()); extra != 0 {
+		t.Fatalf("duplicate MCommit re-executed the command %d times (had %d)", extra, before)
+	}
+}

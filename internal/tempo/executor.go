@@ -1,0 +1,137 @@
+package tempo
+
+import (
+	"container/heap"
+
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+)
+
+// tsDot orders committed commands by (timestamp, id), the execution order
+// of the protocol.
+type tsDot struct {
+	ts uint64
+	id ids.Dot
+}
+
+func (a tsDot) less(b tsDot) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	return a.id.Less(b.id)
+}
+
+// tsDotHeap is a min-heap of committed-but-unexecuted commands.
+type tsDotHeap struct{ h tsDotSlice }
+
+type tsDotSlice []tsDot
+
+func (s tsDotSlice) Len() int            { return len(s) }
+func (s tsDotSlice) Less(i, j int) bool  { return s[i].less(s[j]) }
+func (s tsDotSlice) Swap(i, j int)       { s[i], s[j] = s[j], s[i] }
+func (s *tsDotSlice) Push(x interface{}) { *s = append(*s, x.(tsDot)) }
+func (s *tsDotSlice) Pop() interface{} {
+	old := *s
+	n := len(old)
+	x := old[n-1]
+	*s = old[:n-1]
+	return x
+}
+
+func (h *tsDotHeap) push(x tsDot) { heap.Push(&h.h, x) }
+func (h *tsDotHeap) pop() tsDot   { return heap.Pop(&h.h).(tsDot) }
+func (h *tsDotHeap) peek() tsDot  { return h.h[0] }
+func (h *tsDotHeap) len() int     { return len(h.h) }
+
+// advanceExecution runs the execution protocol (Algorithm 2/6): pop
+// committed commands whose timestamps are stable per Theorem 1, in
+// (ts, id) order; single-shard commands execute immediately, multi-shard
+// commands exchange MStable barriers first.
+func (p *Process) advanceExecution() []proto.Action {
+	var acts []proto.Action
+	stable := p.tracker.Stable()
+	for p.committed.len() > 0 && p.committed.peek().ts <= stable {
+		td := p.committed.pop()
+		p.ready = append(p.ready, td)
+		// Signal stability to the other shards of the command as soon as
+		// it is locally stable (line 101); sending eagerly (before head-
+		// of-line commands execute) is safe because the signal only
+		// states a fact about this shard.
+		ci := p.cmds[td.id]
+		if ci != nil && len(ci.shards) > 1 && !ci.sentStable {
+			ci.sentStable = true
+			ci.stableFrom[p.shard] = true
+			if to := p.stableTargets(ci); len(to) > 0 {
+				acts = append(acts, proto.Send(&MStable{ID: td.id, Shard: p.shard}, to...))
+			}
+		}
+	}
+	// Execute ready commands in order; a multi-shard head blocks until
+	// every accessed shard signalled stability (line 102).
+	for len(p.ready) > 0 {
+		td := p.ready[0]
+		ci := p.cmds[td.id]
+		if ci == nil {
+			p.ready = p.ready[1:]
+			continue
+		}
+		if len(ci.shards) > 1 && !p.stableAtAllShards(ci) {
+			break
+		}
+		p.execute(td, ci)
+		p.ready = p.ready[1:]
+	}
+	return acts
+}
+
+// stableTargets returns the sibling-shard processes this replica signals
+// stability to. A process only needs the signal from one replica per
+// accessed shard (the paper waits on I^i_c, the closest replica of each
+// shard), so we signal the co-located replicas — one per sibling shard
+// per site — rather than broadcasting to all of I_c. If a sibling shard
+// has no replica at this site, we fall back to all its replicas.
+func (p *Process) stableTargets(ci *cmdInfo) []ids.ProcessID {
+	site := p.topo.Process(p.id).Site
+	var to []ids.ProcessID
+	for _, s := range ci.shards {
+		if s == p.shard {
+			continue
+		}
+		if q := p.topo.ProcessAt(site, s); q != 0 {
+			to = append(to, q)
+		} else {
+			to = append(to, p.topo.ShardProcesses(s)...)
+		}
+	}
+	return to
+}
+
+func (p *Process) stableAtAllShards(ci *cmdInfo) bool {
+	for _, s := range ci.shards {
+		if !ci.stableFrom[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// execute applies the command to the local shard's state (the
+// execute_p(c) upcall) and advances the executed watermark.
+func (p *Process) execute(td tsDot, ci *cmdInfo) {
+	ci.phase = PhaseExecute
+	res := p.store.Apply(ci.cmd, p.shard, p.topo.ShardOf)
+	p.executedOut = append(p.executedOut, proto.Executed{
+		Cmd:    ci.cmd,
+		Shard:  p.shard,
+		Result: res,
+	})
+	p.executedWM = TSWatermark{TS: td.ts, ID: td.id}
+}
+
+// onMStable records that a sibling shard reached stability for a command
+// (Algorithm 3/6).
+func (p *Process) onMStable(m *MStable) []proto.Action {
+	ci := p.info(m.ID)
+	ci.stableFrom[m.Shard] = true
+	return nil
+}

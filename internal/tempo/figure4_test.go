@@ -1,0 +1,125 @@
+package tempo
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/testnet"
+)
+
+// TestFigure4MultiPartition encodes Figure 4 of the paper: a command
+// accessing two partitions gets per-partition timestamps 6 and 10 and a
+// final timestamp max(6,10) = 10, and executes at both partitions.
+func TestFigure4MultiPartition(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 2)
+	procs, net := makeNet(t, topo, Config{})
+
+	// Preset clocks: shard-0 replicas to 5, shard-1 replicas to 9.
+	for site := 0; site < 5; site++ {
+		procs[at(topo, site, 0)].bump(5)
+		procs[at(topo, site, 1)].bump(9)
+	}
+
+	A := at(topo, 0, 0) // shard 0 coordinator
+	F := at(topo, 0, 1) // shard 1 coordinator (co-located with A)
+
+	k0 := findKey(topo, 0)
+	k1 := findKey(topo, 1)
+	c := command.New(procs[A].NextID(),
+		command.Op{Kind: command.Put, Key: k0, Value: []byte("v0")},
+		command.Op{Kind: command.Put, Key: k1, Value: []byte("v1")},
+	)
+	net.Submit(A, c)
+	net.Drain(0)
+
+	// Final timestamp is max(6, 10) = 10 at every process of both shards.
+	for pid, p := range procs {
+		ci := p.cmds[c.ID]
+		if ci == nil || (ci.phase != PhaseCommit && ci.phase != PhaseExecute) {
+			t.Fatalf("process %d: not committed", pid)
+		}
+		if ci.finalTS != 10 {
+			t.Errorf("process %d: final ts = %d, want 10", pid, ci.finalTS)
+		}
+		if got := ci.commitTS[0]; got != 6 {
+			t.Errorf("process %d: shard-0 ts = %d, want 6", pid, got)
+		}
+		if got := ci.commitTS[1]; got != 10 {
+			t.Errorf("process %d: shard-1 ts = %d, want 10", pid, got)
+		}
+	}
+
+	// With MBump, shard-0 replicas bumped their clocks to 10 when the
+	// co-located shard-1 replicas proposed (the "faster stability"
+	// mechanism): A, B, C hold detached promises up to 10.
+	for site := 0; site < 3; site++ {
+		p := procs[at(topo, site, 0)]
+		if p.clock < 10 {
+			t.Errorf("shard-0 site %d clock = %d, want >= 10 (MBump)", site, p.clock)
+		}
+	}
+
+	net.Settle(4, 5*time.Millisecond)
+	for pid, p := range procs {
+		if ci := p.cmds[c.ID]; ci != nil && ci.phase != PhaseExecute {
+			t.Errorf("process %d: phase %v, want execute", pid, ci.phase)
+		}
+	}
+	if v, ok := procs[F].Store().Get(k1); !ok || string(v) != "v1" {
+		t.Error("shard 1 store missing value")
+	}
+}
+
+// TestMBumpDisabledStillCommits checks the ablation configuration: without
+// MBump the command still commits and executes (stability arrives via the
+// MCommit-generated detached promises, two message delays later).
+func TestMBumpDisabledStillCommits(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 2)
+	procs, net := makeNet(t, topo, Config{DisableMBump: true})
+	for site := 0; site < 5; site++ {
+		procs[at(topo, site, 0)].bump(5)
+		procs[at(topo, site, 1)].bump(9)
+	}
+	A := at(topo, 0, 0)
+	c := command.New(procs[A].NextID(),
+		command.Op{Kind: command.Put, Key: findKey(topo, 0), Value: []byte("v0")},
+		command.Op{Kind: command.Put, Key: findKey(topo, 1), Value: []byte("v1")},
+	)
+	// No MBump messages should flow.
+	net.Hold = func(e testnet.Env) bool {
+		_, isBump := e.Msg.(*MBump)
+		if isBump {
+			t.Error("MBump sent despite DisableMBump")
+		}
+		return false
+	}
+	net.Submit(A, c)
+	net.Drain(0)
+	net.Settle(5, 5*time.Millisecond)
+	for pid, p := range procs {
+		if ci := p.cmds[c.ID]; ci == nil || ci.phase != PhaseExecute {
+			t.Fatalf("process %d: not executed", pid)
+		}
+	}
+}
+
+// TestPiggybackDisabledStillExecutes checks the second ablation: without
+// attached promises on MCommit, stability is reached via periodic
+// MPromises only.
+func TestPiggybackDisabledStillExecutes(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, Config{DisablePiggyback: true})
+	a := at(topo, 0, 0)
+	c := command.NewPut(procs[a].NextID(), "k", []byte("v"))
+	net.Submit(a, c)
+	net.Drain(0)
+	// Not yet executed: no promises have flowed.
+	if ci := procs[a].cmds[c.ID]; ci.phase != PhaseCommit {
+		t.Fatalf("phase = %v, want commit (execution needs promises)", ci.phase)
+	}
+	net.Settle(3, 5*time.Millisecond)
+	if ci := procs[a].cmds[c.ID]; ci.phase != PhaseExecute {
+		t.Fatalf("phase = %v, want execute after MPromises", ci.phase)
+	}
+}

@@ -1,0 +1,795 @@
+package tempo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/kvstore"
+	"tempo/internal/promise"
+	"tempo/internal/proto"
+	"tempo/internal/topology"
+)
+
+// Config tunes a Tempo process. The zero value gets sensible defaults.
+type Config struct {
+	// PromiseInterval is how often MPromises are broadcast (Algorithm 2,
+	// line 44). Default 5ms.
+	PromiseInterval time.Duration
+	// RecoveryTimeout is how long a command may stay pending before the
+	// shard leader starts recovery for it. Default 500ms. Zero disables
+	// recovery (useful for failure-free benchmarks).
+	RecoveryTimeout time.Duration
+	// ResendInterval is how often pending payloads are re-broadcast
+	// (Appendix B, line 77). Default equals RecoveryTimeout.
+	ResendInterval time.Duration
+	// DisableMBump turns off the "faster stability" MBump optimization
+	// of Algorithm 3 (used by the ablation benchmarks).
+	DisableMBump bool
+	// DisablePiggyback turns off attached-promise piggybacking on
+	// MCommit (§3.2 optimization; ablation only). Stability then relies
+	// solely on periodic MPromises.
+	DisablePiggyback bool
+	// CommitRequestDelay is how long an attached promise for an unknown
+	// command may linger before the process asks for its commit
+	// (Appendix B suggests delaying MCommitRequest "in the hope that
+	// such information will be received anyway"). Default
+	// RecoveryTimeout/4; commit requests are also rate-limited per
+	// command at this interval.
+	CommitRequestDelay time.Duration
+	// RetainLog keeps per-command state after it becomes garbage-
+	// collectable (globally executed). Tests and debugging tools use it;
+	// production deployments should leave it off so memory stays
+	// bounded.
+	RetainLog bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PromiseInterval == 0 {
+		c.PromiseInterval = 5 * time.Millisecond
+	}
+	if c.RecoveryTimeout == 0 {
+		c.RecoveryTimeout = 500 * time.Millisecond
+	}
+	if c.ResendInterval == 0 {
+		c.ResendInterval = c.RecoveryTimeout
+	}
+	if c.CommitRequestDelay == 0 {
+		c.CommitRequestDelay = c.RecoveryTimeout / 4
+	}
+	return c
+}
+
+// cmdInfo is the per-command state of Algorithm 5 (Table 3) plus the
+// coordinator-side bookkeeping.
+type cmdInfo struct {
+	cmd     *command.Command
+	shards  []ids.ShardID
+	quorums Quorums
+	phase   Phase
+	ts      uint64 // shard-local timestamp (proposal or consensus value)
+	bal     ids.Ballot
+	abal    ids.Ballot
+
+	// Coordinator state (initial or recovery).
+	proposals    map[ids.ProcessID]uint64 // MProposeAck replies
+	ackDetached  map[ids.ProcessID][2]uint64
+	consensusAck map[ids.ProcessID]bool
+	recAcks      map[ids.ProcessID]*MRecAck
+	coordBallot  ids.Ballot // ballot this process is coordinating, 0 if none
+	slowPath     bool
+
+	// Commit state.
+	commitTS map[ids.ShardID]uint64 // per-shard committed timestamps
+	finalTS  uint64
+	// attachedMine is this process's own attached promise for the
+	// command (0 if it never proposed).
+	attachedMine uint64
+
+	// Execution state (multi-shard).
+	stableFrom map[ids.ShardID]bool
+	sentStable bool
+
+	enqueued time.Duration // when the command became known (for recovery)
+}
+
+func (ci *cmdInfo) committedAllShards() bool {
+	if len(ci.shards) == 0 {
+		return false
+	}
+	for _, s := range ci.shards {
+		if _, ok := ci.commitTS[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Process is a Tempo replica of one shard at one process. It implements
+// proto.Replica. It is not safe for concurrent use; runtimes serialize
+// calls.
+type Process struct {
+	id    ids.ProcessID
+	shard ids.ShardID
+	rank  ids.Rank
+	r, f  int
+	topo  *topology.Topology
+	cfg   Config
+
+	shardProcs []ids.ProcessID
+	rankOf     map[ids.ProcessID]ids.Rank
+
+	clock       uint64
+	detached    *promise.IntervalSet // own detached promises (for broadcast)
+	attachedOwn map[ids.Dot]uint64   // own attached promises not yet folded
+	tracker     *promise.Tracker
+
+	cmds    map[ids.Dot]*cmdInfo
+	nextSeq uint64
+	leader  ids.Rank
+	crashed bool
+	now     time.Duration
+
+	// Executor state.
+	committed   tsDotHeap
+	ready       []tsDot // stable commands waiting (in order) for execution
+	executedWM  TSWatermark
+	peerWM      map[ids.Rank]TSWatermark
+	executedOut []proto.Executed
+	store       *kvstore.Store
+
+	lastPromises time.Duration
+	lastResend   time.Duration
+	// uncommittedSeen tracks when an attached promise for a not-locally-
+	// committed command was first observed, and lastCommitReq rate-limits
+	// MCommitRequest per command (Appendix B liveness, delayed).
+	uncommittedSeen map[ids.Dot]time.Duration
+	lastCommitReq   map[ids.Dot]time.Duration
+	rankToProc      map[ids.Rank]ids.ProcessID
+
+	// stats
+	statFast, statSlow, statRecovered uint64
+}
+
+var _ proto.Replica = (*Process)(nil)
+var _ proto.LeaderAware = (*Process)(nil)
+var _ proto.Crashable = (*Process)(nil)
+
+// New creates the Tempo replica for process id within the topology.
+func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
+	pi := topo.Process(id)
+	if pi.ID != id {
+		panic(fmt.Sprintf("tempo: unknown process %d", id))
+	}
+	p := &Process{
+		id:              id,
+		shard:           pi.Shard,
+		rank:            pi.Rank,
+		r:               topo.R(),
+		f:               topo.F(),
+		topo:            topo,
+		cfg:             cfg.withDefaults(),
+		shardProcs:      topo.ShardProcesses(pi.Shard),
+		rankOf:          make(map[ids.ProcessID]ids.Rank),
+		detached:        &promise.IntervalSet{},
+		attachedOwn:     make(map[ids.Dot]uint64),
+		tracker:         promise.NewTracker(topo.R()),
+		cmds:            make(map[ids.Dot]*cmdInfo),
+		peerWM:          make(map[ids.Rank]TSWatermark),
+		uncommittedSeen: make(map[ids.Dot]time.Duration),
+		lastCommitReq:   make(map[ids.Dot]time.Duration),
+		rankToProc:      make(map[ids.Rank]ids.ProcessID),
+		store:           kvstore.New(),
+		leader:          1,
+	}
+	for _, q := range p.shardProcs {
+		p.rankOf[q] = topo.Process(q).Rank
+		p.rankToProc[topo.Process(q).Rank] = q
+	}
+	return p
+}
+
+// ID implements proto.Replica.
+func (p *Process) ID() ids.ProcessID { return p.id }
+
+// Shard returns the shard this replica serves.
+func (p *Process) Shard() ids.ShardID { return p.shard }
+
+// Rank returns the shard-local rank.
+func (p *Process) Rank() ids.Rank { return p.rank }
+
+// Clock returns the current logical clock (for tests and metrics).
+func (p *Process) Clock() uint64 { return p.clock }
+
+// Store returns the replica's key-value store.
+func (p *Process) Store() *kvstore.Store { return p.store }
+
+// Stats returns (fast-path commits, slow-path commits, recovered commits)
+// decided by this process as coordinator.
+func (p *Process) Stats() (fast, slow, recovered uint64) {
+	return p.statFast, p.statSlow, p.statRecovered
+}
+
+// SetLeader implements proto.LeaderAware: the Ω failure detector output
+// for this shard.
+func (p *Process) SetLeader(rank ids.Rank) { p.leader = rank }
+
+// Crash implements proto.Crashable.
+func (p *Process) Crash() { p.crashed = true }
+
+// NextID mints a fresh command identifier for a client of this process.
+func (p *Process) NextID() ids.Dot {
+	p.nextSeq++
+	return ids.Dot{Source: p.id, Seq: p.nextSeq}
+}
+
+// Submit implements proto.Replica (Algorithm 1, line 1). The command's id
+// must come from NextID of this process.
+func (p *Process) Submit(cmd *command.Command) []proto.Action {
+	if p.crashed {
+		return nil
+	}
+	shards := p.topo.CmdShards(cmd)
+	coords := p.topo.ClosestPerShard(p.id, shards)
+	quorums := make(Quorums, len(shards))
+	fqSize := topology.TempoFastQuorumSize(p.r, p.f)
+	for i, s := range shards {
+		quorums[s] = p.topo.FastQuorum(coords[i], fqSize)
+	}
+	sub := &MSubmit{ID: cmd.ID, Cmd: cmd, Quorums: quorums}
+	return p.route([]proto.Action{proto.Send(sub, coords...)})
+}
+
+// Handle implements proto.Replica.
+func (p *Process) Handle(from ids.ProcessID, msg proto.Message) []proto.Action {
+	if p.crashed {
+		return nil
+	}
+	return p.route(p.handle(from, msg))
+}
+
+// route delivers self-addressed actions immediately (the paper assumes
+// self-messages are delivered instantaneously) and returns the remaining
+// external sends.
+func (p *Process) route(acts []proto.Action) []proto.Action {
+	var out []proto.Action
+	queue := acts
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		var others []ids.ProcessID
+		self := false
+		for _, to := range a.To {
+			if to == p.id {
+				self = true
+			} else {
+				others = append(others, to)
+			}
+		}
+		if len(others) > 0 {
+			out = append(out, proto.Action{To: others, Msg: a.Msg})
+		}
+		if self {
+			queue = append(queue, p.handle(p.id, a.Msg)...)
+		}
+	}
+	return out
+}
+
+func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
+	// A command whose state was garbage-collected after global execution
+	// is done here; late messages for it (e.g. a commit replay answering
+	// an old MCommitRequest) must not recreate state, or the command
+	// would execute twice.
+	var id ids.Dot
+	switch m := msg.(type) {
+	case *MPayload:
+		id = m.ID
+	case *MPropose:
+		id = m.ID
+	case *MCommit:
+		id = m.ID
+	case *MConsensus:
+		id = m.ID
+	case *MBump:
+		id = m.ID
+	case *MStable:
+		id = m.ID
+	}
+	if !id.IsZero() {
+		if _, live := p.cmds[id]; !live && p.tracker.IsCommitted(id) {
+			return nil
+		}
+	}
+	var acts []proto.Action
+	switch m := msg.(type) {
+	case *MSubmit:
+		acts = p.onMSubmit(m)
+	case *MPayload:
+		acts = p.onMPayload(m)
+	case *MPropose:
+		acts = p.onMPropose(from, m)
+	case *MProposeAck:
+		acts = p.onMProposeAck(from, m)
+	case *MBump:
+		acts = p.onMBump(m)
+	case *MCommit:
+		acts = p.onMCommit(m)
+	case *MConsensus:
+		acts = p.onMConsensus(from, m)
+	case *MConsensusAck:
+		acts = p.onMConsensusAck(from, m)
+	case *MRec:
+		acts = p.onMRec(from, m)
+	case *MRecAck:
+		acts = p.onMRecAck(from, m)
+	case *MRecNAck:
+		acts = p.onMRecNAck(m)
+	case *MCommitRequest:
+		acts = p.onMCommitRequest(from, m)
+	case *MPromises:
+		acts = p.onMPromises(m)
+	case *MStable:
+		acts = p.onMStable(m)
+	default:
+		panic(fmt.Sprintf("tempo: unknown message %T", msg))
+	}
+	return append(acts, p.advanceExecution()...)
+}
+
+// info returns (creating if needed) the state for a command id.
+func (p *Process) info(id ids.Dot) *cmdInfo {
+	ci, ok := p.cmds[id]
+	if !ok {
+		ci = &cmdInfo{
+			phase:      PhaseStart,
+			commitTS:   make(map[ids.ShardID]uint64),
+			stableFrom: make(map[ids.ShardID]bool),
+			enqueued:   p.now,
+		}
+		p.cmds[id] = ci
+	}
+	return ci
+}
+
+// learnPayload records the payload and quorums if not yet known.
+func (p *Process) learnPayload(ci *cmdInfo, cmd *command.Command, q Quorums) {
+	if ci.cmd == nil && cmd != nil {
+		ci.cmd = cmd
+		ci.shards = p.topo.CmdShards(cmd)
+	}
+	if ci.quorums == nil && q != nil {
+		ci.quorums = q
+	}
+}
+
+// onMSubmit makes this process the command's coordinator at its shard
+// (Algorithm 1, line 5).
+func (p *Process) onMSubmit(m *MSubmit) []proto.Action {
+	t := p.clock + 1
+	fq := m.Quorums[p.shard]
+	prop := &MPropose{ID: m.ID, Cmd: m.Cmd, Quorums: m.Quorums, TS: t}
+	acts := []proto.Action{proto.Send(prop, fq...)}
+	var rest []ids.ProcessID
+	inFQ := make(map[ids.ProcessID]bool, len(fq))
+	for _, q := range fq {
+		inFQ[q] = true
+	}
+	for _, q := range p.shardProcs {
+		if !inFQ[q] {
+			rest = append(rest, q)
+		}
+	}
+	if len(rest) > 0 {
+		acts = append(acts, proto.Send(&MPayload{ID: m.ID, Cmd: m.Cmd, Quorums: m.Quorums}, rest...))
+	}
+	return acts
+}
+
+// onMPayload stores the payload (line 9).
+func (p *Process) onMPayload(m *MPayload) []proto.Action {
+	ci := p.info(m.ID)
+	p.learnPayload(ci, m.Cmd, m.Quorums)
+	if ci.phase == PhaseStart {
+		ci.phase = PhasePayload
+	}
+	p.maybeFinishCommit(m.ID, ci)
+	return nil
+}
+
+// onMPropose computes a timestamp proposal (line 12).
+func (p *Process) onMPropose(from ids.ProcessID, m *MPropose) []proto.Action {
+	ci := p.info(m.ID)
+	if ci.phase != PhaseStart {
+		// Already past start (e.g. recovery touched the command first):
+		// the MPropose precondition fails and we must not propose.
+		return nil
+	}
+	p.learnPayload(ci, m.Cmd, m.Quorums)
+	ci.phase = PhasePropose
+	lo := p.clock + 1
+	ci.ts = p.proposal(m.ID, m.TS)
+	ci.attachedMine = ci.ts
+	ack := &MProposeAck{ID: m.ID, TS: ci.ts}
+	if hi := ci.ts - 1; lo <= hi {
+		ack.DetachedLo, ack.DetachedHi = lo, hi
+	}
+	acts := []proto.Action{proto.Send(ack, from)}
+	// Faster stability for multi-shard commands (Algorithm 3, line 68):
+	// tell the nearby replicas of sibling shards about our proposal.
+	if !p.cfg.DisableMBump && len(ci.shards) > 1 {
+		for _, q := range p.topo.ClosestPerShard(p.id, ci.shards) {
+			if q != p.id {
+				acts = append(acts, proto.Send(&MBump{ID: m.ID, TS: ci.ts}, q))
+			}
+		}
+	}
+	return acts
+}
+
+// proposal implements lines 34-39: computes a timestamp proposal, records
+// the attached promise and the detached promises below it, and bumps the
+// clock.
+func (p *Process) proposal(id ids.Dot, m uint64) uint64 {
+	t := max64(m, p.clock+1)
+	if lo := p.clock + 1; lo <= t-1 {
+		p.addOwnDetached(lo, t-1)
+	}
+	p.attachedOwn[id] = t
+	p.clock = t
+	return t
+}
+
+// bump implements lines 40-43: advances the clock to t, generating
+// detached promises for the skipped range (including t itself).
+func (p *Process) bump(t uint64) {
+	if t <= p.clock {
+		return
+	}
+	p.addOwnDetached(p.clock+1, t)
+	p.clock = t
+}
+
+func (p *Process) addOwnDetached(lo, hi uint64) {
+	p.detached.AddRange(lo, hi)
+	p.tracker.AddDetached(p.rank, lo, hi)
+}
+
+// onMProposeAck gathers proposals at the coordinator (line 17).
+func (p *Process) onMProposeAck(from ids.ProcessID, m *MProposeAck) []proto.Action {
+	ci, ok := p.cmds[m.ID]
+	if !ok || ci.phase != PhasePropose || ci.quorums == nil {
+		return nil
+	}
+	fq := ci.quorums[p.shard]
+	if len(fq) == 0 || fq[0] != p.id {
+		return nil // not the coordinator at this shard
+	}
+	if ci.proposals == nil {
+		ci.proposals = make(map[ids.ProcessID]uint64, len(fq))
+	}
+	// Record the ack (at most one per process) and piggybacked detached
+	// promises.
+	if _, dup := ci.proposals[from]; dup {
+		return nil
+	}
+	ci.proposals[from] = m.TS
+	if m.DetachedLo != 0 {
+		p.tracker.AddDetached(p.rankOf[from], m.DetachedLo, m.DetachedHi)
+		if ci.ackDetached == nil {
+			ci.ackDetached = make(map[ids.ProcessID][2]uint64, len(fq))
+		}
+		ci.ackDetached[from] = [2]uint64{m.DetachedLo, m.DetachedHi}
+	}
+	if len(ci.proposals) < len(fq) {
+		return nil
+	}
+	// All fast-quorum processes answered: decide fast or slow path
+	// (lines 19-21).
+	var t uint64
+	for _, ts := range ci.proposals {
+		t = max64(t, ts)
+	}
+	count := 0
+	for _, ts := range ci.proposals {
+		if ts == t {
+			count++
+		}
+	}
+	if count >= p.f {
+		p.statFast++
+		return p.sendCommit(m.ID, ci, t)
+	}
+	// Slow path: Flexible Paxos phase 2 at the initial ballot (our rank).
+	p.statSlow++
+	ci.slowPath = true
+	ci.coordBallot = ids.InitialBallot(p.rank)
+	return []proto.Action{proto.Send(&MConsensus{ID: m.ID, TS: t, Ballot: ci.coordBallot}, p.shardProcs...)}
+}
+
+// sendCommit broadcasts MCommit for this shard to every process that
+// replicates a shard accessed by the command (line 20/33).
+func (p *Process) sendCommit(id ids.Dot, ci *cmdInfo, t uint64) []proto.Action {
+	mc := &MCommit{ID: id, Shard: p.shard, TS: t}
+	if !p.cfg.DisablePiggyback {
+		for q, ts := range ci.proposals {
+			rt := RankTS{Rank: p.rankOf[q], TS: ts}
+			if det, ok := ci.ackDetached[q]; ok {
+				rt.DetLo, rt.DetHi = det[0], det[1]
+			}
+			mc.Attached = append(mc.Attached, rt)
+		}
+		sort.Slice(mc.Attached, func(i, j int) bool { return mc.Attached[i].Rank < mc.Attached[j].Rank })
+	}
+	to := p.cmdProcesses(ci)
+	return []proto.Action{proto.Send(mc, to...)}
+}
+
+// cmdProcesses returns I_c for a command with known payload.
+func (p *Process) cmdProcesses(ci *cmdInfo) []ids.ProcessID {
+	var out []ids.ProcessID
+	for _, s := range ci.shards {
+		out = append(out, p.topo.ShardProcesses(s)...)
+	}
+	return out
+}
+
+// onMBump bumps the clock on behalf of a sibling shard's proposal
+// (Algorithm 3, line 69).
+func (p *Process) onMBump(m *MBump) []proto.Action {
+	ci, ok := p.cmds[m.ID]
+	if !ok || ci.phase != PhasePropose {
+		// The paper's precondition is id ∈ propose; note our own shard's
+		// proposal handler runs before MBump arrives from siblings.
+		return nil
+	}
+	p.bump(m.TS)
+	return nil
+}
+
+// onMCommit records a shard's committed timestamp (Algorithm 3, line 56).
+func (p *Process) onMCommit(m *MCommit) []proto.Action {
+	ci := p.info(m.ID)
+	if ci.phase == PhaseCommit || ci.phase == PhaseExecute {
+		return nil
+	}
+	if _, ok := ci.commitTS[m.Shard]; !ok {
+		ci.commitTS[m.Shard] = m.TS
+	}
+	// Attached promises of our shard's fast quorum, piggybacked for
+	// faster stability (§3.2). Buffered by the tracker until the command
+	// is fully committed here.
+	if m.Shard == p.shard {
+		for _, a := range m.Attached {
+			p.tracker.AddAttached(promise.Attached{Owner: a.Rank, ID: m.ID, TS: a.TS})
+			if a.DetLo != 0 {
+				p.tracker.AddDetached(a.Rank, a.DetLo, a.DetHi)
+			}
+		}
+	}
+	p.maybeFinishCommit(m.ID, ci)
+	return nil
+}
+
+// maybeFinishCommit moves the command to the commit phase once the
+// payload is known and every accessed shard has committed.
+func (p *Process) maybeFinishCommit(id ids.Dot, ci *cmdInfo) {
+	if ci.cmd == nil || ci.phase == PhaseCommit || ci.phase == PhaseExecute {
+		return
+	}
+	if !ci.committedAllShards() {
+		return
+	}
+	var t uint64
+	for _, ts := range ci.commitTS {
+		t = max64(t, ts)
+	}
+	ci.finalTS = t
+	ci.phase = PhaseCommit
+	delete(p.uncommittedSeen, id)
+	delete(p.lastCommitReq, id)
+	// Generating detached promises up to the committed timestamp helps
+	// liveness of the execution mechanism (line 25/59).
+	p.bump(t)
+	p.tracker.Committed(id)
+	if ci.attachedMine != 0 {
+		p.tracker.AddAttached(promise.Attached{Owner: p.rank, ID: id, TS: ci.attachedMine})
+	}
+	p.committed.push(tsDot{ts: t, id: id})
+}
+
+// onMConsensus is Flexible Paxos phase 2 at an acceptor (line 26/30).
+func (p *Process) onMConsensus(from ids.ProcessID, m *MConsensus) []proto.Action {
+	ci := p.info(m.ID)
+	if ci.bal > m.Ballot {
+		// Appendix B: NACK stale ballots so the recovering leader can
+		// catch up.
+		return []proto.Action{proto.Send(&MRecNAck{ID: m.ID, Ballot: ci.bal}, from)}
+	}
+	ci.ts = m.TS
+	ci.bal = m.Ballot
+	ci.abal = m.Ballot
+	p.bump(m.TS)
+	return []proto.Action{proto.Send(&MConsensusAck{ID: m.ID, Ballot: m.Ballot}, from)}
+}
+
+// onMConsensusAck gathers f+1 accepts and commits (line 31).
+func (p *Process) onMConsensusAck(from ids.ProcessID, m *MConsensusAck) []proto.Action {
+	ci, ok := p.cmds[m.ID]
+	if !ok || ci.coordBallot != m.Ballot || ci.bal != m.Ballot {
+		return nil
+	}
+	if ci.consensusAck == nil {
+		ci.consensusAck = make(map[ids.ProcessID]bool, p.f+1)
+	}
+	ci.consensusAck[from] = true
+	if len(ci.consensusAck) != p.f+1 {
+		return nil
+	}
+	ci.coordBallot = 0 // done coordinating
+	if ci.cmd == nil {
+		// We cannot know I_c without the payload; recovery coordinators
+		// always have it (recover requires id ∈ pending).
+		return nil
+	}
+	return p.sendCommit(m.ID, ci, ci.ts)
+}
+
+// Tick implements proto.Replica: periodic promise broadcast, payload
+// resend and recovery (Algorithm 6).
+func (p *Process) Tick(now time.Duration) []proto.Action {
+	if p.crashed {
+		return nil
+	}
+	p.now = now
+	var acts []proto.Action
+	if now-p.lastPromises >= p.cfg.PromiseInterval {
+		p.lastPromises = now
+		acts = append(acts, p.broadcastPromises()...)
+	}
+	if p.cfg.RecoveryTimeout > 0 && now-p.lastResend >= p.cfg.ResendInterval {
+		p.lastResend = now
+		acts = append(acts, p.periodicRecovery()...)
+	}
+	return p.route(append(acts, p.advanceExecution()...))
+}
+
+// broadcastPromises sends MPromises to the other shard replicas (line 90).
+func (p *Process) broadcastPromises() []proto.Action {
+	m := &MPromises{
+		Rank:     p.rank,
+		Detached: p.detached.Encode(),
+		WM:       p.executedWM,
+	}
+	for id, ts := range p.attachedOwn {
+		m.Attached = append(m.Attached, AttachedWire{ID: id, TS: ts})
+	}
+	sort.Slice(m.Attached, func(i, j int) bool { return m.Attached[i].ID.Less(m.Attached[j].ID) })
+	// Bound the gossip size under overload: advertise the oldest entries
+	// first (the rest follow once those are garbage-collected). Without
+	// the cap, a backlog inflates every MPromises and starves the CPU.
+	const maxAttachedGossip = 256
+	if len(m.Attached) > maxAttachedGossip {
+		m.Attached = m.Attached[:maxAttachedGossip]
+	}
+	var others []ids.ProcessID
+	for _, q := range p.shardProcs {
+		if q != p.id {
+			others = append(others, q)
+		}
+	}
+	if len(others) == 0 {
+		return nil
+	}
+	return []proto.Action{proto.Send(m, others...)}
+}
+
+// onMPromises incorporates a peer's promises (line 92) and performs
+// promise GC based on executed watermarks.
+func (p *Process) onMPromises(m *MPromises) []proto.Action {
+	p.tracker.AddDetachedSet(m.Rank, promise.DecodeSet(m.Detached))
+	var acts []proto.Action
+	for _, a := range m.Attached {
+		incorporated := p.tracker.AddAttached(promise.Attached{Owner: m.Rank, ID: a.ID, TS: a.TS})
+		if incorporated || p.tracker.IsCommitted(a.ID) {
+			continue
+		}
+		// Liveness (Appendix B, line 96): somebody proposed a timestamp
+		// for a command we have not committed. Per the paper, delay the
+		// MCommitRequest: commits normally arrive on their own, and
+		// requesting eagerly on every MPromises would flood the shard
+		// under load.
+		first, seen := p.uncommittedSeen[a.ID]
+		if !seen {
+			p.uncommittedSeen[a.ID] = p.now
+			continue
+		}
+		if p.now-first < p.cfg.CommitRequestDelay {
+			continue
+		}
+		if last, ok := p.lastCommitReq[a.ID]; ok && p.now-last < p.cfg.CommitRequestDelay {
+			continue
+		}
+		p.lastCommitReq[a.ID] = p.now
+		// Ask the whole shard: any process that committed the command
+		// can answer (the advertiser alone may only have it pending, or
+		// may have crashed). The per-command rate limit above keeps this
+		// bounded under load.
+		acts = append(acts, proto.Send(&MCommitRequest{ID: a.ID}, p.shardProcs...))
+	}
+	if wm, ok := p.peerWM[m.Rank]; !ok || wm.less(m.WM) {
+		p.peerWM[m.Rank] = m.WM
+		p.gcPromises()
+	}
+	return acts
+}
+
+// gcPromises folds own attached promises into the detached set once every
+// peer's executed watermark has passed the command: at that point every
+// replica has committed (indeed executed) the command, so re-advertising
+// the timestamp as detached can no longer create a premature stability
+// decision. This also garbage-collects per-command state.
+func (p *Process) gcPromises() {
+	if len(p.peerWM) < p.r-1 {
+		return
+	}
+	minWM := p.executedWM
+	for _, wm := range p.peerWM {
+		if wm.less(minWM) {
+			minWM = wm
+		}
+	}
+	for id, ts := range p.attachedOwn {
+		ci, ok := p.cmds[id]
+		if !ok {
+			// Command state already collected; the promise point is
+			// covered by the executed watermark.
+			p.addOwnDetached(ts, ts)
+			delete(p.attachedOwn, id)
+			continue
+		}
+		if ci.phase != PhaseExecute {
+			continue
+		}
+		point := TSWatermark{TS: ci.finalTS, ID: id}
+		if point.less(minWM) || point == minWM {
+			p.addOwnDetached(ts, ts)
+			delete(p.attachedOwn, id)
+			if !p.cfg.RetainLog {
+				delete(p.cmds, id)
+			}
+		}
+	}
+}
+
+// onMCommitRequest replays payload and commit info for a committed
+// command (Appendix B, line 86).
+func (p *Process) onMCommitRequest(from ids.ProcessID, m *MCommitRequest) []proto.Action {
+	ci, ok := p.cmds[m.ID]
+	if !ok || (ci.phase != PhaseCommit && ci.phase != PhaseExecute) {
+		return nil
+	}
+	acts := []proto.Action{
+		proto.Send(&MPayload{ID: m.ID, Cmd: ci.cmd, Quorums: ci.quorums}, from),
+	}
+	for s, ts := range ci.commitTS {
+		acts = append(acts, proto.Send(&MCommit{ID: m.ID, Shard: s, TS: ts}, from))
+	}
+	return acts
+}
+
+// Drain implements proto.Replica.
+func (p *Process) Drain() []proto.Executed {
+	out := p.executedOut
+	p.executedOut = nil
+	return out
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

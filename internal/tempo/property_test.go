@@ -1,0 +1,240 @@
+package tempo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// runRandomSchedule submits n commands from random processes over a small
+// key space and drains with a seeded random interleaving (per-link FIFO
+// preserved). It returns the per-process execution sequences.
+func runRandomSchedule(t *testing.T, seed int64, f, n, keys int) (map[ids.ProcessID]*Process, map[ids.ProcessID][]ids.Dot, []*command.Command) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	topo := lineTopo(t, 5, f, 1)
+	procs, net := makeNet(t, topo, Config{})
+	net.Rng = rng
+
+	var cmds []*command.Command
+	for i := 0; i < n; i++ {
+		site := rng.Intn(5)
+		p := procs[at(topo, site, 0)]
+		key := command.Key(fmt.Sprintf("k%d", rng.Intn(keys)))
+		c := command.NewPut(p.NextID(), key, []byte{byte(i)})
+		cmds = append(cmds, c)
+		net.Submit(p.ID(), c)
+		// Interleave deliveries with submissions.
+		for s := 0; s < rng.Intn(20); s++ {
+			net.Step()
+		}
+	}
+	net.Drain(0)
+	net.Settle(6, 5*time.Millisecond)
+
+	order := make(map[ids.ProcessID][]ids.Dot)
+	for id, p := range procs {
+		for _, e := range p.Drain() {
+			order[id] = append(order[id], e.Cmd.ID)
+		}
+	}
+	return procs, order, cmds
+}
+
+// TestRandomSchedulesTotalOrder checks, across many random schedules, that
+// every process executes every command in the same total order and agrees
+// on timestamps (Properties 1 and 2 end-to-end).
+func TestRandomSchedulesTotalOrder(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		for _, f := range []int{1, 2} {
+			t.Run(fmt.Sprintf("seed%d_f%d", seed, f), func(t *testing.T) {
+				procs, order, cmds := runRandomSchedule(t, seed, f, 30, 3)
+				var ref []ids.Dot
+				for pid, got := range order {
+					if len(got) != len(cmds) {
+						t.Fatalf("process %d executed %d/%d", pid, len(got), len(cmds))
+					}
+					if ref == nil {
+						ref = got
+						continue
+					}
+					for i := range ref {
+						if ref[i] != got[i] {
+							t.Fatalf("divergence at index %d: %v vs %v", i, got[i], ref[i])
+						}
+					}
+				}
+				// Property 1: identical final timestamps everywhere.
+				for _, c := range cmds {
+					ts := uint64(0)
+					for pid, p := range procs {
+						ci := p.cmds[c.ID]
+						if ci == nil {
+							t.Fatalf("process %d lost command %v", pid, c.ID)
+						}
+						if ts == 0 {
+							ts = ci.finalTS
+						} else if ci.finalTS != ts {
+							t.Fatalf("ts disagreement on %v", c.ID)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRandomCrashConvergence crashes the busiest coordinator mid-run and
+// checks that the surviving processes converge to identical execution
+// sequences (commands lost with the coordinator may vanish, but
+// consistently so).
+func TestRandomCrashConvergence(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			topo := lineTopo(t, 5, 1, 1)
+			procs, net := makeNet(t, topo, Config{
+				PromiseInterval: 5 * time.Millisecond,
+				RecoveryTimeout: 20 * time.Millisecond,
+				RetainLog:       true,
+			})
+			net.Rng = rng
+
+			victim := at(topo, rng.Intn(5), 0)
+			for i := 0; i < 25; i++ {
+				site := rng.Intn(5)
+				p := procs[at(topo, site, 0)]
+				c := command.NewPut(p.NextID(), command.Key(fmt.Sprintf("k%d", rng.Intn(3))), nil)
+				net.Submit(p.ID(), c)
+				for s := 0; s < rng.Intn(10); s++ {
+					net.Step()
+				}
+				if i == 12 {
+					net.Crash(victim)
+					// Ω settles on the lowest-rank survivor.
+					for r := ids.Rank(1); r <= 5; r++ {
+						if topo.ProcessAt(ids.SiteID(r-1), 0) != victim {
+							net.SetLeader(procs[at(topo, int(r-1), 0)].Rank())
+							break
+						}
+					}
+				}
+			}
+			net.Drain(0)
+			net.Settle(30, 10*time.Millisecond)
+
+			var ref []ids.Dot
+			var refPid ids.ProcessID
+			for pid, p := range procs {
+				if pid == victim {
+					continue
+				}
+				var got []ids.Dot
+				for _, e := range p.Drain() {
+					got = append(got, e.Cmd.ID)
+				}
+				if ref == nil {
+					ref, refPid = got, pid
+					continue
+				}
+				if len(got) != len(ref) {
+					t.Fatalf("survivors disagree on executed count: %d (%d) vs %d (%d)",
+						len(got), pid, len(ref), refPid)
+				}
+				for i := range ref {
+					if ref[i] != got[i] {
+						t.Fatalf("survivor divergence at %d", i)
+					}
+				}
+			}
+			if len(ref) == 0 {
+				t.Fatal("nothing executed at survivors")
+			}
+		})
+	}
+}
+
+// TestRandomMultiShard runs random 1- and 2-shard commands and checks that
+// each shard's replicas execute identical sequences, and that final
+// timestamps agree across all processes of all shards.
+func TestRandomMultiShard(t *testing.T) {
+	for seed := int64(200); seed < 208; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			topo := lineTopo(t, 5, 1, 2)
+			procs, net := makeNet(t, topo, Config{})
+			net.Rng = rng
+
+			k0 := findKey(topo, 0)
+			k1 := findKey(topo, 1)
+			var cmds []*command.Command
+			for i := 0; i < 25; i++ {
+				shard := ids.ShardID(rng.Intn(2))
+				p := procs[at(topo, rng.Intn(5), int(shard))]
+				var c *command.Command
+				if rng.Intn(3) == 0 { // multi-shard command
+					c = command.New(p.NextID(),
+						command.Op{Kind: command.Put, Key: k0},
+						command.Op{Kind: command.Put, Key: k1})
+				} else {
+					k := k0
+					if shard == 1 {
+						k = k1
+					}
+					c = command.NewPut(p.NextID(), k, nil)
+				}
+				cmds = append(cmds, c)
+				net.Submit(p.ID(), c)
+				for s := 0; s < rng.Intn(15); s++ {
+					net.Step()
+				}
+			}
+			net.Drain(0)
+			net.Settle(10, 5*time.Millisecond)
+
+			// Per-shard identical execution sequences.
+			for shard := 0; shard < 2; shard++ {
+				var ref []ids.Dot
+				for site := 0; site < 5; site++ {
+					p := procs[at(topo, site, shard)]
+					var got []ids.Dot
+					for _, e := range p.Drain() {
+						got = append(got, e.Cmd.ID)
+					}
+					if ref == nil {
+						ref = got
+						continue
+					}
+					if len(ref) != len(got) {
+						t.Fatalf("shard %d: executed %d vs %d", shard, len(got), len(ref))
+					}
+					for i := range ref {
+						if ref[i] != got[i] {
+							t.Fatalf("shard %d divergence at %d", shard, i)
+						}
+					}
+				}
+			}
+			// Property 1 across shards: every process that committed a
+			// command agrees on its final timestamp.
+			for _, c := range cmds {
+				ts := uint64(0)
+				for _, p := range procs {
+					ci := p.cmds[c.ID]
+					if ci == nil || (ci.phase != PhaseCommit && ci.phase != PhaseExecute) {
+						continue
+					}
+					if ts == 0 {
+						ts = ci.finalTS
+					} else if ci.finalTS != ts {
+						t.Fatalf("cross-shard ts disagreement on %v", c.ID)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,198 @@
+package tempo
+
+import (
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+)
+
+// periodicRecovery implements the periodic block of Algorithm 6 (line 75):
+// re-broadcast payloads of long-pending commands and, if this process is
+// the shard leader (per the Ω failure detector), take over their
+// coordination.
+func (p *Process) periodicRecovery() []proto.Action {
+	var acts []proto.Action
+	for id, ci := range p.cmds {
+		if !ci.phase.pending() || p.now-ci.enqueued < p.cfg.RecoveryTimeout {
+			continue
+		}
+		if ci.cmd != nil {
+			acts = append(acts, proto.Send(&MPayload{ID: id, Cmd: ci.cmd, Quorums: ci.quorums}, p.cmdProcesses(ci)...))
+		}
+		// The paper avoids disrupting a recovery led by this process; we
+		// additionally retry a stalled self-led recovery (with a strictly
+		// higher ballot) so that acceptors that lacked the payload at the
+		// time of the first MRec eventually participate. recover resets
+		// the command's timeout.
+		if p.leader == p.rank {
+			acts = append(acts, p.recover(id, ci)...)
+		}
+	}
+	return acts
+}
+
+// recover starts a new ballot owned by this process (Algorithm 4,
+// line 72).
+func (p *Process) recover(id ids.Dot, ci *cmdInfo) []proto.Action {
+	if !ci.phase.pending() {
+		return nil
+	}
+	b := ids.NextBallot(p.rank, ci.bal, p.r)
+	ci.coordBallot = b
+	ci.recAcks = make(map[ids.ProcessID]*MRecAck, p.r)
+	ci.consensusAck = nil
+	ci.enqueued = p.now
+	p.statRecovered++
+	return []proto.Action{proto.Send(&MRec{ID: id, Ballot: b}, p.shardProcs...)}
+}
+
+// onMRec is the acceptor side of recovery phase 1 (Algorithm 4, line 76).
+func (p *Process) onMRec(from ids.ProcessID, m *MRec) []proto.Action {
+	ci, ok := p.cmds[m.ID]
+	if !ok || !ci.phase.pending() {
+		// Either we know nothing of the command (no payload, so we could
+		// not answer usefully) or it is already committed; in the latter
+		// case replay the commit to help the recovering process.
+		if ok && (ci.phase == PhaseCommit || ci.phase == PhaseExecute) {
+			return p.onMCommitRequest(from, &MCommitRequest{ID: m.ID})
+		}
+		return nil
+	}
+	if ci.bal >= m.Ballot {
+		return []proto.Action{proto.Send(&MRecNAck{ID: m.ID, Ballot: ci.bal}, from)}
+	}
+	attached := false
+	if ci.bal == 0 {
+		switch ci.phase {
+		case PhasePayload:
+			ci.ts = p.proposal(m.ID, 0)
+			ci.attachedMine = ci.ts
+			ci.phase = PhaseRecoverR
+		case PhasePropose:
+			ci.phase = PhaseRecoverP
+		}
+	}
+	if ci.phase == PhaseRecoverR || ci.phase == PhaseRecoverP {
+		attached = ci.abal == 0 && ci.attachedMine != 0
+	}
+	ci.bal = m.Ballot
+	ack := &MRecAck{
+		ID:       m.ID,
+		TS:       ci.ts,
+		Phase:    ci.phase,
+		ABallot:  ci.abal,
+		Ballot:   m.Ballot,
+		Attached: attached,
+	}
+	return []proto.Action{proto.Send(ack, from)}
+}
+
+// onMRecAck is the recovery coordinator gathering r−f phase-1 answers
+// (Algorithm 4, line 86).
+func (p *Process) onMRecAck(from ids.ProcessID, m *MRecAck) []proto.Action {
+	ci, ok := p.cmds[m.ID]
+	if !ok || ci.coordBallot != m.Ballot || ci.bal != m.Ballot {
+		return nil
+	}
+	if ci.recAcks == nil {
+		ci.recAcks = make(map[ids.ProcessID]*MRecAck, p.r)
+	}
+	if _, dup := ci.recAcks[from]; dup {
+		return nil
+	}
+	ci.recAcks[from] = m
+	if len(ci.recAcks) != p.r-p.f {
+		return nil
+	}
+	// Decide the consensus proposal.
+	var t uint64
+	if k := highestAccepted(ci.recAcks); k != nil {
+		// Someone accepted a consensus value: by the Paxos rules, adopt
+		// the one with the highest accepted ballot (line 89).
+		t = k.TS
+	} else {
+		// Nobody accepted a value. Compute I = Q ∩ fast quorum, and
+		// decide whether the initial coordinator could have taken the
+		// fast path (lines 92-95).
+		fq := ci.quorums[p.shard]
+		initial := ids.ProcessID(0)
+		if len(fq) > 0 {
+			initial = fq[0]
+		}
+		inFQ := make(map[ids.ProcessID]bool, len(fq))
+		for _, q := range fq {
+			inFQ[q] = true
+		}
+		var iSet []ids.ProcessID
+		initialReplied := false
+		anyRecoverR := false
+		for q, ack := range ci.recAcks {
+			if !inFQ[q] {
+				continue
+			}
+			iSet = append(iSet, q)
+			if q == initial {
+				initialReplied = true
+			}
+			if ack.Phase == PhaseRecoverR {
+				anyRecoverR = true
+			}
+		}
+		s := initialReplied || anyRecoverR
+		if s {
+			// The fast path cannot have been taken: any majority max
+			// respects Property 3; use the whole recovery quorum.
+			for _, ack := range ci.recAcks {
+				t = max64(t, ack.TS)
+			}
+		} else {
+			// The fast path may have been taken: by Property 4, the max
+			// over the surviving ⌊r/2⌋ fast-quorum processes recovers it.
+			for _, q := range iSet {
+				t = max64(t, ci.recAcks[q].TS)
+			}
+		}
+	}
+	ci.recoveredAttached(ci.recAcks, p)
+	return []proto.Action{proto.Send(&MConsensus{ID: m.ID, TS: t, Ballot: m.Ballot}, p.shardProcs...)}
+}
+
+// recoveredAttached collects the genuine timestamp proposals reported in
+// recovery acks so that the eventual MCommit can piggyback them as
+// attached promises.
+func (ci *cmdInfo) recoveredAttached(acks map[ids.ProcessID]*MRecAck, p *Process) {
+	if ci.proposals == nil {
+		ci.proposals = make(map[ids.ProcessID]uint64, len(acks))
+	}
+	for q, ack := range acks {
+		if ack.Attached && ack.TS != 0 {
+			ci.proposals[q] = ack.TS
+		}
+	}
+}
+
+func highestAccepted(acks map[ids.ProcessID]*MRecAck) *MRecAck {
+	var best *MRecAck
+	for _, a := range acks {
+		if a.ABallot == 0 {
+			continue
+		}
+		if best == nil || a.ABallot > best.ABallot {
+			best = a
+		}
+	}
+	return best
+}
+
+// onMRecNAck performs ballot catch-up at a (would-be) recovery leader
+// (Appendix B, line 82).
+func (p *Process) onMRecNAck(m *MRecNAck) []proto.Action {
+	ci, ok := p.cmds[m.ID]
+	if !ok || p.leader != p.rank || ci.bal >= m.Ballot {
+		return nil
+	}
+	ci.bal = m.Ballot
+	if !ci.phase.pending() {
+		return nil
+	}
+	return p.recover(m.ID, ci)
+}

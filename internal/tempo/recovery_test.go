@@ -1,0 +1,271 @@
+package tempo
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/testnet"
+)
+
+// recoveryConfig enables recovery with a short timeout.
+func recoveryConfig() Config {
+	return Config{
+		PromiseInterval: 5 * time.Millisecond,
+		RecoveryTimeout: 20 * time.Millisecond,
+		RetainLog:       true,
+	}
+}
+
+// TestRecoveryFastPathTimestamp exercises Property 4: the coordinator
+// takes the fast path and crashes before anyone (except possibly a subset)
+// receives MCommit; the recovered timestamp must equal the fast-path one.
+//
+// Setup (r=5, f=1, quorum {A,B,C}): A proposes 1, B proposes 6, C proposes
+// 10; fast path decides ts = 10 (count >= f=1 trivially).
+func TestRecoveryFastPathTimestamp(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, recoveryConfig())
+	A := at(topo, 0, 0)
+	B := at(topo, 1, 0)
+	C := at(topo, 2, 0)
+	procs[B].bump(5)
+	procs[C].bump(9)
+
+	cmd := command.NewPut(procs[A].NextID(), "k", nil)
+	// Park every MCommit: the coordinator decides but nobody learns.
+	net.Hold = func(e testnet.Env) bool {
+		_, is := e.Msg.(*MCommit)
+		return is
+	}
+	net.Submit(A, cmd)
+	net.Drain(0)
+	if fast, _, _ := procs[A].Stats(); fast != 1 {
+		t.Fatal("setup: coordinator should have taken the fast path")
+	}
+	if procs[B].cmds[cmd.ID].phase != PhasePropose {
+		t.Fatal("setup: B should still be in propose")
+	}
+
+	// Coordinator crashes; the parked MCommits die with it, and the
+	// network heals for everyone else.
+	net.Crash(A)
+	net.Hold = nil
+	net.SetLeader(procs[B].Rank())
+	net.Settle(10, 10*time.Millisecond)
+
+	// Everyone alive commits with the fast-path timestamp 10.
+	for pid, p := range procs {
+		if pid == A {
+			continue
+		}
+		ci := p.cmds[cmd.ID]
+		if ci == nil || (ci.phase != PhaseCommit && ci.phase != PhaseExecute) {
+			t.Fatalf("process %d: not committed after recovery (phase %v)", pid, phaseOf(ci))
+		}
+		if ci.finalTS != 10 {
+			t.Errorf("process %d: recovered ts = %d, want 10 (Property 4)", pid, ci.finalTS)
+		}
+	}
+	if _, _, rec := procs[B].Stats(); rec == 0 {
+		t.Error("leader B should have run recovery")
+	}
+}
+
+// TestRecoveryWithInitialCoordinatorAlive: the coordinator never decides
+// (an ack is lost) but stays alive; the leader recovers and, because the
+// initial coordinator replies to MRec, any majority max is a valid
+// timestamp (case s = true of Algorithm 4).
+func TestRecoveryCoordinatorAlive(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, recoveryConfig())
+	A := at(topo, 0, 0)
+	B := at(topo, 1, 0)
+	C := at(topo, 2, 0)
+	procs[C].bump(9)
+
+	cmd := command.NewPut(procs[A].NextID(), "k", nil)
+	// Lose C's proposal ack: A can never decide.
+	net.Drop = func(e testnet.Env) bool {
+		_, is := e.Msg.(*MProposeAck)
+		return is && e.From == C
+	}
+	net.Submit(A, cmd)
+	net.Drain(0)
+	if ci := procs[A].cmds[cmd.ID]; ci.phase != PhasePropose {
+		t.Fatalf("setup: A should be stuck in propose, got %v", ci.phase)
+	}
+
+	net.SetLeader(procs[B].Rank())
+	net.Settle(10, 10*time.Millisecond)
+
+	var ts uint64
+	for pid, p := range procs {
+		ci := p.cmds[cmd.ID]
+		if ci == nil || (ci.phase != PhaseCommit && ci.phase != PhaseExecute) {
+			t.Fatalf("process %d: not committed after recovery", pid)
+		}
+		if ts == 0 {
+			ts = ci.finalTS
+		} else if ci.finalTS != ts {
+			t.Fatalf("Property 1 violated: %d vs %d", ci.finalTS, ts)
+		}
+	}
+	// C proposed 10 and its ack was lost, but C still answers MRec with
+	// its proposal, so the recovered timestamp is 10.
+	if ts != 10 {
+		t.Errorf("recovered ts = %d, want 10", ts)
+	}
+}
+
+// TestRecoverySlowPathAcceptedValue: the coordinator starts the slow path,
+// a minority accepts its consensus proposal, and the coordinator crashes.
+// Recovery must adopt the accepted value (standard Paxos rule, line 89).
+func TestRecoverySlowPathAcceptedValue(t *testing.T) {
+	topo := lineTopo(t, 5, 2, 1)
+	procs, net := makeNet(t, topo, recoveryConfig())
+	A := at(topo, 0, 0)
+	B := at(topo, 1, 0)
+	C := at(topo, 2, 0)
+	// Proposals: A=1, B=6, C=10, D=1 -> max 10 with count 1 < f=2: slow
+	// path with consensus value 10.
+	procs[B].bump(5)
+	procs[C].bump(9)
+
+	cmd := command.NewPut(procs[A].NextID(), "k", nil)
+	// B's consensus ack gets through; then freeze commits entirely.
+	net.Hold = func(e testnet.Env) bool {
+		if _, is := e.Msg.(*MCommit); is {
+			return true
+		}
+		if _, is := e.Msg.(*MConsensusAck); is && e.From != B {
+			return true
+		}
+		return false
+	}
+	net.Submit(A, cmd)
+	net.Drain(0)
+	if _, slow, _ := procs[A].Stats(); slow != 1 {
+		t.Fatal("setup: expected slow path")
+	}
+	if procs[B].cmds[cmd.ID].abal == 0 {
+		t.Fatal("setup: B should have accepted a consensus value")
+	}
+
+	net.Crash(A)
+	net.Hold = nil
+	net.SetLeader(procs[C].Rank())
+	net.Settle(10, 10*time.Millisecond)
+
+	for pid, p := range procs {
+		if pid == A {
+			continue
+		}
+		ci := p.cmds[cmd.ID]
+		if ci == nil || (ci.phase != PhaseCommit && ci.phase != PhaseExecute) {
+			t.Fatalf("process %d: not committed after recovery", pid)
+		}
+		if ci.finalTS != 10 {
+			t.Errorf("process %d: ts = %d, want the accepted value 10", pid, ci.finalTS)
+		}
+	}
+}
+
+// TestRecoveryBallotNAckCatchUp: two processes race to recover; the one
+// with the stale ballot gets MRecNAck and retries with a higher ballot
+// (Appendix B).
+func TestRecoveryBallotNAckCatchUp(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, recoveryConfig())
+	A := at(topo, 0, 0)
+	B := at(topo, 1, 0)
+	C := at(topo, 2, 0)
+
+	cmd := command.NewPut(procs[A].NextID(), "k", nil)
+	net.Hold = func(e testnet.Env) bool {
+		_, is := e.Msg.(*MCommit)
+		return is
+	}
+	net.Submit(A, cmd)
+	net.Drain(0)
+	net.Crash(A)
+	net.Hold = nil
+
+	// C recovers first at its ballot...
+	net.SetLeader(procs[C].Rank())
+	net.Settle(3, 15*time.Millisecond)
+	// ...then the oracle switches to B, whose first ballot is lower than
+	// C's; B must NAck-catch-up and still finish.
+	net.SetLeader(procs[B].Rank())
+	net.Settle(10, 15*time.Millisecond)
+
+	var ts uint64
+	for pid, p := range procs {
+		if pid == A {
+			continue
+		}
+		ci := p.cmds[cmd.ID]
+		if ci == nil || (ci.phase != PhaseCommit && ci.phase != PhaseExecute) {
+			t.Fatalf("process %d: not committed (phase %v)", pid, phaseOf(ci))
+		}
+		if ts == 0 {
+			ts = ci.finalTS
+		} else if ci.finalTS != ts {
+			t.Fatalf("Property 1 violated after dueling recoveries")
+		}
+	}
+}
+
+// TestPayloadViaCommitRequest: a process that missed the payload (and
+// whose MCommit arrived before it) catches up through the
+// MPromises/MCommitRequest liveness path of Appendix B.
+func TestPayloadViaCommitRequest(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, recoveryConfig())
+	A := at(topo, 0, 0)
+	E := at(topo, 4, 0)
+
+	cmd := command.NewPut(procs[A].NextID(), "k", []byte("v"))
+	// E never receives the payload directly.
+	net.Drop = func(e testnet.Env) bool {
+		_, is := e.Msg.(*MPayload)
+		return is && e.To == E
+	}
+	net.Submit(A, cmd)
+	net.Drain(0)
+	if ci := procs[E].cmds[cmd.ID]; ci != nil && ci.cmd != nil {
+		t.Fatal("setup: E should not have the payload")
+	}
+	// Allow payloads now (the drop stands in for a transient loss);
+	// E learns about the command through attached promises in MPromises
+	// and asks for the commit.
+	net.Drop = nil
+	net.Settle(6, 10*time.Millisecond)
+	ci := procs[E].cmds[cmd.ID]
+	if ci == nil || ci.phase != PhaseExecute {
+		t.Fatalf("E did not catch up: phase %v", phaseOf(ci))
+	}
+	if v, ok := procs[E].Store().Get("k"); !ok || string(v) != "v" {
+		t.Error("E's store missing the value")
+	}
+}
+
+// TestRecoveryIdempotentOnCommitted: MRec for an already committed command
+// replays the commit instead of recovering.
+func TestRecoveryIdempotentOnCommitted(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, recoveryConfig())
+	A := at(topo, 0, 0)
+	B := at(topo, 1, 0)
+	cmd := command.NewPut(procs[A].NextID(), "k", nil)
+	net.Submit(A, cmd)
+	net.Drain(0)
+	tsBefore := procs[B].cmds[cmd.ID].finalTS
+
+	// A stale MRec arrives at B after commit.
+	net.Deliver(at(topo, 2, 0), B, &MRec{ID: cmd.ID, Ballot: 99})
+	net.Drain(0)
+	if got := procs[B].cmds[cmd.ID].finalTS; got != tsBefore {
+		t.Errorf("commit mutated by stale MRec: %d -> %d", tsBefore, got)
+	}
+}

@@ -1,0 +1,127 @@
+package tempo
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// TestTable1FastPath encodes Table 1 of the paper: r = 5 processes
+// A..E on a line (so A's fast quorum is {A,B,C} for f=1 and {A,B,C,D} for
+// f=2), with preset clocks such that A proposes timestamp 6. Each row
+// checks whether the fast path is taken and the committed timestamp.
+func TestTable1FastPath(t *testing.T) {
+	cases := []struct {
+		name     string
+		f        int
+		clocks   map[int]uint64 // site index -> initial clock (via bump)
+		wantTS   uint64
+		wantFast bool
+	}{
+		// a) f=2: proposals A=6, B=7, C=11, D=11; count(11)=2 >= f.
+		{"a_f2_fast", 2, map[int]uint64{0: 5, 1: 6, 2: 10, 3: 10}, 11, true},
+		// b) f=2: proposals A=6, B=7, C=11, D=6; count(11)=1 < f.
+		{"b_f2_slow", 2, map[int]uint64{0: 5, 1: 6, 2: 10, 3: 5}, 11, false},
+		// c) f=1: proposals A=6, B=7, C=11; f=1 always fast.
+		{"c_f1_fast", 1, map[int]uint64{0: 5, 1: 6, 2: 10}, 11, true},
+		// d) f=1: proposals A=6, B=6, C=6; everyone matches.
+		{"d_f1_fast_match", 1, map[int]uint64{0: 5, 1: 4, 2: 1}, 6, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			topo := lineTopo(t, 5, c.f, 1)
+			procs, net := makeNet(t, topo, Config{})
+			for site, clock := range c.clocks {
+				procs[at(topo, site, 0)].bump(clock)
+			}
+			a := at(topo, 0, 0)
+			cmd := command.NewPut(procs[a].NextID(), "k", nil)
+			net.Submit(a, cmd)
+			net.Drain(0)
+
+			fast, slow, _ := procs[a].Stats()
+			if c.wantFast && (fast != 1 || slow != 0) {
+				t.Errorf("want fast path, got fast=%d slow=%d", fast, slow)
+			}
+			if !c.wantFast && (fast != 0 || slow != 1) {
+				t.Errorf("want slow path, got fast=%d slow=%d", fast, slow)
+			}
+			for id, p := range procs {
+				ci := p.cmds[cmd.ID]
+				if ci == nil || ci.phase != PhaseCommit && ci.phase != PhaseExecute {
+					t.Fatalf("process %d: not committed (phase %v)", id, phaseOf(ci))
+				}
+				if ci.finalTS != c.wantTS {
+					t.Errorf("process %d: ts=%d, want %d", id, ci.finalTS, c.wantTS)
+				}
+			}
+		})
+	}
+}
+
+// TestF1AlwaysFastPath verifies that Tempo f=1 never takes the slow path
+// regardless of contention (the trivial count >= 1 condition, §3.1).
+func TestF1AlwaysFastPath(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, Config{})
+	for site := 0; site < 5; site++ {
+		p := procs[at(topo, site, 0)]
+		for k := 0; k < 5; k++ {
+			net.Submit(p.ID(), command.NewPut(p.NextID(), "contended", nil))
+		}
+	}
+	net.Drain(0)
+	var fastTotal, slowTotal uint64
+	for _, p := range procs {
+		fast, slow, _ := p.Stats()
+		fastTotal += fast
+		slowTotal += slow
+	}
+	if slowTotal != 0 {
+		t.Errorf("f=1 must never take the slow path, got %d slow commits", slowTotal)
+	}
+	if fastTotal != 25 {
+		t.Errorf("want 25 fast commits, got %d", fastTotal)
+	}
+}
+
+// TestSlowPathAgreement drives a contended f=2 workload and checks that
+// slow-path commits still satisfy Property 1 (timestamp agreement).
+func TestSlowPathAgreement(t *testing.T) {
+	topo := lineTopo(t, 5, 2, 1)
+	procs, net := makeNet(t, topo, Config{})
+	var cmds []*command.Command
+	for site := 0; site < 5; site++ {
+		p := procs[at(topo, site, 0)]
+		for k := 0; k < 6; k++ {
+			c := command.NewPut(p.NextID(), "hot", nil)
+			cmds = append(cmds, c)
+			net.Submit(p.ID(), c)
+		}
+	}
+	net.Drain(0)
+	net.Settle(5, 5*time.Millisecond)
+	var slowTotal uint64
+	for _, p := range procs {
+		_, slow, _ := p.Stats()
+		slowTotal += slow
+	}
+	if slowTotal == 0 {
+		t.Log("note: no slow paths hit in this schedule")
+	}
+	for _, c := range cmds {
+		ts := map[uint64][]ids.ProcessID{}
+		for id, p := range procs {
+			ci := p.cmds[c.ID]
+			if ci == nil {
+				t.Fatalf("process %d missing command %v", id, c.ID)
+			}
+			ts[ci.finalTS] = append(ts[ci.finalTS], id)
+		}
+		if len(ts) != 1 {
+			t.Fatalf("Property 1 violated for %v: %v", c.ID, ts)
+		}
+	}
+}

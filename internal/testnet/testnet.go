@@ -1,0 +1,244 @@
+// Package testnet provides a deterministic in-memory message pump for
+// protocol-level tests: messages are delivered with zero latency and
+// per-link FIFO order (as TCP provides), ticks are injected manually, and
+// messages can be dropped or held to script failure scenarios. An optional
+// seeded RNG interleaves different links to explore schedules while
+// preserving per-link FIFO.
+//
+// It is intentionally much simpler than internal/sim (no time, no
+// latency); use it to unit-test protocol logic, and internal/sim for
+// end-to-end behaviour.
+package testnet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+)
+
+// Env is an in-flight message.
+type Env struct {
+	From, To ids.ProcessID
+	Msg      proto.Message
+}
+
+type link struct{ from, to ids.ProcessID }
+
+// Net is the harness.
+type Net struct {
+	Replicas map[ids.ProcessID]proto.Replica
+	links    map[link][]Env
+	order    []link // links with queued traffic, in arrival order
+	held     []Env
+	now      time.Duration
+	// Rng, if set, picks which link delivers next (per-link FIFO is
+	// always preserved).
+	Rng *rand.Rand
+	// Drop decides whether to drop a message (e.g. crashed destination);
+	// nil drops nothing.
+	Drop func(Env) bool
+	// Duplicate decides whether to deliver a message twice (modelling
+	// sender retries); nil duplicates nothing.
+	Duplicate func(Env) bool
+	// Hold decides whether to park a message for later release; nil
+	// holds nothing.
+	Hold func(Env) bool
+	// Delivered counts delivered messages.
+	Delivered int
+}
+
+// New creates a harness over the given replicas.
+func New(replicas ...proto.Replica) *Net {
+	n := &Net{
+		Replicas: make(map[ids.ProcessID]proto.Replica, len(replicas)),
+		links:    make(map[link][]Env),
+	}
+	for _, r := range replicas {
+		n.Replicas[r.ID()] = r
+	}
+	return n
+}
+
+// Submit injects a client command at a process and enqueues the resulting
+// messages.
+func (n *Net) Submit(at ids.ProcessID, cmd *command.Command) {
+	n.enqueue(at, n.Replicas[at].Submit(cmd))
+}
+
+// Deliver hands a message straight to a replica (bypassing the queue) and
+// enqueues whatever it produces. Tests use it to script exact scenarios.
+func (n *Net) Deliver(from, to ids.ProcessID, msg proto.Message) {
+	n.Delivered++
+	n.enqueue(to, n.Replicas[to].Handle(from, msg))
+}
+
+// enqueue expands actions into per-destination envelopes.
+func (n *Net) enqueue(from ids.ProcessID, acts []proto.Action) {
+	for _, a := range acts {
+		for _, to := range a.To {
+			e := Env{From: from, To: to, Msg: a.Msg}
+			if n.Drop != nil && n.Drop(e) {
+				continue
+			}
+			if n.Hold != nil && n.Hold(e) {
+				n.held = append(n.held, e)
+				continue
+			}
+			l := link{from, to}
+			if len(n.links[l]) == 0 {
+				n.order = append(n.order, l)
+			}
+			n.links[l] = append(n.links[l], e)
+			if n.Duplicate != nil && n.Duplicate(e) {
+				n.links[l] = append(n.links[l], e)
+			}
+		}
+	}
+}
+
+// Step delivers one message (the oldest link's head, or a random link's
+// head if Rng is set); returns false if the network is quiet.
+func (n *Net) Step() bool {
+	if len(n.order) == 0 {
+		return false
+	}
+	idx := 0
+	if n.Rng != nil {
+		idx = n.Rng.Intn(len(n.order))
+	}
+	l := n.order[idx]
+	q := n.links[l]
+	e := q[0]
+	if len(q) == 1 {
+		delete(n.links, l)
+		n.order = append(n.order[:idx], n.order[idx+1:]...)
+	} else {
+		n.links[l] = q[1:]
+		// Rotate the link to the back so links are served round-robin
+		// rather than drained one at a time (per-link FIFO preserved).
+		n.order = append(append(n.order[:idx], n.order[idx+1:]...), l)
+	}
+	r, ok := n.Replicas[e.To]
+	if !ok {
+		return true
+	}
+	n.Delivered++
+	n.enqueue(e.To, r.Handle(e.From, e.Msg))
+	return true
+}
+
+// Drain delivers messages until the network is quiet (bounded by limit
+// deliveries to catch livelock; 0 means 1e6).
+func (n *Net) Drain(limit int) int {
+	if limit == 0 {
+		limit = 1_000_000
+	}
+	steps := 0
+	for steps < limit && n.Step() {
+		steps++
+	}
+	return steps
+}
+
+// Tick advances fake time and invokes Tick on every replica (in id order
+// for determinism), enqueuing the results.
+func (n *Net) Tick(dt time.Duration) {
+	n.now += dt
+	order := make([]ids.ProcessID, 0, len(n.Replicas))
+	for id := range n.Replicas {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		n.enqueue(id, n.Replicas[id].Tick(n.now))
+	}
+}
+
+// Settle alternates ticks and drains; use it to reach quiescence
+// including periodic work (promise broadcast, recovery).
+func (n *Net) Settle(rounds int, dt time.Duration) {
+	for i := 0; i < rounds; i++ {
+		n.Tick(dt)
+		n.Drain(0)
+	}
+}
+
+// ReleaseHeld re-enqueues all held messages (Hold is not re-applied to
+// them).
+func (n *Net) ReleaseHeld() {
+	hold := n.Hold
+	n.Hold = nil
+	held := n.held
+	n.held = nil
+	for _, e := range held {
+		n.enqueue(e.From, []proto.Action{proto.Send(e.Msg, e.To)})
+	}
+	n.Hold = hold
+}
+
+// HeldCount returns the number of parked messages.
+func (n *Net) HeldCount() int { return len(n.held) }
+
+// QueueLen returns the number of in-flight messages.
+func (n *Net) QueueLen() int {
+	total := 0
+	for _, q := range n.links {
+		total += len(q)
+	}
+	return total
+}
+
+// Crash marks a replica crashed (if supported) and drops all its traffic,
+// present and future.
+func (n *Net) Crash(id ids.ProcessID) {
+	if c, ok := n.Replicas[id].(proto.Crashable); ok {
+		c.Crash()
+	}
+	prev := n.Drop
+	n.Drop = func(e Env) bool {
+		if e.From == id || e.To == id {
+			return true
+		}
+		if prev != nil {
+			return prev(e)
+		}
+		return false
+	}
+	for l := range n.links {
+		if l.from == id || l.to == id {
+			delete(n.links, l)
+		}
+	}
+	var order []link
+	for _, l := range n.order {
+		if l.from != id && l.to != id {
+			order = append(order, l)
+		}
+	}
+	n.order = order
+}
+
+// SetLeader informs every leader-aware replica of a new leader rank.
+func (n *Net) SetLeader(rank ids.Rank) {
+	for _, r := range n.Replicas {
+		if la, ok := r.(proto.LeaderAware); ok {
+			la.SetLeader(rank)
+		}
+	}
+}
+
+// DrainExecuted collects executed commands from every replica, keyed by
+// process.
+func (n *Net) DrainExecuted() map[ids.ProcessID][]proto.Executed {
+	out := make(map[ids.ProcessID][]proto.Executed)
+	for id, r := range n.Replicas {
+		if ex := r.Drain(); len(ex) > 0 {
+			out[id] = ex
+		}
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+// Package topology describes the deployment of a PSMR system: geographic
+// sites with pairwise latencies, shards, the processes replicating each
+// shard, and quorum geometry (fast quorums of size ⌊r/2⌋+f, slow quorums
+// of size f+1, recovery quorums of size r−f).
+//
+// It also ships the Amazon EC2 latency matrix from Table 2 of the paper
+// (Appendix A), used by the evaluation experiments.
+package topology
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// Site is a geographic location hosting one process per shard.
+type Site struct {
+	ID   ids.SiteID
+	Name string
+}
+
+// Process describes one replica process.
+type Process struct {
+	ID    ids.ProcessID
+	Shard ids.ShardID
+	Site  ids.SiteID
+	Rank  ids.Rank // 1-based rank within the shard's replica group
+}
+
+// Topology is an immutable description of a deployment.
+type Topology struct {
+	sites  []Site
+	procs  []Process
+	rtt    [][]time.Duration // site x site round-trip times
+	shards [][]ids.ProcessID // shard -> processes sorted by rank
+	byID   map[ids.ProcessID]Process
+	bySite map[ids.SiteID]map[ids.ShardID]ids.ProcessID
+	n      int // replication factor r (same for every shard)
+	f      int // tolerated failures
+}
+
+// Config configures New.
+type Config struct {
+	SiteNames []string
+	RTT       [][]time.Duration // RTT[i][j] between SiteNames[i] and [j]
+	NumShards int
+	F         int
+	// ShardSites[i] lists the site indices replicating shard i. If nil,
+	// every shard is replicated at every site (full replication).
+	ShardSites [][]int
+}
+
+// New builds a topology. Each listed site of a shard gets one process; the
+// replication factor r of a shard is the number of sites replicating it.
+// All shards must have the same replication factor.
+func New(cfg Config) (*Topology, error) {
+	ns := len(cfg.SiteNames)
+	if ns == 0 {
+		return nil, fmt.Errorf("topology: no sites")
+	}
+	if len(cfg.RTT) != ns {
+		return nil, fmt.Errorf("topology: RTT matrix is %dx?, want %dx%d", len(cfg.RTT), ns, ns)
+	}
+	for i, row := range cfg.RTT {
+		if len(row) != ns {
+			return nil, fmt.Errorf("topology: RTT row %d has %d entries, want %d", i, len(row), ns)
+		}
+	}
+	if cfg.NumShards <= 0 {
+		cfg.NumShards = 1
+	}
+	shardSites := cfg.ShardSites
+	if shardSites == nil {
+		all := make([]int, ns)
+		for i := range all {
+			all[i] = i
+		}
+		shardSites = make([][]int, cfg.NumShards)
+		for s := range shardSites {
+			shardSites[s] = all
+		}
+	}
+	if len(shardSites) != cfg.NumShards {
+		return nil, fmt.Errorf("topology: ShardSites has %d entries, want %d", len(shardSites), cfg.NumShards)
+	}
+	r := len(shardSites[0])
+	for s, ss := range shardSites {
+		if len(ss) != r {
+			return nil, fmt.Errorf("topology: shard %d has %d replicas, want %d", s, len(ss), r)
+		}
+	}
+	if cfg.F < 1 || cfg.F > (r-1)/2 {
+		return nil, fmt.Errorf("topology: f=%d out of range 1..%d for r=%d", cfg.F, (r-1)/2, r)
+	}
+
+	t := &Topology{
+		rtt:    cfg.RTT,
+		shards: make([][]ids.ProcessID, cfg.NumShards),
+		byID:   make(map[ids.ProcessID]Process),
+		bySite: make(map[ids.SiteID]map[ids.ShardID]ids.ProcessID),
+		n:      r,
+		f:      cfg.F,
+	}
+	for i, name := range cfg.SiteNames {
+		t.sites = append(t.sites, Site{ID: ids.SiteID(i), Name: name})
+		t.bySite[ids.SiteID(i)] = make(map[ids.ShardID]ids.ProcessID)
+	}
+	next := ids.ProcessID(1)
+	for s := 0; s < cfg.NumShards; s++ {
+		for rank, siteIdx := range shardSites[s] {
+			if siteIdx < 0 || siteIdx >= ns {
+				return nil, fmt.Errorf("topology: shard %d references site %d", s, siteIdx)
+			}
+			p := Process{
+				ID:    next,
+				Shard: ids.ShardID(s),
+				Site:  ids.SiteID(siteIdx),
+				Rank:  ids.Rank(rank + 1),
+			}
+			next++
+			t.procs = append(t.procs, p)
+			t.byID[p.ID] = p
+			t.shards[s] = append(t.shards[s], p.ID)
+			t.bySite[p.Site][p.Shard] = p.ID
+		}
+	}
+	return t, nil
+}
+
+// R returns the replication factor of every shard.
+func (t *Topology) R() int { return t.n }
+
+// F returns the number of tolerated failures per shard.
+func (t *Topology) F() int { return t.f }
+
+// NumShards returns the number of shards.
+func (t *Topology) NumShards() int { return len(t.shards) }
+
+// Sites returns the sites.
+func (t *Topology) Sites() []Site { return t.sites }
+
+// Processes returns every process in the deployment.
+func (t *Topology) Processes() []Process { return t.procs }
+
+// Process returns the descriptor for a process id.
+func (t *Topology) Process(id ids.ProcessID) Process { return t.byID[id] }
+
+// ShardProcesses returns the processes replicating a shard (I_p), sorted
+// by rank.
+func (t *Topology) ShardProcesses(s ids.ShardID) []ids.ProcessID {
+	return t.shards[s]
+}
+
+// ProcessAt returns the process of the given shard at the given site, or 0
+// if the site does not replicate that shard.
+func (t *Topology) ProcessAt(site ids.SiteID, shard ids.ShardID) ids.ProcessID {
+	return t.bySite[site][shard]
+}
+
+// RTT returns the round-trip time between two processes' sites. Processes
+// at the same site have IntraSiteRTT.
+func (t *Topology) RTT(a, b ids.ProcessID) time.Duration {
+	sa, sb := t.byID[a].Site, t.byID[b].Site
+	return t.SiteRTT(sa, sb)
+}
+
+// IntraSiteRTT is the round-trip time between co-located processes.
+const IntraSiteRTT = 500 * time.Microsecond
+
+// SiteRTT returns the round-trip time between two sites.
+func (t *Topology) SiteRTT(a, b ids.SiteID) time.Duration {
+	if a == b {
+		return IntraSiteRTT
+	}
+	return t.rtt[a][b]
+}
+
+// ShardOf maps a key to its shard by hashing. Keys of form "shard/rest"
+// are not special-cased; the mapping is stable across processes.
+func (t *Topology) ShardOf(k command.Key) ids.ShardID {
+	if len(t.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return ids.ShardID(h.Sum32() % uint32(len(t.shards)))
+}
+
+// CmdShards returns the shards accessed by a command.
+func (t *Topology) CmdShards(c *command.Command) []ids.ShardID {
+	return c.Shards(t.ShardOf)
+}
+
+// CmdProcesses returns I_c: every process replicating a shard accessed by
+// the command.
+func (t *Topology) CmdProcesses(c *command.Command) []ids.ProcessID {
+	var out []ids.ProcessID
+	for _, s := range t.CmdShards(c) {
+		out = append(out, t.shards[s]...)
+	}
+	return out
+}
+
+// ClosestPerShard returns I^i_c for a process i: for each shard accessed
+// by the command, the replica of that shard whose site is closest to i's
+// site (i itself for its own shard when i replicates one of them).
+func (t *Topology) ClosestPerShard(i ids.ProcessID, shards []ids.ShardID) []ids.ProcessID {
+	pi := t.byID[i]
+	out := make([]ids.ProcessID, 0, len(shards))
+	for _, s := range shards {
+		if pi.Shard == s {
+			out = append(out, i)
+			continue
+		}
+		best := ids.ProcessID(0)
+		var bestRTT time.Duration
+		for _, q := range t.shards[s] {
+			d := t.SiteRTT(pi.Site, t.byID[q].Site)
+			if best == 0 || d < bestRTT {
+				best, bestRTT = q, d
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// FastQuorum returns the fast quorum used by coordinator coord for its
+// shard: the coordinator plus the size−1 other replicas of the shard
+// closest to it by RTT. size is typically ⌊r/2⌋+f (Tempo/Atlas),
+// ⌊3r/4⌋ (EPaxos) or ⌈3r/4⌉ (Caesar).
+func (t *Topology) FastQuorum(coord ids.ProcessID, size int) []ids.ProcessID {
+	p := t.byID[coord]
+	others := make([]ids.ProcessID, 0, t.n-1)
+	for _, q := range t.shards[p.Shard] {
+		if q != coord {
+			others = append(others, q)
+		}
+	}
+	sort.Slice(others, func(i, j int) bool {
+		di, dj := t.RTT(coord, others[i]), t.RTT(coord, others[j])
+		if di != dj {
+			return di < dj
+		}
+		return others[i] < others[j]
+	})
+	if size > t.n {
+		size = t.n
+	}
+	q := make([]ids.ProcessID, 0, size)
+	q = append(q, coord)
+	q = append(q, others[:size-1]...)
+	return q
+}
+
+// TempoFastQuorumSize is ⌊r/2⌋+f, shared by Tempo and Atlas.
+func TempoFastQuorumSize(r, f int) int { return r/2 + f }
+
+// EC2Sites are the five EC2 regions used in the paper's evaluation.
+var EC2Sites = []string{"ireland", "n-california", "singapore", "canada", "sao-paulo"}
+
+// EC2RTT returns the ping latency matrix of Table 2 (milliseconds, RTT).
+func EC2RTT() [][]time.Duration {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	// Order: ireland, n-california, singapore, canada, sao-paulo.
+	m := [][]int{
+		{0, 141, 186, 72, 183},
+		{141, 0, 181, 78, 190},
+		{186, 181, 0, 221, 338},
+		{72, 78, 221, 0, 123},
+		{183, 190, 338, 123, 0},
+	}
+	out := make([][]time.Duration, len(m))
+	for i, row := range m {
+		out[i] = make([]time.Duration, len(row))
+		for j, v := range row {
+			out[i][j] = ms(v)
+		}
+	}
+	return out
+}
+
+// EC2 builds the paper's 5-site full-replication topology with the given f.
+func EC2(f int) *Topology {
+	t, err := New(Config{SiteNames: EC2Sites, RTT: EC2RTT(), NumShards: 1, F: f})
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return t
+}
+
+// EC2Sharded builds the paper's partial-replication topology (§6.4): each
+// shard replicated at 3 sites (Ireland, N. California, Singapore) with the
+// given number of shards and f=1.
+func EC2Sharded(numShards int) *Topology {
+	three := []int{0, 1, 2}
+	ss := make([][]int, numShards)
+	for i := range ss {
+		ss[i] = three
+	}
+	t, err := New(Config{
+		SiteNames:  EC2Sites,
+		RTT:        EC2RTT(),
+		NumShards:  numShards,
+		F:          1,
+		ShardSites: ss,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

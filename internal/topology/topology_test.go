@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+func TestEC2Matrix(t *testing.T) {
+	// Table 2 of the paper.
+	rtt := EC2RTT()
+	want := map[[2]int]int{
+		{0, 1}: 141, {0, 2}: 186, {0, 3}: 72, {0, 4}: 183,
+		{1, 2}: 181, {1, 3}: 78, {1, 4}: 190,
+		{2, 3}: 221, {2, 4}: 338,
+		{3, 4}: 123,
+	}
+	for pair, ms := range want {
+		d := time.Duration(ms) * time.Millisecond
+		if rtt[pair[0]][pair[1]] != d || rtt[pair[1]][pair[0]] != d {
+			t.Errorf("RTT %v = %v/%v, want %v", pair, rtt[pair[0]][pair[1]], rtt[pair[1]][pair[0]], d)
+		}
+	}
+	for i := range rtt {
+		if rtt[i][i] != 0 {
+			t.Errorf("diagonal %d not zero", i)
+		}
+	}
+}
+
+func TestEC2FullReplication(t *testing.T) {
+	topo := EC2(1)
+	if topo.R() != 5 || topo.F() != 1 || topo.NumShards() != 1 {
+		t.Fatalf("r=%d f=%d shards=%d", topo.R(), topo.F(), topo.NumShards())
+	}
+	if len(topo.Processes()) != 5 {
+		t.Fatalf("want 5 processes, got %d", len(topo.Processes()))
+	}
+	// Ranks 1..5, one per site.
+	seenRank := map[ids.Rank]bool{}
+	seenSite := map[ids.SiteID]bool{}
+	for _, p := range topo.Processes() {
+		seenRank[p.Rank] = true
+		seenSite[p.Site] = true
+	}
+	if len(seenRank) != 5 || len(seenSite) != 5 {
+		t.Errorf("ranks %v sites %v", seenRank, seenSite)
+	}
+}
+
+func TestFastQuorumClosest(t *testing.T) {
+	topo := EC2(1)
+	// Ireland's closest two sites are Canada (72) and N. California (141).
+	ireland := topo.ProcessAt(0, 0)
+	q := topo.FastQuorum(ireland, TempoFastQuorumSize(5, 1))
+	if len(q) != 3 {
+		t.Fatalf("fast quorum size = %d, want 3", len(q))
+	}
+	if q[0] != ireland {
+		t.Errorf("coordinator must be first: %v", q)
+	}
+	canada := topo.ProcessAt(3, 0)
+	ncal := topo.ProcessAt(1, 0)
+	got := map[ids.ProcessID]bool{q[1]: true, q[2]: true}
+	if !got[canada] || !got[ncal] {
+		t.Errorf("quorum = %v, want {ireland, canada, n-california}", q)
+	}
+}
+
+func TestFastQuorumSizes(t *testing.T) {
+	if TempoFastQuorumSize(5, 1) != 3 || TempoFastQuorumSize(5, 2) != 4 {
+		t.Error("tempo fast quorum sizes wrong for r=5")
+	}
+	if TempoFastQuorumSize(3, 1) != 2 {
+		t.Error("tempo fast quorum size wrong for r=3")
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	topo := EC2Sharded(4)
+	if topo.NumShards() != 4 || topo.R() != 3 {
+		t.Fatalf("shards=%d r=%d", topo.NumShards(), topo.R())
+	}
+	k := command.Key("user/42")
+	s1 := topo.ShardOf(k)
+	s2 := topo.ShardOf(k)
+	if s1 != s2 {
+		t.Error("ShardOf not deterministic")
+	}
+	// All shards reachable over many keys.
+	seen := map[ids.ShardID]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[topo.ShardOf(command.Key(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i))))] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("hash does not cover all shards: %v", seen)
+	}
+}
+
+func TestClosestPerShard(t *testing.T) {
+	topo := EC2Sharded(2)
+	// Process of shard 0 in Ireland; the closest replica of shard 1 from
+	// Ireland among {Ireland, NC, Singapore} is the Ireland one.
+	p := topo.ProcessAt(0, 0)
+	got := topo.ClosestPerShard(p, []ids.ShardID{0, 1})
+	if got[0] != p {
+		t.Errorf("own shard must map to self")
+	}
+	if topo.Process(got[1]).Site != 0 {
+		t.Errorf("closest shard-1 replica should be co-located in Ireland, got site %d", topo.Process(got[1]).Site)
+	}
+}
+
+func TestCmdProcesses(t *testing.T) {
+	topo := EC2Sharded(2)
+	// Find keys in different shards.
+	var k0, k1 command.Key
+	for i := 0; i < 100 && (k0 == "" || k1 == ""); i++ {
+		k := command.Key(string(rune('a' + i)))
+		if topo.ShardOf(k) == 0 && k0 == "" {
+			k0 = k
+		}
+		if topo.ShardOf(k) == 1 && k1 == "" {
+			k1 = k
+		}
+	}
+	if k0 == "" || k1 == "" {
+		t.Skip("could not find keys for both shards")
+	}
+	c := command.New(ids.Dot{Source: 1, Seq: 1},
+		command.Op{Kind: command.Put, Key: k0},
+		command.Op{Kind: command.Put, Key: k1})
+	ps := topo.CmdProcesses(c)
+	if len(ps) != 6 {
+		t.Errorf("command across 2 shards should touch 6 processes, got %d", len(ps))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := New(Config{SiteNames: []string{"a"}, RTT: [][]time.Duration{{0}}, F: 1}); err == nil {
+		t.Error("f=1 with r=1 should fail")
+	}
+	rtt := EC2RTT()
+	if _, err := New(Config{SiteNames: EC2Sites, RTT: rtt, F: 3}); err == nil {
+		t.Error("f=3 with r=5 should fail")
+	}
+	if _, err := New(Config{SiteNames: EC2Sites, RTT: rtt[:3], F: 1}); err == nil {
+		t.Error("ragged RTT should fail")
+	}
+}

@@ -1,0 +1,159 @@
+// Package workload implements the paper's benchmark workloads:
+//
+//   - the conflict-rate microbenchmark of §6.3 (a command picks the shared
+//     key 0 with probability ρ and a unique per-client key otherwise, with
+//     a configurable payload size), and
+//   - YCSB+T (§6.4): transactions accessing two keys drawn from a zipfian
+//     distribution over a large keyspace, with a configurable write ratio
+//     (w=0%: YCSB C, w=5%: YCSB B, w=50%: YCSB A).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// Workload generates the operations for one client's next command.
+type Workload interface {
+	// NextOps returns the operations of the client's next command.
+	NextOps(client int) []command.Op
+	// PayloadBytes returns the extra padding attached to each command.
+	PayloadBytes() int
+}
+
+// Microbench is the conflict-rate microbenchmark (§6.3).
+type Microbench struct {
+	// ConflictRate is ρ: the probability of touching the shared key.
+	ConflictRate float64
+	// Payload is the command payload size in bytes (default 100).
+	Payload int
+	// Rng drives the key choice.
+	Rng *rand.Rand
+
+	counters map[int]int
+}
+
+// NewMicrobench creates the microbenchmark with conflict rate rho.
+func NewMicrobench(rho float64, payload int, rng *rand.Rand) *Microbench {
+	if payload == 0 {
+		payload = 100
+	}
+	return &Microbench{ConflictRate: rho, Payload: payload, Rng: rng, counters: map[int]int{}}
+}
+
+// NextOps implements Workload: key 0 with probability ρ, else a key
+// unique to this client.
+func (m *Microbench) NextOps(client int) []command.Op {
+	var key command.Key
+	if m.Rng.Float64() < m.ConflictRate {
+		key = "0"
+	} else {
+		m.counters[client]++
+		key = command.Key(fmt.Sprintf("c%d-%d", client, m.counters[client]))
+	}
+	return []command.Op{{Kind: command.Put, Key: key, Value: []byte{1}}}
+}
+
+// PayloadBytes implements Workload.
+func (m *Microbench) PayloadBytes() int { return m.Payload }
+
+// YCSBT is the YCSB+T transactional workload (§6.4): each command
+// accesses KeysPerCmd keys sampled zipfian from Keys keys, each operation
+// a write with probability WriteRatio.
+type YCSBT struct {
+	Keys       int
+	KeysPerCmd int
+	WriteRatio float64
+	Rng        *rand.Rand
+	zipf       *Zipfian
+}
+
+// NewYCSBT builds the workload; theta is the zipfian constant (the
+// paper uses 0.5 and 0.7).
+func NewYCSBT(keys int, theta, writeRatio float64, rng *rand.Rand) *YCSBT {
+	return &YCSBT{
+		Keys:       keys,
+		KeysPerCmd: 2,
+		WriteRatio: writeRatio,
+		Rng:        rng,
+		zipf:       NewZipfian(keys, theta),
+	}
+}
+
+// NextOps implements Workload.
+func (y *YCSBT) NextOps(int) []command.Op {
+	ops := make([]command.Op, 0, y.KeysPerCmd)
+	seen := map[int]bool{}
+	for len(ops) < y.KeysPerCmd {
+		k := y.zipf.Sample(y.Rng)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kind := command.Get
+		var val []byte
+		if y.Rng.Float64() < y.WriteRatio {
+			kind = command.Put
+			val = []byte{1}
+		}
+		ops = append(ops, command.Op{Kind: kind, Key: command.Key(fmt.Sprintf("y%d", k)), Value: val})
+	}
+	return ops
+}
+
+// PayloadBytes implements Workload.
+func (y *YCSBT) PayloadBytes() int { return 100 }
+
+// Zipfian samples ranks 0..n-1 with the YCSB zipfian distribution
+// (Gray et al.), which supports any theta in (0, 1) — unlike
+// math/rand.Zipf, which requires s > 1.
+type Zipfian struct {
+	n              int
+	theta          float64
+	alpha          float64
+	zetan, zeta2   float64
+	eta, threshold float64
+}
+
+// NewZipfian precomputes the distribution constants for n items.
+func NewZipfian(n int, theta float64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.threshold = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Sample draws a rank in [0, n).
+func (z *Zipfian) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.threshold {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// MakeCommand materializes a command from workload ops.
+func MakeCommand(id ids.Dot, ops []command.Op, payload int) *command.Command {
+	c := command.New(id, ops...)
+	c.Padding = payload
+	return c
+}

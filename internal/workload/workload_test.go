@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+func TestMicrobenchConflictRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := NewMicrobench(0.1, 100, rng)
+	n := 20000
+	hot := 0
+	for i := 0; i < n; i++ {
+		ops := w.NextOps(i % 16)
+		if len(ops) != 1 || ops[0].Kind != command.Put {
+			t.Fatal("microbench commands are single-key writes")
+		}
+		if ops[0].Key == "0" {
+			hot++
+		}
+	}
+	got := float64(hot) / float64(n)
+	if math.Abs(got-0.1) > 0.01 {
+		t.Errorf("observed conflict rate %.3f, want ~0.10", got)
+	}
+}
+
+func TestMicrobenchUniqueKeysDontRepeat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := NewMicrobench(0, 0, rng)
+	seen := map[command.Key]bool{}
+	for i := 0; i < 1000; i++ {
+		k := w.NextOps(7)[0].Key
+		if seen[k] {
+			t.Fatalf("key %s repeated", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMicrobenchZeroAndFullConflicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w0 := NewMicrobench(0, 0, rng)
+	for i := 0; i < 100; i++ {
+		if w0.NextOps(1)[0].Key == "0" {
+			t.Fatal("rho=0 must never pick the hot key")
+		}
+	}
+	w1 := NewMicrobench(1, 0, rng)
+	for i := 0; i < 100; i++ {
+		if w1.NextOps(1)[0].Key != "0" {
+			t.Fatal("rho=1 must always pick the hot key")
+		}
+	}
+}
+
+func TestYCSBTShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := NewYCSBT(10000, 0.7, 0.5, rng)
+	writes, total := 0, 0
+	for i := 0; i < 5000; i++ {
+		ops := w.NextOps(0)
+		if len(ops) != 2 {
+			t.Fatal("YCSB+T commands access two keys")
+		}
+		if ops[0].Key == ops[1].Key {
+			t.Fatal("keys within a command must be distinct")
+		}
+		for _, op := range ops {
+			total++
+			if op.Kind == command.Put {
+				writes++
+			}
+		}
+	}
+	ratio := float64(writes) / float64(total)
+	if math.Abs(ratio-0.5) > 0.03 {
+		t.Errorf("write ratio %.3f, want ~0.5", ratio)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 100000
+	zLow := NewZipfian(n, 0.5)
+	zHigh := NewZipfian(n, 0.99)
+	top := func(z *Zipfian) float64 {
+		hits := 0
+		draws := 50000
+		for i := 0; i < draws; i++ {
+			if z.Sample(rng) < n/100 {
+				hits++
+			}
+		}
+		return float64(hits) / float64(draws)
+	}
+	lo, hi := top(zLow), top(zHigh)
+	if hi <= lo {
+		t.Errorf("higher theta must be more skewed: top1%% mass %.3f (0.5) vs %.3f (0.99)", lo, hi)
+	}
+	if lo < 0.02 {
+		t.Errorf("zipf 0.5 should still skew toward the head, got %.3f", lo)
+	}
+}
+
+func TestZipfianRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	z := NewZipfian(1000, 0.7)
+	for i := 0; i < 20000; i++ {
+		k := z.Sample(rng)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("sample %d out of range", k)
+		}
+	}
+}
+
+func TestMakeCommand(t *testing.T) {
+	c := MakeCommand(
+		ids.Dot{Source: 1, Seq: 1},
+		[]command.Op{{Kind: command.Put, Key: "k"}},
+		4096,
+	)
+	if c.Padding != 4096 || len(c.Ops) != 1 {
+		t.Fatal("MakeCommand lost fields")
+	}
+	if c.SizeBytes() < 4096 {
+		t.Error("payload not reflected in size")
+	}
+}
