@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test bench-smoke fuzz-smoke bench-micro
+
+## ci: everything CI runs, in order
+ci: fmt vet build test bench-smoke
+
+## fmt: fail if any file is not gofmt-clean
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## bench-smoke: one iteration of every benchmark (catches bit-rot, not perf)
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## fuzz-smoke: a short run of each fuzz target
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzIntervalSet -fuzztime 10s ./internal/promise
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/tempo
+
+## bench-micro: regenerate BENCH_micro.json (commit it when a PR moves a hot path)
+bench-micro:
+	$(GO) run ./cmd/bench -exp micro

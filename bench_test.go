@@ -105,6 +105,34 @@ func BenchmarkAblationMBump(b *testing.B) {
 }
 
 // --- micro-benchmarks of the protocol hot paths ---
+//
+// The three named loops below (codec, tracker stability, process steady
+// state) are shared with `bench -exp micro`, which emits them to
+// BENCH_micro.json so successive PRs track the trajectory.
+
+// BenchmarkCodec measures encode+decode of a fast-path message mix:
+// the hand-rolled binary wire codec vs the legacy gob codec. The
+// encoded-bytes metric compares wire sizes.
+func BenchmarkCodec(b *testing.B) {
+	b.Run("binary/encode", func(b *testing.B) { bench.CodecEncodeLoop(b, "binary") })
+	b.Run("gob/encode", func(b *testing.B) { bench.CodecEncodeLoop(b, "gob") })
+	b.Run("binary/decode", func(b *testing.B) { bench.CodecDecodeLoop(b, "binary") })
+	b.Run("gob/decode", func(b *testing.B) { bench.CodecDecodeLoop(b, "gob") })
+}
+
+// BenchmarkTrackerStable measures the Theorem 1 stability watermark in
+// the advanceExecution pattern: a read per step, occasional insertions.
+func BenchmarkTrackerStable(b *testing.B) {
+	bench.TrackerStableLoop(b)
+}
+
+// BenchmarkProcessSteadyState measures the full per-command protocol
+// cost (submit through execution and GC) across 5 replicas, with
+// promise gossip flowing. The allocs/op figure is the headline number
+// of the hot-path overhaul.
+func BenchmarkProcessSteadyState(b *testing.B) {
+	bench.SteadyStateLoop(b)
+}
 
 // BenchmarkTempoCommitPath measures the in-memory cost of one full
 // commit+execute round (Table 1's machinery) across 5 replicas.

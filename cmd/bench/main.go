@@ -6,10 +6,13 @@
 //	bench -exp fig5                # one experiment
 //	bench -exp all -scale 16       # everything, at 1/16 of paper load
 //	bench -exp fig7 -scale 4 -duration 4s
+//	bench -exp micro               # hot-path micro-benchmarks -> BENCH_micro.json
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, ablation-mbump,
-// ablation-piggyback, ablation-f, all. See EXPERIMENTS.md for the
-// paper-vs-reproduction comparison.
+// ablation-piggyback, ablation-f, micro, all. See EXPERIMENTS.md for the
+// paper-vs-reproduction comparison. The micro experiment also writes its
+// results to -microout (default BENCH_micro.json) so successive PRs can
+// track the hot-path trajectory.
 package main
 
 import (
@@ -22,11 +25,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5..fig9, ablation-*, all)")
+	exp := flag.String("exp", "all", "experiment id (fig5..fig9, ablation-*, micro, all)")
 	scale := flag.Int("scale", 16, "divide the paper's client counts by this factor")
 	duration := flag.Duration("duration", 2*time.Second, "measured simulated time per run")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "simulated warmup before measurement")
 	seed := flag.Int64("seed", 1, "random seed")
+	microOut := flag.String("microout", "BENCH_micro.json", "output path for the micro experiment")
 	flag.Parse()
 
 	o := bench.Options{
@@ -43,6 +47,15 @@ func main() {
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
+	runMicro := func() {
+		results := bench.RunMicro(os.Stdout)
+		if err := bench.WriteMicroJSON(*microOut, results); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *microOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *microOut)
+	}
+
 	experiments := map[string]func(){
 		"fig5":               func() { bench.Fig5(o) },
 		"fig6":               func() { bench.Fig6(o) },
@@ -52,9 +65,10 @@ func main() {
 		"ablation-mbump":     func() { bench.AblationMBump(o) },
 		"ablation-piggyback": func() { bench.AblationPiggyback(o) },
 		"ablation-f":         func() { bench.AblationFaultTolerance(o) },
+		"micro":              runMicro,
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "fig9",
-		"ablation-mbump", "ablation-piggyback", "ablation-f"}
+		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -1,0 +1,3 @@
+module tempo
+
+go 1.24

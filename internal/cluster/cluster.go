@@ -1,13 +1,24 @@
 // Package cluster runs replicas as real networked processes: one Node per
-// replica, TCP links with gob-encoded envelopes, a periodic tick loop for
-// protocol timers, and a small client protocol (submit a command, get the
-// results once it executes locally).
+// replica, TCP peer links, a periodic tick loop for protocol timers, and a
+// small client protocol (submit a command, get the results once it
+// executes locally).
+//
+// Peer links default to the hand-rolled binary codec (proto.BinaryMessage)
+// with batched, length-prefixed frames: the writer goroutine coalesces
+// every message queued for a destination into one framed write, so a tick
+// burst costs one syscall instead of one gob encode per message. The
+// legacy gob codec is kept behind SetCodec(CodecGob) for cross-version
+// compatibility; receivers auto-detect the peer's codec from the magic
+// prefix, so mixed-codec clusters interoperate. The client protocol stays
+// gob (it is not on the replication hot path).
 //
 // The cmd/tempo-server and cmd/tempo-client binaries are thin wrappers
 // around this package; TestLoopback runs a full cluster over localhost.
 package cluster
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -20,6 +31,31 @@ import (
 	"tempo/internal/ids"
 	"tempo/internal/proto"
 	"tempo/internal/tempo"
+)
+
+// Codec selects the wire encoding for outgoing peer links.
+type Codec int
+
+const (
+	// CodecBinary is the hand-rolled varint codec with batch framing
+	// (the default).
+	CodecBinary Codec = iota
+	// CodecGob is the legacy reflection-based codec, kept for
+	// cross-version compatibility tests.
+	CodecGob
+)
+
+// peerMagic prefixes binary-codec peer connections. The first byte of a
+// gob stream is a small message length (< 0x80), so 0xFF cannot be
+// mistaken for the start of a gob or legacy connection.
+var peerMagic = [4]byte{0xFF, 'T', 'P', 1}
+
+const (
+	// maxWriteBatch bounds how many queued messages one frame coalesces.
+	maxWriteBatch = 512
+	// defaultMaxFrameBytes is the default frame-body bound; see
+	// Node.frameLimit.
+	defaultMaxFrameBytes = 64 << 20
 )
 
 func init() {
@@ -85,21 +121,33 @@ type Node struct {
 	done   chan struct{}
 	closed sync.Once
 	tick   time.Duration
+	codec  Codec
+	// frameLimit bounds a frame body in both directions: receivers drop
+	// connections that announce a larger frame (corruption guard), and
+	// writeBatch splits batches so no frame exceeds it. Fixed at
+	// construction (connection goroutines read it concurrently).
+	frameLimit uint64
 }
 
 // NewNode creates a node for process id with the given replica and the
 // listen addresses of every process.
 func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string) *Node {
 	return &Node{
-		id:      id,
-		rep:     rep,
-		addrs:   addrs,
-		out:     make(map[ids.ProcessID]chan proto.Message),
-		waiters: make(map[ids.Dot]chan *command.Result),
-		done:    make(chan struct{}),
-		tick:    5 * time.Millisecond,
+		id:         id,
+		rep:        rep,
+		addrs:      addrs,
+		out:        make(map[ids.ProcessID]chan proto.Message),
+		waiters:    make(map[ids.Dot]chan *command.Result),
+		done:       make(chan struct{}),
+		tick:       5 * time.Millisecond,
+		frameLimit: defaultMaxFrameBytes,
 	}
 }
+
+// SetCodec selects the wire codec for outgoing peer links. Call before
+// Start; the default is CodecBinary. Inbound links auto-detect the
+// sender's codec, so nodes with different codecs interoperate.
+func (n *Node) SetCodec(c Codec) { n.codec = c }
 
 // Start listens on the node's address and runs the tick loop. It returns
 // once the listener is ready.
@@ -142,22 +190,31 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// serveConn handles an inbound connection: a peer (streams envelopes) or
-// a client (request/reply).
+// serveConn handles an inbound connection: a binary-codec peer (detected
+// by the magic prefix), a gob peer (hello with From != 0), or a client
+// (gob request/reply).
 func (n *Node) serveConn(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if first, err := br.Peek(1); err == nil && first[0] == peerMagic[0] {
+		var magic [4]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil || magic != peerMagic {
+			return
+		}
+		n.serveBinaryPeer(br)
+		return
+	}
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	var h hello
 	if err := dec.Decode(&h); err != nil {
-		conn.Close()
 		return
 	}
 	if h.From != 0 {
-		// Peer connection: stream envelopes.
+		// Legacy gob peer connection: stream envelopes.
 		for {
 			var env envelope
 			if err := dec.Decode(&env); err != nil {
-				conn.Close()
 				return
 			}
 			n.deliver(env.From, env.Msg)
@@ -167,13 +224,43 @@ func (n *Node) serveConn(conn net.Conn) {
 	for {
 		var req ClientRequest
 		if err := dec.Decode(&req); err != nil {
-			conn.Close()
 			return
 		}
 		res := n.serveClient(&req)
 		if err := enc.Encode(res); err != nil {
-			conn.Close()
 			return
+		}
+	}
+}
+
+// serveBinaryPeer streams batch frames from a binary-codec peer. Each
+// frame is uvarint(len(body)) || body, where body is uvarint(from)
+// followed by tagged messages until the body is exhausted.
+func (n *Node) serveBinaryPeer(br *bufio.Reader) {
+	var buf []byte
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil || size > n.frameLimit {
+			return
+		}
+		if uint64(cap(buf)) < size {
+			buf = make([]byte, size)
+		}
+		b := buf[:size]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return
+		}
+		from, b, err := proto.ReadUvarint(b)
+		if err != nil {
+			return
+		}
+		for len(b) > 0 {
+			msg, rest, err := proto.DecodeMessage(b)
+			if err != nil {
+				return
+			}
+			b = rest
+			n.deliver(ids.ProcessID(from), msg)
 		}
 	}
 }
@@ -274,10 +361,16 @@ func (n *Node) sendLocked(to ids.ProcessID, msg proto.Message) {
 	}
 }
 
-// writer drains a peer's outbound queue over a (re)dialed connection.
+// writer drains a peer's outbound queue over a (re)dialed connection,
+// coalescing everything queued at wake-up into one framed, buffered
+// write: a protocol step or tick that fans out many messages to the same
+// destination costs one syscall, not one encode+write per message.
 func (n *Node) writer(to ids.ProcessID, ch chan proto.Message) {
 	var conn net.Conn
-	var enc *gob.Encoder
+	var bw *bufio.Writer
+	var enc *gob.Encoder // CodecGob only
+	var head, body []byte
+	batch := make([]proto.Message, 0, maxWriteBatch)
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -290,27 +383,103 @@ func (n *Node) writer(to ids.ProcessID, ch chan proto.Message) {
 			return
 		case msg = <-ch:
 		}
+		batch = append(batch[:0], msg)
+	coalesce:
+		for len(batch) < maxWriteBatch {
+			select {
+			case m := <-ch:
+				batch = append(batch, m)
+			default:
+				break coalesce
+			}
+		}
 		for attempt := 0; attempt < 2; attempt++ {
 			if conn == nil {
 				c, err := net.DialTimeout("tcp", n.addrs[to], 2*time.Second)
 				if err != nil {
 					break // drop; liveness machinery retries
 				}
-				e := gob.NewEncoder(c)
-				if err := e.Encode(&hello{From: n.id}); err != nil {
+				w := bufio.NewWriter(c)
+				var e *gob.Encoder
+				if n.codec == CodecGob {
+					e = gob.NewEncoder(w)
+					if err := e.Encode(&hello{From: n.id}); err != nil {
+						c.Close()
+						break
+					}
+				} else if _, err := w.Write(peerMagic[:]); err != nil {
 					c.Close()
 					break
 				}
-				conn, enc = c, e
+				conn, bw, enc = c, w, e
 			}
-			if err := enc.Encode(&envelope{From: n.id, Msg: msg}); err != nil {
+			err := n.writeBatch(bw, enc, batch, &head, &body)
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
 				conn.Close()
-				conn, enc = nil, nil
+				conn, bw, enc = nil, nil, nil
 				continue
 			}
 			break
 		}
 	}
+}
+
+// writeBatch encodes one coalesced batch into bw, splitting it across
+// frames so no frame body exceeds the frame limit (a receiver drops the
+// connection on larger frames). A single message that alone exceeds the
+// cap can never be delivered and is dropped, like a full queue — the
+// protocol's liveness machinery retries. head and body are reused
+// scratch buffers (binary codec only).
+func (n *Node) writeBatch(bw *bufio.Writer, enc *gob.Encoder, batch []proto.Message, head, body *[]byte) error {
+	if n.codec == CodecGob {
+		for _, m := range batch {
+			if err := enc.Encode(&envelope{From: n.id, Msg: m}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeFrame := func(b []byte) error {
+		h := proto.AppendUvarint((*head)[:0], uint64(len(b)))
+		*head = h
+		if _, err := bw.Write(h); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		return err
+	}
+	b := (*body)[:0]
+	b = proto.AppendUvarint(b, uint64(n.id))
+	prefix := len(b)
+	var err error
+	for _, m := range batch {
+		mark := len(b)
+		if b, err = proto.AppendMessage(b, m); err != nil {
+			*body = b
+			return err
+		}
+		if uint64(len(b)) > n.frameLimit && mark > prefix {
+			// Frame full: flush the messages before this one and move
+			// this one's bytes down into a fresh frame.
+			if err := writeFrame(b[:mark]); err != nil {
+				*body = b
+				return err
+			}
+			moved := copy(b[prefix:], b[mark:])
+			b = b[:prefix+moved]
+		}
+		if uint64(len(b)) > n.frameLimit {
+			b = b[:prefix] // oversized single message: drop
+		}
+	}
+	*body = b
+	if len(b) > prefix {
+		return writeFrame(b)
+	}
+	return nil
 }
 
 // Client is a TCP client session against one node.

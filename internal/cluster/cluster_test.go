@@ -1,14 +1,19 @@
 package cluster
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"tempo/internal/command"
 	"tempo/internal/ids"
+	"tempo/internal/proto"
 	"tempo/internal/tempo"
 	"tempo/internal/topology"
 )
@@ -16,6 +21,11 @@ import (
 // startCluster boots r Tempo nodes on loopback and returns them with
 // their client addresses.
 func startCluster(t *testing.T, r, f int) ([]*Node, map[ids.ProcessID]string, *topology.Topology) {
+	return startClusterCodec(t, r, f, func(int) Codec { return CodecBinary })
+}
+
+// startClusterCodec boots a cluster whose node i sends with codecOf(i).
+func startClusterCodec(t *testing.T, r, f int, codecOf func(i int) Codec) ([]*Node, map[ids.ProcessID]string, *topology.Topology) {
 	t.Helper()
 	names := make([]string, r)
 	rtt := make([][]time.Duration, r)
@@ -40,12 +50,13 @@ func startCluster(t *testing.T, r, f int) ([]*Node, map[ids.ProcessID]string, *t
 		addrs[pi.ID] = ln.Addr().String()
 	}
 	var nodes []*Node
-	for _, pi := range topo.Processes() {
+	for i, pi := range topo.Processes() {
 		rep := tempo.New(pi.ID, topo, tempo.Config{
 			PromiseInterval: 2 * time.Millisecond,
 			RecoveryTimeout: time.Hour,
 		})
 		n := NewNode(pi.ID, rep, addrs)
+		n.SetCodec(codecOf(i))
 		n.StartListener(lns[pi.ID])
 		nodes = append(nodes, n)
 	}
@@ -166,6 +177,130 @@ func TestLoopbackFiveNodesF2(t *testing.T) {
 	v, err := c.Get("k7")
 	if err != nil || len(v) != 1 || v[0] != 7 {
 		t.Fatalf("k7 = %v, %v", v, err)
+	}
+}
+
+// TestLoopbackGobCodec keeps the legacy gob peer codec working: a
+// cross-version cluster (old binaries still gob-encode) must agree.
+func TestLoopbackGobCodec(t *testing.T) {
+	_, addrs, topo := startClusterCodec(t, 3, 1, func(int) Codec { return CodecGob })
+	c, err := Dial(addrs[topo.ProcessAt(0, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("gob")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(addrs[topo.ProcessAt(2, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	v, err := c2.Get("k")
+	if err != nil || !bytes.Equal(v, []byte("gob")) {
+		t.Fatalf("gob cluster get = %q, %v", v, err)
+	}
+}
+
+// TestLoopbackMixedCodecs runs a cluster where nodes disagree on their
+// send codec; receivers auto-detect from the connection prefix, so a
+// rolling upgrade from gob to binary stays available.
+func TestLoopbackMixedCodecs(t *testing.T) {
+	_, addrs, topo := startClusterCodec(t, 3, 1, func(i int) Codec {
+		if i%2 == 0 {
+			return CodecBinary
+		}
+		return CodecGob
+	})
+	c, err := Dial(addrs[topo.ProcessAt(1, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("k", []byte("mixed")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(addrs[topo.ProcessAt(0, 0)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	v, err := c2.Get("k")
+	if err != nil || !bytes.Equal(v, []byte("mixed")) {
+		t.Fatalf("mixed cluster get = %q, %v", v, err)
+	}
+}
+
+// TestWriteBatchSplitsFrames pins the frame-budget behaviour: a batch
+// whose encoding exceeds the node's frame limit is split across frames (each
+// acceptable to a receiver), and a single message that can never fit is
+// dropped rather than wedging the link forever.
+func TestWriteBatchSplitsFrames(t *testing.T) {
+	mkStable := func(seq uint64) *tempo.MStable {
+		return &tempo.MStable{ID: ids.Dot{Source: 1, Seq: seq}, Shard: 0}
+	}
+	big := &tempo.MPayload{
+		ID:  ids.Dot{Source: 1, Seq: 99},
+		Cmd: command.NewPut(ids.Dot{Source: 1, Seq: 99}, "k", bytes.Repeat([]byte{7}, 200)),
+	}
+	var batch []proto.Message
+	for seq := uint64(1); seq <= 20; seq++ { // ~20 small messages: > one 64B frame
+		batch = append(batch, mkStable(seq))
+	}
+	batch = append(batch[:10:10], append([]proto.Message{big}, batch[10:]...)...)
+
+	n := &Node{id: 7, frameLimit: 64}
+	var out bytes.Buffer
+	bw := bufio.NewWriter(&out)
+	var head, body []byte
+	if err := n.writeBatch(bw, nil, batch, &head, &body); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse the stream as a receiver would and collect the messages.
+	br := bufio.NewReader(&out)
+	var got []proto.Message
+	frames := 0
+	for {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			break
+		}
+		if size > n.frameLimit {
+			t.Fatalf("frame body %d exceeds budget %d", size, n.frameLimit)
+		}
+		frames++
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			t.Fatal(err)
+		}
+		from, b, err := proto.ReadUvarint(buf)
+		if err != nil || from != 7 {
+			t.Fatalf("frame from = %d, %v", from, err)
+		}
+		for len(b) > 0 {
+			var msg proto.Message
+			if msg, b, err = proto.DecodeMessage(b); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, msg)
+		}
+	}
+	if frames < 2 {
+		t.Fatalf("expected the batch split across frames, got %d", frames)
+	}
+	if len(got) != 20 {
+		t.Fatalf("delivered %d messages, want the 20 small ones", len(got))
+	}
+	for i, m := range got {
+		ms, ok := m.(*tempo.MStable)
+		if !ok || ms.ID.Seq != uint64(i+1) {
+			t.Fatalf("message %d = %+v: oversized message not dropped or order lost", i, m)
+		}
 	}
 }
 

@@ -1,0 +1,104 @@
+package command
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"tempo/internal/ids"
+)
+
+// Binary wire encoding of commands, shared by every protocol message
+// that carries a payload. The command package sits below internal/proto
+// in the import graph, so the varint primitives are local.
+
+// ErrCorrupt reports an undecodable command encoding.
+var ErrCorrupt = errors.New("command: corrupt wire data")
+
+// AppendCommand appends the binary encoding of c to buf: a presence
+// byte, then id, ops (kind, key, value) and padding. A nil command
+// encodes as a single 0 byte.
+func AppendCommand(buf []byte, c *Command) []byte {
+	if c == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(c.ID.Source))
+	buf = binary.AppendUvarint(buf, c.ID.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Ops)))
+	for _, op := range c.Ops {
+		buf = append(buf, byte(op.Kind))
+		buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
+		buf = append(buf, op.Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(op.Value)))
+		buf = append(buf, op.Value...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(c.Padding))
+	return buf
+}
+
+// DecodeCommand decodes a command from the front of b, returning the
+// unconsumed remainder.
+func DecodeCommand(b []byte) (*Command, []byte, error) {
+	if len(b) == 0 {
+		return nil, b, ErrCorrupt
+	}
+	present := b[0]
+	b = b[1:]
+	if present == 0 {
+		return nil, b, nil
+	}
+	c := &Command{}
+	var v uint64
+	var err error
+	if v, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	c.ID.Source = ids.ProcessID(v)
+	if c.ID.Seq, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	var nops uint64
+	if nops, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	if nops > uint64(len(b)) { // each op needs at least one byte
+		return nil, b, ErrCorrupt
+	}
+	if nops > 0 {
+		c.Ops = make([]Op, nops)
+	}
+	for i := range c.Ops {
+		if len(b) == 0 {
+			return nil, b, ErrCorrupt
+		}
+		c.Ops[i].Kind = OpKind(b[0])
+		b = b[1:]
+		var n uint64
+		if n, b, err = readUvarint(b); err != nil || n > uint64(len(b)) {
+			return nil, b, ErrCorrupt
+		}
+		c.Ops[i].Key = Key(b[:n])
+		b = b[n:]
+		if n, b, err = readUvarint(b); err != nil || n > uint64(len(b)) {
+			return nil, b, ErrCorrupt
+		}
+		if n > 0 {
+			c.Ops[i].Value = append([]byte(nil), b[:n]...)
+			b = b[n:]
+		}
+	}
+	var pad uint64
+	if pad, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	c.Padding = int(pad)
+	return c, b, nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, ErrCorrupt
+	}
+	return v, b[n:], nil
+}

@@ -6,6 +6,7 @@ package promise
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -70,6 +71,15 @@ func (s *IntervalSet) AddSet(o *IntervalSet) {
 	}
 }
 
+// AddPairs unions wire-encoded lo/hi pairs (the Encode format) into s
+// without materializing an intermediate set. A trailing odd element is
+// ignored, as in DecodeSet.
+func (s *IntervalSet) AddPairs(pairs []uint64) {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s.AddRange(pairs[i], pairs[i+1])
+	}
+}
+
 // Contains reports whether t is in the set.
 func (s *IntervalSet) Contains(t uint64) bool {
 	i := sort.Search(len(s.iv), func(i int) bool { return s.iv[i].hi >= t })
@@ -111,11 +121,17 @@ func (s *IntervalSet) Max() uint64 {
 	return s.iv[len(s.iv)-1].hi
 }
 
-// Len returns the number of timestamps in the set.
+// Len returns the number of timestamps in the set, saturating at
+// math.MaxUint64 (the full range [0, MaxUint64] has 2^64 elements, which
+// does not fit in a uint64).
 func (s *IntervalSet) Len() uint64 {
 	var n uint64
 	for _, iv := range s.iv {
-		n += iv.hi - iv.lo + 1
+		d := iv.hi - iv.lo + 1 // 0 only for the full range (overflow)
+		if d == 0 || n+d < n {
+			return math.MaxUint64
+		}
+		n += d
 	}
 	return n
 }
@@ -166,9 +182,15 @@ func (s *IntervalSet) Validate() error {
 		if iv.lo > iv.hi {
 			return fmt.Errorf("interval %d inverted: [%d,%d]", i, iv.lo, iv.hi)
 		}
-		if i > 0 && s.iv[i-1].hi+1 >= iv.lo {
-			return fmt.Errorf("intervals %d,%d overlap or are adjacent: [%d,%d] [%d,%d]",
-				i-1, i, s.iv[i-1].lo, s.iv[i-1].hi, iv.lo, iv.hi)
+		// Overlap: prev.hi >= lo. Adjacency: lo - prev.hi == 1, computed
+		// without prev.hi+1, which wraps when prev.hi == math.MaxUint64
+		// and used to let a corrupt set ending in MaxUint64 validate.
+		if i > 0 {
+			prev := s.iv[i-1]
+			if prev.hi >= iv.lo || iv.lo-prev.hi == 1 {
+				return fmt.Errorf("intervals %d,%d overlap or are adjacent: [%d,%d] [%d,%d]",
+					i-1, i, prev.lo, prev.hi, iv.lo, iv.hi)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,116 @@
+package promise
+
+import (
+	"math"
+	"testing"
+)
+
+// The timestamp space is the full uint64 range, so the interval-set
+// arithmetic (hi+1 adjacency probes, element counting) must not wrap at
+// math.MaxUint64. These tests pin the edge behaviour.
+
+func TestAddRangeMaxUint64(t *testing.T) {
+	const m = math.MaxUint64
+	s := &IntervalSet{}
+	s.AddRange(m, m)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(m) || s.Contains(m-1) {
+		t.Fatalf("after Add(max): %v", s)
+	}
+	// Adjacent-below range merges into one interval ending at max.
+	s.AddRange(10, m-1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumIntervals() != 1 || s.Min() != 10 || s.Max() != m {
+		t.Fatalf("merge below max: %v", s)
+	}
+	if !s.ContainsRange(10, m) {
+		t.Fatalf("ContainsRange(10, max) = false on %v", s)
+	}
+}
+
+func TestAddRangeMaxUint64SwallowsSuffix(t *testing.T) {
+	const m = math.MaxUint64
+	s := &IntervalSet{}
+	s.AddRange(5, 7)
+	s.AddRange(100, 200)
+	s.AddRange(m-3, m)
+	// [6, max] overlaps everything from the first interval on.
+	s.AddRange(6, m)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumIntervals() != 1 || s.Min() != 5 || s.Max() != m {
+		t.Fatalf("suffix swallow: %v", s)
+	}
+}
+
+func TestContainsRangeMaxUint64(t *testing.T) {
+	const m = math.MaxUint64
+	s := &IntervalSet{}
+	s.AddRange(m-10, m)
+	if !s.ContainsRange(m-10, m) || !s.ContainsRange(m, m) {
+		t.Fatalf("ContainsRange at max: %v", s)
+	}
+	if s.ContainsRange(m-11, m) || s.ContainsRange(1, m) {
+		t.Fatalf("ContainsRange over-approximates: %v", s)
+	}
+}
+
+func TestLenSaturatesAtMax(t *testing.T) {
+	const m = math.MaxUint64
+	full := &IntervalSet{}
+	full.AddRange(0, m) // 2^64 elements: must saturate, not wrap to 0
+	if got := full.Len(); got != m {
+		t.Fatalf("Len(full range) = %d, want saturation at MaxUint64", got)
+	}
+	s := &IntervalSet{}
+	s.AddRange(1, m) // 2^64-1 elements: exactly representable
+	if got := s.Len(); got != m {
+		t.Fatalf("Len([1,max]) = %d, want %d", got, uint64(m))
+	}
+	s2 := &IntervalSet{}
+	s2.AddRange(3, m)
+	s2.AddRange(1, 1)
+	if got := s2.Len(); got != m-1 {
+		t.Fatalf("Len = %d, want %d", got, uint64(m-1))
+	}
+}
+
+func TestValidateDetectsOverlapAtMax(t *testing.T) {
+	const m = math.MaxUint64
+	// A corrupt set whose first interval ends at MaxUint64: the old
+	// prev.hi+1 adjacency probe wrapped to 0 and reported it valid.
+	s := &IntervalSet{iv: []interval{{5, m}, {7, 9}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate missed overlap past an interval ending at MaxUint64")
+	}
+}
+
+func TestHighestContiguousFullRange(t *testing.T) {
+	s := &IntervalSet{}
+	s.AddRange(1, math.MaxUint64)
+	if got := s.HighestContiguous(); got != math.MaxUint64 {
+		t.Fatalf("HighestContiguous = %d", got)
+	}
+}
+
+func TestAddPairs(t *testing.T) {
+	s := &IntervalSet{}
+	s.AddPairs([]uint64{1, 3, 5, 9, 2, 4})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "{1-9}" { // [1,3]∪[5,9]∪[2,4] → [1,4] adjacent to [5,9]
+		t.Fatalf("AddPairs = %v", s)
+	}
+	// Trailing odd element ignored, as in DecodeSet.
+	s2 := &IntervalSet{}
+	s2.AddPairs([]uint64{1, 2, 99})
+	if s2.Contains(99) || !s2.ContainsRange(1, 2) {
+		t.Fatalf("AddPairs odd tail: %v", s2)
+	}
+}

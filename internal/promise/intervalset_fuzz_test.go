@@ -1,0 +1,73 @@
+package promise
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzIntervalSet drives an IntervalSet with a fuzzer-chosen sequence of
+// AddRange operations and checks, after every step, the representation
+// invariants (Validate) plus membership against a list of the ranges
+// inserted so far. Inputs are 17-byte records: op byte + two uint64s.
+func FuzzIntervalSet(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 5})
+	f.Add([]byte{
+		0, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255,
+		1, 0, 0, 0, 0, 0, 0, 0, 1, 255, 255, 255, 255, 255, 255, 255, 254,
+	})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &IntervalSet{}
+		var added [][2]uint64
+		for len(data) >= 17 {
+			op := data[0] % 3
+			lo := binary.BigEndian.Uint64(data[1:9])
+			hi := binary.BigEndian.Uint64(data[9:17])
+			data = data[17:]
+			switch op {
+			case 0:
+				s.AddRange(lo, hi)
+			case 1:
+				s.AddPairs([]uint64{lo, hi})
+			case 2:
+				other := &IntervalSet{}
+				other.AddRange(lo, hi)
+				s.AddSet(other)
+			}
+			if lo <= hi {
+				added = append(added, [2]uint64{lo, hi})
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("after AddRange(%d, %d): %v\nset: %v", lo, hi, err, s)
+			}
+			if lo <= hi && !s.ContainsRange(lo, hi) {
+				t.Fatalf("just-added [%d,%d] not contained in %v", lo, hi, s)
+			}
+		}
+		// Membership must match the inserted ranges at their boundaries
+		// and just outside them.
+		contains := func(x uint64) bool {
+			for _, r := range added {
+				if r[0] <= x && x <= r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		for _, r := range added {
+			for _, x := range []uint64{r[0], r[1], r[0] - 1, r[1] + 1} {
+				// r[0]-1 / r[1]+1 may wrap; the wrapped points are still
+				// legitimate probes.
+				if got, want := s.Contains(x), contains(x); got != want {
+					t.Fatalf("Contains(%d) = %v, want %v\nset: %v", x, got, want, s)
+				}
+			}
+		}
+		// The interval representation must round-trip through the wire
+		// encoding.
+		rt := DecodeSet(s.Encode())
+		if rt.String() != s.String() {
+			t.Fatalf("encode/decode changed the set: %v -> %v", s, rt)
+		}
+	})
+}

@@ -25,6 +25,15 @@ type Attached struct {
 type Tracker struct {
 	r       int
 	perRank []*IntervalSet // rank-1 indexed
+	// hc caches perRank[i].HighestContiguous(); maintained incrementally
+	// on every promise insertion so Stable never re-walks the sets.
+	hc []uint64
+	// stable caches the Theorem 1 watermark; recomputed from hc (via
+	// scratch, an order-statistic buffer) only after an insertion moved
+	// some rank's contiguous frontier.
+	stable  uint64
+	dirty   bool
+	scratch []uint64
 	// pending holds attached promises whose command is not yet committed
 	// locally, keyed by command id.
 	pending map[ids.Dot][]Attached
@@ -38,6 +47,8 @@ func NewTracker(r int) *Tracker {
 	t := &Tracker{
 		r:         r,
 		perRank:   make([]*IntervalSet, r),
+		hc:        make([]uint64, r),
+		scratch:   make([]uint64, r),
 		pending:   make(map[ids.Dot][]Attached),
 		committed: make(map[ids.Dot]struct{}),
 	}
@@ -47,14 +58,33 @@ func NewTracker(r int) *Tracker {
 	return t
 }
 
+// refresh re-reads a rank's contiguous frontier after an insertion and
+// marks the stability watermark dirty if it moved.
+func (t *Tracker) refresh(rank ids.Rank) {
+	if h := t.perRank[rank-1].HighestContiguous(); h != t.hc[rank-1] {
+		t.hc[rank-1] = h
+		t.dirty = true
+	}
+}
+
 // AddDetached records a detached promise range [lo, hi] by rank.
 func (t *Tracker) AddDetached(rank ids.Rank, lo, hi uint64) {
 	t.perRank[rank-1].AddRange(lo, hi)
+	t.refresh(rank)
 }
 
 // AddDetachedSet records a set of detached promises by rank.
 func (t *Tracker) AddDetachedSet(rank ids.Rank, s *IntervalSet) {
 	t.perRank[rank-1].AddSet(s)
+	t.refresh(rank)
+}
+
+// AddDetachedPairs records wire-encoded detached promises (lo/hi pairs,
+// as produced by IntervalSet.Encode) by rank, without materializing an
+// intermediate set.
+func (t *Tracker) AddDetachedPairs(rank ids.Rank, pairs []uint64) {
+	t.perRank[rank-1].AddPairs(pairs)
+	t.refresh(rank)
 }
 
 // AddAttached records an attached promise. If the command is already known
@@ -64,6 +94,7 @@ func (t *Tracker) AddDetachedSet(rank ids.Rank, s *IntervalSet) {
 func (t *Tracker) AddAttached(a Attached) bool {
 	if _, ok := t.committed[a.ID]; ok {
 		t.perRank[a.Owner-1].Add(a.TS)
+		t.refresh(a.Owner)
 		return true
 	}
 	t.pending[a.ID] = append(t.pending[a.ID], a)
@@ -79,6 +110,7 @@ func (t *Tracker) Committed(id ids.Dot) {
 	t.committed[id] = struct{}{}
 	for _, a := range t.pending[id] {
 		t.perRank[a.Owner-1].Add(a.TS)
+		t.refresh(a.Owner)
 	}
 	delete(t.pending, id)
 }
@@ -103,20 +135,31 @@ func (t *Tracker) PendingIDs() []ids.Dot {
 
 // HighestContiguous returns highest_contiguous_promise(rank).
 func (t *Tracker) HighestContiguous(rank ids.Rank) uint64 {
-	return t.perRank[rank-1].HighestContiguous()
+	return t.hc[rank-1]
 }
 
 // Stable returns the highest stable timestamp per Theorem 1: the largest s
 // such that some majority (⌊r/2⌋+1 processes) have all promises up to s.
 // Sorting the per-rank highest contiguous promises ascending, this is the
 // element at index ⌊r/2⌋ (Algorithm 2, line 50-51).
+//
+// The result is cached: Stable runs on every protocol step, while the
+// per-rank contiguous frontiers move far less often, so the order
+// statistic is recomputed (allocation-free, over the cached frontiers)
+// only when an insertion actually moved one.
 func (t *Tracker) Stable() uint64 {
-	h := make([]uint64, t.r)
-	for i, s := range t.perRank {
-		h[i] = s.HighestContiguous()
+	if t.dirty {
+		t.dirty = false
+		s := t.scratch
+		copy(s, t.hc)
+		for i := 1; i < len(s); i++ { // insertion sort; r is tiny
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		t.stable = s[t.r/2]
 	}
-	sort.Slice(h, func(i, j int) bool { return h[i] < h[j] })
-	return h[t.r/2]
+	return t.stable
 }
 
 // Forget drops commit bookkeeping for a command once its attached

@@ -60,7 +60,7 @@ func (p *Process) advanceExecution() []proto.Action {
 		ci := p.cmds[td.id]
 		if ci != nil && len(ci.shards) > 1 && !ci.sentStable {
 			ci.sentStable = true
-			ci.stableFrom[p.shard] = true
+			ci.markStable(p.shard)
 			if to := p.stableTargets(ci); len(to) > 0 {
 				acts = append(acts, proto.Send(&MStable{ID: td.id, Shard: p.shard}, to...))
 			}
@@ -108,7 +108,7 @@ func (p *Process) stableTargets(ci *cmdInfo) []ids.ProcessID {
 
 func (p *Process) stableAtAllShards(ci *cmdInfo) bool {
 	for _, s := range ci.shards {
-		if !ci.stableFrom[s] {
+		if !ci.stableAt(s) {
 			return false
 		}
 	}
@@ -132,6 +132,6 @@ func (p *Process) execute(td tsDot, ci *cmdInfo) {
 // (Algorithm 3/6).
 func (p *Process) onMStable(m *MStable) []proto.Action {
 	ci := p.info(m.ID)
-	ci.stableFrom[m.Shard] = true
+	ci.markStable(m.Shard)
 	return nil
 }

@@ -42,10 +42,10 @@ func TestFigure4MultiPartition(t *testing.T) {
 		if ci.finalTS != 10 {
 			t.Errorf("process %d: final ts = %d, want 10", pid, ci.finalTS)
 		}
-		if got := ci.commitTS[0]; got != 6 {
+		if got, _ := ci.commitFor(0); got != 6 {
 			t.Errorf("process %d: shard-0 ts = %d, want 6", pid, got)
 		}
-		if got := ci.commitTS[1]; got != 10 {
+		if got, _ := ci.commitFor(1); got != 10 {
 			t.Errorf("process %d: shard-1 ts = %d, want 10", pid, got)
 		}
 	}

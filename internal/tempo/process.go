@@ -3,6 +3,7 @@ package tempo
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"tempo/internal/command"
@@ -64,6 +65,12 @@ func (c Config) withDefaults() Config {
 
 // cmdInfo is the per-command state of Algorithm 5 (Table 3) plus the
 // coordinator-side bookkeeping.
+//
+// The coordinator bookkeeping is rank-indexed (dense slices of length r,
+// index rank-1, zero value = absent) rather than keyed by process id, and
+// cmdInfo structs are recycled through a sync.Pool once a command is
+// garbage-collected, so the steady-state hot path allocates no per-command
+// maps. Timestamps and ballots are >= 1, so 0 is a safe absence sentinel.
 type cmdInfo struct {
 	cmd     *command.Command
 	shards  []ids.ShardID
@@ -73,26 +80,72 @@ type cmdInfo struct {
 	bal     ids.Ballot
 	abal    ids.Ballot
 
-	// Coordinator state (initial or recovery).
-	proposals    map[ids.ProcessID]uint64 // MProposeAck replies
-	ackDetached  map[ids.ProcessID][2]uint64
-	consensusAck map[ids.ProcessID]bool
-	recAcks      map[ids.ProcessID]*MRecAck
-	coordBallot  ids.Ballot // ballot this process is coordinating, 0 if none
-	slowPath     bool
+	// Coordinator state (initial or recovery), allocated lazily — most
+	// commands are never coordinated here — and retained across pool
+	// round-trips.
+	proposals     []uint64 // MProposeAck replies by rank-1; 0 = none
+	nProposals    int
+	ackDetached   [][2]uint64 // piggybacked detached ranges by rank-1
+	consensusFrom []bool      // MConsensusAck seen, by rank-1
+	nConsensusAck int
+	recAcks       []*MRecAck // recovery acks by rank-1
+	nRecAcks      int
+	coordBallot   ids.Ballot // ballot this process is coordinating, 0 if none
+	slowPath      bool
 
-	// Commit state.
-	commitTS map[ids.ShardID]uint64 // per-shard committed timestamps
-	finalTS  uint64
+	// Commit state: parallel slices over the (few) shards a command
+	// accesses; linear scans beat map overhead at this size.
+	commitShards []ids.ShardID
+	commitVals   []uint64
+	finalTS      uint64
 	// attachedMine is this process's own attached promise for the
 	// command (0 if it never proposed).
 	attachedMine uint64
 
-	// Execution state (multi-shard).
-	stableFrom map[ids.ShardID]bool
-	sentStable bool
+	// Execution state (multi-shard): shards that signalled stability.
+	stableShards []ids.ShardID
+	sentStable   bool
 
 	enqueued time.Duration // when the command became known (for recovery)
+}
+
+// commitFor returns the committed timestamp recorded for a shard.
+func (ci *cmdInfo) commitFor(s ids.ShardID) (uint64, bool) {
+	for i, cs := range ci.commitShards {
+		if cs == s {
+			return ci.commitVals[i], true
+		}
+	}
+	return 0, false
+}
+
+// setCommit records a shard's committed timestamp; the first write wins,
+// as with the map it replaces.
+func (ci *cmdInfo) setCommit(s ids.ShardID, ts uint64) {
+	if _, ok := ci.commitFor(s); !ok {
+		ci.commitShards = append(ci.commitShards, s)
+		ci.commitVals = append(ci.commitVals, ts)
+	}
+}
+
+// markStable records that a shard signalled timestamp stability.
+func (ci *cmdInfo) markStable(s ids.ShardID) {
+	for _, x := range ci.stableShards {
+		if x == s {
+			return
+		}
+	}
+	ci.stableShards = append(ci.stableShards, s)
+}
+
+// stableAt reports whether a shard signalled stability.
+func (ci *cmdInfo) stableAt(s ids.ShardID) bool {
+	for _, x := range ci.stableShards {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 func (ci *cmdInfo) committedAllShards() bool {
@@ -100,11 +153,42 @@ func (ci *cmdInfo) committedAllShards() bool {
 		return false
 	}
 	for _, s := range ci.shards {
-		if _, ok := ci.commitTS[s]; !ok {
+		if _, ok := ci.commitFor(s); !ok {
 			return false
 		}
 	}
 	return true
+}
+
+// reset clears a cmdInfo for pool reuse, keeping the backing arrays of
+// the lazily-allocated coordinator slices.
+func (ci *cmdInfo) reset() {
+	ci.cmd = nil
+	ci.shards = nil
+	ci.quorums = nil
+	ci.phase = PhaseStart
+	ci.ts, ci.finalTS, ci.attachedMine = 0, 0, 0
+	ci.bal, ci.abal, ci.coordBallot = 0, 0, 0
+	ci.slowPath, ci.sentStable = false, false
+	for i := range ci.proposals {
+		ci.proposals[i] = 0
+	}
+	ci.nProposals = 0
+	for i := range ci.ackDetached {
+		ci.ackDetached[i] = [2]uint64{}
+	}
+	for i := range ci.consensusFrom {
+		ci.consensusFrom[i] = false
+	}
+	ci.nConsensusAck = 0
+	for i := range ci.recAcks {
+		ci.recAcks[i] = nil
+	}
+	ci.nRecAcks = 0
+	ci.commitShards = ci.commitShards[:0]
+	ci.commitVals = ci.commitVals[:0]
+	ci.stableShards = ci.stableShards[:0]
+	ci.enqueued = 0
 }
 
 // Process is a Tempo replica of one shard at one process. It implements
@@ -118,8 +202,10 @@ type Process struct {
 	topo  *topology.Topology
 	cfg   Config
 
-	shardProcs []ids.ProcessID
-	rankOf     map[ids.ProcessID]ids.Rank
+	shardProcs  []ids.ProcessID
+	shardOthers []ids.ProcessID // shardProcs minus self (gossip targets)
+	// rankOf is indexed by process id (dense, small); 0 = not in shard.
+	rankOf []ids.Rank
 
 	clock       uint64
 	detached    *promise.IntervalSet // own detached promises (for broadcast)
@@ -147,7 +233,14 @@ type Process struct {
 	// MCommitRequest per command (Appendix B liveness, delayed).
 	uncommittedSeen map[ids.Dot]time.Duration
 	lastCommitReq   map[ids.Dot]time.Duration
-	rankToProc      map[ids.Rank]ids.ProcessID
+	rankToProc      []ids.ProcessID // indexed by rank-1
+
+	// ciPool recycles cmdInfo structs of garbage-collected commands.
+	ciPool sync.Pool
+	// routeQueue/routeOut are per-step scratch buffers reused by route;
+	// see the proto.Replica contract on action-slice lifetime.
+	routeQueue []proto.Action
+	routeOut   []proto.Action
 
 	// stats
 	statFast, statSlow, statRecovered uint64
@@ -172,7 +265,6 @@ func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
 		topo:            topo,
 		cfg:             cfg.withDefaults(),
 		shardProcs:      topo.ShardProcesses(pi.Shard),
-		rankOf:          make(map[ids.ProcessID]ids.Rank),
 		detached:        &promise.IntervalSet{},
 		attachedOwn:     make(map[ids.Dot]uint64),
 		tracker:         promise.NewTracker(topo.R()),
@@ -180,15 +272,35 @@ func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
 		peerWM:          make(map[ids.Rank]TSWatermark),
 		uncommittedSeen: make(map[ids.Dot]time.Duration),
 		lastCommitReq:   make(map[ids.Dot]time.Duration),
-		rankToProc:      make(map[ids.Rank]ids.ProcessID),
+		rankToProc:      make([]ids.ProcessID, topo.R()),
 		store:           kvstore.New(),
 		leader:          1,
 	}
+	maxID := ids.ProcessID(0)
 	for _, q := range p.shardProcs {
-		p.rankOf[q] = topo.Process(q).Rank
-		p.rankToProc[topo.Process(q).Rank] = q
+		if q > maxID {
+			maxID = q
+		}
+	}
+	p.rankOf = make([]ids.Rank, maxID+1)
+	for _, q := range p.shardProcs {
+		r := topo.Process(q).Rank
+		p.rankOf[q] = r
+		p.rankToProc[r-1] = q
+		if q != p.id {
+			p.shardOthers = append(p.shardOthers, q)
+		}
 	}
 	return p
+}
+
+// rankOfProc returns the shard-local rank of a process (0 if the process
+// does not replicate this shard).
+func (p *Process) rankOfProc(q ids.ProcessID) ids.Rank {
+	if int(q) >= len(p.rankOf) {
+		return 0
+	}
+	return p.rankOf[q]
 }
 
 // ID implements proto.Replica.
@@ -252,29 +364,48 @@ func (p *Process) Handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 
 // route delivers self-addressed actions immediately (the paper assumes
 // self-messages are delivered instantaneously) and returns the remaining
-// external sends.
+// external sends. The returned slice is scratch space owned by the
+// Process: it is valid only until the next Submit/Handle/Tick call (the
+// proto.Replica contract; all runtimes consume actions synchronously).
 func (p *Process) route(acts []proto.Action) []proto.Action {
-	var out []proto.Action
-	queue := acts
-	for len(queue) > 0 {
-		a := queue[0]
-		queue = queue[1:]
-		var others []ids.ProcessID
+	queue := append(p.routeQueue[:0], acts...)
+	// The previous step's returned actions are dead by contract; zero the
+	// backing array so it does not pin their message payloads.
+	prev := p.routeOut[:cap(p.routeOut)]
+	clear(prev)
+	out := prev[:0]
+	for i := 0; i < len(queue); i++ {
+		a := queue[i]
 		self := false
+		nOthers := 0
 		for _, to := range a.To {
 			if to == p.id {
 				self = true
 			} else {
-				others = append(others, to)
+				nOthers++
 			}
 		}
-		if len(others) > 0 {
+		if nOthers == len(a.To) {
+			out = append(out, a) // common case: no self-send, reuse a.To
+		} else if nOthers > 0 {
+			others := make([]ids.ProcessID, 0, nOthers)
+			for _, to := range a.To {
+				if to != p.id {
+					others = append(others, to)
+				}
+			}
 			out = append(out, proto.Action{To: others, Msg: a.Msg})
 		}
 		if self {
 			queue = append(queue, p.handle(p.id, a.Msg)...)
 		}
 	}
+	// Everything queued was handled; zero the backing array so recycled
+	// slots do not pin handled messages until the next burst.
+	queue = queue[:cap(queue)]
+	clear(queue)
+	p.routeQueue = queue[:0]
+	p.routeOut = out
 	return out
 }
 
@@ -343,15 +474,23 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 func (p *Process) info(id ids.Dot) *cmdInfo {
 	ci, ok := p.cmds[id]
 	if !ok {
-		ci = &cmdInfo{
-			phase:      PhaseStart,
-			commitTS:   make(map[ids.ShardID]uint64),
-			stableFrom: make(map[ids.ShardID]bool),
-			enqueued:   p.now,
+		if v := p.ciPool.Get(); v != nil {
+			ci = v.(*cmdInfo)
+		} else {
+			ci = &cmdInfo{}
 		}
+		ci.phase = PhaseStart
+		ci.enqueued = p.now
 		p.cmds[id] = ci
 	}
 	return ci
+}
+
+// collect removes a command's state and recycles it through the pool.
+func (p *Process) collect(id ids.Dot, ci *cmdInfo) {
+	delete(p.cmds, id)
+	ci.reset()
+	p.ciPool.Put(ci)
 }
 
 // learnPayload records the payload and quorums if not yet known.
@@ -373,12 +512,15 @@ func (p *Process) onMSubmit(m *MSubmit) []proto.Action {
 	prop := &MPropose{ID: m.ID, Cmd: m.Cmd, Quorums: m.Quorums, TS: t}
 	acts := []proto.Action{proto.Send(prop, fq...)}
 	var rest []ids.ProcessID
-	inFQ := make(map[ids.ProcessID]bool, len(fq))
-	for _, q := range fq {
-		inFQ[q] = true
-	}
 	for _, q := range p.shardProcs {
-		if !inFQ[q] {
+		in := false
+		for _, x := range fq {
+			if x == q {
+				in = true
+				break
+			}
+		}
+		if !in {
 			rest = append(rest, q)
 		}
 	}
@@ -467,23 +609,28 @@ func (p *Process) onMProposeAck(from ids.ProcessID, m *MProposeAck) []proto.Acti
 	if len(fq) == 0 || fq[0] != p.id {
 		return nil // not the coordinator at this shard
 	}
+	rank := p.rankOfProc(from)
+	if rank == 0 {
+		return nil
+	}
 	if ci.proposals == nil {
-		ci.proposals = make(map[ids.ProcessID]uint64, len(fq))
+		ci.proposals = make([]uint64, p.r)
 	}
 	// Record the ack (at most one per process) and piggybacked detached
 	// promises.
-	if _, dup := ci.proposals[from]; dup {
+	if ci.proposals[rank-1] != 0 {
 		return nil
 	}
-	ci.proposals[from] = m.TS
+	ci.proposals[rank-1] = m.TS
+	ci.nProposals++
 	if m.DetachedLo != 0 {
-		p.tracker.AddDetached(p.rankOf[from], m.DetachedLo, m.DetachedHi)
+		p.tracker.AddDetached(rank, m.DetachedLo, m.DetachedHi)
 		if ci.ackDetached == nil {
-			ci.ackDetached = make(map[ids.ProcessID][2]uint64, len(fq))
+			ci.ackDetached = make([][2]uint64, p.r)
 		}
-		ci.ackDetached[from] = [2]uint64{m.DetachedLo, m.DetachedHi}
+		ci.ackDetached[rank-1] = [2]uint64{m.DetachedLo, m.DetachedHi}
 	}
-	if len(ci.proposals) < len(fq) {
+	if ci.nProposals < len(fq) {
 		return nil
 	}
 	// All fast-quorum processes answered: decide fast or slow path
@@ -494,7 +641,7 @@ func (p *Process) onMProposeAck(from ids.ProcessID, m *MProposeAck) []proto.Acti
 	}
 	count := 0
 	for _, ts := range ci.proposals {
-		if ts == t {
+		if ts != 0 && ts == t {
 			count++
 		}
 	}
@@ -514,14 +661,18 @@ func (p *Process) onMProposeAck(from ids.ProcessID, m *MProposeAck) []proto.Acti
 func (p *Process) sendCommit(id ids.Dot, ci *cmdInfo, t uint64) []proto.Action {
 	mc := &MCommit{ID: id, Shard: p.shard, TS: t}
 	if !p.cfg.DisablePiggyback {
-		for q, ts := range ci.proposals {
-			rt := RankTS{Rank: p.rankOf[q], TS: ts}
-			if det, ok := ci.ackDetached[q]; ok {
-				rt.DetLo, rt.DetHi = det[0], det[1]
+		// proposals is rank-indexed, so iterating it yields the attached
+		// promises already sorted by rank.
+		for i, ts := range ci.proposals {
+			if ts == 0 {
+				continue
+			}
+			rt := RankTS{Rank: ids.Rank(i + 1), TS: ts}
+			if ci.ackDetached != nil {
+				rt.DetLo, rt.DetHi = ci.ackDetached[i][0], ci.ackDetached[i][1]
 			}
 			mc.Attached = append(mc.Attached, rt)
 		}
-		sort.Slice(mc.Attached, func(i, j int) bool { return mc.Attached[i].Rank < mc.Attached[j].Rank })
 	}
 	to := p.cmdProcesses(ci)
 	return []proto.Action{proto.Send(mc, to...)}
@@ -555,9 +706,7 @@ func (p *Process) onMCommit(m *MCommit) []proto.Action {
 	if ci.phase == PhaseCommit || ci.phase == PhaseExecute {
 		return nil
 	}
-	if _, ok := ci.commitTS[m.Shard]; !ok {
-		ci.commitTS[m.Shard] = m.TS
-	}
+	ci.setCommit(m.Shard, m.TS)
 	// Attached promises of our shard's fast quorum, piggybacked for
 	// faster stability (§3.2). Buffered by the tracker until the command
 	// is fully committed here.
@@ -583,7 +732,7 @@ func (p *Process) maybeFinishCommit(id ids.Dot, ci *cmdInfo) {
 		return
 	}
 	var t uint64
-	for _, ts := range ci.commitTS {
+	for _, ts := range ci.commitVals {
 		t = max64(t, ts)
 	}
 	ci.finalTS = t
@@ -621,11 +770,18 @@ func (p *Process) onMConsensusAck(from ids.ProcessID, m *MConsensusAck) []proto.
 	if !ok || ci.coordBallot != m.Ballot || ci.bal != m.Ballot {
 		return nil
 	}
-	if ci.consensusAck == nil {
-		ci.consensusAck = make(map[ids.ProcessID]bool, p.f+1)
+	rank := p.rankOfProc(from)
+	if rank == 0 {
+		return nil
 	}
-	ci.consensusAck[from] = true
-	if len(ci.consensusAck) != p.f+1 {
+	if ci.consensusFrom == nil {
+		ci.consensusFrom = make([]bool, p.r)
+	}
+	if !ci.consensusFrom[rank-1] {
+		ci.consensusFrom[rank-1] = true
+		ci.nConsensusAck++
+	}
+	if ci.nConsensusAck != p.f+1 {
 		return nil
 	}
 	ci.coordBallot = 0 // done coordinating
@@ -674,22 +830,16 @@ func (p *Process) broadcastPromises() []proto.Action {
 	if len(m.Attached) > maxAttachedGossip {
 		m.Attached = m.Attached[:maxAttachedGossip]
 	}
-	var others []ids.ProcessID
-	for _, q := range p.shardProcs {
-		if q != p.id {
-			others = append(others, q)
-		}
-	}
-	if len(others) == 0 {
+	if len(p.shardOthers) == 0 {
 		return nil
 	}
-	return []proto.Action{proto.Send(m, others...)}
+	return []proto.Action{proto.Send(m, p.shardOthers...)}
 }
 
 // onMPromises incorporates a peer's promises (line 92) and performs
 // promise GC based on executed watermarks.
 func (p *Process) onMPromises(m *MPromises) []proto.Action {
-	p.tracker.AddDetachedSet(m.Rank, promise.DecodeSet(m.Detached))
+	p.tracker.AddDetachedPairs(m.Rank, m.Detached)
 	var acts []proto.Action
 	for _, a := range m.Attached {
 		incorporated := p.tracker.AddAttached(promise.Attached{Owner: m.Rank, ID: a.ID, TS: a.TS})
@@ -758,7 +908,7 @@ func (p *Process) gcPromises() {
 			p.addOwnDetached(ts, ts)
 			delete(p.attachedOwn, id)
 			if !p.cfg.RetainLog {
-				delete(p.cmds, id)
+				p.collect(id, ci)
 			}
 		}
 	}
@@ -774,8 +924,8 @@ func (p *Process) onMCommitRequest(from ids.ProcessID, m *MCommitRequest) []prot
 	acts := []proto.Action{
 		proto.Send(&MPayload{ID: m.ID, Cmd: ci.cmd, Quorums: ci.quorums}, from),
 	}
-	for s, ts := range ci.commitTS {
-		acts = append(acts, proto.Send(&MCommit{ID: m.ID, Shard: s, TS: ts}, from))
+	for i, s := range ci.commitShards {
+		acts = append(acts, proto.Send(&MCommit{ID: m.ID, Shard: s, TS: ci.commitVals[i]}, from))
 	}
 	return acts
 }

@@ -38,8 +38,18 @@ func (p *Process) recover(id ids.Dot, ci *cmdInfo) []proto.Action {
 	}
 	b := ids.NextBallot(p.rank, ci.bal, p.r)
 	ci.coordBallot = b
-	ci.recAcks = make(map[ids.ProcessID]*MRecAck, p.r)
-	ci.consensusAck = nil
+	if ci.recAcks == nil {
+		ci.recAcks = make([]*MRecAck, p.r)
+	} else {
+		for i := range ci.recAcks {
+			ci.recAcks[i] = nil
+		}
+	}
+	ci.nRecAcks = 0
+	for i := range ci.consensusFrom {
+		ci.consensusFrom[i] = false
+	}
+	ci.nConsensusAck = 0
 	ci.enqueued = p.now
 	p.statRecovered++
 	return []proto.Action{proto.Send(&MRec{ID: id, Ballot: b}, p.shardProcs...)}
@@ -93,14 +103,19 @@ func (p *Process) onMRecAck(from ids.ProcessID, m *MRecAck) []proto.Action {
 	if !ok || ci.coordBallot != m.Ballot || ci.bal != m.Ballot {
 		return nil
 	}
-	if ci.recAcks == nil {
-		ci.recAcks = make(map[ids.ProcessID]*MRecAck, p.r)
-	}
-	if _, dup := ci.recAcks[from]; dup {
+	rank := p.rankOfProc(from)
+	if rank == 0 {
 		return nil
 	}
-	ci.recAcks[from] = m
-	if len(ci.recAcks) != p.r-p.f {
+	if ci.recAcks == nil {
+		ci.recAcks = make([]*MRecAck, p.r)
+	}
+	if ci.recAcks[rank-1] != nil {
+		return nil
+	}
+	ci.recAcks[rank-1] = m
+	ci.nRecAcks++
+	if ci.nRecAcks != p.r-p.f {
 		return nil
 	}
 	// Decide the consensus proposal.
@@ -118,18 +133,26 @@ func (p *Process) onMRecAck(from ids.ProcessID, m *MRecAck) []proto.Action {
 		if len(fq) > 0 {
 			initial = fq[0]
 		}
-		inFQ := make(map[ids.ProcessID]bool, len(fq))
-		for _, q := range fq {
-			inFQ[q] = true
+		inFQ := func(q ids.ProcessID) bool {
+			for _, x := range fq {
+				if x == q {
+					return true
+				}
+			}
+			return false
 		}
-		var iSet []ids.ProcessID
+		var iMax uint64 // max proposal over I = Q ∩ fast quorum
 		initialReplied := false
 		anyRecoverR := false
-		for q, ack := range ci.recAcks {
-			if !inFQ[q] {
+		for i, ack := range ci.recAcks {
+			if ack == nil {
 				continue
 			}
-			iSet = append(iSet, q)
+			q := p.rankToProc[i]
+			if !inFQ(q) {
+				continue
+			}
+			iMax = max64(iMax, ack.TS)
 			if q == initial {
 				initialReplied = true
 			}
@@ -137,43 +160,45 @@ func (p *Process) onMRecAck(from ids.ProcessID, m *MRecAck) []proto.Action {
 				anyRecoverR = true
 			}
 		}
-		s := initialReplied || anyRecoverR
-		if s {
+		if initialReplied || anyRecoverR {
 			// The fast path cannot have been taken: any majority max
 			// respects Property 3; use the whole recovery quorum.
 			for _, ack := range ci.recAcks {
-				t = max64(t, ack.TS)
+				if ack != nil {
+					t = max64(t, ack.TS)
+				}
 			}
 		} else {
 			// The fast path may have been taken: by Property 4, the max
 			// over the surviving ⌊r/2⌋ fast-quorum processes recovers it.
-			for _, q := range iSet {
-				t = max64(t, ci.recAcks[q].TS)
-			}
+			t = iMax
 		}
 	}
-	ci.recoveredAttached(ci.recAcks, p)
+	p.recoveredAttached(ci)
 	return []proto.Action{proto.Send(&MConsensus{ID: m.ID, TS: t, Ballot: m.Ballot}, p.shardProcs...)}
 }
 
 // recoveredAttached collects the genuine timestamp proposals reported in
 // recovery acks so that the eventual MCommit can piggyback them as
 // attached promises.
-func (ci *cmdInfo) recoveredAttached(acks map[ids.ProcessID]*MRecAck, p *Process) {
+func (p *Process) recoveredAttached(ci *cmdInfo) {
 	if ci.proposals == nil {
-		ci.proposals = make(map[ids.ProcessID]uint64, len(acks))
+		ci.proposals = make([]uint64, p.r)
 	}
-	for q, ack := range acks {
-		if ack.Attached && ack.TS != 0 {
-			ci.proposals[q] = ack.TS
+	for i, ack := range ci.recAcks {
+		if ack != nil && ack.Attached && ack.TS != 0 {
+			if ci.proposals[i] == 0 {
+				ci.nProposals++
+			}
+			ci.proposals[i] = ack.TS
 		}
 	}
 }
 
-func highestAccepted(acks map[ids.ProcessID]*MRecAck) *MRecAck {
+func highestAccepted(acks []*MRecAck) *MRecAck {
 	var best *MRecAck
 	for _, a := range acks {
-		if a.ABallot == 0 {
+		if a == nil || a.ABallot == 0 {
 			continue
 		}
 		if best == nil || a.ABallot > best.ABallot {
