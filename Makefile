@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test bench-smoke fuzz-smoke bench-micro
+.PHONY: ci fmt vet build test test-race bench-smoke fuzz-smoke bench-micro
 
 ## ci: everything CI runs, in order
 ci: fmt vet build test bench-smoke
@@ -18,6 +18,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+## test-race: the full suite under the race detector (the client demux
+## loop and the server completion path are concurrency-heavy)
+test-race:
+	$(GO) test -race ./...
 
 ## bench-smoke: one iteration of every benchmark (catches bit-rot, not perf)
 bench-smoke:

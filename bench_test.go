@@ -134,6 +134,15 @@ func BenchmarkProcessSteadyState(b *testing.B) {
 	bench.SteadyStateLoop(b)
 }
 
+// BenchmarkClientRoundTrip measures closed-loop client throughput over
+// a real loopback cluster: the legacy one-request-at-a-time gob client
+// vs the pipelined binary session with 64 requests in flight. The ops/s
+// ratio is the headline number of the client API redesign.
+func BenchmarkClientRoundTrip(b *testing.B) {
+	b.Run("legacy-gob", bench.ClientLegacyRoundTripLoop)
+	b.Run("pipelined-64", bench.ClientPipelinedRoundTripLoop)
+}
+
 // BenchmarkTempoCommitPath measures the in-memory cost of one full
 // commit+execute round (Table 1's machinery) across 5 replicas.
 func BenchmarkTempoCommitPath(b *testing.B) {

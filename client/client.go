@@ -1,0 +1,282 @@
+// Package client is the public client API of the replicated key-value
+// service: a session-based, fully pipelined client for the binary wire
+// protocol served by internal/cluster nodes.
+//
+// A Session holds one connection per replica it talks to. Every request
+// carries a request id, so hundreds of commands can be in flight on a
+// single connection; Do returns a Future immediately and the session's
+// demultiplexer completes it when the reply arrives. Calls take a
+// context.Context: its deadline is propagated to the serving replica,
+// which fails the command with ErrTimeout if it cannot execute in time,
+// and cancelling the context abandons the request client-side.
+//
+// With a topology, the session routes each command to a replica of the
+// shard owning its first key (preferring the configured site) and fails
+// over to the shard's other replicas when a connection cannot be
+// established.
+//
+//	sess, err := client.Dial("10.0.0.1:7001", "10.0.0.2:7001", "10.0.0.3:7001")
+//	if err != nil { ... }
+//	defer sess.Close()
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	if err := sess.Put(ctx, "greeting", []byte("hello")); err != nil { ... }
+//	v, err := sess.Get(ctx, "greeting")
+//
+// Errors are typed: ErrTimeout for expired deadlines (client- or
+// server-side), ErrNotFound for reads of missing keys, ErrClosed once
+// the session (or the serving node) has shut down.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/topology"
+)
+
+// Typed errors returned by the session API. Wrapped errors carry
+// detail; test with errors.Is. The sentinels are shared with the
+// in-process runtime (internal/core), so code can move between the two
+// without changing its error handling.
+var (
+	// ErrTimeout reports that a request's deadline expired before the
+	// command executed, whether the client's context fired or the
+	// serving replica gave up.
+	ErrTimeout = command.ErrTimeout
+	// ErrNotFound reports a Get of a key with no value.
+	ErrNotFound = command.ErrNotFound
+	// ErrClosed reports a request against a closed session or a replica
+	// that shut down.
+	ErrClosed = command.ErrClosed
+)
+
+// Config configures a Session.
+type Config struct {
+	// Addrs maps each replica's process id to its listen address.
+	// Required.
+	Addrs map[ids.ProcessID]string
+	// Topo, when set, enables shard-aware routing: commands go to a
+	// replica of the shard owning their first key. When nil, every
+	// command goes to the lowest-id reachable replica.
+	Topo *topology.Topology
+	// Site is the preferred site when routing with a topology (the
+	// replica co-located with the client).
+	Site ids.SiteID
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout is the per-request deadline applied when the
+	// context has none (default 10s; negative disables). The deadline
+	// travels with the request, so the replica itself fails the command
+	// with ErrTimeout if it cannot execute it in time.
+	RequestTimeout time.Duration
+}
+
+// Session is a client session. It is safe for concurrent use; requests
+// issued concurrently (or via Do without waiting) are pipelined.
+type Session struct {
+	cfg   Config
+	order []ids.ProcessID // routing preference without a topology
+
+	mu     sync.Mutex
+	conns  map[ids.ProcessID]*conn
+	closed bool
+	// dialMu serializes dialing per replica so a burst of first
+	// requests shares one connection instead of racing dials. Keys are
+	// fixed at New; only the mutexes are contended.
+	dialMu map[ids.ProcessID]*sync.Mutex
+}
+
+// New creates a session from a full configuration.
+func New(cfg Config) (*Session, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("client: no replica addresses")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	s := &Session{
+		cfg:    cfg,
+		conns:  make(map[ids.ProcessID]*conn),
+		dialMu: make(map[ids.ProcessID]*sync.Mutex, len(cfg.Addrs)),
+	}
+	for id := range cfg.Addrs {
+		s.order = append(s.order, id)
+		s.dialMu[id] = new(sync.Mutex)
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	return s, nil
+}
+
+// Dial creates a session against the replicas of a single-shard
+// cluster; addrs[i] is the address of the replica with process id i+1
+// (the -peers order of cmd/tempo-server).
+func Dial(addrs ...string) (*Session, error) {
+	m := make(map[ids.ProcessID]string, len(addrs))
+	for i, a := range addrs {
+		m[ids.ProcessID(i+1)] = a
+	}
+	return New(Config{Addrs: m})
+}
+
+// Close shuts the session down. In-flight requests fail with ErrClosed.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = nil
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.fail(ErrClosed)
+	}
+	return nil
+}
+
+// candidates returns the replicas that may serve a command on key, in
+// routing-preference order: with a topology, the owning shard's replica
+// at the session's site first, then the shard's other replicas; without
+// one, every replica in id order.
+func (s *Session) candidates(key command.Key) []ids.ProcessID {
+	t := s.cfg.Topo
+	if t == nil {
+		return s.order
+	}
+	shard := t.ShardOf(key)
+	procs := t.ShardProcesses(shard)
+	out := make([]ids.ProcessID, 0, len(procs))
+	if p := t.ProcessAt(s.cfg.Site, shard); p != 0 {
+		out = append(out, p)
+	}
+	for _, p := range procs {
+		if len(out) > 0 && p == out[0] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Do submits a command built from ops and returns a Future for its
+// results, leaving the caller free to keep further commands in flight.
+// The context's deadline (or the session's RequestTimeout) travels with
+// the request. Routing failures try each candidate replica in turn.
+func (s *Session) Do(ctx context.Context, ops ...command.Op) *Future {
+	f := newFuture()
+	if len(ops) == 0 {
+		f.fulfill(nil, errors.New("client: empty command"))
+		return f
+	}
+	deadline := s.cfg.RequestTimeout
+	if d, ok := ctx.Deadline(); ok {
+		deadline = time.Until(d)
+		if deadline <= 0 {
+			f.fulfill(nil, fmt.Errorf("%w: %w", ErrTimeout, ctx.Err()))
+			return f
+		}
+	}
+	if deadline < 0 {
+		deadline = 0 // RequestTimeout < 0: no deadline
+	}
+	var lastErr error
+	for _, pid := range s.candidates(ops[0].Key) {
+		c, err := s.conn(pid)
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				f.fulfill(nil, err)
+				return f
+			}
+			lastErr = err
+			continue
+		}
+		if err := c.send(f, deadline, ops); err != nil {
+			lastErr = err
+			continue
+		}
+		return f
+	}
+	f.fulfill(nil, fmt.Errorf("client: no replica reachable: %w", lastErr))
+	return f
+}
+
+// Execute submits a command and waits for its per-op results.
+func (s *Session) Execute(ctx context.Context, ops ...command.Op) ([][]byte, error) {
+	return s.Do(ctx, ops...).Wait(ctx)
+}
+
+// Put writes a key.
+func (s *Session) Put(ctx context.Context, key string, value []byte) error {
+	_, err := s.Execute(ctx, command.Op{Kind: command.Put, Key: command.Key(key), Value: value})
+	return err
+}
+
+// Get reads a key. A missing key returns ErrNotFound, distinct from a
+// present empty value.
+func (s *Session) Get(ctx context.Context, key string) ([]byte, error) {
+	vals, err := s.Execute(ctx, command.Op{Kind: command.Get, Key: command.Key(key)})
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 || vals[0] == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return vals[0], nil
+}
+
+// conn returns the live connection to pid, dialing if needed. Dials
+// are serialized per replica, so a burst of first requests performs one
+// dial and the rest pick up the fresh connection.
+func (s *Session) conn(pid ids.ProcessID) (*conn, error) {
+	live := func() (*conn, error, bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return nil, ErrClosed, true
+		}
+		if c := s.conns[pid]; c != nil && !c.isDead() {
+			return c, nil, true
+		}
+		return nil, nil, false
+	}
+	if c, err, ok := live(); ok {
+		return c, err
+	}
+	dmu, ok := s.dialMu[pid]
+	if !ok {
+		return nil, fmt.Errorf("client: unknown replica %d", pid)
+	}
+	dmu.Lock()
+	defer dmu.Unlock()
+	if c, err, ok := live(); ok { // someone dialed while we waited
+		return c, err
+	}
+	nc, err := dial(s.cfg.Addrs[pid], s.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	fresh := newConn(pid, nc)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		fresh.fail(ErrClosed)
+		return nil, ErrClosed
+	}
+	s.conns[pid] = fresh
+	s.mu.Unlock()
+	return fresh, nil
+}

@@ -1,0 +1,187 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// conn is one pipelined connection to a replica. Requests are assigned
+// connection-local ids, appended to a write buffer flushed by a
+// dedicated writer goroutine (so a burst of Do calls coalesces into few
+// writes), and tracked in a pending map the read loop uses to
+// demultiplex replies back to their futures.
+type conn struct {
+	pid ids.ProcessID
+	nc  net.Conn
+
+	mu      sync.Mutex
+	closed  bool
+	err     error
+	nextID  uint64
+	pending map[uint64]*Future
+	wbuf    []byte // encoded request frames awaiting the writer
+	scratch []byte // request-body staging, reused per frame
+
+	kick chan struct{} // cap 1: wakes the writer
+	dead chan struct{} // closed on teardown
+}
+
+// dial establishes a binary-protocol connection: TCP plus the client
+// magic prefix.
+func dial(addr string, timeout time.Duration) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := nc.Write(cluster.ClientMagic[:]); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return nc, nil
+}
+
+func newConn(pid ids.ProcessID, nc net.Conn) *conn {
+	c := &conn{
+		pid:     pid,
+		nc:      nc,
+		pending: make(map[uint64]*Future),
+		kick:    make(chan struct{}, 1),
+		dead:    make(chan struct{}),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
+
+func (c *conn) isDead() bool {
+	select {
+	case <-c.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// send registers f and enqueues its request frame. deadline 0 means no
+// server-side deadline.
+func (c *conn) send(f *Future, deadline time.Duration, ops []command.Op) error {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = f
+	f.c, f.reqID = c, id
+	c.wbuf = cluster.AppendClientRequest(c.wbuf, &c.scratch, id, deadline, ops)
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// abandon forgets a pending request (context cancellation); the late
+// reply, if any, is dropped by the read loop.
+func (c *conn) abandon(reqID uint64) {
+	c.mu.Lock()
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+}
+
+// writeLoop flushes buffered request frames, coalescing everything
+// enqueued since the last wake-up into one write.
+func (c *conn) writeLoop() {
+	var free []byte
+	for {
+		select {
+		case <-c.kick:
+		case <-c.dead:
+			return
+		}
+		c.mu.Lock()
+		out := c.wbuf
+		c.wbuf = free[:0]
+		c.mu.Unlock()
+		if len(out) == 0 {
+			free = out
+			continue
+		}
+		if _, err := c.nc.Write(out); err != nil {
+			c.fail(fmt.Errorf("client: write to replica %d: %w", c.pid, err))
+			return
+		}
+		free = out[:0]
+	}
+}
+
+// readLoop demultiplexes reply frames to their futures.
+func (c *conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	var buf []byte
+	for {
+		body, err := cluster.ReadFrame(br, cluster.MaxClientFrameBytes, &buf)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection to replica %d lost: %w", c.pid, err))
+			return
+		}
+		reqID, werr, values, err := cluster.DecodeClientReply(body)
+		if err != nil {
+			c.fail(fmt.Errorf("client: bad reply from replica %d: %w", c.pid, err))
+			return
+		}
+		c.mu.Lock()
+		f := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		if f == nil {
+			continue // abandoned request; drop the late reply
+		}
+		if werr.Code != command.ErrCodeNone {
+			f.fulfill(nil, wireError(werr))
+		} else {
+			f.fulfill(values, nil)
+		}
+	}
+}
+
+// wireError maps a typed wire error onto the session's sentinel errors.
+func wireError(e command.WireError) error {
+	switch e.Code {
+	case command.ErrCodeTimeout:
+		return fmt.Errorf("%w: %s", ErrTimeout, e.Msg)
+	case command.ErrCodeShutdown:
+		return fmt.Errorf("%w: %s", ErrClosed, e.Msg)
+	default:
+		return fmt.Errorf("client: replica error %d: %s", e.Code, e.Msg)
+	}
+}
+
+// fail tears the connection down and fails every pending future.
+func (c *conn) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	close(c.dead)
+	c.nc.Close()
+	for _, f := range pending {
+		f.fulfill(nil, err)
+	}
+}

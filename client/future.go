@@ -1,0 +1,66 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Future is the pending result of a Do call. It completes when the
+// serving replica replies, when the request's connection fails, or when
+// the waiting context is cancelled.
+type Future struct {
+	once   sync.Once
+	done   chan struct{}
+	values [][]byte
+	err    error
+
+	// c/reqID identify the in-flight request so a cancelled wait can
+	// abandon it; set once by conn.send before the request is written.
+	c     *conn
+	reqID uint64
+}
+
+func newFuture() *Future {
+	return &Future{done: make(chan struct{})}
+}
+
+// fulfill completes the future; the first completion wins and later
+// ones are dropped, so a late reply cannot clobber a cancellation (or
+// vice versa).
+func (f *Future) fulfill(values [][]byte, err error) {
+	f.once.Do(func() {
+		f.values, f.err = values, err
+		close(f.done)
+	})
+}
+
+// Done returns a channel closed when the future completes; use it to
+// select over many in-flight requests.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the future completes or ctx is done. Cancellation
+// abandons the request: the session drops its reply whenever it
+// arrives. A deadline expiry surfaces as ErrTimeout.
+func (f *Future) Wait(ctx context.Context) ([][]byte, error) {
+	select {
+	case <-f.done:
+		return f.values, f.err
+	case <-ctx.Done():
+		if f.c != nil {
+			f.c.abandon(f.reqID)
+		}
+		f.fulfill(nil, ctxError(ctx.Err()))
+		<-f.done
+		return f.values, f.err
+	}
+}
+
+// ctxError maps context errors onto the session's sentinels: a deadline
+// expiry is an ErrTimeout; plain cancellation passes through.
+func ctxError(err error) error {
+	if err == context.DeadlineExceeded {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}

@@ -1,40 +1,53 @@
-// Command tempo-client talks to a tempo-server replica.
+// Command tempo-client talks to tempo-server replicas over the
+// pipelined binary client protocol (the top-level client package).
 //
-//	tempo-client -server 127.0.0.1:7001 put mykey myvalue
-//	tempo-client -server 127.0.0.1:7001 get mykey
-//	tempo-client -server 127.0.0.1:7001 bench 1000
+//	tempo-client -servers 127.0.0.1:7001 put mykey myvalue
+//	tempo-client -servers 127.0.0.1:7001,127.0.0.1:7002 get mykey
+//	tempo-client -servers 127.0.0.1:7001 bench -n 10000 -inflight 128
+//
+// -servers lists replica addresses in -id order (the same order as
+// tempo-server's -peers); the session fails over between them. bench
+// runs a closed-loop load with the given number of requests in flight
+// on one session and reports throughput and latency percentiles.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
-	"tempo/internal/cluster"
+	"tempo/client"
 )
 
 func main() {
-	server := flag.String("server", "127.0.0.1:7001", "replica address")
+	servers := flag.String("servers", "127.0.0.1:7001", "comma-separated replica addresses, in id order")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline, propagated to the replica")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		log.Fatal("usage: tempo-client [-server addr] put <key> <value> | get <key> | bench <n>")
+		log.Fatal("usage: tempo-client [-servers a,b,c] put <key> <value> | get <key> | bench [-n N] [-inflight W] [-size B] [-keys K]")
 	}
 
-	c, err := cluster.Dial(*server)
+	sess, err := client.Dial(strings.Split(*servers, ",")...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	switch args[0] {
 	case "put":
 		if len(args) != 3 {
 			log.Fatal("put <key> <value>")
 		}
-		if err := c.Put(args[1], []byte(args[2])); err != nil {
+		if err := sess.Put(ctx, args[1], []byte(args[2])); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("OK")
@@ -42,32 +55,72 @@ func main() {
 		if len(args) != 2 {
 			log.Fatal("get <key>")
 		}
-		v, err := c.Get(args[1])
+		v, err := sess.Get(ctx, args[1])
 		if err != nil {
 			log.Fatal(err)
 		}
-		if v == nil {
-			fmt.Println("(nil)")
-		} else {
-			fmt.Println(string(v))
-		}
+		fmt.Println(string(v))
 	case "bench":
-		n := 1000
-		if len(args) == 2 {
-			fmt.Sscanf(args[1], "%d", &n)
-		}
-		start := time.Now()
-		for i := 0; i < n; i++ {
-			if err := c.Put(fmt.Sprintf("bench-%d", i%64), []byte("x")); err != nil {
-				log.Fatal(err)
-			}
-		}
-		el := time.Since(start)
-		fmt.Printf("%d ops in %v: %.0f ops/s, %.2fms/op\n",
-			n, el.Round(time.Millisecond), float64(n)/el.Seconds(),
-			float64(el.Milliseconds())/float64(n))
+		bench(sess, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		os.Exit(2)
 	}
+}
+
+// bench drives a closed loop of concurrent puts: inflight requests stay
+// pending on the session at all times, each measured from submission to
+// completion.
+func bench(sess *client.Session, args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	n := fs.Int("n", 10000, "total requests")
+	inflight := fs.Int("inflight", 128, "requests kept in flight")
+	size := fs.Int("size", 100, "value size in bytes")
+	keys := fs.Int("keys", 64, "distinct keys")
+	fs.Parse(args)
+
+	value := make([]byte, *size)
+	lat := make([]time.Duration, 0, *n)
+	var mu sync.Mutex
+	var failed int
+	sem := make(chan struct{}, *inflight)
+	var wg sync.WaitGroup
+	ctx := context.Background()
+
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			err := sess.Put(ctx, fmt.Sprintf("bench-%d", i%*keys), value)
+			d := time.Since(t0)
+			mu.Lock()
+			if err != nil {
+				failed++
+			} else {
+				lat = append(lat, d)
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(lat) == 0 {
+		log.Fatalf("all %d requests failed", *n)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	fmt.Printf("%d ops (%d failed), %d in flight, %dB values\n", *n, failed, *inflight, *size)
+	fmt.Printf("elapsed %v: %.0f ops/s\n", elapsed.Round(time.Millisecond), float64(len(lat))/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p90=%v p99=%v p99.9=%v max=%v\n",
+		pct(0.50).Round(10*time.Microsecond), pct(0.90).Round(10*time.Microsecond),
+		pct(0.99).Round(10*time.Microsecond), pct(0.999).Round(10*time.Microsecond),
+		lat[len(lat)-1].Round(10*time.Microsecond))
 }

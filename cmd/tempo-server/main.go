@@ -5,10 +5,14 @@
 //	tempo-server -id 1 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
 //	tempo-server -id 2 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
 //	tempo-server -id 3 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
-//	tempo-client -server 127.0.0.1:7001 put greeting hello
-//	tempo-client -server 127.0.0.1:7002 get greeting
+//	tempo-client -servers 127.0.0.1:7001,127.0.0.1:7002 put greeting hello
+//	tempo-client -servers 127.0.0.1:7002 get greeting
 //
 // The i-th entry of -peers is the address of the replica with -id i.
+// Each replica serves peers and clients on the same port: the pipelined
+// binary client protocol (the top-level client package), the legacy gob
+// client protocol, and both peer codecs are auto-detected per
+// connection.
 package main
 
 import (

@@ -1,26 +1,31 @@
-// Partial replication: the state is split into four shards, and a single
-// command atomically updates keys living on different shards — the
-// multi-partition protocol of §4 (per-shard timestamps, final timestamp =
-// max, MStable barriers) makes the cross-shard update linearizable.
+// Partial replication over real TCP: the state is split into four
+// shards replicated at three sites (12 processes on loopback), and a
+// topology-aware client session routes each command to a replica of the
+// shard owning its key. A single command atomically updates keys living
+// on different shards — the multi-partition protocol of §4 (per-shard
+// timestamps, final timestamp = max, MStable barriers) makes the
+// cross-shard update linearizable.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"time"
 
+	"tempo/client"
+	"tempo/internal/cluster"
 	"tempo/internal/command"
-	"tempo/internal/core"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
 )
 
 func main() {
-	cluster, err := core.New(core.Options{
-		Sites:  []string{"ireland", "n-california", "singapore"},
-		Shards: 4,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	topo := cluster.Topology()
+	topo, addrs := startShardedCluster([]string{"ireland", "n-california", "singapore"}, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
 	// Find two account keys that live on different shards.
 	var alice, bob string
@@ -40,26 +45,71 @@ func main() {
 	fmt.Printf("alice=%s (shard %d), bob=%s (shard %d)\n",
 		alice, topo.ShardOf(command.Key(alice)), bob, topo.ShardOf(command.Key(bob)))
 
-	client := cluster.Client(0)
-	if err := client.Put(alice, []byte("100")); err != nil {
+	// A session in Ireland: the topology routes each key's command to
+	// the co-located replica of the owning shard.
+	sess, err := client.New(client.Config{Addrs: addrs, Topo: topo, Site: 0})
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := client.Put(bob, []byte("0")); err != nil {
+	defer sess.Close()
+
+	if err := sess.Put(ctx, alice, []byte("100")); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Put(ctx, bob, []byte("0")); err != nil {
 		log.Fatal(err)
 	}
 
 	// One command, two shards: a transfer. Both writes execute under one
 	// final timestamp, so no observer can see the money in flight.
-	if _, err := client.Execute(
+	if _, err := sess.Execute(ctx,
 		command.Op{Kind: command.Put, Key: command.Key(alice), Value: []byte("60")},
 		command.Op{Kind: command.Put, Key: command.Key(bob), Value: []byte("40")},
 	); err != nil {
 		log.Fatal(err)
 	}
 
-	// A client at another site reads both accounts consistently.
-	other := cluster.Client(1)
-	a, _ := other.Get(alice)
-	b, _ := other.Get(bob)
+	// A session at another site reads both accounts consistently.
+	other, err := client.New(client.Config{Addrs: addrs, Topo: topo, Site: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer other.Close()
+	a, _ := other.Get(ctx, alice)
+	b, _ := other.Get(ctx, bob)
 	fmt.Printf("after transfer: alice=%s bob=%s\n", a, b)
+}
+
+// startShardedCluster boots one Tempo process per (site, shard) pair on
+// loopback and returns the topology plus the address map a
+// topology-aware session needs.
+func startShardedCluster(sites []string, shards int) (*topology.Topology, map[ids.ProcessID]string) {
+	rtt := make([][]time.Duration, len(sites))
+	for i := range rtt {
+		rtt[i] = make([]time.Duration, len(sites))
+	}
+	topo, err := topology.New(topology.Config{
+		SiteNames: sites, RTT: rtt, NumShards: shards, F: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := make(map[ids.ProcessID]string)
+	lns := make(map[ids.ProcessID]net.Listener)
+	for _, pi := range topo.Processes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[pi.ID] = ln
+		addrs[pi.ID] = ln.Addr().String()
+	}
+	for _, pi := range topo.Processes() {
+		rep := tempo.New(pi.ID, topo, tempo.Config{
+			PromiseInterval: 2 * time.Millisecond,
+			RecoveryTimeout: time.Hour,
+		})
+		cluster.NewNode(pi.ID, rep, addrs).StartListener(lns[pi.ID])
+	}
+	return topo, addrs
 }

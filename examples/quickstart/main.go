@@ -1,49 +1,107 @@
-// Quickstart: a five-site geo-replicated key-value store running Tempo
-// in-process. Writes and reads are linearizable; any site can serve any
-// client with no leader in sight.
+// Quickstart: a three-replica key-value store over real TCP, driven
+// through the public client API. One session pipelines writes and
+// reads; any replica serves any client with no leader in sight, and the
+// session fails over between replicas.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"time"
 
-	"tempo/internal/core"
+	"tempo/client"
+	"tempo/internal/cluster"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
 )
 
 func main() {
-	// Five replicas, placed at the paper's EC2 regions, tolerating one
-	// failure; Tempo is the default protocol.
-	cluster, err := core.New(core.Options{})
+	addrs := startReplicas(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A session against all three replicas: requests carry ids, so any
+	// number can be in flight on one connection.
+	sess, err := client.Dial(addrs...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 
-	// A client in Ireland writes...
-	ireland := cluster.Client(0)
-	if err := ireland.Put("motd", []byte("tempo: ordering by timestamp stability")); err != nil {
+	if err := sess.Put(ctx, "motd", []byte("tempo: ordering by timestamp stability")); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("ireland wrote motd")
-
-	// ...and a client in Singapore immediately observes it
-	// (linearizability), without any designated leader.
-	singapore := cluster.Client(2)
-	v, err := singapore.Get("motd")
+	v, err := sess.Get(ctx, "motd")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("singapore read motd = %q\n", v)
+	fmt.Printf("motd = %q\n", v)
 
-	// Conflicting writes from different sites are ordered identically at
-	// every replica by their stable timestamps.
-	for site := 0; site < 5; site++ {
-		c := cluster.Client(site)
-		if err := c.Put("counter", []byte{byte(site)}); err != nil {
+	// Pipelining: issue 100 writes without waiting, then collect the
+	// futures. They share one connection and apply in submission order.
+	start := time.Now()
+	futs := make([]*client.Future, 100)
+	for i := range futs {
+		futs[i] = sess.Do(ctx, command.Op{
+			Kind: command.Put, Key: "counter", Value: []byte(fmt.Sprint(i + 1)),
+		})
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(ctx); err != nil {
 			log.Fatal(err)
 		}
 	}
-	a, _ := cluster.Client(1).Get("counter")
-	b, _ := cluster.Client(4).Get("counter")
-	fmt.Printf("counter at canada = %v, at s.paulo = %v (identical: %v)\n",
-		a, b, a[0] == b[0])
+	fmt.Printf("100 pipelined writes in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// A second session (say, another process) preferring a different
+	// replica observes the final write — linearizability, no leader.
+	sess2, err := client.Dial(addrs[2], addrs[0], addrs[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess2.Close()
+	n, err := sess2.Get(ctx, "counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter = %q (read at another replica)\n", n)
+}
+
+// startReplicas boots r Tempo replicas on loopback and returns their
+// client addresses.
+func startReplicas(r int) []string {
+	names := make([]string, r)
+	rtt := make([][]time.Duration, r)
+	for i := range names {
+		names[i] = fmt.Sprintf("site-%d", i)
+		rtt[i] = make([]time.Duration, r)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := make(map[ids.ProcessID]string)
+	lns := make(map[ids.ProcessID]net.Listener)
+	var out []string
+	for _, pi := range topo.Processes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[pi.ID] = ln
+		addrs[pi.ID] = ln.Addr().String()
+		out = append(out, ln.Addr().String())
+	}
+	for _, pi := range topo.Processes() {
+		rep := tempo.New(pi.ID, topo, tempo.Config{
+			PromiseInterval: 2 * time.Millisecond,
+			RecoveryTimeout: time.Hour,
+		})
+		cluster.NewNode(pi.ID, rep, addrs).StartListener(lns[pi.ID])
+	}
+	return out
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cluster, err := core.New(core.Options{
 		Tempo: tempo.Config{
 			PromiseInterval: 5 * time.Millisecond,
@@ -26,7 +28,7 @@ func main() {
 	}
 
 	canada := cluster.Client(3)
-	if err := canada.Put("ledger", []byte("v1")); err != nil {
+	if err := canada.Put(ctx, "ledger", []byte("v1")); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote ledger=v1 via canada")
@@ -42,10 +44,10 @@ func main() {
 	cluster.Settle(10, 20*time.Millisecond)
 
 	// The system remains available for reads and writes.
-	if err := canada.Put("ledger", []byte("v2")); err != nil {
+	if err := canada.Put(ctx, "ledger", []byte("v2")); err != nil {
 		log.Fatal(err)
 	}
-	v, err := cluster.Client(4).Get("ledger")
+	v, err := cluster.Client(4).Get(ctx, "ledger")
 	if err != nil {
 		log.Fatal(err)
 	}

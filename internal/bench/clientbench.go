@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"testing"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/cluster"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// Closed-loop client round-trip benchmarks over a real loopback
+// cluster: the legacy gob client (one request in flight per connection)
+// against the pipelined binary session with a 64-deep window. Both
+// measure the same thing — completed Puts against a 3-replica Tempo
+// cluster — so the ns/op ratio is the throughput multiple the
+// session-based API buys on the client↔replica path.
+
+// ClientBenchWindow is the pipeline depth of the pipelined round-trip
+// benchmark (the acceptance bar of the client API redesign is ≥2x the
+// legacy client's throughput at ≥64 in flight).
+const ClientBenchWindow = 64
+
+// loopbackCluster boots a 3-replica Tempo cluster on loopback and
+// returns the client addresses in process-id order plus a shutdown
+// function.
+func loopbackCluster() ([]string, func()) {
+	const r = 3
+	names := make([]string, r)
+	rtt := make([][]time.Duration, r)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, r)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := make(map[ids.ProcessID]string)
+	lns := make(map[ids.ProcessID]net.Listener)
+	var list []string
+	for _, pi := range topo.Processes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[pi.ID] = ln
+		addrs[pi.ID] = ln.Addr().String()
+		list = append(list, ln.Addr().String())
+	}
+	var nodes []*cluster.Node
+	for _, pi := range topo.Processes() {
+		rep := tempo.New(pi.ID, topo, tempo.Config{
+			PromiseInterval: time.Millisecond,
+			RecoveryTimeout: time.Hour,
+		})
+		n := cluster.NewNode(pi.ID, rep, addrs)
+		n.StartListener(lns[pi.ID])
+		nodes = append(nodes, n)
+	}
+	return list, func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}
+
+func putOp(key string, v []byte) command.Op {
+	return command.Op{Kind: command.Put, Key: command.Key(key), Value: v}
+}
+
+// ClientLegacyRoundTripLoop measures the legacy gob client: one
+// blocking Put per iteration, strictly one request in flight.
+func ClientLegacyRoundTripLoop(b *testing.B) {
+	addrs, cleanup := loopbackCluster()
+	defer cleanup()
+	c, err := cluster.Dial(addrs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	// One warm-up op so the cluster's promise gossip is flowing.
+	if err := c.Put("warm", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put("bench", []byte("x")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// ClientPipelinedRoundTripLoop measures the session API with
+// ClientBenchWindow requests in flight on one connection.
+func ClientPipelinedRoundTripLoop(b *testing.B) {
+	addrs, cleanup := loopbackCluster()
+	defer cleanup()
+	sess, err := client.Dial(addrs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+	if err := sess.Put(ctx, "warm", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	op := putOp("bench", []byte("x"))
+	b.ResetTimer()
+	window := make([]*client.Future, 0, ClientBenchWindow)
+	for i := 0; i < b.N; i++ {
+		if len(window) == ClientBenchWindow {
+			if _, err := window[0].Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+			window = append(window[:0], window[1:]...)
+		}
+		window = append(window, sess.Do(ctx, op))
+	}
+	for _, f := range window {
+		if _, err := f.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	b.ReportMetric(ClientBenchWindow, "inflight")
+}

@@ -286,6 +286,8 @@ func RunMicro(out io.Writer) []MicroResult {
 	run("codec/gob/decode", func(b *testing.B) { CodecDecodeLoop(b, "gob") })
 	run("tracker/stable", TrackerStableLoop)
 	run("process/steady-state", SteadyStateLoop)
+	run("client/roundtrip/legacy-gob", ClientLegacyRoundTripLoop)
+	run("client/roundtrip/pipelined-64", ClientPipelinedRoundTripLoop)
 	return results
 }
 

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/proto"
+)
+
+// Client wire protocol
+//
+// The binary client protocol mirrors the peer protocol: after a 4-byte
+// magic prefix, each direction is a stream of length-prefixed frames
+// (uvarint body length || body). Unlike the one-request-in-flight gob
+// protocol it replaces, every request carries a client-chosen request
+// id, so a session keeps any number of commands in flight on one
+// connection and the server completes them in execution order.
+//
+// Request body:  uvarint(reqID) || uvarint(deadline µs, 0 = none) || ops
+// Reply body:    uvarint(reqID) || error(code, msg) || values (code 0 only)
+//
+// Ops, values and errors use the command package encoders, so nil values
+// (key not found) survive the wire distinct from empty ones. The legacy
+// gob protocol (hello with From == 0, one blocking request at a time)
+// remains auto-detected for old clients.
+
+// ClientMagic prefixes binary-protocol client connections. Like
+// peerMagic, the leading 0xFF cannot begin a gob stream, and the third
+// byte distinguishes clients from peers.
+var ClientMagic = [4]byte{0xFF, 'T', 'C', 1}
+
+// MaxClientFrameBytes bounds a client protocol frame body in both
+// directions; receivers drop connections announcing larger frames.
+const MaxClientFrameBytes = 64 << 20
+
+// AppendClientRequest appends a client request frame (length prefix
+// included) to buf. deadline is the time budget the server may hold the
+// command before failing it with ErrCodeTimeout; 0 means no deadline.
+// scratch is a reusable body buffer (the length prefix is variable
+// width, so the body is staged there before the copy into buf); callers
+// on the hot path keep one per connection so steady state allocates
+// nothing.
+func AppendClientRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time.Duration, ops []command.Op) []byte {
+	body := binary.AppendUvarint((*scratch)[:0], reqID)
+	body = binary.AppendUvarint(body, uint64(deadline.Microseconds()))
+	body = command.AppendOps(body, ops)
+	*scratch = body
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	return append(buf, body...)
+}
+
+// DecodeClientRequest decodes a request frame body.
+func DecodeClientRequest(b []byte) (reqID uint64, deadline time.Duration, ops []command.Op, err error) {
+	if reqID, b, err = proto.ReadUvarint(b); err != nil {
+		return 0, 0, nil, err
+	}
+	var us uint64
+	if us, b, err = proto.ReadUvarint(b); err != nil {
+		return 0, 0, nil, err
+	}
+	deadline = time.Duration(us) * time.Microsecond
+	if ops, _, err = command.DecodeOps(b); err != nil {
+		return 0, 0, nil, err
+	}
+	return reqID, deadline, ops, nil
+}
+
+// AppendClientReply appends a reply frame (length prefix included) to
+// buf. A zero werr.Code reports success and carries values; any other
+// code carries only the error. scratch is reused as in
+// AppendClientRequest.
+func AppendClientReply(buf []byte, scratch *[]byte, reqID uint64, werr command.WireError, values [][]byte) []byte {
+	body := binary.AppendUvarint((*scratch)[:0], reqID)
+	body = command.AppendError(body, werr)
+	if werr.Code == command.ErrCodeNone {
+		body = command.AppendValues(body, values)
+	}
+	*scratch = body
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	return append(buf, body...)
+}
+
+// DecodeClientReply decodes a reply frame body.
+func DecodeClientReply(b []byte) (reqID uint64, werr command.WireError, values [][]byte, err error) {
+	if reqID, b, err = proto.ReadUvarint(b); err != nil {
+		return 0, command.WireError{}, nil, err
+	}
+	if werr, b, err = command.DecodeError(b); err != nil {
+		return 0, command.WireError{}, nil, err
+	}
+	if werr.Code == command.ErrCodeNone {
+		if values, _, err = command.DecodeValues(b); err != nil {
+			return 0, command.WireError{}, nil, err
+		}
+	}
+	return reqID, werr, values, nil
+}
+
+// ReadFrame reads one length-prefixed frame body into *buf (grown as
+// needed and reused across calls) and returns the body slice, which is
+// only valid until the next call.
+func ReadFrame(br *bufio.Reader, limit uint64, buf *[]byte) ([]byte, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if size > limit {
+		return nil, proto.ErrCorrupt
+	}
+	if uint64(cap(*buf)) < size {
+		*buf = make([]byte, size)
+	}
+	b := (*buf)[:size]
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,7 +1,7 @@
 // Package cluster runs replicas as real networked processes: one Node per
-// replica, TCP peer links, a periodic tick loop for protocol timers, and a
-// small client protocol (submit a command, get the results once it
-// executes locally).
+// replica, TCP peer links, a periodic tick loop for protocol timers, and
+// the server half of the client protocol (submit a command, get the
+// results once it executes locally).
 //
 // Peer links default to the hand-rolled binary codec (proto.BinaryMessage)
 // with batched, length-prefixed frames: the writer goroutine coalesces
@@ -9,8 +9,16 @@
 // burst costs one syscall instead of one gob encode per message. The
 // legacy gob codec is kept behind SetCodec(CodecGob) for cross-version
 // compatibility; receivers auto-detect the peer's codec from the magic
-// prefix, so mixed-codec clusters interoperate. The client protocol stays
-// gob (it is not on the replication hot path).
+// prefix, so mixed-codec clusters interoperate.
+//
+// The client protocol (see clientproto.go) is binary and fully
+// pipelined: every request carries a request id and an optional
+// deadline, pending commands are tracked as id-tagged waiters completed
+// by the protocol's execution path (no goroutine per request), and
+// replies share the batched-writer machinery of the peer links. The
+// legacy one-request-at-a-time gob protocol is auto-detected and served
+// for old clients. The session API over this protocol lives in the
+// top-level client package.
 //
 // The cmd/tempo-server and cmd/tempo-client binaries are thin wrappers
 // around this package; TestLoopback runs a full cluster over localhost.
@@ -18,7 +26,6 @@ package cluster
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -112,10 +119,18 @@ type Node struct {
 	outMu sync.Mutex
 	out   map[ids.ProcessID]chan proto.Message
 
-	// waiters maps a command id to the channel signalled when the
-	// command executes locally.
+	// waiters maps a pending command id to its completion sink. A waiter
+	// is claimed (deleted under waitMu) exactly once — by local
+	// execution, by deadline expiry, or by its connection going away —
+	// so a late result can never reach a recycled request slot.
 	waitMu  sync.Mutex
-	waiters map[ids.Dot]chan *command.Result
+	waiters map[ids.Dot]*waiter
+
+	// clientConns tracks live binary-protocol client connections so
+	// Close can fail their pending requests and unblock their read
+	// loops instead of stranding clients.
+	ccMu        sync.Mutex
+	clientConns map[*clientConn]struct{}
 
 	ln     net.Listener
 	done   chan struct{}
@@ -133,14 +148,15 @@ type Node struct {
 // listen addresses of every process.
 func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string) *Node {
 	return &Node{
-		id:         id,
-		rep:        rep,
-		addrs:      addrs,
-		out:        make(map[ids.ProcessID]chan proto.Message),
-		waiters:    make(map[ids.Dot]chan *command.Result),
-		done:       make(chan struct{}),
-		tick:       5 * time.Millisecond,
-		frameLimit: defaultMaxFrameBytes,
+		id:          id,
+		rep:         rep,
+		addrs:       addrs,
+		out:         make(map[ids.ProcessID]chan proto.Message),
+		waiters:     make(map[ids.Dot]*waiter),
+		clientConns: make(map[*clientConn]struct{}),
+		done:        make(chan struct{}),
+		tick:        5 * time.Millisecond,
+		frameLimit:  defaultMaxFrameBytes,
 	}
 }
 
@@ -172,11 +188,35 @@ func (n *Node) StartListener(ln net.Listener) {
 // Addr returns the bound listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Close shuts the node down.
+// Close shuts the node down. Pending client requests fail with a
+// shutdown error (best effort — the reply races the connection
+// teardown), and every client connection is closed so sessions observe
+// the shutdown promptly instead of waiting on a silent socket.
 func (n *Node) Close() {
 	n.closed.Do(func() {
 		close(n.done)
 		n.ln.Close()
+		// Claim every pending waiter: binary ones get a shutdown reply
+		// enqueued, legacy ones unblock their serving goroutine.
+		n.waitMu.Lock()
+		pending := make([]*waiter, 0, len(n.waiters))
+		for id, w := range n.waiters {
+			delete(n.waiters, id)
+			pending = append(pending, w)
+		}
+		n.waitMu.Unlock()
+		for _, w := range pending {
+			w.fail(command.WireError{Code: command.ErrCodeShutdown, Msg: "node shutting down"})
+		}
+		n.ccMu.Lock()
+		conns := make([]*clientConn, 0, len(n.clientConns))
+		for cc := range n.clientConns {
+			conns = append(conns, cc)
+		}
+		n.ccMu.Unlock()
+		for _, cc := range conns {
+			cc.conn.Close()
+		}
 	})
 }
 
@@ -190,18 +230,23 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// serveConn handles an inbound connection: a binary-codec peer (detected
-// by the magic prefix), a gob peer (hello with From != 0), or a client
-// (gob request/reply).
+// serveConn handles an inbound connection: a binary-codec peer or a
+// binary-protocol client (both detected by their magic prefix), a gob
+// peer (hello with From != 0), or a legacy gob client (request/reply).
 func (n *Node) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	if first, err := br.Peek(1); err == nil && first[0] == peerMagic[0] {
 		var magic [4]byte
-		if _, err := io.ReadFull(br, magic[:]); err != nil || magic != peerMagic {
+		if _, err := io.ReadFull(br, magic[:]); err != nil {
 			return
 		}
-		n.serveBinaryPeer(br)
+		switch magic {
+		case peerMagic:
+			n.serveBinaryPeer(br)
+		case ClientMagic:
+			n.serveBinaryClient(conn, br)
+		}
 		return
 	}
 	dec := gob.NewDecoder(br)
@@ -220,7 +265,7 @@ func (n *Node) serveConn(conn net.Conn) {
 			n.deliver(env.From, env.Msg)
 		}
 	}
-	// Client connection: serve requests until EOF.
+	// Legacy gob client connection: serve one blocking request at a time.
 	for {
 		var req ClientRequest
 		if err := dec.Decode(&req); err != nil {
@@ -239,15 +284,8 @@ func (n *Node) serveConn(conn net.Conn) {
 func (n *Node) serveBinaryPeer(br *bufio.Reader) {
 	var buf []byte
 	for {
-		size, err := binary.ReadUvarint(br)
-		if err != nil || size > n.frameLimit {
-			return
-		}
-		if uint64(cap(buf)) < size {
-			buf = make([]byte, size)
-		}
-		b := buf[:size]
-		if _, err := io.ReadFull(br, b); err != nil {
+		b, err := ReadFrame(br, n.frameLimit, &buf)
+		if err != nil {
 			return
 		}
 		from, b, err := proto.ReadUvarint(b)
@@ -267,33 +305,236 @@ func (n *Node) serveBinaryPeer(br *bufio.Reader) {
 
 type idMinter interface{ NextID() ids.Dot }
 
-// serveClient submits a command and waits for local execution.
+// legacyClientTimeout is the execution deadline applied to legacy gob
+// clients, which cannot express one per request.
+const legacyClientTimeout = 10 * time.Second
+
+// waiter tracks one pending client command until it is claimed by
+// exactly one of: local execution, deadline expiry, connection teardown,
+// or node shutdown. Binary-protocol waiters complete by enqueuing a
+// reply frame on their connection; legacy gob waiters complete over a
+// buffered channel their serving goroutine blocks on.
+type waiter struct {
+	id       ids.Dot
+	deadline time.Time // zero = no deadline
+	cc       *clientConn
+	reqID    uint64
+	ch       chan *ClientReply // legacy path only
+}
+
+// complete delivers an execution result. The caller has already claimed
+// the waiter; complete never blocks.
+func (w *waiter) complete(values [][]byte) {
+	if w.cc != nil {
+		w.cc.reply(w.reqID, command.WireError{}, values)
+		return
+	}
+	w.ch <- &ClientReply{OK: true, Values: values}
+}
+
+// fail delivers a typed error. Same claiming contract as complete.
+func (w *waiter) fail(e command.WireError) {
+	if w.cc != nil {
+		w.cc.reply(w.reqID, e, nil)
+		return
+	}
+	w.ch <- &ClientReply{Error: e.Msg}
+}
+
+// submit registers w and hands its operations to the replica. The
+// critical section is exactly the replica interaction — id minting and
+// Submit — plus the waiter-map insert that must precede any completion;
+// waiter allocation and reply handling happen outside n.mu.
+func (n *Node) submit(w *waiter, ops []command.Op) ids.Dot {
+	n.mu.Lock()
+	id := n.rep.(idMinter).NextID()
+	w.id = id
+	n.waitMu.Lock()
+	n.waiters[id] = w
+	n.waitMu.Unlock()
+	acts := n.rep.Submit(command.New(id, ops...))
+	n.afterStepLocked(acts)
+	n.mu.Unlock()
+	return id
+}
+
+// claimWaiter removes and returns the waiter for id, or nil if another
+// path already claimed it.
+func (n *Node) claimWaiter(id ids.Dot) *waiter {
+	n.waitMu.Lock()
+	w := n.waiters[id]
+	if w != nil {
+		delete(n.waiters, id)
+	}
+	n.waitMu.Unlock()
+	return w
+}
+
+// expireWaiters fails every waiter whose deadline has passed. The tick
+// loop calls it, so deadlines are enforced at tick granularity.
+func (n *Node) expireWaiters(now time.Time) {
+	var expired []*waiter
+	n.waitMu.Lock()
+	for id, w := range n.waiters {
+		if !w.deadline.IsZero() && now.After(w.deadline) {
+			delete(n.waiters, id)
+			expired = append(expired, w)
+		}
+	}
+	n.waitMu.Unlock()
+	for _, w := range expired {
+		w.fail(command.WireError{Code: command.ErrCodeTimeout, Msg: "deadline exceeded before execution"})
+	}
+}
+
+// serveClient serves one legacy gob request: submit, then block until a
+// completion path claims the waiter. Only the claimant touches the
+// channel, so there is no timeout/registration race.
 func (n *Node) serveClient(req *ClientRequest) *ClientReply {
 	if len(req.Ops) == 0 {
 		return &ClientReply{Error: "empty command"}
 	}
-	n.mu.Lock()
-	id := n.rep.(idMinter).NextID()
-	cmd := command.New(id, req.Ops...)
-	ch := make(chan *command.Result, 1)
-	n.waitMu.Lock()
-	n.waiters[id] = ch
-	n.waitMu.Unlock()
-	acts := n.rep.Submit(cmd)
-	n.afterStepLocked(acts)
-	n.mu.Unlock()
-
-	select {
-	case res := <-ch:
-		return &ClientReply{OK: true, Values: res.Values}
-	case <-time.After(10 * time.Second):
-		n.waitMu.Lock()
-		delete(n.waiters, id)
-		n.waitMu.Unlock()
-		return &ClientReply{Error: "timeout waiting for execution"}
-	case <-n.done:
-		return &ClientReply{Error: "node shutting down"}
+	w := &waiter{
+		deadline: time.Now().Add(legacyClientTimeout),
+		ch:       make(chan *ClientReply, 1),
 	}
+	id := n.submit(w, req.Ops)
+	select {
+	case rep := <-w.ch:
+		return rep
+	case <-n.done:
+		if n.claimWaiter(id) != nil {
+			return &ClientReply{Error: "node shutting down"}
+		}
+		// Lost the claim race: the completion is already in flight.
+		return <-w.ch
+	}
+}
+
+// clientConn is the server half of one binary-protocol client
+// connection. Replies are appended to a pending buffer and flushed by a
+// dedicated writer goroutine, so completion paths (which run under
+// n.mu) never block on the network, and replies completed in one
+// protocol step coalesce into one write.
+type clientConn struct {
+	n    *Node
+	conn net.Conn
+	dead chan struct{} // closed when the read loop exits
+
+	mu      sync.Mutex
+	closed  bool
+	buf     []byte        // pending encoded reply frames
+	scratch []byte        // reply-body staging, reused per frame
+	kick    chan struct{} // cap 1: wakes the writer
+}
+
+// reply encodes and enqueues one reply frame.
+func (cc *clientConn) reply(reqID uint64, werr command.WireError, values [][]byte) {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return
+	}
+	cc.buf = AppendClientReply(cc.buf, &cc.scratch, reqID, werr, values)
+	cc.mu.Unlock()
+	select {
+	case cc.kick <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop flushes pending reply frames; everything enqueued since the
+// last wake-up goes out in one write. It exits with the connection
+// (cc.dead), not with the node, so shutdown replies enqueued by
+// Node.Close get a chance to flush before the socket closes.
+func (cc *clientConn) writeLoop() {
+	var free []byte
+	for {
+		select {
+		case <-cc.kick:
+		case <-cc.dead:
+			return
+		}
+		cc.mu.Lock()
+		out := cc.buf
+		cc.buf = free[:0]
+		cc.mu.Unlock()
+		if len(out) == 0 {
+			free = out
+			continue
+		}
+		if _, err := cc.conn.Write(out); err != nil {
+			cc.conn.Close()
+			return
+		}
+		free = out[:0]
+	}
+}
+
+// serveBinaryClient streams request frames from a binary-protocol
+// client: each request is submitted with an id-tagged waiter and
+// completed asynchronously, so any number of requests from one
+// connection are in flight at once.
+func (n *Node) serveBinaryClient(conn net.Conn, br *bufio.Reader) {
+	cc := &clientConn{
+		n:    n,
+		conn: conn,
+		dead: make(chan struct{}),
+		kick: make(chan struct{}, 1),
+	}
+	n.ccMu.Lock()
+	n.clientConns[cc] = struct{}{}
+	n.ccMu.Unlock()
+	select {
+	case <-n.done:
+		// Close ran concurrently with this registration; make sure the
+		// connection does not outlive the node.
+		conn.Close()
+	default:
+	}
+	go cc.writeLoop()
+	defer cc.abandon()
+	var buf []byte
+	for {
+		body, err := ReadFrame(br, n.frameLimit, &buf)
+		if err != nil {
+			return
+		}
+		reqID, deadline, ops, err := DecodeClientRequest(body)
+		if err != nil {
+			return
+		}
+		if len(ops) == 0 {
+			cc.reply(reqID, command.WireError{Code: command.ErrCodeBadRequest, Msg: "empty command"}, nil)
+			continue
+		}
+		w := &waiter{cc: cc, reqID: reqID}
+		if deadline > 0 {
+			w.deadline = time.Now().Add(deadline)
+		}
+		n.submit(w, ops)
+	}
+}
+
+// abandon tears the connection's server state down: the writer stops,
+// and every waiter still pending for this connection is claimed and
+// dropped (there is no one left to reply to).
+func (cc *clientConn) abandon() {
+	close(cc.dead)
+	cc.mu.Lock()
+	cc.closed = true
+	cc.mu.Unlock()
+	n := cc.n
+	n.ccMu.Lock()
+	delete(n.clientConns, cc)
+	n.ccMu.Unlock()
+	n.waitMu.Lock()
+	for id, w := range n.waiters {
+		if w.cc == cc {
+			delete(n.waiters, id)
+		}
+	}
+	n.waitMu.Unlock()
 }
 
 // deliver feeds a message into the replica.
@@ -317,6 +558,7 @@ func (n *Node) tickLoop() {
 			acts := n.rep.Tick(time.Since(start))
 			n.afterStepLocked(acts)
 			n.mu.Unlock()
+			n.expireWaiters(time.Now())
 		}
 	}
 }
@@ -333,14 +575,23 @@ func (n *Node) afterStepLocked(acts []proto.Action) {
 	if len(ex) == 0 {
 		return
 	}
+	// Claim under waitMu, complete outside it: completions only append
+	// to a connection buffer or send on a buffered channel, but keeping
+	// waitMu to map surgery makes the claim-once discipline obvious.
+	var done []*waiter
+	var results []*command.Result
 	n.waitMu.Lock()
 	for _, e := range ex {
-		if ch, ok := n.waiters[e.Cmd.ID]; ok {
-			ch <- e.Result
+		if w, ok := n.waiters[e.Cmd.ID]; ok {
 			delete(n.waiters, e.Cmd.ID)
+			done = append(done, w)
+			results = append(results, e.Result)
 		}
 	}
 	n.waitMu.Unlock()
+	for i, w := range done {
+		w.complete(results[i].Values)
+	}
 }
 
 // sendLocked enqueues an envelope for a peer; a writer goroutine per
@@ -482,7 +733,10 @@ func (n *Node) writeBatch(bw *bufio.Writer, enc *gob.Encoder, batch []proto.Mess
 	return nil
 }
 
-// Client is a TCP client session against one node.
+// Client is the legacy gob client: one blocking request at a time on a
+// dedicated connection. New code should use the top-level client
+// package, which pipelines requests over the binary protocol; this type
+// is kept so old binaries keep working and for cross-version tests.
 type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder

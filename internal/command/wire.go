@@ -102,3 +102,168 @@ func readUvarint(b []byte) (uint64, []byte, error) {
 	}
 	return v, b[n:], nil
 }
+
+// Client protocol payloads. The client↔replica protocol frames carry raw
+// operation lists (the replica mints the command identifier), per-op
+// result values, and typed errors; their encoders live here so both the
+// cluster runtime and the public client package share one layout.
+
+// MaxOpsPerCommand bounds the operation count a decoded command may
+// claim. It caps what an untrusted client connection can make the
+// server allocate before per-op decoding detects corruption, and is far
+// above any real command (the paper's workloads use 1-2 ops).
+const MaxOpsPerCommand = 1 << 16
+
+// AppendOps appends the binary encoding of an operation list to buf.
+func AppendOps(buf []byte, ops []Op) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = append(buf, byte(op.Kind))
+		buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
+		buf = append(buf, op.Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(op.Value)))
+		buf = append(buf, op.Value...)
+	}
+	return buf
+}
+
+// DecodeOps decodes an operation list from the front of b, returning the
+// unconsumed remainder.
+func DecodeOps(b []byte) ([]Op, []byte, error) {
+	nops, b, err := readUvarint(b)
+	// Each op needs ≥3 bytes (kind, key length, value length); the hard
+	// cap keeps a hostile length claim from amplifying into a huge
+	// allocation before per-op decoding fails.
+	if err != nil || nops > MaxOpsPerCommand || nops*3 > uint64(len(b)) {
+		return nil, b, ErrCorrupt
+	}
+	ops := make([]Op, nops)
+	for i := range ops {
+		if len(b) == 0 {
+			return nil, b, ErrCorrupt
+		}
+		ops[i].Kind = OpKind(b[0])
+		b = b[1:]
+		var n uint64
+		if n, b, err = readUvarint(b); err != nil || n > uint64(len(b)) {
+			return nil, b, ErrCorrupt
+		}
+		ops[i].Key = Key(b[:n])
+		b = b[n:]
+		if n, b, err = readUvarint(b); err != nil || n > uint64(len(b)) {
+			return nil, b, ErrCorrupt
+		}
+		if n > 0 {
+			ops[i].Value = append([]byte(nil), b[:n]...)
+			b = b[n:]
+		}
+	}
+	return ops, b, nil
+}
+
+// AppendValues appends per-op result values with a presence byte per
+// entry, so a nil value (key not found) survives the wire distinct from
+// a present-but-empty value.
+func AppendValues(buf []byte, values [][]byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(values)))
+	for _, v := range values {
+		if v == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// DecodeValues decodes a value list encoded by AppendValues. Absent
+// entries decode as nil; present entries are always non-nil, even when
+// empty.
+func DecodeValues(b []byte) ([][]byte, []byte, error) {
+	nv, b, err := readUvarint(b)
+	if err != nil || nv > uint64(len(b)) { // each value needs ≥1 byte
+		return nil, b, ErrCorrupt
+	}
+	values := make([][]byte, nv)
+	for i := range values {
+		if len(b) == 0 {
+			return nil, b, ErrCorrupt
+		}
+		present := b[0]
+		b = b[1:]
+		if present == 0 {
+			continue
+		}
+		var n uint64
+		if n, b, err = readUvarint(b); err != nil || n > uint64(len(b)) {
+			return nil, b, ErrCorrupt
+		}
+		values[i] = make([]byte, n)
+		copy(values[i], b[:n])
+		b = b[n:]
+	}
+	return values, b, nil
+}
+
+// ErrCode is a typed error crossing the client protocol.
+type ErrCode byte
+
+// Wire error codes. Never reuse or renumber: the code is the
+// cross-version contract with deployed clients.
+const (
+	// ErrCodeNone means success.
+	ErrCodeNone ErrCode = 0
+	// ErrCodeTimeout reports that the request's deadline expired before
+	// the command executed.
+	ErrCodeTimeout ErrCode = 1
+	// ErrCodeBadRequest reports a malformed request (e.g. no operations).
+	ErrCodeBadRequest ErrCode = 2
+	// ErrCodeShutdown reports that the serving replica is shutting down.
+	ErrCodeShutdown ErrCode = 3
+)
+
+// Typed client-visible errors mirroring the wire codes. They live here,
+// below every runtime in the import graph, so both the public client
+// package (which re-exports them) and the in-process runtimes return
+// the same sentinels.
+var (
+	// ErrTimeout reports a request whose deadline expired before the
+	// command executed.
+	ErrTimeout = errors.New("tempo: request timed out")
+	// ErrNotFound reports a read of a key with no value.
+	ErrNotFound = errors.New("tempo: key not found")
+	// ErrClosed reports a request against a closed session or a replica
+	// that shut down.
+	ErrClosed = errors.New("tempo: session closed")
+)
+
+// WireError is a typed error plus detail message as carried by the
+// client protocol.
+type WireError struct {
+	Code ErrCode
+	Msg  string
+}
+
+// AppendError appends the binary encoding of a wire error.
+func AppendError(buf []byte, e WireError) []byte {
+	buf = append(buf, byte(e.Code))
+	buf = binary.AppendUvarint(buf, uint64(len(e.Msg)))
+	return append(buf, e.Msg...)
+}
+
+// DecodeError decodes a wire error from the front of b.
+func DecodeError(b []byte) (WireError, []byte, error) {
+	if len(b) == 0 {
+		return WireError{}, b, ErrCorrupt
+	}
+	e := WireError{Code: ErrCode(b[0])}
+	b = b[1:]
+	n, b, err := readUvarint(b)
+	if err != nil || n > uint64(len(b)) {
+		return WireError{}, b, ErrCorrupt
+	}
+	e.Msg = string(b[:n])
+	return e, b[n:], nil
+}

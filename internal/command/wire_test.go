@@ -1,0 +1,93 @@
+package command
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestOpsRoundTrip(t *testing.T) {
+	cases := [][]Op{
+		nil,
+		{{Kind: Put, Key: "k", Value: []byte("v")}},
+		{{Kind: Get, Key: "a"}, {Kind: Put, Key: "b", Value: nil}, {Kind: Put, Key: "", Value: bytes.Repeat([]byte{7}, 300)}},
+	}
+	for _, ops := range cases {
+		buf := AppendOps(nil, ops)
+		got, rest, err := DecodeOps(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode(%v): %v, rest=%d", ops, err, len(rest))
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("round-trip %v -> %v", ops, got)
+		}
+		for i := range ops {
+			if got[i].Kind != ops[i].Kind || got[i].Key != ops[i].Key || !bytes.Equal(got[i].Value, ops[i].Value) {
+				t.Fatalf("op %d: %v -> %v", i, ops[i], got[i])
+			}
+		}
+	}
+}
+
+// TestValuesRoundTripPreservesNil pins the contract the client API's
+// ErrNotFound depends on: a nil value (missing key) crosses the wire
+// distinct from a present empty value.
+func TestValuesRoundTripPreservesNil(t *testing.T) {
+	in := [][]byte{nil, {}, []byte("x"), nil}
+	buf := AppendValues(nil, in)
+	out, rest, err := DecodeValues(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != nil || out[3] != nil {
+		t.Fatalf("nil values not preserved: %v", out)
+	}
+	if out[1] == nil || len(out[1]) != 0 {
+		t.Fatalf("empty value decoded as %v, want non-nil empty", out[1])
+	}
+	if !bytes.Equal(out[2], []byte("x")) {
+		t.Fatalf("out[2] = %v", out[2])
+	}
+}
+
+func TestWireErrorRoundTrip(t *testing.T) {
+	for _, e := range []WireError{
+		{},
+		{Code: ErrCodeTimeout, Msg: "deadline exceeded before execution"},
+		{Code: ErrCodeBadRequest, Msg: ""},
+	} {
+		buf := AppendError(nil, e)
+		got, rest, err := DecodeError(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Fatalf("%+v -> %+v", e, got)
+		}
+	}
+}
+
+// TestDecodeCorruptClientPayloads checks truncated inputs fail rather
+// than panic or over-read.
+func TestDecodeCorruptClientPayloads(t *testing.T) {
+	ops := AppendOps(nil, []Op{{Kind: Put, Key: "key", Value: []byte("value")}})
+	for cut := 0; cut < len(ops); cut++ {
+		if _, _, err := DecodeOps(ops[:cut]); err == nil && cut < len(ops) {
+			// Some prefixes decode cleanly only if they form a complete
+			// encoding; a strict subset never should.
+			t.Fatalf("DecodeOps accepted truncation at %d", cut)
+		}
+	}
+	vals := AppendValues(nil, [][]byte{[]byte("abc"), nil})
+	for cut := 0; cut < len(vals); cut++ {
+		if _, _, err := DecodeValues(vals[:cut]); err == nil {
+			t.Fatalf("DecodeValues accepted truncation at %d", cut)
+		}
+	}
+	if _, _, err := DecodeError(nil); err == nil {
+		t.Fatal("DecodeError accepted empty input")
+	}
+}

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -166,7 +168,10 @@ func (c *Cluster) collect() {
 	}
 }
 
-// Client is a session submitting commands at one site.
+// Client is a session submitting commands at one site. It mirrors the
+// networked session API of the top-level client package (contexts,
+// typed errors) so code can move between the in-process and TCP
+// runtimes unchanged.
 type Client struct {
 	c    *Cluster
 	site ids.SiteID
@@ -176,8 +181,8 @@ type idMinter interface{ NextID() ids.Dot }
 
 // Execute submits a command built from ops and waits (synchronously
 // pumping the in-process network) until it executes at every co-located
-// shard replica. It returns the per-shard results.
-func (cl *Client) Execute(ops ...command.Op) ([]*command.Result, error) {
+// shard replica, or ctx is done. It returns the per-shard results.
+func (cl *Client) Execute(ctx context.Context, ops ...command.Op) ([]*command.Result, error) {
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("core: empty command")
 	}
@@ -202,6 +207,12 @@ func (cl *Client) Execute(ops ...command.Op) ([]*command.Result, error) {
 	cl.c.net.Submit(proc, cmd)
 	// Pump until executed at all co-located replicas (bounded).
 	for i := 0; i < 1000; i++ {
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return nil, fmt.Errorf("%w: %w", command.ErrTimeout, err)
+			}
+			return nil, err
+		}
 		cl.c.net.Drain(0)
 		cl.c.collect()
 		if got := cl.c.executed[cmd.ID]; got != nil {
@@ -225,16 +236,21 @@ func (cl *Client) Execute(ops ...command.Op) ([]*command.Result, error) {
 }
 
 // Put writes a key.
-func (cl *Client) Put(key string, value []byte) error {
-	_, err := cl.Execute(command.Op{Kind: command.Put, Key: command.Key(key), Value: value})
+func (cl *Client) Put(ctx context.Context, key string, value []byte) error {
+	_, err := cl.Execute(ctx, command.Op{Kind: command.Put, Key: command.Key(key), Value: value})
 	return err
 }
 
-// Get reads a key.
-func (cl *Client) Get(key string) ([]byte, error) {
-	res, err := cl.Execute(command.Op{Kind: command.Get, Key: command.Key(key)})
+// Get reads a key. A missing key returns command.ErrNotFound, distinct
+// from a present empty value.
+func (cl *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	res, err := cl.Execute(ctx, command.Op{Kind: command.Get, Key: command.Key(key)})
 	if err != nil {
 		return nil, err
 	}
-	return res[0].Values[0], nil
+	v := res[0].Values[0]
+	if v == nil {
+		return nil, fmt.Errorf("%w: %q", command.ErrNotFound, key)
+	}
+	return v, nil
 }

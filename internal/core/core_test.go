@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -10,15 +12,16 @@ import (
 )
 
 func TestPutGetTempo(t *testing.T) {
+	ctx := context.Background()
 	c, err := New(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cl := c.Client(0)
-	if err := cl.Put("greeting", []byte("hello")); err != nil {
+	if err := cl.Put(ctx, "greeting", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := cl.Get("greeting")
+	v, err := cl.Get(ctx, "greeting")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +29,7 @@ func TestPutGetTempo(t *testing.T) {
 		t.Fatalf("got %q", v)
 	}
 	// A client at another site reads the same value (linearizability).
-	v, err = c.Client(2).Get("greeting")
+	v, err = c.Client(2).Get(ctx, "greeting")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,15 +41,16 @@ func TestPutGetTempo(t *testing.T) {
 func TestAllProtocols(t *testing.T) {
 	for _, kind := range []ProtocolKind{ProtocolTempo, ProtocolAtlas, ProtocolEPaxos, ProtocolFPaxos} {
 		t.Run(string(kind), func(t *testing.T) {
+			ctx := context.Background()
 			c, err := New(Options{Protocol: kind})
 			if err != nil {
 				t.Fatal(err)
 			}
 			cl := c.Client(1)
-			if err := cl.Put("k", []byte("v")); err != nil {
+			if err := cl.Put(ctx, "k", []byte("v")); err != nil {
 				t.Fatal(err)
 			}
-			v, err := cl.Get("k")
+			v, err := cl.Get(ctx, "k")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,6 +62,7 @@ func TestAllProtocols(t *testing.T) {
 }
 
 func TestMultiShardTransaction(t *testing.T) {
+	ctx := context.Background()
 	c, err := New(Options{Shards: 2, Sites: []string{"a", "b", "c"}})
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +78,7 @@ func TestMultiShardTransaction(t *testing.T) {
 			k1 = k
 		}
 	}
-	res, err := cl.Execute(
+	res, err := cl.Execute(ctx,
 		command.Op{Kind: command.Put, Key: command.Key(k0), Value: []byte("x")},
 		command.Op{Kind: command.Put, Key: command.Key(k1), Value: []byte("y")},
 	)
@@ -83,13 +88,14 @@ func TestMultiShardTransaction(t *testing.T) {
 	if len(res) != 2 {
 		t.Fatalf("want results from 2 shards, got %d", len(res))
 	}
-	v, err := cl.Get(k1)
+	v, err := cl.Get(ctx, k1)
 	if err != nil || string(v) != "y" {
 		t.Fatalf("k1 = %q, %v", v, err)
 	}
 }
 
 func TestCrashRecovery(t *testing.T) {
+	ctx := context.Background()
 	c, err := New(Options{
 		Tempo: tempoRecoveryConfig(),
 	})
@@ -97,7 +103,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := c.Client(0)
-	if err := cl.Put("before", []byte("1")); err != nil {
+	if err := cl.Put(ctx, "before", []byte("1")); err != nil {
 		t.Fatal(err)
 	}
 	// Crash the Ireland replica (rank 1); clients there are out of luck,
@@ -106,12 +112,23 @@ func TestCrashRecovery(t *testing.T) {
 	c.SetLeader(2)
 	c.Settle(5, 20*time.Millisecond)
 	cl2 := c.Client(1)
-	if err := cl2.Put("after", []byte("2")); err != nil {
+	if err := cl2.Put(ctx, "after", []byte("2")); err != nil {
 		t.Fatal(err)
 	}
-	v, err := cl2.Get("before")
+	v, err := cl2.Get(ctx, "before")
 	if err != nil || string(v) != "1" {
 		t.Fatalf("pre-crash write lost: %q, %v", v, err)
+	}
+}
+
+func TestGetMissingKeyTyped(t *testing.T) {
+	ctx := context.Background()
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Client(0).Get(ctx, "missing"); !errors.Is(err, command.ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want command.ErrNotFound", err)
 	}
 }
 
