@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-race bench-smoke fuzz-smoke bench-micro
+.PHONY: ci fmt vet build test test-race bench-smoke fuzz-smoke bench-micro bench-cluster
 
-## ci: everything CI runs, in order
-ci: fmt vet build test bench-smoke
+## ci: the main CI job, in order (the race and bench-smoke jobs run in
+## parallel in the workflow)
+ci: fmt vet build test
 
 ## fmt: fail if any file is not gofmt-clean
 fmt:
@@ -24,9 +25,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-## bench-smoke: one iteration of every benchmark (catches bit-rot, not perf)
+## bench-smoke: one iteration of every benchmark plus a short run of the
+## micro and cluster experiments — catches perf-path regressions that
+## compile but deadlock or stall, not perf itself
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/bench -exp micro -microout /tmp/bench_micro_smoke.json
+	$(GO) run ./cmd/bench -exp cluster -clusterdur 300ms -clusterwarm 200ms \
+		-clusterout /tmp/bench_cluster_smoke.json
 
 ## fuzz-smoke: a short run of each fuzz target
 fuzz-smoke:
@@ -36,3 +42,7 @@ fuzz-smoke:
 ## bench-micro: regenerate BENCH_micro.json (commit it when a PR moves a hot path)
 bench-micro:
 	$(GO) run ./cmd/bench -exp micro
+
+## bench-cluster: regenerate BENCH_cluster.json (loaded TCP cluster sweep)
+bench-cluster:
+	$(GO) run ./cmd/bench -exp cluster

@@ -421,6 +421,68 @@ func TestServerCloseFailsInFlight(t *testing.T) {
 	}
 }
 
+// TestBatchedRequestsRouteResults floods one connection with pipelined
+// requests — the server coalesces them into multi-op commands — and
+// checks every future completes with exactly its own request's results:
+// single-op gets, multi-op requests, and not-found reads must come back
+// correctly segmented, not shifted into a batchmate's slot.
+func TestBatchedRequestsRouteResults(t *testing.T) {
+	addrs, topo := startCluster(t, 3, 1)
+	s := sessionTo(t, addrs[topo.ProcessAt(0, 0)])
+	ctx := context.Background()
+
+	const n = 64
+	puts := make([]*client.Future, n)
+	for i := 0; i < n; i++ {
+		puts[i] = s.Do(ctx, command.Op{
+			Kind: command.Put, Key: command.Key(fmt.Sprintf("bk%02d", i)),
+			Value: []byte(fmt.Sprintf("bv%02d", i)),
+		})
+	}
+	for i, f := range puts {
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	// One burst: single gets, two-op requests, and reads of missing keys,
+	// all in flight at once so they share batches.
+	singles := make([]*client.Future, n)
+	doubles := make([]*client.Future, n/2)
+	missing := make([]*client.Future, n/4)
+	for i := 0; i < n; i++ {
+		singles[i] = s.Do(ctx, command.Op{Kind: command.Get, Key: command.Key(fmt.Sprintf("bk%02d", i))})
+		if i < n/2 {
+			doubles[i] = s.Do(ctx,
+				command.Op{Kind: command.Get, Key: command.Key(fmt.Sprintf("bk%02d", i))},
+				command.Op{Kind: command.Get, Key: command.Key(fmt.Sprintf("bk%02d", n-1-i))},
+			)
+		}
+		if i < n/4 {
+			missing[i] = s.Do(ctx, command.Op{Kind: command.Get, Key: command.Key(fmt.Sprintf("absent%02d", i))})
+		}
+	}
+	for i, f := range singles {
+		vals, err := f.Wait(ctx)
+		if err != nil || len(vals) != 1 || string(vals[0]) != fmt.Sprintf("bv%02d", i) {
+			t.Fatalf("single get %d = %q, %v", i, vals, err)
+		}
+	}
+	for i, f := range doubles {
+		vals, err := f.Wait(ctx)
+		if err != nil || len(vals) != 2 ||
+			string(vals[0]) != fmt.Sprintf("bv%02d", i) || string(vals[1]) != fmt.Sprintf("bv%02d", n-1-i) {
+			t.Fatalf("double get %d = %q, %v", i, vals, err)
+		}
+	}
+	for i, f := range missing {
+		vals, err := f.Wait(ctx)
+		if err != nil || len(vals) != 1 || vals[0] != nil {
+			t.Fatalf("missing get %d = %q, %v; want one nil value", i, vals, err)
+		}
+	}
+}
+
 // TestConnectionLossFailsInFlight uses a fake replica that accepts a
 // request and drops the connection: the in-flight future must fail
 // rather than hang.

@@ -7,11 +7,15 @@
 //	bench -exp all -scale 16       # everything, at 1/16 of paper load
 //	bench -exp fig7 -scale 4 -duration 4s
 //	bench -exp micro               # hot-path micro-benchmarks -> BENCH_micro.json
+//	bench -exp cluster             # loaded TCP cluster sweep -> BENCH_cluster.json
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, ablation-mbump,
-// ablation-piggyback, ablation-f, micro, all. See EXPERIMENTS.md for the
-// paper-vs-reproduction comparison. The micro experiment also writes its
-// results to -microout (default BENCH_micro.json) so successive PRs can
+// ablation-piggyback, ablation-f, micro, cluster, all. See
+// EXPERIMENTS.md for the paper-vs-reproduction comparison. The micro
+// experiment writes its results to -microout (default BENCH_micro.json)
+// and the cluster experiment — a real loopback cluster driven by
+// concurrent pipelined sessions across server-side batching configs —
+// writes -clusterout (default BENCH_cluster.json), so successive PRs can
 // track the hot-path trajectory.
 package main
 
@@ -31,6 +35,9 @@ func main() {
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "simulated warmup before measurement")
 	seed := flag.Int64("seed", 1, "random seed")
 	microOut := flag.String("microout", "BENCH_micro.json", "output path for the micro experiment")
+	clusterOut := flag.String("clusterout", "BENCH_cluster.json", "output path for the cluster experiment")
+	clusterDur := flag.Duration("clusterdur", 2*time.Second, "measured wall-clock time per cluster load point")
+	clusterWarm := flag.Duration("clusterwarm", 500*time.Millisecond, "cluster warmup before measurement")
 	flag.Parse()
 
 	o := bench.Options{
@@ -56,6 +63,19 @@ func main() {
 		fmt.Printf("wrote %s\n", *microOut)
 	}
 
+	runCluster := func() {
+		results, err := bench.RunCluster(os.Stdout, bench.DefaultClusterConfigs(), *clusterDur, *clusterWarm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cluster experiment: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteClusterJSON(*clusterOut, results, *clusterDur); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *clusterOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *clusterOut)
+	}
+
 	experiments := map[string]func(){
 		"fig5":               func() { bench.Fig5(o) },
 		"fig6":               func() { bench.Fig6(o) },
@@ -66,9 +86,10 @@ func main() {
 		"ablation-piggyback": func() { bench.AblationPiggyback(o) },
 		"ablation-f":         func() { bench.AblationFaultTolerance(o) },
 		"micro":              runMicro,
+		"cluster":            runCluster,
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "fig9",
-		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro"}
+		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster"}
 
 	if *exp == "all" {
 		for _, name := range order {

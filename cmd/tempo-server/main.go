@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,7 +37,21 @@ func main() {
 	id := flag.Int("id", 1, "replica id (1-based index into -peers)")
 	peers := flag.String("peers", "", "comma-separated replica addresses, in id order")
 	f := flag.Int("f", 1, "tolerated failures")
+	batchOps := flag.Int("batch-ops", cluster.DefaultBatchOps, "max client ops coalesced into one command (<=1 disables batching)")
+	batchWindow := flag.Duration("batch-window", cluster.DefaultBatchWindow, "submit-batch flush window (<=0 disables batching)")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers via the blank
+			// import above.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+		log.Printf("pprof serving on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	addrList := strings.Split(*peers, ",")
 	if len(addrList) < 3 {
@@ -64,6 +80,7 @@ func main() {
 	}
 	rep := tempo.New(ids.ProcessID(*id), topo, tempo.Config{})
 	node := cluster.NewNode(ids.ProcessID(*id), rep, addrs)
+	node.SetBatch(*batchOps, *batchWindow)
 	if err := node.Start(); err != nil {
 		log.Fatal(err)
 	}

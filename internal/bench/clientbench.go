@@ -2,18 +2,11 @@ package bench
 
 import (
 	"context"
-	"fmt"
-	"log"
-	"net"
 	"testing"
-	"time"
 
 	"tempo/client"
 	"tempo/internal/cluster"
 	"tempo/internal/command"
-	"tempo/internal/ids"
-	"tempo/internal/tempo"
-	"tempo/internal/topology"
 )
 
 // Closed-loop client round-trip benchmarks over a real loopback
@@ -28,48 +21,14 @@ import (
 // legacy client's throughput at ≥64 in flight).
 const ClientBenchWindow = 64
 
-// loopbackCluster boots a 3-replica Tempo cluster on loopback and
-// returns the client addresses in process-id order plus a shutdown
-// function.
+// loopbackCluster boots a 3-replica Tempo cluster on loopback with the
+// default server batching and returns the client addresses in
+// process-id order plus a shutdown function. (The cluster experiment's
+// loopbackClusterBatch in clusterbench.go is the one implementation, so
+// the micro round-trip and loaded-cluster numbers always measure the
+// same cluster shape.)
 func loopbackCluster() ([]string, func()) {
-	const r = 3
-	names := make([]string, r)
-	rtt := make([][]time.Duration, r)
-	for i := range names {
-		names[i] = fmt.Sprintf("s%d", i)
-		rtt[i] = make([]time.Duration, r)
-	}
-	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	addrs := make(map[ids.ProcessID]string)
-	lns := make(map[ids.ProcessID]net.Listener)
-	var list []string
-	for _, pi := range topo.Processes() {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		lns[pi.ID] = ln
-		addrs[pi.ID] = ln.Addr().String()
-		list = append(list, ln.Addr().String())
-	}
-	var nodes []*cluster.Node
-	for _, pi := range topo.Processes() {
-		rep := tempo.New(pi.ID, topo, tempo.Config{
-			PromiseInterval: time.Millisecond,
-			RecoveryTimeout: time.Hour,
-		})
-		n := cluster.NewNode(pi.ID, rep, addrs)
-		n.StartListener(lns[pi.ID])
-		nodes = append(nodes, n)
-	}
-	return list, func() {
-		for _, n := range nodes {
-			n.Close()
-		}
-	}
+	return loopbackClusterBatch(cluster.DefaultBatchOps, cluster.DefaultBatchWindow)
 }
 
 func putOp(key string, v []byte) command.Op {

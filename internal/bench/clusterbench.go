@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/cluster"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// The loaded-cluster experiment (`bench -exp cluster`): a real 3-replica
+// TCP cluster on loopback, driven by concurrent pipelined sessions
+// across server-side batching configurations. Unlike the micro suite it
+// measures the full serving hot path — submit batching, consensus,
+// off-lock execution, reply batching — and records throughput plus
+// client-observed latency percentiles to BENCH_cluster.json. The
+// direct-1x64 configuration reproduces the PR 2 pipelined-64 baseline
+// shape; the batch-* configurations are the acceptance bar of the
+// server-side batching work.
+
+// ClusterConfig is one load point of the cluster experiment.
+type ClusterConfig struct {
+	Name     string
+	Sessions int // concurrent sessions (spread round-robin over replicas)
+	Inflight int // pipelined requests per session
+	BatchOps int // server batch size cap; <=1 disables batching
+	Window   time.Duration
+}
+
+// ClusterResult is one measured load point in BENCH_cluster.json.
+type ClusterResult struct {
+	Name          string  `json:"name"`
+	Sessions      int     `json:"sessions"`
+	Inflight      int     `json:"inflight"`
+	BatchOps      int     `json:"batch_ops"`
+	BatchWindowUS float64 `json:"batch_window_us"`
+	Ops           int     `json:"ops"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	P50us         float64 `json:"p50_us"`
+	P90us         float64 `json:"p90_us"`
+	P99us         float64 `json:"p99_us"`
+}
+
+// ClusterReport is the schema of BENCH_cluster.json.
+type ClusterReport struct {
+	Generated  string          `json:"generated"`
+	Go         string          `json:"go"`
+	DurationMS float64         `json:"duration_ms"`
+	Results    []ClusterResult `json:"results"`
+}
+
+// DefaultClusterConfigs sweeps batching off/on at one and at several
+// loaded sessions. direct-1x64 is the PR 2 baseline shape.
+func DefaultClusterConfigs() []ClusterConfig {
+	const w = cluster.DefaultBatchWindow
+	return []ClusterConfig{
+		{Name: "direct-1x64", Sessions: 1, Inflight: 64, BatchOps: 1},
+		{Name: "batch128-1x64", Sessions: 1, Inflight: 64, BatchOps: 128, Window: w},
+		{Name: "direct-8x64", Sessions: 8, Inflight: 64, BatchOps: 1},
+		{Name: "batch16-8x64", Sessions: 8, Inflight: 64, BatchOps: 16, Window: w},
+		{Name: "batch64-8x64", Sessions: 8, Inflight: 64, BatchOps: 64, Window: w},
+		{Name: "batch256-8x64", Sessions: 8, Inflight: 64, BatchOps: 256, Window: 2 * w},
+	}
+}
+
+// loopbackClusterBatch boots a 3-replica Tempo cluster on loopback with
+// the given server-side batching configuration and returns the client
+// addresses in process-id order plus a shutdown function.
+func loopbackClusterBatch(batchOps int, window time.Duration) ([]string, func()) {
+	const r = 3
+	names := make([]string, r)
+	rtt := make([][]time.Duration, r)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, r)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := make(map[ids.ProcessID]string)
+	lns := make(map[ids.ProcessID]net.Listener)
+	var list []string
+	for _, pi := range topo.Processes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[pi.ID] = ln
+		addrs[pi.ID] = ln.Addr().String()
+		list = append(list, ln.Addr().String())
+	}
+	var nodes []*cluster.Node
+	for _, pi := range topo.Processes() {
+		rep := tempo.New(pi.ID, topo, tempo.Config{
+			PromiseInterval: time.Millisecond,
+			RecoveryTimeout: time.Hour,
+		})
+		n := cluster.NewNode(pi.ID, rep, addrs)
+		n.SetBatch(batchOps, window)
+		n.StartListener(lns[pi.ID])
+		nodes = append(nodes, n)
+	}
+	return list, func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}
+
+// runClusterConfig drives one load point: Sessions closed-loop sessions,
+// each keeping Inflight puts pipelined on one connection, for
+// warmup+duration; completions inside the measurement window are counted
+// and their client-observed latencies sampled.
+func runClusterConfig(cfg ClusterConfig, duration, warmup time.Duration) (ClusterResult, error) {
+	addrs, cleanup := loopbackClusterBatch(cfg.BatchOps, cfg.Window)
+	defer cleanup()
+
+	type sessResult struct {
+		ops  int
+		lats []float64 // µs
+		err  error
+	}
+	results := make([]sessResult, cfg.Sessions)
+	start := time.Now()
+	warmEnd := start.Add(warmup)
+	stop := warmEnd.Add(duration)
+	var wg sync.WaitGroup
+	for si := 0; si < cfg.Sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			res := &results[si]
+			// Spread sessions round-robin over the replicas: Tempo is
+			// leaderless, every replica coordinates its own clients.
+			addr := addrs[si%len(addrs)]
+			sess, err := client.New(client.Config{
+				Addrs: map[ids.ProcessID]string{ids.ProcessID(si%len(addrs) + 1): addr},
+			})
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer sess.Close()
+			ctx := context.Background()
+			op := command.Op{Kind: command.Put, Key: command.Key(fmt.Sprintf("bench-%d", si)), Value: []byte("x")}
+			type issued struct {
+				f  *client.Future
+				at time.Time
+			}
+			// Fixed ring: head chases tail at distance Inflight, so
+			// completing an op is O(1) and the driver stays out of the
+			// measured numbers.
+			ring := make([]issued, cfg.Inflight)
+			head, tail := 0, 0
+			reap := func(it issued) bool {
+				if _, err := it.f.Wait(ctx); err != nil {
+					res.err = err
+					return false
+				}
+				now := time.Now()
+				if now.After(warmEnd) && !now.After(stop) {
+					res.ops++
+					res.lats = append(res.lats, float64(now.Sub(it.at).Nanoseconds())/1e3)
+				}
+				return true
+			}
+			for time.Now().Before(stop) {
+				if tail-head == cfg.Inflight {
+					if !reap(ring[head%cfg.Inflight]) {
+						return
+					}
+					head++
+				}
+				ring[tail%cfg.Inflight] = issued{f: sess.Do(ctx, op), at: time.Now()}
+				tail++
+			}
+			for ; head < tail; head++ {
+				if !reap(ring[head%cfg.Inflight]) {
+					return
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	out := ClusterResult{
+		Name:          cfg.Name,
+		Sessions:      cfg.Sessions,
+		Inflight:      cfg.Inflight,
+		BatchOps:      cfg.BatchOps,
+		BatchWindowUS: float64(cfg.Window.Microseconds()),
+	}
+	var lats []float64
+	for _, r := range results {
+		if r.err != nil {
+			return out, r.err
+		}
+		out.Ops += r.ops
+		lats = append(lats, r.lats...)
+	}
+	out.OpsPerSec = float64(out.Ops) / duration.Seconds()
+	sort.Float64s(lats)
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	out.P50us, out.P90us, out.P99us = pct(0.50), pct(0.90), pct(0.99)
+	return out, nil
+}
+
+// RunCluster runs the loaded-cluster sweep and prints one line per load
+// point.
+func RunCluster(out io.Writer, cfgs []ClusterConfig, duration, warmup time.Duration) ([]ClusterResult, error) {
+	var results []ClusterResult
+	for _, cfg := range cfgs {
+		r, err := runClusterConfig(cfg, duration, warmup)
+		if err != nil {
+			return results, fmt.Errorf("cluster config %s: %w", cfg.Name, err)
+		}
+		fmt.Fprintf(out, "%-16s %2d sess x %3d inflight  batch=%3d/%5.0fµs  %9.0f ops/s  p50=%7.0fµs p90=%7.0fµs p99=%7.0fµs\n",
+			r.Name, r.Sessions, r.Inflight, r.BatchOps, r.BatchWindowUS, r.OpsPerSec, r.P50us, r.P90us, r.P99us)
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// WriteClusterJSON writes the results to path in the BENCH_cluster.json
+// schema.
+func WriteClusterJSON(path string, results []ClusterResult, duration time.Duration) error {
+	rep := ClusterReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		DurationMS: float64(duration.Milliseconds()),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

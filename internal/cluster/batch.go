@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// opSharder maps an operation list to the single shard owning all of its
+// keys (tempo.Process implements it). The batcher only coalesces
+// single-shard requests: merging ops of different shards would turn them
+// into a multi-shard command, changing quorum cost and result shape.
+type opSharder interface {
+	OpsShard(ops []command.Op) (ids.ShardID, bool)
+}
+
+// submitBatcher coalesces client submissions into multi-op commands.
+// Requests arriving within a flush window accumulate, per target shard,
+// until the window closes or the batch reaches maxOps operations; one
+// Tempo command (one consensus round, one kvstore apply) then carries
+// all of them, and each request's waiter is completed with its own
+// segment of the per-op results.
+type submitBatcher struct {
+	n       *Node
+	sharder opSharder
+	maxOps  int
+	window  time.Duration
+
+	mu      sync.Mutex
+	closed  bool
+	buckets map[ids.ShardID]*batchBucket
+}
+
+// batchEntry is one client request waiting in a bucket.
+type batchEntry struct {
+	w   *waiter
+	ops []command.Op
+}
+
+type batchBucket struct {
+	entries []batchEntry
+	nops    int
+}
+
+func newSubmitBatcher(n *Node, sharder opSharder, maxOps int, window time.Duration) *submitBatcher {
+	return &submitBatcher{
+		n:       n,
+		sharder: sharder,
+		maxOps:  maxOps,
+		window:  window,
+		buckets: make(map[ids.ShardID]*batchBucket),
+	}
+}
+
+// add enqueues one request for a shard's bucket. A bucket reaching
+// maxOps flushes immediately on the caller's goroutine; so does any
+// arrival while the node has no command in flight — with nothing to
+// coalesce against, holding the bucket the full window would tax serial
+// clients for no batching gain (group commit: batch under concurrency,
+// stay prompt when idle; the idle check covers the whole bucket, so
+// requests queued behind a since-completed command ride out too).
+// Otherwise the timer armed when the bucket went non-empty flushes one
+// window later. A stale timer firing after a size-triggered flush just
+// flushes the next batch early — smaller batch, never a stall.
+func (b *submitBatcher) add(shard ids.ShardID, w *waiter, ops []command.Op) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		if b.n.claimOne(w) {
+			w.fail(command.WireError{Code: command.ErrCodeShutdown, Msg: "node shutting down"})
+		}
+		return
+	}
+	bk := b.buckets[shard]
+	if bk == nil {
+		bk = &batchBucket{}
+		b.buckets[shard] = bk
+	}
+	wasEmpty := len(bk.entries) == 0
+	bk.entries = append(bk.entries, batchEntry{w: w, ops: ops})
+	bk.nops += len(ops)
+	if bk.nops >= b.maxOps || b.n.pendingCmds() == 0 {
+		entries := bk.entries
+		bk.entries, bk.nops = nil, 0
+		b.mu.Unlock()
+		b.flushEntries(entries)
+		return
+	}
+	b.mu.Unlock()
+	if wasEmpty {
+		time.AfterFunc(b.window, func() { b.flushShard(shard) })
+	}
+}
+
+// flushShard flushes whatever a shard's bucket holds (the timer path).
+func (b *submitBatcher) flushShard(shard ids.ShardID) {
+	b.mu.Lock()
+	bk := b.buckets[shard]
+	var entries []batchEntry
+	if bk != nil {
+		entries, bk.entries = bk.entries, nil
+		bk.nops = 0
+	}
+	b.mu.Unlock()
+	b.flushEntries(entries)
+}
+
+// flushEntries submits one batch as a single command. Requests whose
+// deadline already passed while queued are failed with a timeout
+// instead of being submitted — each entry succeeds or fails on its own,
+// never dragging its batchmates along. Entry boundaries become value
+// segments: ops stay contiguous per request, so the executed command's
+// per-op results split back exactly.
+func (b *submitBatcher) flushEntries(entries []batchEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	now := time.Now()
+	var expired []*waiter
+	members := make([]*waiter, 0, len(entries))
+	total := 0
+	for _, e := range entries {
+		total += len(e.ops)
+	}
+	ops := make([]command.Op, 0, total)
+	for _, e := range entries {
+		if !e.w.deadline.IsZero() && now.After(e.w.deadline) {
+			if b.n.claimOne(e.w) {
+				expired = append(expired, e.w)
+			}
+			continue
+		}
+		e.w.off, e.w.nvals = len(ops), len(e.ops)
+		members = append(members, e.w)
+		ops = append(ops, e.ops...)
+	}
+	for _, w := range expired {
+		w.fail(command.WireError{Code: command.ErrCodeTimeout, Msg: "deadline exceeded before execution"})
+	}
+	if len(members) > 0 {
+		b.n.submitCmd(members, ops)
+	}
+}
+
+// close fails every queued request and stops accepting new ones; it
+// returns the waiters it claimed so Node.Close can fail them alongside
+// the registered ones.
+func (b *submitBatcher) close() []*waiter {
+	b.mu.Lock()
+	b.closed = true
+	var all []batchEntry
+	for _, bk := range b.buckets {
+		all = append(all, bk.entries...)
+		bk.entries, bk.nops = nil, 0
+	}
+	b.mu.Unlock()
+	var claimed []*waiter
+	for _, e := range all {
+		if b.n.claimOne(e.w) {
+			claimed = append(claimed, e.w)
+		}
+	}
+	return claimed
+}

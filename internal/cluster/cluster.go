@@ -32,6 +32,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tempo/internal/command"
@@ -119,12 +120,39 @@ type Node struct {
 	outMu sync.Mutex
 	out   map[ids.ProcessID]chan proto.Message
 
-	// waiters maps a pending command id to its completion sink. A waiter
-	// is claimed (deleted under waitMu) exactly once — by local
-	// execution, by deadline expiry, or by its connection going away —
-	// so a late result can never reach a recycled request slot.
+	// waiters maps a pending command id to the client requests riding on
+	// it (one for a direct submission, many for a batched one). Each
+	// member waiter is claimed (claimed flag flipped under waitMu)
+	// exactly once — by local execution, by deadline expiry, by its
+	// connection going away, or by shutdown — so a late result can never
+	// reach a recycled request slot.
 	waitMu  sync.Mutex
-	waiters map[ids.Dot]*waiter
+	waiters map[ids.Dot]*pendingCmd
+	// nPending mirrors len(waiters); updated under waitMu at every map
+	// mutation and read lock-free by the batcher's idle check, keeping
+	// the per-request submit path off waitMu.
+	nPending atomic.Int64
+
+	// batcher coalesces single-shard client submissions that arrive
+	// within a flush window into one multi-op command (nil when batching
+	// is disabled or the replica cannot map ops to shards).
+	batcher     *submitBatcher
+	batchMaxOps int
+	batchWindow time.Duration
+
+	// Deferred execution pipeline: when the replica implements
+	// proto.DeferredApplier, protocol steps (under n.mu) only append
+	// newly-stable commands to execQ, and a dedicated executor goroutine
+	// applies them to the state machine and completes waiters — the
+	// critical section shrinks to pure protocol state.
+	defRep   proto.DeferredApplier
+	execMu   sync.Mutex
+	execQ    []proto.Stable
+	execKick chan struct{} // cap 1: wakes the executor
+	// execObserver, when set before Start, is called by the executor for
+	// every command just before it is applied (test hook: execution
+	// order).
+	execObserver func(proto.Stable)
 
 	// clientConns tracks live binary-protocol client connections so
 	// Close can fail their pending requests and unblock their read
@@ -144,6 +172,15 @@ type Node struct {
 	frameLimit uint64
 }
 
+// Batching defaults: one consensus round amortizes over everything a
+// flush window (or a full batch) gathers. The window bounds the latency
+// a lone request pays; the op cap bounds command size under load, when
+// flushes are almost always size-triggered.
+const (
+	DefaultBatchOps    = 128
+	DefaultBatchWindow = 200 * time.Microsecond
+)
+
 // NewNode creates a node for process id with the given replica and the
 // listen addresses of every process.
 func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string) *Node {
@@ -152,11 +189,14 @@ func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string
 		rep:         rep,
 		addrs:       addrs,
 		out:         make(map[ids.ProcessID]chan proto.Message),
-		waiters:     make(map[ids.Dot]*waiter),
+		waiters:     make(map[ids.Dot]*pendingCmd),
 		clientConns: make(map[*clientConn]struct{}),
 		done:        make(chan struct{}),
 		tick:        5 * time.Millisecond,
 		frameLimit:  defaultMaxFrameBytes,
+		batchMaxOps: DefaultBatchOps,
+		batchWindow: DefaultBatchWindow,
+		execKick:    make(chan struct{}, 1),
 	}
 }
 
@@ -164,6 +204,15 @@ func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string
 // Start; the default is CodecBinary. Inbound links auto-detect the
 // sender's codec, so nodes with different codecs interoperate.
 func (n *Node) SetCodec(c Codec) { n.codec = c }
+
+// SetBatch tunes server-side submit batching: client operations arriving
+// within window are coalesced, per target shard, into one command of at
+// most maxOps operations, so one consensus round carries many client
+// requests. maxOps <= 1 or window <= 0 disables batching. Call before
+// Start. The defaults are DefaultBatchOps/DefaultBatchWindow.
+func (n *Node) SetBatch(maxOps int, window time.Duration) {
+	n.batchMaxOps, n.batchWindow = maxOps, window
+}
 
 // Start listens on the node's address and runs the tick loop. It returns
 // once the listener is ready.
@@ -181,6 +230,14 @@ func (n *Node) Start() error {
 // before any node starts.
 func (n *Node) StartListener(ln net.Listener) {
 	n.ln = ln
+	if dr, ok := n.rep.(proto.DeferredApplier); ok {
+		dr.SetDeferredApply(true)
+		n.defRep = dr
+		go n.execLoop()
+	}
+	if sh, ok := n.rep.(opSharder); ok && n.batchMaxOps > 1 && n.batchWindow > 0 {
+		n.batcher = newSubmitBatcher(n, sh, n.batchMaxOps, n.batchWindow)
+	}
 	go n.acceptLoop()
 	go n.tickLoop()
 }
@@ -196,15 +253,21 @@ func (n *Node) Close() {
 	n.closed.Do(func() {
 		close(n.done)
 		n.ln.Close()
-		// Claim every pending waiter: binary ones get a shutdown reply
-		// enqueued, legacy ones unblock their serving goroutine.
+		// Claim every pending waiter — registered ones first, then the
+		// requests still sitting in the batcher: binary ones get a
+		// shutdown reply enqueued, legacy ones unblock their serving
+		// goroutine.
 		n.waitMu.Lock()
-		pending := make([]*waiter, 0, len(n.waiters))
-		for id, w := range n.waiters {
+		var pending []*waiter
+		for id, pc := range n.waiters {
 			delete(n.waiters, id)
-			pending = append(pending, w)
+			pending = append(pending, pc.claimAllLocked()...)
 		}
+		n.syncPendingLocked()
 		n.waitMu.Unlock()
+		if n.batcher != nil {
+			pending = append(pending, n.batcher.close()...)
+		}
 		for _, w := range pending {
 			w.fail(command.WireError{Code: command.ErrCodeShutdown, Msg: "node shutting down"})
 		}
@@ -280,9 +343,14 @@ func (n *Node) serveConn(conn net.Conn) {
 
 // serveBinaryPeer streams batch frames from a binary-codec peer. Each
 // frame is uvarint(len(body)) || body, where body is uvarint(from)
-// followed by tagged messages until the body is exhausted.
+// followed by tagged messages until the body is exhausted. The whole
+// frame is decoded outside n.mu, then delivered under one lock
+// acquisition — inbound decode work never extends the critical section,
+// and a coalesced frame costs one lock round-trip instead of one per
+// message.
 func (n *Node) serveBinaryPeer(br *bufio.Reader) {
 	var buf []byte
+	var msgs []proto.Message
 	for {
 		b, err := ReadFrame(br, n.frameLimit, &buf)
 		if err != nil {
@@ -292,14 +360,17 @@ func (n *Node) serveBinaryPeer(br *bufio.Reader) {
 		if err != nil {
 			return
 		}
+		msgs = msgs[:0]
 		for len(b) > 0 {
 			msg, rest, err := proto.DecodeMessage(b)
 			if err != nil {
 				return
 			}
 			b = rest
-			n.deliver(ids.ProcessID(from), msg)
+			msgs = append(msgs, msg)
 		}
+		n.deliverBatch(ids.ProcessID(from), msgs)
+		clear(msgs) // drop message refs until the next frame
 	}
 }
 
@@ -309,17 +380,70 @@ type idMinter interface{ NextID() ids.Dot }
 // clients, which cannot express one per request.
 const legacyClientTimeout = 10 * time.Second
 
-// waiter tracks one pending client command until it is claimed by
+// waiter tracks one pending client request until it is claimed by
 // exactly one of: local execution, deadline expiry, connection teardown,
 // or node shutdown. Binary-protocol waiters complete by enqueuing a
 // reply frame on their connection; legacy gob waiters complete over a
 // buffered channel their serving goroutine blocks on.
+//
+// A waiter is one member of a pendingCmd: a direct submission has one
+// member owning the whole result, a batched submission has one member
+// per client request, each owning the [off, off+nvals) segment of the
+// command's per-op result values.
 type waiter struct {
-	id       ids.Dot
 	deadline time.Time // zero = no deadline
 	cc       *clientConn
 	reqID    uint64
 	ch       chan *ClientReply // legacy path only
+
+	// claimed is guarded by Node.waitMu; it holds the claim-once
+	// discipline together wherever the waiter currently lives (batcher
+	// bucket, waiters map, or in flight between the two).
+	claimed bool
+	// off/nvals locate this request's slice of the command's result
+	// values; nvals < 0 means the whole result (direct submissions).
+	// Written before the waiter is published under waitMu.
+	off, nvals int
+}
+
+// pendingCmd is the set of client requests riding one submitted command.
+type pendingCmd struct {
+	members []*waiter
+}
+
+// claimAllLocked claims every unclaimed member and returns them. The
+// caller holds Node.waitMu.
+func (pc *pendingCmd) claimAllLocked() []*waiter {
+	var out []*waiter
+	for _, w := range pc.members {
+		if !w.claimed {
+			w.claimed = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// allClaimedLocked reports whether no member is left to complete. The
+// caller holds Node.waitMu.
+func (pc *pendingCmd) allClaimedLocked() bool {
+	for _, w := range pc.members {
+		if !w.claimed {
+			return false
+		}
+	}
+	return true
+}
+
+// segment returns the waiter's slice of a command's result values,
+// clipped to what the local shard actually produced.
+func (w *waiter) segment(values [][]byte) [][]byte {
+	if w.nvals < 0 {
+		return values
+	}
+	lo := min(w.off, len(values))
+	hi := min(w.off+w.nvals, len(values))
+	return values[lo:hi]
 }
 
 // complete delivers an execution result. The caller has already claimed
@@ -341,46 +465,118 @@ func (w *waiter) fail(e command.WireError) {
 	w.ch <- &ClientReply{Error: e.Msg}
 }
 
-// submit registers w and hands its operations to the replica. The
-// critical section is exactly the replica interaction — id minting and
-// Submit — plus the waiter-map insert that must precede any completion;
-// waiter allocation and reply handling happen outside n.mu.
-func (n *Node) submit(w *waiter, ops []command.Op) ids.Dot {
+// submit routes one client request: through the batcher when the ops
+// map to a single shard (the common case — one consensus round then
+// carries many requests), directly otherwise.
+func (n *Node) submit(w *waiter, ops []command.Op) {
+	if b := n.batcher; b != nil {
+		if shard, ok := b.sharder.OpsShard(ops); ok {
+			b.add(shard, w, ops)
+			return
+		}
+	}
+	w.nvals = -1
+	n.submitCmd([]*waiter{w}, ops)
+}
+
+// submitCmd registers the members and hands the combined operations to
+// the replica as one command. The critical section is exactly the
+// replica interaction — id minting and Submit — plus the waiter-map
+// insert that must precede any completion; waiter allocation, batching
+// and reply handling happen outside n.mu.
+//
+// The shutdown check shares waitMu with Close's sweep: either this
+// registration happens before the sweep (which then claims it), or the
+// sweep ran first — in which case n.done is observably closed here and
+// the members are failed directly, never registered into a map no one
+// will drain (a flush racing Close would otherwise strand its waiters
+// and enqueue work for an executor that already exited).
+func (n *Node) submitCmd(members []*waiter, ops []command.Op) {
 	n.mu.Lock()
 	id := n.rep.(idMinter).NextID()
-	w.id = id
 	n.waitMu.Lock()
-	n.waiters[id] = w
+	select {
+	case <-n.done:
+		var doomed []*waiter
+		for _, w := range members {
+			if !w.claimed {
+				w.claimed = true
+				doomed = append(doomed, w)
+			}
+		}
+		n.waitMu.Unlock()
+		n.mu.Unlock()
+		for _, w := range doomed {
+			w.fail(command.WireError{Code: command.ErrCodeShutdown, Msg: "node shutting down"})
+		}
+		return
+	default:
+	}
+	n.waiters[id] = &pendingCmd{members: members}
+	n.syncPendingLocked()
 	n.waitMu.Unlock()
 	acts := n.rep.Submit(command.New(id, ops...))
 	n.afterStepLocked(acts)
 	n.mu.Unlock()
-	return id
 }
 
-// claimWaiter removes and returns the waiter for id, or nil if another
-// path already claimed it.
-func (n *Node) claimWaiter(id ids.Dot) *waiter {
+// pendingCmds returns how many submitted commands are awaiting
+// execution; the batcher uses it to decide whether a request has
+// anything worth waiting to coalesce with. Lock-free (see nPending).
+func (n *Node) pendingCmds() int { return int(n.nPending.Load()) }
+
+// syncPendingLocked refreshes the lock-free mirror of len(waiters);
+// call before releasing waitMu after any waiters-map mutation.
+func (n *Node) syncPendingLocked() { n.nPending.Store(int64(len(n.waiters))) }
+
+// claimOne claims a single waiter wherever it lives; it reports whether
+// the caller won (and therefore owns the completion).
+func (n *Node) claimOne(w *waiter) bool {
 	n.waitMu.Lock()
-	w := n.waiters[id]
-	if w != nil {
-		delete(n.waiters, id)
-	}
+	won := !w.claimed
+	w.claimed = true
 	n.waitMu.Unlock()
-	return w
+	return won
 }
 
-// expireWaiters fails every waiter whose deadline has passed. The tick
-// loop calls it, so deadlines are enforced at tick granularity.
+// completeCmd claims and completes every remaining member of a command,
+// handing each its own slice of the result values. Safe to call from
+// the executor goroutine (no Node locks held by the caller).
+func (n *Node) completeCmd(id ids.Dot, values [][]byte) {
+	n.waitMu.Lock()
+	pc := n.waiters[id]
+	if pc == nil {
+		n.waitMu.Unlock()
+		return
+	}
+	delete(n.waiters, id)
+	n.syncPendingLocked()
+	done := pc.claimAllLocked()
+	n.waitMu.Unlock()
+	for _, w := range done {
+		w.complete(w.segment(values))
+	}
+}
+
+// expireWaiters fails every waiter whose deadline has passed — member by
+// member, so one slow request in a batch cannot take its batchmates down
+// with it. The tick loop calls it, so deadlines are enforced at tick
+// granularity.
 func (n *Node) expireWaiters(now time.Time) {
 	var expired []*waiter
 	n.waitMu.Lock()
-	for id, w := range n.waiters {
-		if !w.deadline.IsZero() && now.After(w.deadline) {
+	for id, pc := range n.waiters {
+		for _, w := range pc.members {
+			if !w.claimed && !w.deadline.IsZero() && now.After(w.deadline) {
+				w.claimed = true
+				expired = append(expired, w)
+			}
+		}
+		if pc.allClaimedLocked() {
 			delete(n.waiters, id)
-			expired = append(expired, w)
 		}
 	}
+	n.syncPendingLocked()
 	n.waitMu.Unlock()
 	for _, w := range expired {
 		w.fail(command.WireError{Code: command.ErrCodeTimeout, Msg: "deadline exceeded before execution"})
@@ -398,12 +594,12 @@ func (n *Node) serveClient(req *ClientRequest) *ClientReply {
 		deadline: time.Now().Add(legacyClientTimeout),
 		ch:       make(chan *ClientReply, 1),
 	}
-	id := n.submit(w, req.Ops)
+	n.submit(w, req.Ops)
 	select {
 	case rep := <-w.ch:
 		return rep
 	case <-n.done:
-		if n.claimWaiter(id) != nil {
+		if n.claimOne(w) {
 			return &ClientReply{Error: "node shutting down"}
 		}
 		// Lost the claim race: the completion is already in flight.
@@ -529,11 +725,17 @@ func (cc *clientConn) abandon() {
 	delete(n.clientConns, cc)
 	n.ccMu.Unlock()
 	n.waitMu.Lock()
-	for id, w := range n.waiters {
-		if w.cc == cc {
+	for id, pc := range n.waiters {
+		for _, w := range pc.members {
+			if w.cc == cc {
+				w.claimed = true // no one left to reply to
+			}
+		}
+		if pc.allClaimedLocked() {
 			delete(n.waiters, id)
 		}
 	}
+	n.syncPendingLocked()
 	n.waitMu.Unlock()
 }
 
@@ -542,6 +744,21 @@ func (n *Node) deliver(from ids.ProcessID, msg proto.Message) {
 	n.mu.Lock()
 	acts := n.rep.Handle(from, msg)
 	n.afterStepLocked(acts)
+	n.mu.Unlock()
+}
+
+// deliverBatch feeds every message of a decoded frame into the replica
+// under one lock acquisition. Actions are consumed after each step (the
+// replica's action slices are scratch, valid only until its next step).
+func (n *Node) deliverBatch(from ids.ProcessID, msgs []proto.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	n.mu.Lock()
+	for _, msg := range msgs {
+		acts := n.rep.Handle(from, msg)
+		n.afterStepLocked(acts)
+	}
 	n.mu.Unlock()
 }
 
@@ -563,34 +780,60 @@ func (n *Node) tickLoop() {
 	}
 }
 
-// afterStepLocked sends actions and completes waiting clients. Callers
-// hold n.mu.
+// afterStepLocked sends actions and routes newly-stable commands to the
+// execution pipeline. Callers hold n.mu. With a deferred-applying
+// replica the step only enqueues onto execQ (the executor goroutine
+// applies and completes waiters off the lock); otherwise execution
+// already happened inline and the results are completed here.
 func (n *Node) afterStepLocked(acts []proto.Action) {
 	for _, a := range acts {
 		for _, to := range a.To {
 			n.sendLocked(to, a.Msg)
 		}
 	}
-	ex := n.rep.Drain()
-	if len(ex) == 0 {
+	if n.defRep != nil {
+		st := n.defRep.DrainStable()
+		if len(st) == 0 {
+			return
+		}
+		n.execMu.Lock()
+		n.execQ = append(n.execQ, st...)
+		n.execMu.Unlock()
+		select {
+		case n.execKick <- struct{}{}:
+		default:
+		}
 		return
 	}
-	// Claim under waitMu, complete outside it: completions only append
-	// to a connection buffer or send on a buffered channel, but keeping
-	// waitMu to map surgery makes the claim-once discipline obvious.
-	var done []*waiter
-	var results []*command.Result
-	n.waitMu.Lock()
+	ex := n.rep.Drain()
 	for _, e := range ex {
-		if w, ok := n.waiters[e.Cmd.ID]; ok {
-			delete(n.waiters, e.Cmd.ID)
-			done = append(done, w)
-			results = append(results, e.Result)
-		}
+		n.completeCmd(e.Cmd.ID, e.Result.Values)
 	}
-	n.waitMu.Unlock()
-	for i, w := range done {
-		w.complete(results[i].Values)
+}
+
+// execLoop is the per-replica executor: it drains the timestamp-ordered
+// delivery queue filled by protocol steps, applies each stable command
+// to the state machine, and completes the client requests riding on it.
+// kvstore work and reply encoding thus never run under n.mu.
+func (n *Node) execLoop() {
+	var local []proto.Stable
+	for {
+		select {
+		case <-n.execKick:
+		case <-n.done:
+			return
+		}
+		n.execMu.Lock()
+		local, n.execQ = n.execQ, local[:0]
+		n.execMu.Unlock()
+		for _, it := range local {
+			if n.execObserver != nil {
+				n.execObserver(it)
+			}
+			res := n.defRep.ApplyStable(it.Cmd)
+			n.completeCmd(it.Cmd.ID, res.Values)
+		}
+		clear(local) // drop command refs until the next swap
 	}
 }
 

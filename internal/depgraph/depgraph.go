@@ -10,7 +10,7 @@
 package depgraph
 
 import (
-	"sort"
+	"slices"
 
 	"tempo/internal/command"
 	"tempo/internal/ids"
@@ -35,11 +35,35 @@ type Graph struct {
 	nodes    map[ids.Dot]*Node
 	executed map[ids.Dot]bool
 
+	// Scratch reused across Executable calls (roots, the blocked-SCC
+	// bitmap and the Tarjan stack), so steady-state execution does not
+	// re-allocate them every drain.
+	roots      []*Node
+	blockedSCC []bool
+	tj         tarjan
+
 	// stats
 	maxSCC      int
 	execCount   uint64
 	sccSizes    []int
 	blockedPeak int
+}
+
+// cmpSeqID is the deterministic (seq, id) execution order.
+func cmpSeqID(a, b *Node) int {
+	if a.Seq != b.Seq {
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	}
+	if a.ID.Less(b.ID) {
+		return -1
+	}
+	if b.ID.Less(a.ID) {
+		return 1
+	}
+	return 0
 }
 
 // New creates an empty graph.
@@ -94,8 +118,16 @@ func (g *Graph) Executable() []*Node {
 	if len(g.nodes) == 0 {
 		return nil
 	}
-	t := &tarjan{g: g}
-	roots := make([]*Node, 0, len(g.nodes))
+	t := &g.tj
+	t.g = g
+	t.counter = 0
+	stack := t.stack[:cap(t.stack)]
+	clear(stack) // unpin nodes from the previous drain
+	t.stack = stack[:0]
+	sccs := t.sccs[:cap(t.sccs)]
+	clear(sccs)
+	t.sccs = sccs[:0]
+	roots := g.roots[:0]
 	for _, n := range g.nodes {
 		n.visited = false
 		n.onStack = false
@@ -103,22 +135,23 @@ func (g *Graph) Executable() []*Node {
 	}
 	// Deterministic DFS roots so that independent components execute in
 	// the same (seq, id) order at every replica.
-	sort.Slice(roots, func(i, j int) bool {
-		if roots[i].Seq != roots[j].Seq {
-			return roots[i].Seq < roots[j].Seq
-		}
-		return roots[i].ID.Less(roots[j].ID)
-	})
+	slices.SortFunc(roots, cmpSeqID)
 	for _, n := range roots {
 		if !n.visited {
 			t.strongConnect(n)
 		}
 	}
+	clear(roots) // do not pin executed nodes until the next drain
+	g.roots = roots[:0]
 	// t.sccs is in reverse topological order of the condensation
 	// (Tarjan emits an SCC only after all SCCs it depends on): execute
 	// components in emission order, skipping components that are blocked
 	// (depend on an uncommitted command or on a blocked component).
-	blockedSCC := make([]bool, len(t.sccs))
+	if cap(g.blockedSCC) < len(t.sccs) {
+		g.blockedSCC = make([]bool, len(t.sccs))
+	}
+	blockedSCC := g.blockedSCC[:len(t.sccs)]
+	clear(blockedSCC)
 	var out []*Node
 	for i, scc := range t.sccs {
 		blocked := false
@@ -147,12 +180,7 @@ func (g *Graph) Executable() []*Node {
 		if blocked {
 			continue
 		}
-		sort.Slice(scc, func(a, b int) bool {
-			if scc[a].Seq != scc[b].Seq {
-				return scc[a].Seq < scc[b].Seq
-			}
-			return scc[a].ID.Less(scc[b].ID)
-		})
+		slices.SortFunc(scc, cmpSeqID)
 		if len(scc) > g.maxSCC {
 			g.maxSCC = len(scc)
 		}
@@ -175,7 +203,9 @@ func (g *Graph) Executable() []*Node {
 func (g *Graph) BlockedPeak() int { return g.blockedPeak }
 
 // tarjan is the classic iterative-enough recursion (dependency chains in
-// tests are short; the simulator bounds graph sizes).
+// tests are short; the simulator bounds graph sizes). One instance lives
+// in the Graph and is reset per Executable call so its stack and SCC
+// list are reused.
 type tarjan struct {
 	g       *Graph
 	counter int

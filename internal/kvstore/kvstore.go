@@ -29,9 +29,11 @@ func New() *Store {
 // returns their results (one entry per operation on the shard; reads
 // return the stored value, writes return nil).
 func (s *Store) Apply(cmd *command.Command, shard ids.ShardID, shardOf func(command.Key) ids.ShardID) *command.Result {
+	// Batched commands carry many ops; size the result once instead of
+	// growing it op by op.
+	res := &command.Result{ID: cmd.ID, Shard: shard, Values: make([][]byte, 0, len(cmd.Ops))}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res := &command.Result{ID: cmd.ID, Shard: shard}
 	for _, op := range cmd.Ops {
 		if shardOf != nil && shardOf(op.Key) != shard {
 			continue

@@ -48,6 +48,32 @@ type Executed struct {
 	Result *command.Result
 }
 
+// Stable records one command whose execution order became final at one
+// process for one shard, in delivery order. Replicas running in deferred-
+// apply mode (see DeferredApplier) emit Stable entries instead of applying
+// commands inline, so a runtime can apply them to the state machine off
+// the protocol's critical section.
+type Stable struct {
+	Cmd   *command.Command
+	Shard ids.ShardID
+	TS    uint64
+}
+
+// DeferredApplier is implemented by replicas that can hand execution-
+// stable commands to the runtime instead of applying them inline under
+// the protocol lock. The contract: after SetDeferredApply(true), protocol
+// steps append to an internal stable queue in execution order; the
+// runtime drains it with DrainStable (serialized with Submit/Handle/Tick,
+// like Drain) and applies each command with ApplyStable, which must be
+// safe to call concurrently with protocol steps (it only touches the
+// state machine, never protocol state). Applying in DrainStable order
+// preserves the replica's execution order.
+type DeferredApplier interface {
+	SetDeferredApply(on bool)
+	DrainStable() []Stable
+	ApplyStable(cmd *command.Command) *command.Result
+}
+
 // Replica is a protocol instance at one process (replicating one shard).
 type Replica interface {
 	// ID returns the process id of this replica.

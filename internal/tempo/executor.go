@@ -3,6 +3,7 @@ package tempo
 import (
 	"container/heap"
 
+	"tempo/internal/command"
 	"tempo/internal/ids"
 	"tempo/internal/proto"
 )
@@ -115,17 +116,53 @@ func (p *Process) stableAtAllShards(ci *cmdInfo) bool {
 	return true
 }
 
-// execute applies the command to the local shard's state (the
-// execute_p(c) upcall) and advances the executed watermark.
+// execute performs the execute_p(c) upcall and advances the executed
+// watermark. Inline mode (the default) applies the command to the local
+// shard's state immediately; deferred mode only records that the
+// command's execution order is final — the runtime applies it via
+// ApplyStable, off the protocol's critical section. Delivery order is
+// fixed here either way, so the watermark (which gates promise GC, not
+// reads — reads are themselves commands) may advance before the deferred
+// apply lands.
 func (p *Process) execute(td tsDot, ci *cmdInfo) {
 	ci.phase = PhaseExecute
-	res := p.store.Apply(ci.cmd, p.shard, p.topo.ShardOf)
-	p.executedOut = append(p.executedOut, proto.Executed{
-		Cmd:    ci.cmd,
-		Shard:  p.shard,
-		Result: res,
-	})
+	if p.deferApply {
+		p.stableOut = append(p.stableOut, proto.Stable{
+			Cmd:   ci.cmd,
+			Shard: p.shard,
+			TS:    td.ts,
+		})
+	} else {
+		res := p.store.Apply(ci.cmd, p.shard, p.topo.ShardOf)
+		p.executedOut = append(p.executedOut, proto.Executed{
+			Cmd:    ci.cmd,
+			Shard:  p.shard,
+			Result: res,
+		})
+	}
 	p.executedWM = TSWatermark{TS: td.ts, ID: td.id}
+}
+
+// SetDeferredApply implements proto.DeferredApplier: when on, stable
+// commands are emitted through DrainStable instead of being applied
+// inline by protocol steps. Switch modes only before commands flow.
+func (p *Process) SetDeferredApply(on bool) { p.deferApply = on }
+
+// DrainStable implements proto.DeferredApplier: it returns the commands
+// whose execution order became final since the last call, in execution
+// order. Like Drain, calls are serialized with Submit/Handle/Tick.
+func (p *Process) DrainStable() []proto.Stable {
+	out := p.stableOut
+	p.stableOut = nil
+	return out
+}
+
+// ApplyStable implements proto.DeferredApplier: it applies one stable
+// command to the local shard's store and returns its results. It touches
+// only the store (which has its own lock) and immutable topology, so the
+// runtime may call it concurrently with protocol steps.
+func (p *Process) ApplyStable(cmd *command.Command) *command.Result {
+	return p.store.Apply(cmd, p.shard, p.topo.ShardOf)
 }
 
 // onMStable records that a sibling shard reached stability for a command

@@ -2,7 +2,7 @@ package tempo
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -207,10 +207,21 @@ type Process struct {
 	// rankOf is indexed by process id (dense, small); 0 = not in shard.
 	rankOf []ids.Rank
 
-	clock       uint64
-	detached    *promise.IntervalSet // own detached promises (for broadcast)
-	attachedOwn map[ids.Dot]uint64   // own attached promises not yet folded
-	tracker     *promise.Tracker
+	clock    uint64
+	detached *promise.IntervalSet // own detached promises (for broadcast)
+	// attachedOwn holds this process's attached promises not yet folded
+	// into the detached set. attachedSorted mirrors it sorted by command
+	// id; new promises land in attachedFresh with an O(1) append and are
+	// merged in at the next broadcast or GC sweep (attachedMerge is the
+	// spare merge buffer). The per-command work stays constant and the
+	// periodic MPromises broadcast pays one O(fresh log fresh + total)
+	// merge instead of re-sorting the whole set — cheaper than the
+	// sort.Slice it replaced even under an overload backlog.
+	attachedOwn    map[ids.Dot]uint64
+	attachedSorted []AttachedWire
+	attachedFresh  []AttachedWire
+	attachedMerge  []AttachedWire
+	tracker        *promise.Tracker
 
 	cmds    map[ids.Dot]*cmdInfo
 	nextSeq uint64
@@ -219,12 +230,17 @@ type Process struct {
 	now     time.Duration
 
 	// Executor state.
-	committed   tsDotHeap
-	ready       []tsDot // stable commands waiting (in order) for execution
-	executedWM  TSWatermark
-	peerWM      map[ids.Rank]TSWatermark
+	committed  tsDotHeap
+	ready      []tsDot // stable commands waiting (in order) for execution
+	executedWM TSWatermark
+	peerWM     map[ids.Rank]TSWatermark
+	store      *kvstore.Store
+	// executedOut collects inline executions; in deferred-apply mode
+	// stableOut collects execution-stable commands for the runtime to
+	// apply off the protocol lock instead (see proto.DeferredApplier).
 	executedOut []proto.Executed
-	store       *kvstore.Store
+	stableOut   []proto.Stable
+	deferApply  bool
 
 	lastPromises time.Duration
 	lastResend   time.Duration
@@ -249,6 +265,7 @@ type Process struct {
 var _ proto.Replica = (*Process)(nil)
 var _ proto.LeaderAware = (*Process)(nil)
 var _ proto.Crashable = (*Process)(nil)
+var _ proto.DeferredApplier = (*Process)(nil)
 
 // New creates the Tempo replica for process id within the topology.
 func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
@@ -335,6 +352,25 @@ func (p *Process) Crash() { p.crashed = true }
 func (p *Process) NextID() ids.Dot {
 	p.nextSeq++
 	return ids.Dot{Source: p.id, Seq: p.nextSeq}
+}
+
+// OpsShard returns the shard owning every key of ops and true, or false
+// when the ops span shards. Runtimes use it to coalesce single-shard
+// client operations into one command (batching ops of different shards
+// would turn them into a multi-shard command, changing both the quorum
+// cost and the per-op result set). It reads only immutable topology, so
+// it is safe to call concurrently with protocol steps.
+func (p *Process) OpsShard(ops []command.Op) (ids.ShardID, bool) {
+	if len(ops) == 0 {
+		return 0, false
+	}
+	s := p.topo.ShardOf(ops[0].Key)
+	for _, op := range ops[1:] {
+		if p.topo.ShardOf(op.Key) != s {
+			return 0, false
+		}
+	}
+	return s, true
 }
 
 // Submit implements proto.Replica (Algorithm 1, line 1). The command's id
@@ -579,9 +615,71 @@ func (p *Process) proposal(id ids.Dot, m uint64) uint64 {
 	if lo := p.clock + 1; lo <= t-1 {
 		p.addOwnDetached(lo, t-1)
 	}
-	p.attachedOwn[id] = t
+	p.addOwnAttached(id, t)
 	p.clock = t
 	return t
+}
+
+// cmpAttachedID orders AttachedWire entries by command id (the broadcast
+// order of MPromises.Attached).
+func cmpAttachedID(a AttachedWire, id ids.Dot) int {
+	if a.ID.Less(id) {
+		return -1
+	}
+	if id.Less(a.ID) {
+		return 1
+	}
+	return 0
+}
+
+// addOwnAttached records an attached promise: O(1) on the hot path (an
+// append to the fresh tail), with ordering restored lazily by
+// foldFreshAttached at broadcast/GC time.
+func (p *Process) addOwnAttached(id ids.Dot, t uint64) {
+	if _, ok := p.attachedOwn[id]; ok {
+		p.attachedOwn[id] = t
+		// Rare (a command proposes once): refresh whichever view holds
+		// the entry.
+		if i, found := slices.BinarySearchFunc(p.attachedSorted, id, cmpAttachedID); found {
+			p.attachedSorted[i].TS = t
+			return
+		}
+		for i := range p.attachedFresh {
+			if p.attachedFresh[i].ID == id {
+				p.attachedFresh[i].TS = t
+				return
+			}
+		}
+		return
+	}
+	p.attachedOwn[id] = t
+	p.attachedFresh = append(p.attachedFresh, AttachedWire{ID: id, TS: t})
+}
+
+// foldFreshAttached merges the fresh tail into the sorted view: sort
+// the (small) tail, then one linear merge, ping-ponging between two
+// retained buffers so steady state allocates nothing.
+func (p *Process) foldFreshAttached() {
+	if len(p.attachedFresh) == 0 {
+		return
+	}
+	slices.SortFunc(p.attachedFresh, func(a, b AttachedWire) int { return cmpAttachedID(a, b.ID) })
+	merged := p.attachedMerge[:0]
+	i, j := 0, 0
+	for i < len(p.attachedSorted) && j < len(p.attachedFresh) {
+		if cmpAttachedID(p.attachedSorted[i], p.attachedFresh[j].ID) < 0 {
+			merged = append(merged, p.attachedSorted[i])
+			i++
+		} else {
+			merged = append(merged, p.attachedFresh[j])
+			j++
+		}
+	}
+	merged = append(merged, p.attachedSorted[i:]...)
+	merged = append(merged, p.attachedFresh[j:]...)
+	p.attachedMerge = p.attachedSorted[:0]
+	p.attachedSorted = merged
+	p.attachedFresh = p.attachedFresh[:0]
 }
 
 // bump implements lines 40-43: advances the clock to t, generating
@@ -814,24 +912,26 @@ func (p *Process) Tick(now time.Duration) []proto.Action {
 
 // broadcastPromises sends MPromises to the other shard replicas (line 90).
 func (p *Process) broadcastPromises() []proto.Action {
+	if len(p.shardOthers) == 0 {
+		return nil
+	}
 	m := &MPromises{
 		Rank:     p.rank,
 		Detached: p.detached.Encode(),
 		WM:       p.executedWM,
 	}
-	for id, ts := range p.attachedOwn {
-		m.Attached = append(m.Attached, AttachedWire{ID: id, TS: ts})
-	}
-	sort.Slice(m.Attached, func(i, j int) bool { return m.Attached[i].ID.Less(m.Attached[j].ID) })
-	// Bound the gossip size under overload: advertise the oldest entries
-	// first (the rest follow once those are garbage-collected). Without
-	// the cap, a backlog inflates every MPromises and starves the CPU.
+	// Fold the fresh tail in, then the broadcast is a bounded copy of the
+	// id-ordered set — no full re-sort per broadcast. The copy is
+	// required: the message is encoded asynchronously by the peer writers
+	// while the live set keeps mutating.
+	//
+	// The cap bounds the gossip size under overload: advertise the oldest
+	// entries first (the rest follow once those are garbage-collected).
+	// Without it, a backlog inflates every MPromises and starves the CPU.
+	p.foldFreshAttached()
 	const maxAttachedGossip = 256
-	if len(m.Attached) > maxAttachedGossip {
-		m.Attached = m.Attached[:maxAttachedGossip]
-	}
-	if len(p.shardOthers) == 0 {
-		return nil
+	if n := min(len(p.attachedSorted), maxAttachedGossip); n > 0 {
+		m.Attached = append(make([]AttachedWire, 0, n), p.attachedSorted[:n]...)
 	}
 	return []proto.Action{proto.Send(m, p.shardOthers...)}
 }
@@ -891,7 +991,13 @@ func (p *Process) gcPromises() {
 			minWM = wm
 		}
 	}
-	for id, ts := range p.attachedOwn {
+	// Sweep the sorted view (fresh tail folded in first so nothing is
+	// missed), compacting in place so it stays ordered; the map mirrors
+	// every fold.
+	p.foldFreshAttached()
+	kept := p.attachedSorted[:0]
+	for _, aw := range p.attachedSorted {
+		id, ts := aw.ID, aw.TS
 		ci, ok := p.cmds[id]
 		if !ok {
 			// Command state already collected; the promise point is
@@ -901,6 +1007,7 @@ func (p *Process) gcPromises() {
 			continue
 		}
 		if ci.phase != PhaseExecute {
+			kept = append(kept, aw)
 			continue
 		}
 		point := TSWatermark{TS: ci.finalTS, ID: id}
@@ -910,8 +1017,11 @@ func (p *Process) gcPromises() {
 			if !p.cfg.RetainLog {
 				p.collect(id, ci)
 			}
+			continue
 		}
+		kept = append(kept, aw)
 	}
+	p.attachedSorted = kept
 }
 
 // onMCommitRequest replays payload and commit info for a committed

@@ -1,0 +1,111 @@
+package tempo
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// TestAttachedPromisesStaySorted pins the incremental sorted-set
+// invariant that replaced the per-broadcast sort.Slice: attachedSorted
+// stays ordered by command id through out-of-order inserts and updates,
+// mirrors the map exactly, and is what MPromises carries.
+func TestAttachedPromisesStaySorted(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	p := New(at(topo, 0, 0), topo, Config{})
+
+	dots := []ids.Dot{
+		{Source: 3, Seq: 5}, {Source: 1, Seq: 9}, {Source: 2, Seq: 1},
+		{Source: 1, Seq: 2}, {Source: 5, Seq: 7}, {Source: 2, Seq: 4},
+	}
+	for i, d := range dots {
+		p.addOwnAttached(d, uint64(10+i))
+	}
+	assertAttachedViewsAgree(t, p)
+
+	// Updating an existing id must not duplicate the entry.
+	p.addOwnAttached(dots[0], 99)
+	if len(p.attachedSorted) != len(dots) {
+		t.Fatalf("update grew the sorted view to %d entries, want %d", len(p.attachedSorted), len(dots))
+	}
+	assertAttachedViewsAgree(t, p)
+
+	acts := p.broadcastPromises()
+	if len(acts) != 1 {
+		t.Fatalf("broadcastPromises returned %d actions", len(acts))
+	}
+	m := acts[0].Msg.(*MPromises)
+	if len(m.Attached) != len(dots) {
+		t.Fatalf("broadcast carries %d attached, want %d", len(m.Attached), len(dots))
+	}
+	for i := 1; i < len(m.Attached); i++ {
+		if !m.Attached[i-1].ID.Less(m.Attached[i].ID) {
+			t.Fatalf("MPromises.Attached out of order at %d: %v then %v",
+				i, m.Attached[i-1].ID, m.Attached[i].ID)
+		}
+	}
+}
+
+// TestAttachedSortedSurvivesWorkload runs a real multi-site workload to
+// completion and checks every replica's sorted view still matches its
+// map after the GC sweep folded promises away.
+func TestAttachedSortedSurvivesWorkload(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	procs, net := makeNet(t, topo, Config{})
+	for site := 0; site < 5; site++ {
+		p := procs[at(topo, site, 0)]
+		for k := 0; k < 4; k++ {
+			net.Submit(p.ID(), command.NewPut(p.NextID(), "hot", []byte{byte(site), byte(k)}))
+		}
+	}
+	net.Drain(0)
+	net.Settle(5, 5*time.Millisecond)
+	for id, p := range procs {
+		t.Run("", func(t *testing.T) { _ = id; assertAttachedViewsAgree(t, p) })
+	}
+}
+
+func assertAttachedViewsAgree(t *testing.T, p *Process) {
+	t.Helper()
+	p.foldFreshAttached()
+	if len(p.attachedSorted) != len(p.attachedOwn) {
+		t.Fatalf("sorted view has %d entries, map has %d", len(p.attachedSorted), len(p.attachedOwn))
+	}
+	for i, aw := range p.attachedSorted {
+		if ts, ok := p.attachedOwn[aw.ID]; !ok || ts != aw.TS {
+			t.Fatalf("entry %d (%v, ts %d) disagrees with map (ts %d, present %v)", i, aw.ID, aw.TS, ts, ok)
+		}
+		if i > 0 && !p.attachedSorted[i-1].ID.Less(aw.ID) {
+			t.Fatalf("sorted view out of order at %d: %v then %v", i, p.attachedSorted[i-1].ID, aw.ID)
+		}
+	}
+}
+
+// TestMCommitAttachedSortedByRank pins the §3.2 piggyback layout: the
+// attached promises broadcast in MCommit are ordered by rank (the
+// rank-indexed proposal slice guarantees it by construction).
+func TestMCommitAttachedSortedByRank(t *testing.T) {
+	topo := lineTopo(t, 5, 1, 1)
+	p := New(at(topo, 0, 0), topo, Config{})
+	id := ids.Dot{Source: p.ID(), Seq: 1}
+	ci := &cmdInfo{
+		cmd:       command.NewPut(id, "k", []byte("v")),
+		shards:    []ids.ShardID{0},
+		proposals: []uint64{7, 0, 9, 8, 9}, // rank 2 never answered
+	}
+	acts := p.sendCommit(id, ci, 9)
+	if len(acts) != 1 {
+		t.Fatalf("sendCommit returned %d actions", len(acts))
+	}
+	mc := acts[0].Msg.(*MCommit)
+	if len(mc.Attached) != 4 {
+		t.Fatalf("MCommit carries %d attached, want 4", len(mc.Attached))
+	}
+	for i := 1; i < len(mc.Attached); i++ {
+		if mc.Attached[i-1].Rank >= mc.Attached[i].Rank {
+			t.Fatalf("MCommit.Attached not sorted by rank: %v", mc.Attached)
+		}
+	}
+}
