@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-race bench-smoke fuzz-smoke bench-micro bench-cluster
+.PHONY: ci fmt vet build test test-race doc-check bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault
 
 ## ci: the main CI job, in order (the race and bench-smoke jobs run in
 ## parallel in the workflow)
-ci: fmt vet build test
+ci: fmt vet doc-check build test
+
+## doc-check: fail on packages or exported identifiers without doc
+## comments (tools/doccheck)
+doc-check:
+	$(GO) run ./tools/doccheck
 
 ## fmt: fail if any file is not gofmt-clean
 fmt:
@@ -26,13 +31,16 @@ test-race:
 	$(GO) test -race ./...
 
 ## bench-smoke: one iteration of every benchmark plus a short run of the
-## micro and cluster experiments — catches perf-path regressions that
-## compile but deadlock or stall, not perf itself
+## micro, cluster and fault experiments — catches perf-path regressions
+## that compile but deadlock or stall, not perf itself. The fault run is
+## a real kill-restart of subprocess replicas with durable directories.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/bench -exp micro -microout /tmp/bench_micro_smoke.json
 	$(GO) run ./cmd/bench -exp cluster -clusterdur 300ms -clusterwarm 200ms \
 		-clusterout /tmp/bench_cluster_smoke.json
+	$(GO) run ./cmd/bench -exp fault -faultphase 800ms \
+		-faultout /tmp/bench_fault_smoke.json
 
 ## fuzz-smoke: a short run of each fuzz target
 fuzz-smoke:
@@ -46,3 +54,8 @@ bench-micro:
 ## bench-cluster: regenerate BENCH_cluster.json (loaded TCP cluster sweep)
 bench-cluster:
 	$(GO) run ./cmd/bench -exp cluster
+
+## bench-fault: regenerate BENCH_fault.json (kill-restart a durable
+## replica under load; real subprocesses)
+bench-fault:
+	$(GO) run ./cmd/bench -exp fault

@@ -69,8 +69,20 @@ type Config struct {
 	// Site is the preferred site when routing with a topology (the
 	// replica co-located with the client).
 	Site ids.SiteID
+	// Prefer, when non-zero, is the session's home replica: it is tried
+	// first for every command (before topology- or id-order routing).
+	// Combined with RedialBackoff this gives sessions fail-over *and*
+	// re-balance: while the home replica is down its dial backoff routes
+	// requests to the others, and once it serves again — e.g. after a
+	// crash-restart — new requests return to it.
+	Prefer ids.ProcessID
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
+	// RedialBackoff is how long a replica that failed to dial is skipped
+	// before it is tried again (default 1s; negative disables). Without
+	// it, every request issued while a replica is down would pay a full
+	// dial timeout before failing over.
+	RedialBackoff time.Duration
 	// RequestTimeout is the per-request deadline applied when the
 	// context has none (default 10s; negative disables). The deadline
 	// travels with the request, so the replica itself fails the command
@@ -87,6 +99,9 @@ type Session struct {
 	mu     sync.Mutex
 	conns  map[ids.ProcessID]*conn
 	closed bool
+	// down records, per replica, until when dialing is skipped after a
+	// dial failure (the redial backoff). Guarded by mu.
+	down map[ids.ProcessID]time.Time
 	// dialMu serializes dialing per replica so a burst of first
 	// requests shares one connection instead of racing dials. Keys are
 	// fixed at New; only the mutexes are contended.
@@ -104,9 +119,16 @@ func New(cfg Config) (*Session, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
+	if cfg.RedialBackoff == 0 {
+		cfg.RedialBackoff = time.Second
+	}
+	if cfg.RedialBackoff < 0 {
+		cfg.RedialBackoff = 0
+	}
 	s := &Session{
 		cfg:    cfg,
 		conns:  make(map[ids.ProcessID]*conn),
+		down:   make(map[ids.ProcessID]time.Time),
 		dialMu: make(map[ids.ProcessID]*sync.Mutex, len(cfg.Addrs)),
 	}
 	for id := range cfg.Addrs {
@@ -149,27 +171,59 @@ func (s *Session) Close() error {
 }
 
 // candidates returns the replicas that may serve a command on key, in
-// routing-preference order: with a topology, the owning shard's replica
-// at the session's site first, then the shard's other replicas; without
-// one, every replica in id order.
+// routing-preference order: the session's home replica (Prefer) first,
+// then — with a topology — the owning shard's replica at the session's
+// site and the shard's other replicas, or every replica in id order
+// without one.
 func (s *Session) candidates(key command.Key) []ids.ProcessID {
 	t := s.cfg.Topo
+	var base []ids.ProcessID
 	if t == nil {
-		return s.order
-	}
-	shard := t.ShardOf(key)
-	procs := t.ShardProcesses(shard)
-	out := make([]ids.ProcessID, 0, len(procs))
-	if p := t.ProcessAt(s.cfg.Site, shard); p != 0 {
-		out = append(out, p)
-	}
-	for _, p := range procs {
-		if len(out) > 0 && p == out[0] {
-			continue
+		base = s.order
+	} else {
+		shard := t.ShardOf(key)
+		procs := t.ShardProcesses(shard)
+		base = make([]ids.ProcessID, 0, len(procs))
+		if p := t.ProcessAt(s.cfg.Site, shard); p != 0 {
+			base = append(base, p)
 		}
-		out = append(out, p)
+		for _, p := range procs {
+			if len(base) > 0 && p == base[0] {
+				continue
+			}
+			base = append(base, p)
+		}
+	}
+	home := s.cfg.Prefer
+	if home == 0 || (len(base) > 0 && base[0] == home) {
+		return base
+	}
+	found := false
+	for _, p := range base {
+		if p == home {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return base // home replica does not serve this key's shard
+	}
+	out := make([]ids.ProcessID, 0, len(base))
+	out = append(out, home)
+	for _, p := range base {
+		if p != home {
+			out = append(out, p)
+		}
 	}
 	return out
+}
+
+// inBackoff reports whether a replica's dial backoff is still running.
+func (s *Session) inBackoff(pid ids.ProcessID, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	until, ok := s.down[pid]
+	return ok && now.Before(until)
 }
 
 // Do submits a command built from ops and returns a Future for its
@@ -194,21 +248,44 @@ func (s *Session) Do(ctx context.Context, ops ...command.Op) *Future {
 		deadline = 0 // RequestTimeout < 0: no deadline
 	}
 	var lastErr error
-	for _, pid := range s.candidates(ops[0].Key) {
+	try := func(pid ids.ProcessID) (done bool) {
 		c, err := s.conn(pid)
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
 				f.fulfill(nil, err)
-				return f
+				return true
 			}
 			lastErr = err
-			continue
+			return false
 		}
 		if err := c.send(f, deadline, ops); err != nil {
 			lastErr = err
+			return false
+		}
+		return true
+	}
+	// First pass skips replicas in dial backoff (fail over fast while a
+	// replica is down); the second pass retries them anyway, so a fully
+	// backed-off candidate set still makes a real attempt instead of
+	// failing on stale knowledge.
+	now := time.Now()
+	var skipped []ids.ProcessID
+	for _, pid := range s.candidates(ops[0].Key) {
+		if s.inBackoff(pid, now) {
+			skipped = append(skipped, pid)
 			continue
 		}
-		return f
+		if try(pid) {
+			return f
+		}
+	}
+	for _, pid := range skipped {
+		if try(pid) {
+			return f
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no candidate replicas")
 	}
 	f.fulfill(nil, fmt.Errorf("client: no replica reachable: %w", lastErr))
 	return f
@@ -267,6 +344,11 @@ func (s *Session) conn(pid ids.ProcessID) (*conn, error) {
 	}
 	nc, err := dial(s.cfg.Addrs[pid], s.cfg.DialTimeout)
 	if err != nil {
+		if s.cfg.RedialBackoff > 0 {
+			s.mu.Lock()
+			s.down[pid] = time.Now().Add(s.cfg.RedialBackoff)
+			s.mu.Unlock()
+		}
 		return nil, err
 	}
 	fresh := newConn(pid, nc)
@@ -276,6 +358,7 @@ func (s *Session) conn(pid ids.ProcessID) (*conn, error) {
 		fresh.fail(ErrClosed)
 		return nil, ErrClosed
 	}
+	delete(s.down, pid) // the replica is back: route to it again
 	s.conns[pid] = fresh
 	s.mu.Unlock()
 	return fresh, nil

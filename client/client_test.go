@@ -513,3 +513,140 @@ func TestConnectionLossFailsInFlight(t *testing.T) {
 		t.Fatalf("in-flight request on lost connection = %v, want prompt connection error", err)
 	}
 }
+
+// TestPreferRoutesToHomeReplica pins per-session home routing: a session
+// with Prefer set coordinates its commands at that replica (observable
+// through the replica's coordinator stats).
+func TestPreferRoutesToHomeReplica(t *testing.T) {
+	addrs, topo := startCluster(t, 3, 1)
+	home := topo.ProcessAt(1, 0) // id 2
+	sess, err := client.New(client.Config{Addrs: addrs, Prefer: home})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := sess.Put(ctx, fmt.Sprintf("prefer-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All five writes went through the home replica: reading them back
+	// through it must succeed even if the id-order default (node 1) was
+	// never touched. The strongest black-box signal that routing honours
+	// Prefer is that a session whose ONLY address is the home replica
+	// observes the same session state.
+	pin, err := client.New(client.Config{Addrs: map[ids.ProcessID]string{home: addrs[home]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Close()
+	v, err := pin.Get(ctx, "prefer-4")
+	if err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("prefer-4 = %q, %v", v, err)
+	}
+}
+
+// TestRedialBackoffFailsOverThenRebalances pins the outage lifecycle: a
+// session keeps serving while its home replica is down (fast failover
+// after one failed dial, no per-request dial timeouts), and returns to
+// the home replica once it is back and the backoff expires — the
+// crash-restart client story end to end.
+func TestRedialBackoffFailsOverThenRebalances(t *testing.T) {
+	// A 3-replica topology where node 1 starts out down: its address is
+	// reserved but nothing listens there yet.
+	names := []string{"s0", "s1", "s2"}
+	rtt := [][]time.Duration{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnHome, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeAddr := lnHome.Addr().String()
+	lnHome.Close()
+	lns := make(map[ids.ProcessID]net.Listener)
+	// Node 3 is the one that starts out down: fast quorums prefer the
+	// low-id replicas, so the surviving pair keeps committing without
+	// the recovery protocol.
+	addrs := map[ids.ProcessID]string{3: homeAddr}
+	for _, pid := range []ids.ProcessID{1, 2} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[pid] = ln
+		addrs[pid] = ln.Addr().String()
+	}
+	mkRep := func(pid ids.ProcessID) *tempo.Process {
+		// A realistic recovery timeout matters here: the node joining
+		// late fills the holes left by its peers' attached promises
+		// through the MCommitRequest liveness path, which is paced by
+		// this timeout.
+		return tempo.New(pid, topo, tempo.Config{PromiseInterval: 2 * time.Millisecond, RecoveryTimeout: 100 * time.Millisecond})
+	}
+	for _, pid := range []ids.ProcessID{1, 2} {
+		n := cluster.NewNode(pid, mkRep(pid), addrs)
+		n.StartListener(lns[pid])
+		t.Cleanup(n.Close)
+	}
+
+	sess, err := client.New(client.Config{
+		Addrs:         addrs,
+		Prefer:        3,
+		RedialBackoff: 200 * time.Millisecond,
+		DialTimeout:   500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	// Home is down: the first request pays the failed dial, fails over,
+	// and succeeds; follow-ups skip the dead replica via the backoff.
+	if err := sess.Put(ctx, "fo", []byte("v1")); err != nil {
+		t.Fatalf("put with home down: %v", err)
+	}
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if err := sess.Put(ctx, "fo", []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d > 400*time.Millisecond {
+		t.Fatalf("10 puts with home in backoff took %v: requests are paying dial attempts", d)
+	}
+
+	// Node 3 comes up on its advertised address (as a restart would)...
+	ln1, err := net.Listen("tcp", homeAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", homeAddr, err)
+	}
+	rep1 := mkRep(3)
+	n1 := cluster.NewNode(3, rep1, addrs)
+	n1.StartListener(ln1)
+	t.Cleanup(n1.Close)
+
+	// ...and after the backoff expires the session re-balances to it:
+	// the home replica starts coordinating this session's commands
+	// again, observable through its coordinator stats.
+	time.Sleep(250 * time.Millisecond)
+	before, _, _ := rep1.Stats()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := sess.Put(ctx, "fo", []byte("v3")); err != nil {
+			t.Fatal(err)
+		}
+		fast, slow, rec := rep1.Stats()
+		if fast+slow+rec > before {
+			break // the home replica coordinated a command again
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never re-balanced to the recovered home replica")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -8,15 +8,18 @@
 //	bench -exp fig7 -scale 4 -duration 4s
 //	bench -exp micro               # hot-path micro-benchmarks -> BENCH_micro.json
 //	bench -exp cluster             # loaded TCP cluster sweep -> BENCH_cluster.json
+//	bench -exp fault               # kill-restart a durable replica -> BENCH_fault.json
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, ablation-mbump,
-// ablation-piggyback, ablation-f, micro, cluster, all. See
+// ablation-piggyback, ablation-f, micro, cluster, fault, all. See
 // EXPERIMENTS.md for the paper-vs-reproduction comparison. The micro
-// experiment writes its results to -microout (default BENCH_micro.json)
-// and the cluster experiment — a real loopback cluster driven by
-// concurrent pipelined sessions across server-side batching configs —
-// writes -clusterout (default BENCH_cluster.json), so successive PRs can
-// track the hot-path trajectory.
+// experiment writes its results to -microout (default BENCH_micro.json);
+// the cluster experiment — a real loopback cluster driven by concurrent
+// pipelined sessions across server-side batching configs — writes
+// -clusterout (default BENCH_cluster.json); the fault experiment —
+// real durable replica processes, one SIGKILL'd and restarted under
+// load — writes -faultout (default BENCH_fault.json). Successive PRs
+// track the hot-path and failure-path trajectory through these files.
 package main
 
 import (
@@ -29,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig5..fig9, ablation-*, micro, all)")
+	exp := flag.String("exp", "all", "experiment id (fig5..fig9, ablation-*, micro, cluster, fault, all)")
 	scale := flag.Int("scale", 16, "divide the paper's client counts by this factor")
 	duration := flag.Duration("duration", 2*time.Second, "measured simulated time per run")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "simulated warmup before measurement")
@@ -38,7 +41,25 @@ func main() {
 	clusterOut := flag.String("clusterout", "BENCH_cluster.json", "output path for the cluster experiment")
 	clusterDur := flag.Duration("clusterdur", 2*time.Second, "measured wall-clock time per cluster load point")
 	clusterWarm := flag.Duration("clusterwarm", 500*time.Millisecond, "cluster warmup before measurement")
+	faultOut := flag.String("faultout", "BENCH_fault.json", "output path for the fault experiment")
+	faultPhase := flag.Duration("faultphase", 3*time.Second, "per-phase duration of the fault experiment (steady, outage, post-restart)")
+
+	// Node-runner mode: the fault experiment re-execs this binary as the
+	// cluster's replica processes, so a SIGKILL is a real process death.
+	faultNode := flag.Bool("fault-node", false, "internal: run as one durable replica of the fault experiment")
+	nodeID := flag.Int("node-id", 0, "internal: fault-node replica id")
+	nodePeers := flag.String("node-peers", "", "internal: fault-node peer addresses")
+	nodeDir := flag.String("node-dir", "", "internal: fault-node data directory")
+	nodeFsync := flag.Duration("node-fsync", 2*time.Millisecond, "internal: fault-node WAL fsync interval")
 	flag.Parse()
+
+	if *faultNode {
+		if err := bench.RunFaultNode(*nodeID, *nodePeers, *nodeDir, *nodeFsync); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := bench.Options{
 		Scale:    *scale,
@@ -76,6 +97,19 @@ func main() {
 		fmt.Printf("wrote %s\n", *clusterOut)
 	}
 
+	runFault := func() {
+		res, err := bench.RunFault(os.Stdout, bench.FaultOptions{Phase: *faultPhase})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault experiment: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteFaultJSON(*faultOut, res); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *faultOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *faultOut)
+	}
+
 	experiments := map[string]func(){
 		"fig5":               func() { bench.Fig5(o) },
 		"fig6":               func() { bench.Fig6(o) },
@@ -87,9 +121,10 @@ func main() {
 		"ablation-f":         func() { bench.AblationFaultTolerance(o) },
 		"micro":              runMicro,
 		"cluster":            runCluster,
+		"fault":              runFault,
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "fig9",
-		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster"}
+		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault"}
 
 	if *exp == "all" {
 		for _, name := range order {

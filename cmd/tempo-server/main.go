@@ -11,8 +11,15 @@
 // The i-th entry of -peers is the address of the replica with -id i.
 // Each replica serves peers and clients on the same port: the pipelined
 // binary client protocol (the top-level client package), the legacy gob
-// client protocol, and both peer codecs are auto-detected per
-// connection.
+// client protocol, both peer codecs, and the state-sync protocol used
+// by restarting peers are all auto-detected per connection.
+//
+// With -data-dir the replica is durable: applied commands go to a
+// write-ahead log (fsync-batched per -fsync), periodic snapshots bound
+// replay length (-snapshot-every), and a killed process restarted on
+// the same directory replays its state, catches up from its peers and
+// rejoins. See docs/OPERATIONS.md for tuning and the crash-recovery
+// runbook.
 package main
 
 import (
@@ -40,6 +47,9 @@ func main() {
 	batchOps := flag.Int("batch-ops", cluster.DefaultBatchOps, "max client ops coalesced into one command (<=1 disables batching)")
 	batchWindow := flag.Duration("batch-window", cluster.DefaultBatchWindow, "submit-batch flush window (<=0 disables batching)")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
+	dataDir := flag.String("data-dir", "", "data directory for WAL+snapshot persistence; empty runs in-memory (a crash loses the replica's local state)")
+	fsync := flag.Duration("fsync", 2*time.Millisecond, "WAL fsync batching interval; 0 makes every command durable before its reply")
+	snapshotEvery := flag.Int("snapshot-every", cluster.DefaultSnapshotEvery, "applied commands between kvstore snapshots (bounds WAL replay length)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -81,10 +91,27 @@ func main() {
 	rep := tempo.New(ids.ProcessID(*id), topo, tempo.Config{})
 	node := cluster.NewNode(ids.ProcessID(*id), rep, addrs)
 	node.SetBatch(*batchOps, *batchWindow)
+	if *dataDir != "" {
+		sync := *fsync
+		if sync == 0 {
+			sync = -1 // flag 0 means "fsync every append"
+		}
+		if err := node.SetDurable(cluster.DurableConfig{
+			Dir:           *dataDir,
+			SyncInterval:  sync,
+			SnapshotEvery: *snapshotEvery,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if err := node.Start(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("tempo replica %d serving on %s (r=%d, f=%d)", *id, node.Addr(), len(addrList), *f)
+	if *dataDir != "" {
+		log.Printf("tempo replica %d serving on %s (r=%d, f=%d, data-dir=%s)", *id, node.Addr(), len(addrList), *f, *dataDir)
+	} else {
+		log.Printf("tempo replica %d serving on %s (r=%d, f=%d, in-memory)", *id, node.Addr(), len(addrList), *f)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

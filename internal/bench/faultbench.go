@@ -1,0 +1,413 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/cluster"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// The fault-injection experiment (`bench -exp fault`): a real 3-replica
+// cluster of OS processes with durable data directories, driven by the
+// PR 3 loaded-cluster workload shape, with one replica SIGKILL'd
+// mid-load and restarted on its data directory. Unlike every other
+// experiment it measures the failure path: how deep throughput dips
+// when a replica dies, how quickly sessions homed on it take their
+// traffic elsewhere, and how long the restarted process takes to
+// replay+catch-up before serving again. Results go to BENCH_fault.json.
+//
+// The replicas are real processes (the bench re-execs itself in a
+// node-runner mode, see RunFaultNode) because SIGKILL is the point: no
+// deferred cleanups, no flushed WAL tails, kernel-closed sockets.
+
+// FaultOptions configures the fault experiment.
+type FaultOptions struct {
+	// Phase is the length of each measured phase (pre-crash steady
+	// state, outage, post-restart steady state). Default 3s.
+	Phase time.Duration
+	// Sessions is the number of concurrent client sessions, spread
+	// round-robin over the replicas via per-session home routing
+	// (default 9 = 3 per replica).
+	Sessions int
+	// Inflight is the pipelined requests per session (default 64).
+	Inflight int
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.Phase == 0 {
+		o.Phase = 3 * time.Second
+	}
+	if o.Sessions == 0 {
+		o.Sessions = 9
+	}
+	if o.Inflight == 0 {
+		o.Inflight = 64
+	}
+	return o
+}
+
+// FaultResult is the schema of BENCH_fault.json.
+type FaultResult struct {
+	Generated string  `json:"generated"`
+	Go        string  `json:"go"`
+	PhaseMS   float64 `json:"phase_ms"`
+	Sessions  int     `json:"sessions"`
+	Inflight  int     `json:"inflight"`
+
+	// SteadyOpsPerSec is the pre-crash throughput.
+	SteadyOpsPerSec float64 `json:"steady_ops_per_sec"`
+	// DipOpsPerSec is the worst 100ms bucket in the 1.5s after the kill.
+	DipOpsPerSec float64 `json:"dip_ops_per_sec"`
+	// TakeoverMS is how long the slowest victim-homed session took to
+	// complete its first request after the kill (fail-over latency).
+	TakeoverMS float64 `json:"takeover_ms"`
+	// CatchupMS is restart-to-serving: process start through WAL
+	// replay, peer state sync and watermark reservation, until the node
+	// accepts work (the node-runner reports readiness only then).
+	CatchupMS float64 `json:"catchup_ms"`
+	// PostOpsPerSec is the steady throughput after the restarted
+	// replica rejoined (measured after a short settle).
+	PostOpsPerSec float64 `json:"post_ops_per_sec"`
+	// PostOverSteady = PostOpsPerSec/SteadyOpsPerSec; the acceptance
+	// bar is >= 0.9.
+	PostOverSteady float64 `json:"post_over_steady"`
+
+	// TimelineOpsPerSec is completed ops/s in 100ms buckets across the
+	// whole run (kill and restart land mid-array; see the *Index
+	// fields).
+	TimelineOpsPerSec []float64 `json:"timeline_ops_per_sec"`
+	KillIndex         int       `json:"kill_index"`
+	RestartIndex      int       `json:"restart_index"`
+}
+
+// RunFaultNode is the node-runner mode of cmd/bench: one durable
+// cluster replica in this process, serving until stdin closes or the
+// process is killed. It prints NODE_READY once recovery is complete and
+// the node serves.
+func RunFaultNode(id int, peersCSV, dir string, fsync time.Duration) error {
+	peers := strings.Split(peersCSV, ",")
+	names := make([]string, len(peers))
+	rtt := make([][]time.Duration, len(peers))
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, len(peers))
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		return err
+	}
+	addrs := make(map[ids.ProcessID]string, len(peers))
+	for i, a := range peers {
+		addrs[ids.ProcessID(i+1)] = a
+	}
+	rep := tempo.New(ids.ProcessID(id), topo, tempo.Config{
+		PromiseInterval: time.Millisecond,
+	})
+	node := cluster.NewNode(ids.ProcessID(id), rep, addrs)
+	if err := node.SetDurable(cluster.DurableConfig{Dir: dir, SyncInterval: fsync}); err != nil {
+		return err
+	}
+	if err := node.Start(); err != nil {
+		return err
+	}
+	fmt.Println("NODE_READY")
+	var buf [1]byte
+	os.Stdin.Read(buf[:])
+	node.Close()
+	return nil
+}
+
+// faultProc is one spawned node-runner.
+type faultProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+}
+
+func (p *faultProc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Signal(syscall.SIGKILL)
+	}
+	p.cmd.Wait()
+}
+
+// spawnFaultNode re-execs this binary in node-runner mode and waits for
+// NODE_READY (recovery included). The ready wait IS the catch-up
+// measurement on restart.
+func spawnFaultNode(id int, peers []string, dir string) (*faultProc, error) {
+	cmd := exec.Command(os.Args[0],
+		"-fault-node",
+		"-node-id", fmt.Sprint(id),
+		"-node-peers", strings.Join(peers, ","),
+		"-node-dir", dir,
+	)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &faultProc{cmd: cmd, stdin: stdin}
+	br := bufio.NewReader(stdout)
+	readyCh := make(chan error, 1)
+	go func() {
+		for {
+			line, err := br.ReadString('\n')
+			if strings.Contains(line, "NODE_READY") {
+				readyCh <- nil
+				io.Copy(io.Discard, br) // keep the pipe drained
+				return
+			}
+			if err != nil {
+				readyCh <- fmt.Errorf("node %d exited before ready", id)
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-readyCh:
+		if err != nil {
+			p.kill()
+			return nil, err
+		}
+	case <-time.After(60 * time.Second):
+		p.kill()
+		return nil, fmt.Errorf("node %d not ready in time", id)
+	}
+	return p, nil
+}
+
+// RunFault runs the kill-restart experiment and returns the measured
+// result. Progress lines go to out.
+func RunFault(out io.Writer, opts FaultOptions) (FaultResult, error) {
+	opts = opts.withDefaults()
+	res := FaultResult{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		PhaseMS:   float64(opts.Phase.Milliseconds()),
+		Sessions:  opts.Sessions,
+		Inflight:  opts.Inflight,
+	}
+
+	// Addresses and data directories for a 3-replica cluster.
+	const r = 3
+	peers := make([]string, r)
+	for i := range peers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		peers[i] = ln.Addr().String()
+		ln.Close()
+	}
+	base, err := os.MkdirTemp("", "tempo-fault-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(base)
+	dirs := make([]string, r)
+	procs := make([]*faultProc, r)
+	for i := 0; i < r; i++ {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("node-%d", i+1))
+		p, err := spawnFaultNode(i+1, peers, dirs[i])
+		if err != nil {
+			return res, err
+		}
+		procs[i] = p
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil {
+				p.kill()
+			}
+		}
+	}()
+	fmt.Fprintf(out, "fault: 3 durable replicas up (%s)\n", strings.Join(peers, " "))
+
+	addrMap := make(map[ids.ProcessID]string, r)
+	for i, a := range peers {
+		addrMap[ids.ProcessID(i+1)] = a
+	}
+	const victim = ids.ProcessID(3) // fast quorums prefer low ids; the victim's loss never blocks them
+
+	// Load: closed-loop sessions with per-replica home routing; every
+	// completion (or failure) is timestamped relative to start.
+	type sessStats struct {
+		mu    sync.Mutex
+		done  []time.Duration // completion offsets
+		fails int
+	}
+	start := time.Now()
+	stats := make([]sessStats, opts.Sessions)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for si := 0; si < opts.Sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			home := ids.ProcessID(si%r + 1)
+			sess, err := client.New(client.Config{
+				Addrs:         addrMap,
+				Prefer:        home,
+				RedialBackoff: 250 * time.Millisecond,
+				DialTimeout:   500 * time.Millisecond,
+			})
+			if err != nil {
+				return
+			}
+			defer sess.Close()
+			st := &stats[si]
+			op := command.Op{Kind: command.Put, Key: command.Key(fmt.Sprintf("fault-%d", si)), Value: []byte("x")}
+			ctx := context.Background()
+			futs := make([]*client.Future, 0, opts.Inflight)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				futs = futs[:0]
+				for i := 0; i < opts.Inflight; i++ {
+					futs = append(futs, sess.Do(ctx, op))
+				}
+				for _, f := range futs {
+					wctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+					_, err := f.Wait(wctx)
+					cancel()
+					st.mu.Lock()
+					if err != nil {
+						st.fails++
+					} else {
+						st.done = append(st.done, time.Since(start))
+					}
+					st.mu.Unlock()
+				}
+			}
+		}(si)
+	}
+
+	// Phase 1: warmup + steady state.
+	time.Sleep(opts.Phase / 2) // warmup
+	steadyFrom := time.Since(start)
+	time.Sleep(opts.Phase)
+	killAt := time.Since(start)
+
+	// Phase 2: SIGKILL the victim, serve degraded.
+	procs[victim-1].kill()
+	procs[victim-1] = nil
+	fmt.Fprintf(out, "fault: killed replica %d at t=%v\n", victim, killAt.Round(time.Millisecond))
+	time.Sleep(opts.Phase)
+
+	// Phase 3: restart on the same directory; the ready wait measures
+	// replay + peer catch-up + reservation.
+	restartAt := time.Since(start)
+	p, err := spawnFaultNode(int(victim), peers, dirs[victim-1])
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return res, fmt.Errorf("restart: %w", err)
+	}
+	procs[victim-1] = p
+	readyAt := time.Since(start)
+	res.CatchupMS = float64((readyAt - restartAt).Microseconds()) / 1e3
+	fmt.Fprintf(out, "fault: replica %d restarted, ready after %.0fms\n", victim, res.CatchupMS)
+
+	// Phase 4: settle, then post-restart steady state.
+	time.Sleep(opts.Phase / 2)
+	postFrom := time.Since(start)
+	time.Sleep(opts.Phase)
+	end := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	// Collate the timelines.
+	var all []time.Duration
+	takeover := time.Duration(0)
+	for si := range stats {
+		st := &stats[si]
+		st.mu.Lock()
+		all = append(all, st.done...)
+		if ids.ProcessID(si%r+1) == victim {
+			first := time.Duration(-1)
+			for _, d := range st.done {
+				if d > killAt {
+					first = d
+					break
+				}
+			}
+			if first >= 0 && first-killAt > takeover {
+				takeover = first - killAt
+			}
+		}
+		st.mu.Unlock()
+	}
+	res.TakeoverMS = float64(takeover.Microseconds()) / 1e3
+
+	count := func(from, to time.Duration) int {
+		n := 0
+		for _, d := range all {
+			if d >= from && d < to {
+				n++
+			}
+		}
+		return n
+	}
+	res.SteadyOpsPerSec = float64(count(steadyFrom, killAt)) / (killAt - steadyFrom).Seconds()
+	res.PostOpsPerSec = float64(count(postFrom, end)) / (end - postFrom).Seconds()
+	if res.SteadyOpsPerSec > 0 {
+		res.PostOverSteady = res.PostOpsPerSec / res.SteadyOpsPerSec
+	}
+
+	const bucket = 100 * time.Millisecond
+	nb := int(end/bucket) + 1
+	buckets := make([]float64, nb)
+	for _, d := range all {
+		buckets[int(d/bucket)] += 1 / bucket.Seconds()
+	}
+	res.TimelineOpsPerSec = buckets
+	res.KillIndex = int(killAt / bucket)
+	res.RestartIndex = int(readyAt / bucket)
+	dip := -1.0
+	for i := res.KillIndex; i < nb && i <= res.KillIndex+15; i++ {
+		if dip < 0 || buckets[i] < dip {
+			dip = buckets[i]
+		}
+	}
+	res.DipOpsPerSec = dip
+
+	fmt.Fprintf(out, "fault: steady %.0f ops/s | dip %.0f ops/s | takeover %.0fms | catch-up %.0fms | post %.0f ops/s (%.2fx steady)\n",
+		res.SteadyOpsPerSec, res.DipOpsPerSec, res.TakeoverMS, res.CatchupMS, res.PostOpsPerSec, res.PostOverSteady)
+	return res, nil
+}
+
+// WriteFaultJSON writes the result to path in the BENCH_fault.json
+// schema.
+func WriteFaultJSON(path string, res FaultResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -20,6 +20,14 @@
 // for old clients. The session API over this protocol lives in the
 // top-level client package.
 //
+// A node configured with a data directory (SetDurable; tempo-server
+// -data-dir) survives crash-restart: the executor goroutine records
+// applied commands in a write-ahead log with periodic state snapshots
+// (internal/wal), durable watermark reservations keep the restarted
+// replica from ever re-promising a timestamp or re-minting a command
+// id, and a startup state-sync round fetches from peers whatever the
+// local log missed. See durable.go and docs/ARCHITECTURE.md.
+//
 // The cmd/tempo-server and cmd/tempo-client binaries are thin wrappers
 // around this package; TestLoopback runs a full cluster over localhost.
 package cluster
@@ -30,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -156,9 +165,26 @@ type Node struct {
 
 	// clientConns tracks live binary-protocol client connections so
 	// Close can fail their pending requests and unblock their read
-	// loops instead of stranding clients.
+	// loops instead of stranding clients. peerConns tracks inbound peer
+	// connections for the same reason: a closed node must stop consuming
+	// protocol traffic, or peers would keep talking to a zombie instead
+	// of redialing its successor (an in-process restart; a killed
+	// process loses its sockets anyway).
 	ccMu        sync.Mutex
 	clientConns map[*clientConn]struct{}
+	peerConns   map[net.Conn]struct{}
+
+	// dur, when set via SetDurable, persists applied commands and
+	// protocol watermarks to a data directory (see durable.go); lastSeq
+	// mirrors the highest minted command seq for its reservations
+	// (written under n.mu in submitCmd, read under n.mu by
+	// maybeReserveLocked). ready flips once recovery finishes: until
+	// then inbound connections are only served the sync protocol, so
+	// peers restarting together can exchange state without any of them
+	// accepting protocol or client traffic early.
+	dur     *durability
+	lastSeq uint64
+	ready   atomic.Bool
 
 	ln     net.Listener
 	done   chan struct{}
@@ -191,6 +217,7 @@ func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string
 		out:         make(map[ids.ProcessID]chan proto.Message),
 		waiters:     make(map[ids.Dot]*pendingCmd),
 		clientConns: make(map[*clientConn]struct{}),
+		peerConns:   make(map[net.Conn]struct{}),
 		done:        make(chan struct{}),
 		tick:        5 * time.Millisecond,
 		frameLimit:  defaultMaxFrameBytes,
@@ -214,22 +241,35 @@ func (n *Node) SetBatch(maxOps int, window time.Duration) {
 	n.batchMaxOps, n.batchWindow = maxOps, window
 }
 
-// Start listens on the node's address and runs the tick loop. It returns
-// once the listener is ready.
+// Start listens on the node's address, recovers durable state when a
+// data directory is configured, and runs the tick loop. It returns once
+// the listener is ready and recovery is complete.
 func (n *Node) Start() error {
 	ln, err := net.Listen("tcp", n.addrs[n.id])
 	if err != nil {
 		return fmt.Errorf("cluster: listen %s: %w", n.addrs[n.id], err)
 	}
-	n.StartListener(ln)
-	return nil
+	return n.StartListener(ln)
 }
 
 // StartListener runs the node on an already-bound listener; useful when
 // ports are allocated dynamically and the full address map must be known
-// before any node starts.
-func (n *Node) StartListener(ln net.Listener) {
+// before any node starts. With a durable configuration, recovery —
+// snapshot load, WAL replay, peer catch-up, watermark reservation —
+// happens here, before any protocol or client traffic is served.
+func (n *Node) StartListener(ln net.Listener) error {
 	n.ln = ln
+	if n.dur != nil {
+		// Accept connections during recovery so that peers restarting at
+		// the same time can answer each other's state-catch-up requests;
+		// serveConn rejects everything but the sync protocol until
+		// n.ready flips.
+		go n.acceptLoop()
+		if err := n.recoverDurable(); err != nil {
+			ln.Close()
+			return fmt.Errorf("cluster: durable recovery: %w", err)
+		}
+	}
 	if dr, ok := n.rep.(proto.DeferredApplier); ok {
 		dr.SetDeferredApply(true)
 		n.defRep = dr
@@ -238,8 +278,12 @@ func (n *Node) StartListener(ln net.Listener) {
 	if sh, ok := n.rep.(opSharder); ok && n.batchMaxOps > 1 && n.batchWindow > 0 {
 		n.batcher = newSubmitBatcher(n, sh, n.batchMaxOps, n.batchWindow)
 	}
-	go n.acceptLoop()
+	n.ready.Store(true)
+	if n.dur == nil {
+		go n.acceptLoop()
+	}
 	go n.tickLoop()
+	return nil
 }
 
 // Addr returns the bound listen address.
@@ -276,9 +320,21 @@ func (n *Node) Close() {
 		for cc := range n.clientConns {
 			conns = append(conns, cc)
 		}
+		peers := make([]net.Conn, 0, len(n.peerConns))
+		for pc := range n.peerConns {
+			peers = append(peers, pc)
+		}
 		n.ccMu.Unlock()
 		for _, cc := range conns {
 			cc.conn.Close()
+		}
+		for _, pc := range peers {
+			pc.Close()
+		}
+		if n.dur != nil && n.dur.log != nil {
+			if err := n.dur.log.Close(); err != nil {
+				log.Printf("cluster: node %d wal close: %v", n.id, err)
+			}
 		}
 	})
 }
@@ -306,10 +362,25 @@ func (n *Node) serveConn(conn net.Conn) {
 		}
 		switch magic {
 		case peerMagic:
+			if !n.ready.Load() {
+				return // mid-recovery: peers redial once we serve
+			}
+			if !n.trackPeerConn(conn) {
+				return
+			}
+			defer n.untrackPeerConn(conn)
 			n.serveBinaryPeer(br)
 		case ClientMagic:
+			if !n.ready.Load() {
+				return // mid-recovery: sessions fail over to live replicas
+			}
 			n.serveBinaryClient(conn, br)
+		case SyncMagic:
+			n.serveSync(conn, br)
 		}
+		return
+	}
+	if !n.ready.Load() {
 		return
 	}
 	dec := gob.NewDecoder(br)
@@ -320,6 +391,10 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 	if h.From != 0 {
 		// Legacy gob peer connection: stream envelopes.
+		if !n.trackPeerConn(conn) {
+			return
+		}
+		defer n.untrackPeerConn(conn)
 		for {
 			var env envelope
 			if err := dec.Decode(&env); err != nil {
@@ -375,6 +450,27 @@ func (n *Node) serveBinaryPeer(br *bufio.Reader) {
 }
 
 type idMinter interface{ NextID() ids.Dot }
+
+// trackPeerConn registers an inbound peer connection so Close can tear
+// it down; it reports false (and the caller must drop the connection)
+// when the node is already shutting down.
+func (n *Node) trackPeerConn(conn net.Conn) bool {
+	n.ccMu.Lock()
+	defer n.ccMu.Unlock()
+	select {
+	case <-n.done:
+		return false
+	default:
+	}
+	n.peerConns[conn] = struct{}{}
+	return true
+}
+
+func (n *Node) untrackPeerConn(conn net.Conn) {
+	n.ccMu.Lock()
+	delete(n.peerConns, conn)
+	n.ccMu.Unlock()
+}
 
 // legacyClientTimeout is the execution deadline applied to legacy gob
 // clients, which cannot express one per request.
@@ -515,6 +611,9 @@ func (n *Node) submitCmd(members []*waiter, ops []command.Op) {
 	n.waiters[id] = &pendingCmd{members: members}
 	n.syncPendingLocked()
 	n.waitMu.Unlock()
+	if id.Seq > n.lastSeq {
+		n.lastSeq = id.Seq
+	}
 	acts := n.rep.Submit(command.New(id, ops...))
 	n.afterStepLocked(acts)
 	n.mu.Unlock()
@@ -786,6 +885,12 @@ func (n *Node) tickLoop() {
 // applies and completes waiters off the lock); otherwise execution
 // already happened inline and the results are completed here.
 func (n *Node) afterStepLocked(acts []proto.Action) {
+	// The reservation check runs before any of the step's messages are
+	// released to the (concurrently draining) peer writers: when the
+	// step bumped the clock past the durable reservation, the covering
+	// RecMark must hit the disk before a promise above it can reach a
+	// peer.
+	n.maybeReserveLocked()
 	for _, a := range acts {
 		for _, to := range a.To {
 			n.sendLocked(to, a.Msg)
@@ -830,7 +935,14 @@ func (n *Node) execLoop() {
 			if n.execObserver != nil {
 				n.execObserver(it)
 			}
-			res := n.defRep.ApplyStable(it.Cmd)
+			res := n.defRep.ApplyStable(it.Cmd, it.TS)
+			// The WAL record precedes the replies: with a zero sync
+			// interval the command is durable before any client sees its
+			// result; with a batching interval the record is at most one
+			// interval behind (see durability.recordApply).
+			if n.dur != nil {
+				n.dur.recordApply(it)
+			}
 			n.completeCmd(it.Cmd.ID, res.Values)
 		}
 		clear(local) // drop command refs until the next swap

@@ -27,6 +27,7 @@ const (
 	Put
 )
 
+// String returns "get" or "put".
 func (k OpKind) String() string {
 	if k == Get {
 		return "get"
@@ -159,6 +160,7 @@ func (c *Command) SizeBytes() int {
 	return n
 }
 
+// String renders the command id and operation count for logs.
 func (c *Command) String() string {
 	return fmt.Sprintf("cmd(%s,%d ops)", c.ID, len(c.Ops))
 }

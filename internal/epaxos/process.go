@@ -26,6 +26,7 @@ const (
 	VariantAtlas
 )
 
+// String names the protocol variant ("epaxos" or "atlas").
 func (v Variant) String() string {
 	if v == VariantEPaxos {
 		return "epaxos"

@@ -45,6 +45,7 @@ func (d Dot) Less(o Dot) bool {
 	return d.Seq < o.Seq
 }
 
+// String renders the dot as "source.seq".
 func (d Dot) String() string { return fmt.Sprintf("%d.%d", d.Source, d.Seq) }
 
 // Ballot is a consensus ballot number. Ballot 0 means "no ballot"; ballot

@@ -2,14 +2,32 @@
 // evaluation: an in-memory key-value store. Each shard's replica holds one
 // Store and applies the operations of executed commands that touch its
 // shard, in execution order.
+//
+// For durable deployments the store also tracks the applied watermark —
+// the (timestamp, id) point of the last command applied — and can
+// serialize itself to a snapshot that is consistent with that watermark
+// (both are written under one lock acquisition). The cluster runtime's
+// durability layer (internal/cluster with a data directory) snapshots
+// stores to bound WAL length and ships them to restarting peers.
 package kvstore
 
 import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
 	"sync"
 
 	"tempo/internal/command"
 	"tempo/internal/ids"
 )
+
+// ErrCorrupt reports an undecodable snapshot.
+var ErrCorrupt = errors.New("kvstore: corrupt snapshot")
+
+// snapMagic heads every serialized snapshot; the trailing byte versions
+// the format.
+var snapMagic = [4]byte{'T', 'K', 'V', 1}
 
 // Store is an in-memory key-value store. It is safe for concurrent use;
 // protocols apply commands sequentially but runtimes may read
@@ -18,6 +36,11 @@ type Store struct {
 	mu      sync.RWMutex
 	data    map[command.Key][]byte
 	applied uint64
+	// Applied watermark: commands are applied in (ts, id) order, so the
+	// last applied point identifies exactly which prefix of the execution
+	// order this store's contents reflect.
+	wmTS uint64
+	wmID ids.Dot
 }
 
 // New creates an empty store.
@@ -29,11 +52,29 @@ func New() *Store {
 // returns their results (one entry per operation on the shard; reads
 // return the stored value, writes return nil).
 func (s *Store) Apply(cmd *command.Command, shard ids.ShardID, shardOf func(command.Key) ids.ShardID) *command.Result {
+	return s.ApplyAt(cmd, shard, shardOf, 0)
+}
+
+// ApplyAt is Apply for stores that track the applied watermark: ts is the
+// command's final timestamp in the execution order. A command at or below
+// the current watermark has already been applied (the store was restored
+// from a snapshot or replayed log covering it) and is skipped — the
+// returned result then carries no values, which is fine because the only
+// idempotent re-applies are replay and catch-up paths with no client
+// waiting. ts 0 (protocols that do not timestamp) bypasses the guard and
+// leaves the watermark untouched.
+func (s *Store) ApplyAt(cmd *command.Command, shard ids.ShardID, shardOf func(command.Key) ids.ShardID, ts uint64) *command.Result {
 	// Batched commands carry many ops; size the result once instead of
 	// growing it op by op.
 	res := &command.Result{ID: cmd.ID, Shard: shard, Values: make([][]byte, 0, len(cmd.Ops))}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ts != 0 {
+		if ts < s.wmTS || (ts == s.wmTS && !s.wmID.Less(cmd.ID)) {
+			return res // at or below the watermark: already applied
+		}
+		s.wmTS, s.wmID = ts, cmd.ID
+	}
 	for _, op := range cmd.Ops {
 		if shardOf != nil && shardOf(op.Key) != shard {
 			continue
@@ -72,4 +113,118 @@ func (s *Store) Applied() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.applied
+}
+
+// AppliedWM returns the applied watermark: the (ts, id) of the last
+// command applied through ApplyAt. Everything at or below it is reflected
+// in the store's contents.
+func (s *Store) AppliedWM() (uint64, ids.Dot) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wmTS, s.wmID
+}
+
+// WriteSnapshot serializes the store to w: magic, watermark, applied
+// count, then every key/value pair. The contents and the watermark are
+// read under one lock acquisition, so the snapshot is consistent — it
+// holds exactly the effects of the execution prefix the watermark names,
+// even while an executor keeps applying concurrently.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapMagic[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	for _, v := range []uint64{s.wmTS, uint64(s.wmID.Source), s.wmID.Seq, s.applied, uint64(len(s.data))} {
+		if err := writeUvarint(v); err != nil {
+			return err
+		}
+	}
+	for k, v := range s.data {
+		if err := writeUvarint(uint64(len(k))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(string(k)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(v))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxSnapshotEntry bounds a single key or value length claimed by a
+// snapshot, and maxKeysHint bounds the map pre-size. Snapshots from the
+// local WAL are CRC-checked, but peer-sync replies arrive over plain
+// TCP from whatever answered the port — a lying length must fail with
+// ErrCorrupt (at worst after one bounded allocation), never panic or
+// OOM the recovering node.
+const (
+	maxSnapshotEntry = 64 << 20
+	maxKeysHint      = 1 << 20
+)
+
+// ReadSnapshot replaces the store's contents and watermark with a
+// snapshot produced by WriteSnapshot. It is meant for recovery paths
+// (log replay, peer catch-up) before or between applies; a partial read
+// error leaves the store unchanged.
+func (s *Store) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return ErrCorrupt
+	}
+	if magic != snapMagic {
+		return ErrCorrupt
+	}
+	var hdr [5]uint64
+	for i := range hdr {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return ErrCorrupt
+		}
+		hdr[i] = v
+	}
+	nkeys := hdr[4]
+	data := make(map[command.Key][]byte, min(nkeys, maxKeysHint))
+	readBlob := func() ([]byte, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxSnapshotEntry {
+			return nil, ErrCorrupt
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, ErrCorrupt
+		}
+		return b, nil
+	}
+	for i := uint64(0); i < nkeys; i++ {
+		kb, err := readBlob()
+		if err != nil {
+			return err
+		}
+		vb, err := readBlob()
+		if err != nil {
+			return err
+		}
+		data[command.Key(kb)] = vb
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wmTS = hdr[0]
+	s.wmID = ids.Dot{Source: ids.ProcessID(hdr[1]), Seq: hdr[2]}
+	s.applied = hdr[3]
+	s.data = data
+	return nil
 }

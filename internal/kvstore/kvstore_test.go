@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -84,5 +85,75 @@ func TestMissingKey(t *testing.T) {
 	res := s.Apply(command.NewGet(dot(1, 1), "nope"), 0, nil)
 	if res.Values[0] != nil {
 		t.Error("missing key should read nil")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		cmd := command.NewPut(ids.Dot{Source: 1, Seq: uint64(i + 1)}, command.Key(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+		s.ApplyAt(cmd, 0, nil, uint64(i+1))
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.ReadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 100 || r.Applied() != 100 {
+		t.Fatalf("restored len=%d applied=%d", r.Len(), r.Applied())
+	}
+	ts, id := r.AppliedWM()
+	if ts != 100 || id != (ids.Dot{Source: 1, Seq: 100}) {
+		t.Fatalf("restored wm = %d %v", ts, id)
+	}
+	v, ok := r.Get("k42")
+	if !ok || string(v) != "v42" {
+		t.Fatalf("k42 = %q, %v", v, ok)
+	}
+	// Truncated snapshot leaves the target untouched.
+	var buf2 bytes.Buffer
+	if err := s.WriteSnapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf2.Bytes()[:buf2.Len()/2]
+	fresh := New()
+	if err := fresh.ReadSnapshot(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("failed restore mutated the store: len=%d", fresh.Len())
+	}
+}
+
+func TestApplyAtWatermarkIdempotent(t *testing.T) {
+	s := New()
+	put := func(seq, ts uint64, val string) *command.Result {
+		return s.ApplyAt(command.NewPut(ids.Dot{Source: 2, Seq: seq}, "k", []byte(val)), 0, nil, ts)
+	}
+	put(1, 10, "first")
+	put(2, 20, "second")
+	// Replaying history at or below the watermark is a no-op.
+	if res := put(1, 10, "stale-replay"); len(res.Values) != 0 {
+		t.Fatalf("replay below watermark produced values: %v", res.Values)
+	}
+	if res := put(2, 20, "same-point"); len(res.Values) != 0 {
+		t.Fatalf("replay at watermark produced values: %v", res.Values)
+	}
+	if v, _ := s.Get("k"); string(v) != "second" {
+		t.Fatalf("k = %q after replays, want %q", v, "second")
+	}
+	if s.Applied() != 2 {
+		t.Fatalf("applied = %d, want 2", s.Applied())
+	}
+	// ts 0 bypasses the guard (protocols that do not timestamp).
+	s.Apply(command.NewPut(ids.Dot{Source: 9, Seq: 9}, "k", []byte("untimed")), 0, nil)
+	if v, _ := s.Get("k"); string(v) != "untimed" {
+		t.Fatalf("k = %q after untimestamped apply", v)
+	}
+	if ts, _ := s.AppliedWM(); ts != 20 {
+		t.Fatalf("untimestamped apply moved the watermark to %d", ts)
 	}
 }

@@ -196,6 +196,7 @@ func (s *IntervalSet) Validate() error {
 	return nil
 }
 
+// String renders the set as "{[lo,hi] ...}" for tests and logs.
 func (s *IntervalSet) String() string {
 	var b strings.Builder
 	b.WriteByte('{')

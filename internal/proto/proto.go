@@ -10,6 +10,7 @@
 package proto
 
 import (
+	"io"
 	"time"
 
 	"tempo/internal/command"
@@ -67,11 +68,46 @@ type Stable struct {
 // like Drain) and applies each command with ApplyStable, which must be
 // safe to call concurrently with protocol steps (it only touches the
 // state machine, never protocol state). Applying in DrainStable order
-// preserves the replica's execution order.
+// preserves the replica's execution order. ts is the command's final
+// timestamp (Stable.TS): replicas that track an applied watermark use it
+// to make re-applies idempotent, which lets runtimes replay a write-ahead
+// log through the same entry point.
 type DeferredApplier interface {
 	SetDeferredApply(on bool)
 	DrainStable() []Stable
-	ApplyStable(cmd *command.Command) *command.Result
+	ApplyStable(cmd *command.Command, ts uint64) *command.Result
+}
+
+// Durable is implemented by replicas whose runtime persists execution
+// state (internal/cluster nodes started with a data directory). The
+// runtime records applied commands in a write-ahead log and periodically
+// snapshots the state machine; on restart it replays snapshot+log into a
+// fresh replica via ApplyStable, then calls Restore exactly once — before
+// any protocol step — with the recovered protocol watermarks:
+//
+//   - clock: the logical-clock reservation. The restarted clock must be
+//     at least any value the previous incarnation reached, so no
+//     timestamp promised (attached or detached) before the crash is ever
+//     promised again.
+//   - nextSeq: the command-id reservation, so no Dot is minted twice
+//     across incarnations.
+//   - wmTS/wmID: the applied watermark of the recovered state machine.
+//     Execution resumes above it; commands that re-commit at or below it
+//     (peers replaying history the restarted replica forgot) are skipped
+//     rather than applied twice.
+//
+// SnapshotTo and RestoreFrom serialize the state machine together with
+// its applied watermark; SnapshotTo must be consistent under concurrent
+// applies (the state machine carries its own lock), which also lets a
+// live node answer a restarting peer's state-catch-up request. Clock and
+// AppliedWM expose the values the runtime persists: Clock must be read
+// under the runtime's protocol lock, AppliedWM is safe anytime.
+type Durable interface {
+	Clock() uint64
+	AppliedWM() (ts uint64, id ids.Dot)
+	Restore(clock, nextSeq, wmTS uint64, wmID ids.Dot)
+	SnapshotTo(w io.Writer) error
+	RestoreFrom(r io.Reader) (wmTS uint64, wmID ids.Dot, err error)
 }
 
 // Replica is a protocol instance at one process (replicating one shard).

@@ -89,15 +89,24 @@ type event struct {
 
 type eventHeap []*event
 
+// Len implements heap.Interface.
 func (h eventHeap) Len() int { return len(h) }
+
+// Less implements heap.Interface: events fire in (time, insertion) order.
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+
+// Swap implements heap.Interface.
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+
+// Pop implements heap.Interface.
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)

@@ -1,0 +1,81 @@
+package tempo
+
+import (
+	"io"
+
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+)
+
+// Crash-restart support (proto.Durable). The paper's model is crash-stop
+// (Algorithm 4 recovers commands whose coordinator is gone; it never
+// brings a process back), so a restarting replica must behave like a new
+// process that honours every promise its previous incarnation made:
+//
+//   - It never re-promises a timestamp: Restore installs a clock
+//     reservation at least as high as any value the old incarnation
+//     reached, and new promises (attached or detached) start above it.
+//     The gap below the restored clock is deliberately left unpromised —
+//     some of those timestamps were attached to commands that may still
+//     commit, so declaring them detached could order a late commit after
+//     executions that assumed the slot was free. Theorem 1 stability
+//     needs only a majority of ranks, so the permanently-stuck frontier
+//     of a restarted rank costs exactly as much liveness as its crash
+//     already did.
+//   - It never re-mints a command id (the nextSeq reservation).
+//   - It never re-executes history: the applied watermark makes
+//     execute() and ApplyStable idempotent for everything the restored
+//     state already covers.
+//
+// Per-command acceptor state (proposals, consensus accepts) is NOT
+// persisted — the protocol treats the downtime as a crash and recovers
+// in-flight commands from the surviving replicas (Algorithm 4), exactly
+// as it would had the process never returned. The crash-failure model
+// this preserves is the standard one (cf. "From Byzantine Failures to
+// Crash Failures"): at most f replicas simultaneously crashed or
+// restarting.
+
+var _ proto.Durable = (*Process)(nil)
+
+// AppliedWM implements proto.Durable: the applied watermark of the
+// replica's store. Safe to call concurrently with protocol steps (the
+// store carries its own lock).
+func (p *Process) AppliedWM() (uint64, ids.Dot) { return p.store.AppliedWM() }
+
+// Restore implements proto.Durable: it installs recovered durable state
+// into a freshly constructed process. Call once, after replaying any
+// snapshot/log into the store and before the first protocol step.
+func (p *Process) Restore(clock, nextSeq, wmTS uint64, wmID ids.Dot) {
+	if clock > p.clock {
+		p.clock = clock
+	}
+	if nextSeq > p.nextSeq {
+		p.nextSeq = nextSeq
+	}
+	wm := TSWatermark{TS: wmTS, ID: wmID}
+	if p.executedWM.less(wm) {
+		p.executedWM = wm
+	}
+}
+
+// SnapshotTo implements proto.Durable: it serializes the replica's store
+// together with its applied watermark. Consistent under concurrent
+// applies, so a live node can answer a restarting peer's catch-up
+// request with it.
+func (p *Process) SnapshotTo(w io.Writer) error { return p.store.WriteSnapshot(w) }
+
+// RestoreFrom implements proto.Durable: it replaces the store's contents
+// with a snapshot written by SnapshotTo and advances the executed
+// watermark to the snapshot's applied watermark. Like Restore, call only
+// before protocol steps flow (local recovery and startup catch-up).
+func (p *Process) RestoreFrom(r io.Reader) (uint64, ids.Dot, error) {
+	if err := p.store.ReadSnapshot(r); err != nil {
+		return 0, ids.Dot{}, err
+	}
+	ts, id := p.store.AppliedWM()
+	wm := TSWatermark{TS: ts, ID: id}
+	if p.executedWM.less(wm) {
+		p.executedWM = wm
+	}
+	return ts, id, nil
+}

@@ -27,10 +27,19 @@ type tsDotHeap struct{ h tsDotSlice }
 
 type tsDotSlice []tsDot
 
-func (s tsDotSlice) Len() int            { return len(s) }
-func (s tsDotSlice) Less(i, j int) bool  { return s[i].less(s[j]) }
-func (s tsDotSlice) Swap(i, j int)       { s[i], s[j] = s[j], s[i] }
+// Len implements heap.Interface.
+func (s tsDotSlice) Len() int { return len(s) }
+
+// Less implements heap.Interface: the protocol's (ts, id) execution order.
+func (s tsDotSlice) Less(i, j int) bool { return s[i].less(s[j]) }
+
+// Swap implements heap.Interface.
+func (s tsDotSlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// Push implements heap.Interface.
 func (s *tsDotSlice) Push(x interface{}) { *s = append(*s, x.(tsDot)) }
+
+// Pop implements heap.Interface.
 func (s *tsDotSlice) Pop() interface{} {
 	old := *s
 	n := len(old)
@@ -124,8 +133,19 @@ func (p *Process) stableAtAllShards(ci *cmdInfo) bool {
 // fixed here either way, so the watermark (which gates promise GC, not
 // reads — reads are themselves commands) may advance before the deferred
 // apply lands.
+//
+// A command at or below the executed watermark was already applied by a
+// previous incarnation of this process (the state was restored from a
+// snapshot or replayed log covering it, see Restore); re-delivered
+// history — e.g. a commit replay answering an MCommitRequest after a
+// restart emptied the tracker's committed set — only moves the phase, so
+// nothing is applied twice.
 func (p *Process) execute(td tsDot, ci *cmdInfo) {
 	ci.phase = PhaseExecute
+	point := TSWatermark{TS: td.ts, ID: td.id}
+	if !p.executedWM.less(point) {
+		return // at or below the watermark: executed before a restart
+	}
 	if p.deferApply {
 		p.stableOut = append(p.stableOut, proto.Stable{
 			Cmd:   ci.cmd,
@@ -133,14 +153,14 @@ func (p *Process) execute(td tsDot, ci *cmdInfo) {
 			TS:    td.ts,
 		})
 	} else {
-		res := p.store.Apply(ci.cmd, p.shard, p.topo.ShardOf)
+		res := p.store.ApplyAt(ci.cmd, p.shard, p.topo.ShardOf, td.ts)
 		p.executedOut = append(p.executedOut, proto.Executed{
 			Cmd:    ci.cmd,
 			Shard:  p.shard,
 			Result: res,
 		})
 	}
-	p.executedWM = TSWatermark{TS: td.ts, ID: td.id}
+	p.executedWM = point
 }
 
 // SetDeferredApply implements proto.DeferredApplier: when on, stable
@@ -158,11 +178,14 @@ func (p *Process) DrainStable() []proto.Stable {
 }
 
 // ApplyStable implements proto.DeferredApplier: it applies one stable
-// command to the local shard's store and returns its results. It touches
-// only the store (which has its own lock) and immutable topology, so the
-// runtime may call it concurrently with protocol steps.
-func (p *Process) ApplyStable(cmd *command.Command) *command.Result {
-	return p.store.Apply(cmd, p.shard, p.topo.ShardOf)
+// command (with final timestamp ts) to the local shard's store and
+// returns its results. It touches only the store (which has its own
+// lock) and immutable topology, so the runtime may call it concurrently
+// with protocol steps. The store's applied-watermark guard makes
+// re-applies no-ops, so WAL replay after a crash feeds records through
+// this same entry point.
+func (p *Process) ApplyStable(cmd *command.Command, ts uint64) *command.Result {
+	return p.store.ApplyAt(cmd, p.shard, p.topo.ShardOf, ts)
 }
 
 // onMStable records that a sibling shard reached stability for a command

@@ -45,6 +45,7 @@ const (
 	PhaseExecute
 )
 
+// String names the phase as in Figure 1 of the paper.
 func (p Phase) String() string {
 	switch p {
 	case PhaseStart:

@@ -1,0 +1,457 @@
+// Package wal implements the write-ahead log behind a durable cluster
+// node (tempo-server -data-dir): a length-prefixed, CRC-checked append
+// log of applied commands and protocol watermarks, plus
+// generation-numbered state-machine snapshots that bound the log's
+// length.
+//
+// Layout of a data directory at generation g:
+//
+//	snap-g    state-machine snapshot (caller-provided body, CRC footer)
+//	wal-g     records applied since snap-g was taken
+//
+// A snapshot rotation writes snap-(g+1) (via a temp file + rename, so a
+// crash never leaves a half snapshot under a live name), starts wal-(g+1)
+// and deletes the generation-g pair. Recovery loads the newest valid
+// snapshot and replays its log; a torn record at the log's tail (the
+// normal result of crashing mid-write) is detected by the CRC, truncated
+// and logging resumes from there.
+//
+// Appends are fsync-batched: Append buffers the record and a flusher
+// goroutine writes + syncs at most once per the configured interval, so
+// the executor hot path never waits on the disk. A zero interval makes
+// every Append durable before it returns; AppendSync forces that for a
+// single record regardless of the interval (used for clock/id
+// reservations, which must be durable before the reserved range is
+// used). The record payloads reuse the internal/proto varint primitives.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record types carried by the log. Never reuse or renumber: the type
+// byte is the on-disk contract across versions.
+const (
+	// RecApply records one command applied to the state machine:
+	// ts, shard, command (see internal/cluster's durability layer).
+	RecApply byte = 1
+	// RecMark records durable watermark reservations: the protocol clock
+	// and command-id sequence the next incarnation must start above.
+	RecMark byte = 2
+)
+
+// ErrCorrupt reports an undecodable snapshot or record.
+var ErrCorrupt = errors.New("wal: corrupt data")
+
+// Options tunes a Log.
+type Options struct {
+	// SyncInterval batches fsyncs: buffered records are written and
+	// synced at most once per interval. 0 syncs every Append before it
+	// returns (strict local durability).
+	SyncInterval time.Duration
+}
+
+// Log is an append log plus snapshot store in one directory. Append and
+// AppendSync are safe for concurrent use; Replay/Rotate/Close belong to
+// the owning runtime's single recovery/executor thread.
+type Log struct {
+	dir  string
+	opts Options
+	gen  uint64
+
+	mu     sync.Mutex
+	f      *os.File
+	buf    []byte // records appended since the last write
+	failed error  // sticky I/O error; appends become no-ops
+
+	flushKick chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	flushed   sync.WaitGroup
+}
+
+const (
+	snapPrefix = "snap-"
+	logPrefix  = "wal-"
+)
+
+func snapName(gen uint64) string { return fmt.Sprintf("%s%08d", snapPrefix, gen) }
+func logName(gen uint64) string  { return fmt.Sprintf("%s%08d", logPrefix, gen) }
+
+// Open opens (creating if needed) a data directory. The returned Log is
+// positioned at the newest generation with a valid snapshot (generation
+// 0 has none); call Snapshot then Replay to recover state, after which
+// the log accepts appends.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:       dir,
+		opts:      opts,
+		flushKick: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	gens, err := l.snapshotGens()
+	if err != nil {
+		return nil, err
+	}
+	// Newest valid snapshot wins; a corrupt one (crash mid-rotation plus
+	// a torn rename is practically impossible, but cheap to tolerate)
+	// falls back to the previous generation.
+	for i := len(gens) - 1; i >= 0; i-- {
+		if _, err := readSnapshotFile(filepath.Join(dir, snapName(gens[i]))); err == nil {
+			l.gen = gens[i]
+			break
+		}
+	}
+	return l, nil
+}
+
+// snapshotGens lists the generations with a snapshot file, ascending.
+func (l *Log) snapshotGens() ([]uint64, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		g, err := strconv.ParseUint(strings.TrimPrefix(name, snapPrefix), 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Gen returns the current snapshot generation (0 = none yet).
+func (l *Log) Gen() uint64 { return l.gen }
+
+// Snapshot returns the current generation's snapshot body (nil at
+// generation 0: fresh directory or nothing rotated yet).
+func (l *Log) Snapshot() ([]byte, error) {
+	if l.gen == 0 {
+		return nil, nil
+	}
+	return readSnapshotFile(filepath.Join(l.dir, snapName(l.gen)))
+}
+
+// Replay streams the current generation's log records through fn in
+// append order, truncates any torn tail, opens the log for appending and
+// starts the flusher. fn receives a body slice only valid for the call.
+func (l *Log) Replay(fn func(typ byte, body []byte) error) error {
+	path := filepath.Join(l.dir, logName(l.gen))
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	valid := 0
+	b := data
+	for len(b) > 0 {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || n < 1 || len(b)-sz-4 < 0 || uint64(len(b)-sz-4) < n {
+			break // torn length or truncated record
+		}
+		rec := b[sz+4 : sz+4+int(n)]
+		if crc32.ChecksumIEEE(rec) != binary.LittleEndian.Uint32(b[sz:]) {
+			break // torn write
+		}
+		if err := fn(rec[0], rec[1:]); err != nil {
+			return err
+		}
+		b = b[sz+4+int(n):]
+		valid = len(data) - len(b)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.flushed.Add(1)
+	go l.flushLoop()
+	return nil
+}
+
+// appendFrameTo appends one encoded record frame to buf.
+func appendFrameTo(buf []byte, typ byte, body []byte) []byte {
+	n := uint64(1 + len(body))
+	buf = binary.AppendUvarint(buf, n)
+	var crc [5]byte
+	crc[4] = typ
+	sum := crc32.NewIEEE()
+	sum.Write(crc[4:5])
+	sum.Write(body)
+	binary.LittleEndian.PutUint32(crc[:4], sum.Sum32())
+	buf = append(buf, crc[:]...)
+	return append(buf, body...)
+}
+
+// appendFrame stages one record into the buffer. Caller holds l.mu.
+func (l *Log) appendFrame(typ byte, body []byte) {
+	l.buf = appendFrameTo(l.buf, typ, body)
+}
+
+// Append buffers one record; the flusher makes it durable within the
+// sync interval (immediately when the interval is 0). It never blocks on
+// I/O when an interval is configured.
+func (l *Log) Append(typ byte, body []byte) {
+	l.mu.Lock()
+	if l.failed != nil || l.f == nil {
+		l.mu.Unlock()
+		return
+	}
+	l.appendFrame(typ, body)
+	if l.opts.SyncInterval == 0 {
+		l.writeAndSyncLocked()
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	select {
+	case l.flushKick <- struct{}{}:
+	default:
+	}
+}
+
+// AppendSync appends one record and returns only once it (and everything
+// buffered before it) is on stable storage. Reservation records use it:
+// the reserved range may only be handed out after the reservation is
+// durable.
+func (l *Log) AppendSync(typ byte, body []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: not open for append (Replay first)")
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	l.appendFrame(typ, body)
+	l.writeAndSyncLocked()
+	return l.failed
+}
+
+// writeAndSyncLocked flushes the buffer to the file and fsyncs. Caller
+// holds l.mu. The first I/O error sticks: the log stops accepting
+// appends and the node runs on (peer replication still covers it; the
+// operator sees the error via Err).
+func (l *Log) writeAndSyncLocked() {
+	if len(l.buf) == 0 || l.failed != nil {
+		return
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.failed = fmt.Errorf("wal: append: %w", err)
+		return
+	}
+	l.buf = l.buf[:0]
+	if err := l.f.Sync(); err != nil {
+		l.failed = fmt.Errorf("wal: fsync: %w", err)
+	}
+}
+
+// Err returns the sticky I/O error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// flushLoop batches fsyncs: it wakes on the first append after an idle
+// period, then writes+syncs at most once per SyncInterval while appends
+// keep arriving.
+func (l *Log) flushLoop() {
+	defer l.flushed.Done()
+	iv := l.opts.SyncInterval
+	if iv <= 0 {
+		// Appends sync inline; nothing to do but wait for Close.
+		<-l.done
+		return
+	}
+	for {
+		select {
+		case <-l.done:
+			l.mu.Lock()
+			l.writeAndSyncLocked()
+			l.mu.Unlock()
+			return
+		case <-l.flushKick:
+		}
+		time.Sleep(iv)
+		l.mu.Lock()
+		l.writeAndSyncLocked()
+		l.mu.Unlock()
+	}
+}
+
+// Record is one log record, used to seed a new generation during
+// Rotate.
+type Record struct {
+	// Type is the record-type byte (RecApply, RecMark, ...).
+	Type byte
+	// Body is the record payload.
+	Body []byte
+}
+
+// Rotate writes the next generation's snapshot (body produced by write),
+// switches appends to a fresh log seeded with first, and deletes the
+// generation before the previous one. Durability order matters twice
+// over: the seed records are fsynced into the new log *before* the
+// snapshot rename makes the new generation the one recovery loads (a
+// crash in between recovers the old generation, whose log still holds
+// everything), and the snapshot itself is durable (temp file, fsync,
+// rename, directory fsync) before any old generation goes away.
+// Callers use first to carry the watermark reservations across the
+// rotation — losing them would let a restarted node re-promise
+// timestamps.
+func (l *Log) Rotate(write func(io.Writer) error, first ...Record) error {
+	next := l.gen + 1
+	nf, err := os.OpenFile(filepath.Join(l.dir, logName(next)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var seed []byte
+	for _, r := range first {
+		seed = appendFrameTo(seed, r.Type, r.Body)
+	}
+	if len(seed) > 0 {
+		if _, err := nf.Write(seed); err != nil {
+			nf.Close()
+			return err
+		}
+		if err := nf.Sync(); err != nil {
+			nf.Close()
+			return err
+		}
+	}
+	if err := syncDir(l.dir); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := writeSnapshotFile(l.dir, snapName(next), write); err != nil {
+		nf.Close()
+		return err
+	}
+	l.mu.Lock()
+	l.writeAndSyncLocked()
+	old := l.f
+	l.f = nf
+	l.buf = l.buf[:0]
+	l.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	prev := l.gen
+	l.gen = next
+	// Keep the previous generation as a spare — if the newest snapshot
+	// turns out unreadable (bit rot), recovery falls back to it — and
+	// delete the one before that. Best effort: a leftover pair is
+	// harmless (recovery picks the newest valid snapshot).
+	if prev > 0 {
+		os.Remove(filepath.Join(l.dir, logName(prev-1)))
+		os.Remove(filepath.Join(l.dir, snapName(prev-1)))
+	}
+	return nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() { close(l.done) })
+	l.flushed.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.writeAndSyncLocked()
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	return l.failed
+}
+
+// Snapshot file format: body || crc32le(body). The CRC footer
+// distinguishes a complete snapshot from one cut short by a crash (the
+// temp-file + rename dance already makes that near-impossible; the CRC
+// also catches bit rot).
+
+func writeSnapshotFile(dir, name string, write func(io.Writer) error) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	sum := crc32.NewIEEE()
+	if err := write(io.MultiWriter(f, sum)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum.Sum32())
+	if _, err := f.Write(crc[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+func readSnapshotFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	body := data[:len(data)-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, ErrCorrupt
+	}
+	return body, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

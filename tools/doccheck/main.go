@@ -1,0 +1,112 @@
+// Command doccheck enforces the repository's documentation floor: every
+// package must carry a package comment, and every exported top-level
+// identifier (types, functions, methods, consts, vars) must carry a doc
+// comment. CI runs it via `make doc-check`; it exits non-zero listing
+// each violation as file:line.
+//
+// The rule is deliberately presence-only (no style linting): the
+// valuable invariant is that `go doc` never comes back empty for
+// anything a reader can reach.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	pkgDocs := make(map[string]bool)    // dir -> has package comment
+	pkgFirst := make(map[string]string) // dir -> a representative file
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil {
+			pkgDocs[dir] = true
+		} else if _, seen := pkgDocs[dir]; !seen {
+			pkgDocs[dir] = false
+		}
+		if _, ok := pkgFirst[dir]; !ok {
+			pkgFirst[dir] = path
+		}
+		pos := func(p token.Pos) string {
+			position := fset.Position(p)
+			return fmt.Sprintf("%s:%d", position.Filename, position.Line)
+		}
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc == nil {
+					violations = append(violations,
+						fmt.Sprintf("%s: exported func %s has no doc comment", pos(dd.Pos()), dd.Name.Name))
+				}
+			case *ast.GenDecl:
+				if dd.Tok != token.TYPE && dd.Tok != token.VAR && dd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range dd.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && dd.Doc == nil && s.Doc == nil && s.Comment == nil {
+							violations = append(violations,
+								fmt.Sprintf("%s: exported type %s has no doc comment", pos(s.Pos()), s.Name.Name))
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && dd.Doc == nil && s.Doc == nil && s.Comment == nil {
+								violations = append(violations,
+									fmt.Sprintf("%s: exported %s %s has no doc comment", pos(n.Pos()), dd.Tok, n.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for dir, has := range pkgDocs {
+		if !has {
+			violations = append(violations,
+				fmt.Sprintf("%s: package has no package comment", pkgFirst[dir]))
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Printf("doccheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
