@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-race doc-check bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault
+.PHONY: ci fmt vet build test test-race doc-check bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault bench-shard
 
 ## ci: the main CI job, in order (the race and bench-smoke jobs run in
 ## parallel in the workflow)
@@ -31,9 +31,11 @@ test-race:
 	$(GO) test -race ./...
 
 ## bench-smoke: one iteration of every benchmark plus a short run of the
-## micro, cluster and fault experiments — catches perf-path regressions
-## that compile but deadlock or stall, not perf itself. The fault run is
-## a real kill-restart of subprocess replicas with durable directories.
+## micro, cluster, fault and shard experiments — catches perf-path
+## regressions that compile but deadlock or stall, not perf itself. The
+## fault run is a real kill-restart of subprocess replicas with durable
+## directories; the shard run is a real 2-shard partial-replication
+## deployment of psmr groups.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/bench -exp micro -microout /tmp/bench_micro_smoke.json
@@ -41,11 +43,14 @@ bench-smoke:
 		-clusterout /tmp/bench_cluster_smoke.json
 	$(GO) run ./cmd/bench -exp fault -faultphase 800ms \
 		-faultout /tmp/bench_fault_smoke.json
+	$(GO) run ./cmd/bench -exp shard -sharddur 400ms -shardwarm 200ms -shardmax 2 \
+		-shardout /tmp/bench_shard_smoke.json
 
 ## fuzz-smoke: a short run of each fuzz target
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzIntervalSet -fuzztime 10s ./internal/promise
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/tempo
+	$(GO) test -run '^$$' -fuzz FuzzShardMsgRoundTrip -fuzztime 10s ./internal/cluster
 
 ## bench-micro: regenerate BENCH_micro.json (commit it when a PR moves a hot path)
 bench-micro:
@@ -59,3 +64,8 @@ bench-cluster:
 ## replica under load; real subprocesses)
 bench-fault:
 	$(GO) run ./cmd/bench -exp fault
+
+## bench-shard: regenerate BENCH_shard.json (real sharded TCP clusters,
+## 1..4 shards, cross-shard ratios 0/5/50%)
+bench-shard:
+	$(GO) run ./cmd/bench -exp shard

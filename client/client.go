@@ -55,6 +55,12 @@ var (
 	// ErrClosed reports a request against a closed session or a replica
 	// that shut down.
 	ErrClosed = command.ErrClosed
+	// ErrWrongShard reports a command on a key whose shard is not
+	// replicated by any dialed replica: the session's address set covers
+	// only part of a partial-replication topology, and the key lives
+	// outside it. The serving side returns the same sentinel when a
+	// request reaches a process that does not replicate the key's shard.
+	ErrWrongShard = command.ErrWrongShard
 )
 
 // Config configures a Session.
@@ -106,6 +112,12 @@ type Session struct {
 	// requests shares one connection instead of racing dials. Keys are
 	// fixed at New; only the mutexes are contended.
 	dialMu map[ids.ProcessID]*sync.Mutex
+
+	// mintMu guards the session's pre-minted command-id block, consumed
+	// by cross-shard submissions (see cross.go).
+	mintMu   sync.Mutex
+	mintNext ids.Dot
+	mintLeft int
 }
 
 // New creates a session from a full configuration.
@@ -174,7 +186,9 @@ func (s *Session) Close() error {
 // routing-preference order: the session's home replica (Prefer) first,
 // then — with a topology — the owning shard's replica at the session's
 // site and the shard's other replicas, or every replica in id order
-// without one.
+// without one. Replicas absent from the session's address set are
+// dropped: an empty result means no dialed replica serves the key's
+// shard (ErrWrongShard).
 func (s *Session) candidates(key command.Key) []ids.ProcessID {
 	t := s.cfg.Topo
 	var base []ids.ProcessID
@@ -185,13 +199,17 @@ func (s *Session) candidates(key command.Key) []ids.ProcessID {
 		procs := t.ShardProcesses(shard)
 		base = make([]ids.ProcessID, 0, len(procs))
 		if p := t.ProcessAt(s.cfg.Site, shard); p != 0 {
-			base = append(base, p)
+			if _, ok := s.cfg.Addrs[p]; ok {
+				base = append(base, p)
+			}
 		}
 		for _, p := range procs {
 			if len(base) > 0 && p == base[0] {
 				continue
 			}
-			base = append(base, p)
+			if _, ok := s.cfg.Addrs[p]; ok {
+				base = append(base, p)
+			}
 		}
 	}
 	home := s.cfg.Prefer
@@ -230,23 +248,69 @@ func (s *Session) inBackoff(pid ids.ProcessID, now time.Time) bool {
 // results, leaving the caller free to keep further commands in flight.
 // The context's deadline (or the session's RequestTimeout) travels with
 // the request. Routing failures try each candidate replica in turn.
+//
+// With a topology, ops spanning shards become one cross-shard command:
+// it is submitted under a single pre-minted command id to a replica of
+// its first accessed shard while watch registrations go to a replica of
+// every other accessed shard, and the future completes with the
+// per-shard result segments merged back into op order (see cross.go).
 func (s *Session) Do(ctx context.Context, ops ...command.Op) *Future {
 	f := newFuture()
 	if len(ops) == 0 {
 		f.fulfill(nil, errors.New("client: empty command"))
 		return f
 	}
+	deadline, err := s.deadlineFor(ctx)
+	if err != nil {
+		f.fulfill(nil, err)
+		return f
+	}
+	// A zero-alloc scan decides the common single-shard case; the sorted
+	// shard set is only built on the cross-shard branch.
+	if t := s.cfg.Topo; t != nil && crossesShards(t, ops) {
+		s.doCross(ctx, f, deadline, ops, opsShards(t, ops))
+		return f
+	}
+	s.sendRouted(f, ops[0].Key, func(c *conn) error {
+		return c.send(f, deadline, ops)
+	})
+	return f
+}
+
+// deadlineFor resolves the request deadline from the context and the
+// session's RequestTimeout (0 = none).
+func (s *Session) deadlineFor(ctx context.Context) (time.Duration, error) {
 	deadline := s.cfg.RequestTimeout
 	if d, ok := ctx.Deadline(); ok {
 		deadline = time.Until(d)
 		if deadline <= 0 {
-			f.fulfill(nil, fmt.Errorf("%w: %w", ErrTimeout, ctx.Err()))
-			return f
+			return 0, fmt.Errorf("%w: %w", ErrTimeout, ctx.Err())
 		}
 	}
 	if deadline < 0 {
 		deadline = 0 // RequestTimeout < 0: no deadline
 	}
+	return deadline, nil
+}
+
+// sendRouted delivers one request to the first reachable replica that
+// may serve the given key, failing f when none is. send enqueues the
+// request frame on the chosen connection.
+func (s *Session) sendRouted(f *Future, key command.Key, send func(c *conn) error) {
+	cands := s.candidates(key)
+	if len(cands) == 0 {
+		f.fulfill(nil, fmt.Errorf("%w (key %q)", ErrWrongShard, key))
+		return
+	}
+	s.sendCandidates(f, cands, send)
+}
+
+// sendCandidates tries each candidate replica in turn until one accepts
+// the request. The first pass skips replicas in dial backoff (fail over
+// fast while a replica is down); the second pass retries them anyway,
+// so a fully backed-off candidate set still makes a real attempt
+// instead of failing on stale knowledge.
+func (s *Session) sendCandidates(f *Future, cands []ids.ProcessID, send func(c *conn) error) {
 	var lastErr error
 	try := func(pid ids.ProcessID) (done bool) {
 		c, err := s.conn(pid)
@@ -258,37 +322,32 @@ func (s *Session) Do(ctx context.Context, ops ...command.Op) *Future {
 			lastErr = err
 			return false
 		}
-		if err := c.send(f, deadline, ops); err != nil {
+		if err := send(c); err != nil {
 			lastErr = err
 			return false
 		}
 		return true
 	}
-	// First pass skips replicas in dial backoff (fail over fast while a
-	// replica is down); the second pass retries them anyway, so a fully
-	// backed-off candidate set still makes a real attempt instead of
-	// failing on stale knowledge.
 	now := time.Now()
 	var skipped []ids.ProcessID
-	for _, pid := range s.candidates(ops[0].Key) {
+	for _, pid := range cands {
 		if s.inBackoff(pid, now) {
 			skipped = append(skipped, pid)
 			continue
 		}
 		if try(pid) {
-			return f
+			return
 		}
 	}
 	for _, pid := range skipped {
 		if try(pid) {
-			return f
+			return
 		}
 	}
 	if lastErr == nil {
 		lastErr = errors.New("no candidate replicas")
 	}
 	f.fulfill(nil, fmt.Errorf("client: no replica reachable: %w", lastErr))
-	return f
 }
 
 // Execute submits a command and waits for its per-op results.

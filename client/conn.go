@@ -33,14 +33,15 @@ type conn struct {
 	dead chan struct{} // closed on teardown
 }
 
-// dial establishes a binary-protocol connection: TCP plus the client
-// magic prefix.
+// dial establishes a binary-protocol connection: TCP plus the
+// version-2 client magic prefix (kind-tagged request frames, which add
+// the cross-shard mint/submit-at/watch requests to plain submission).
 func dial(addr string, timeout time.Duration) (net.Conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := nc.Write(cluster.ClientMagic[:]); err != nil {
+	if _, err := nc.Write(cluster.ClientMagic2[:]); err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -69,9 +70,9 @@ func (c *conn) isDead() bool {
 	}
 }
 
-// send registers f and enqueues its request frame. deadline 0 means no
-// server-side deadline.
-func (c *conn) send(f *Future, deadline time.Duration, ops []command.Op) error {
+// enqueue registers f under a fresh request id and appends the frame
+// built by encode to the write buffer.
+func (c *conn) enqueue(f *Future, encode func(buf []byte, scratch *[]byte, reqID uint64) []byte) error {
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
@@ -82,13 +83,46 @@ func (c *conn) send(f *Future, deadline time.Duration, ops []command.Op) error {
 	id := c.nextID
 	c.pending[id] = f
 	f.c, f.reqID = c, id
-	c.wbuf = cluster.AppendClientRequest(c.wbuf, &c.scratch, id, deadline, ops)
+	c.wbuf = encode(c.wbuf, &c.scratch, id)
 	c.mu.Unlock()
 	select {
 	case c.kick <- struct{}{}:
 	default:
 	}
 	return nil
+}
+
+// send registers f and enqueues a plain submission. deadline 0 means no
+// server-side deadline.
+func (c *conn) send(f *Future, deadline time.Duration, ops []command.Op) error {
+	return c.enqueue(f, func(buf []byte, scratch *[]byte, reqID uint64) []byte {
+		return cluster.AppendSubmitRequest(buf, scratch, reqID, deadline, ops)
+	})
+}
+
+// sendMint enqueues an id-block mint request (mints answer immediately
+// server-side, so no deadline travels with the frame; the caller's
+// context bounds the wait).
+func (c *conn) sendMint(f *Future, count int) error {
+	return c.enqueue(f, func(buf []byte, scratch *[]byte, reqID uint64) []byte {
+		return cluster.AppendMintRequest(buf, scratch, reqID, count)
+	})
+}
+
+// sendSubmitAt enqueues a cross-shard submission under a client-held id
+// targeting the given shard's replica.
+func (c *conn) sendSubmitAt(f *Future, deadline time.Duration, shard ids.ShardID, id ids.Dot, ops []command.Op) error {
+	return c.enqueue(f, func(buf []byte, scratch *[]byte, reqID uint64) []byte {
+		return cluster.AppendSubmitAtRequest(buf, scratch, reqID, deadline, shard, id, ops)
+	})
+}
+
+// sendWatch enqueues a watch registration for a command id at the given
+// shard's replica.
+func (c *conn) sendWatch(f *Future, deadline time.Duration, shard ids.ShardID, id ids.Dot) error {
+	return c.enqueue(f, func(buf []byte, scratch *[]byte, reqID uint64) []byte {
+		return cluster.AppendWatchRequest(buf, scratch, reqID, deadline, shard, id)
+	})
 }
 
 // abandon forgets a pending request (context cancellation); the late
@@ -162,6 +196,8 @@ func wireError(e command.WireError) error {
 		return fmt.Errorf("%w: %s", ErrTimeout, e.Msg)
 	case command.ErrCodeShutdown:
 		return fmt.Errorf("%w: %s", ErrClosed, e.Msg)
+	case command.ErrCodeWrongShard:
+		return fmt.Errorf("%w: %s", ErrWrongShard, e.Msg)
 	default:
 		return fmt.Errorf("client: replica error %d: %s", e.Code, e.Msg)
 	}

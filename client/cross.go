@@ -1,0 +1,154 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/topology"
+)
+
+// Cross-shard commands.
+//
+// A command whose ops span shards executes once per accessed shard, at
+// the maximum timestamp across them; each shard's replicas hold only
+// that shard's result segment. The session assembles the full result
+// client-side with no extra round trip on the submission path:
+//
+//  1. It holds a block of pre-minted command ids (one ReqMint round
+//     trip per mintBlockSize cross-shard commands, against any
+//     reachable replica).
+//  2. The full op list is submitted under one such id to a replica of
+//     the first accessed shard (the gateway), which drives the whole
+//     multi-shard protocol; concurrently, watch registrations carrying
+//     the same id go to one replica of every other accessed shard.
+//  3. Each sub-request completes with its shard's segment when the
+//     command executes there; the session merges the segments back into
+//     op order and fulfills the caller's future.
+//
+// Any sub-request failing (timeout, unreachable shard, shutdown) fails
+// the command with that error.
+
+// mintBlockSize is how many command ids one ReqMint round trip
+// reserves; the block amortizes to zero extra latency per command.
+const mintBlockSize = 512
+
+// crossesShards reports whether ops touch more than one shard, without
+// allocating (the hot-path check for every topology-routed Do).
+func crossesShards(t *topology.Topology, ops []command.Op) bool {
+	s0 := t.ShardOf(ops[0].Key)
+	for _, op := range ops[1:] {
+		if t.ShardOf(op.Key) != s0 {
+			return true
+		}
+	}
+	return false
+}
+
+// opsShards returns the sorted set of shards accessed by ops.
+func opsShards(t *topology.Topology, ops []command.Op) []ids.ShardID {
+	return (&command.Command{Ops: ops}).Shards(t.ShardOf)
+}
+
+// mintDot takes one command id from the session's pre-minted block,
+// fetching a fresh block from any reachable replica when it runs dry.
+func (s *Session) mintDot(ctx context.Context) (ids.Dot, error) {
+	s.mintMu.Lock()
+	defer s.mintMu.Unlock()
+	if s.mintLeft == 0 {
+		f := newFuture()
+		s.sendCandidates(f, s.order, func(c *conn) error {
+			return c.sendMint(f, mintBlockSize)
+		})
+		vals, err := f.Wait(ctx)
+		if err != nil {
+			return ids.Dot{}, fmt.Errorf("client: minting command ids: %w", err)
+		}
+		first, err := cluster.DecodeMintReply(vals)
+		if err != nil {
+			return ids.Dot{}, fmt.Errorf("client: bad mint reply: %w", err)
+		}
+		if first.IsZero() {
+			return ids.Dot{}, errors.New("client: bad mint reply: zero id")
+		}
+		s.mintNext, s.mintLeft = first, mintBlockSize
+	}
+	id := s.mintNext
+	s.mintNext.Seq++
+	s.mintLeft--
+	return id, nil
+}
+
+// doCross runs one cross-shard command and fulfills f with the merged,
+// op-ordered result.
+func (s *Session) doCross(ctx context.Context, f *Future, deadline time.Duration, ops []command.Op, shards []ids.ShardID) {
+	id, err := s.mintDot(ctx)
+	if err != nil {
+		f.fulfill(nil, err)
+		return
+	}
+	t := s.cfg.Topo
+	// Positions of each shard's ops in the full command: shard s's reply
+	// carries exactly the values of the ops on s, in command op order.
+	pos := make(map[ids.ShardID][]int, len(shards))
+	keyFor := make(map[ids.ShardID]command.Key, len(shards))
+	for i, op := range ops {
+		sh := t.ShardOf(op.Key)
+		if _, ok := keyFor[sh]; !ok {
+			keyFor[sh] = op.Key
+		}
+		pos[sh] = append(pos[sh], i)
+	}
+	// Every accessed shard needs a dialed replica before anything is
+	// sent: failing the watch leg after the gateway submission went out
+	// would leave a command executing whose result the client already
+	// gave up on.
+	for _, sh := range shards {
+		if len(s.candidates(keyFor[sh])) == 0 {
+			f.fulfill(nil, fmt.Errorf("%w (shard %d, key %q)", ErrWrongShard, sh, keyFor[sh]))
+			return
+		}
+	}
+	subs := make([]*Future, len(shards))
+	for i, sh := range shards {
+		sub := newFuture()
+		subs[i] = sub
+		switch {
+		case i == 0:
+			// The gateway: a replica of the first accessed shard submits
+			// the command under the session's id and answers with its
+			// shard's segment.
+			s.sendRouted(sub, keyFor[sh], func(c *conn) error {
+				return c.sendSubmitAt(sub, deadline, sh, id, ops)
+			})
+		default:
+			s.sendRouted(sub, keyFor[sh], func(c *conn) error {
+				return c.sendWatch(sub, deadline, sh, id)
+			})
+		}
+	}
+	go func() {
+		merged := make([][]byte, len(ops))
+		for i, sub := range subs {
+			vals, err := sub.Wait(ctx)
+			if err != nil {
+				f.fulfill(nil, fmt.Errorf("client: cross-shard command %v at shard %d: %w", id, shards[i], err))
+				return
+			}
+			idxs := pos[shards[i]]
+			if len(vals) != len(idxs) {
+				f.fulfill(nil, fmt.Errorf("client: cross-shard command %v: shard %d returned %d values for %d ops",
+					id, shards[i], len(vals), len(idxs)))
+				return
+			}
+			for j, p := range idxs {
+				merged[p] = vals[j]
+			}
+		}
+		f.fulfill(merged, nil)
+	}()
+}

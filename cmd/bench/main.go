@@ -9,17 +9,21 @@
 //	bench -exp micro               # hot-path micro-benchmarks -> BENCH_micro.json
 //	bench -exp cluster             # loaded TCP cluster sweep -> BENCH_cluster.json
 //	bench -exp fault               # kill-restart a durable replica -> BENCH_fault.json
+//	bench -exp shard               # sharded TCP clusters 1..4 shards -> BENCH_shard.json
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, ablation-mbump,
-// ablation-piggyback, ablation-f, micro, cluster, fault, all. See
-// EXPERIMENTS.md for the paper-vs-reproduction comparison. The micro
-// experiment writes its results to -microout (default BENCH_micro.json);
-// the cluster experiment — a real loopback cluster driven by concurrent
-// pipelined sessions across server-side batching configs — writes
-// -clusterout (default BENCH_cluster.json); the fault experiment —
-// real durable replica processes, one SIGKILL'd and restarted under
-// load — writes -faultout (default BENCH_fault.json). Successive PRs
-// track the hot-path and failure-path trajectory through these files.
+// ablation-piggyback, ablation-f, micro, cluster, fault, shard, all.
+// See EXPERIMENTS.md for the paper-vs-reproduction comparison. The
+// micro experiment writes its results to -microout (default
+// BENCH_micro.json); the cluster experiment — a real loopback cluster
+// driven by concurrent pipelined sessions across server-side batching
+// configs — writes -clusterout (default BENCH_cluster.json); the fault
+// experiment — real durable replica processes, one SIGKILL'd and
+// restarted under load — writes -faultout (default BENCH_fault.json);
+// the shard experiment — real durable partial-replication deployments
+// (psmr groups) swept over shard counts and cross-shard ratios — writes
+// -shardout (default BENCH_shard.json). Successive PRs track the
+// hot-path, failure-path and scaling trajectory through these files.
 package main
 
 import (
@@ -43,6 +47,10 @@ func main() {
 	clusterWarm := flag.Duration("clusterwarm", 500*time.Millisecond, "cluster warmup before measurement")
 	faultOut := flag.String("faultout", "BENCH_fault.json", "output path for the fault experiment")
 	faultPhase := flag.Duration("faultphase", 3*time.Second, "per-phase duration of the fault experiment (steady, outage, post-restart)")
+	shardOut := flag.String("shardout", "BENCH_shard.json", "output path for the shard experiment")
+	shardDur := flag.Duration("sharddur", 2*time.Second, "measured wall-clock time per shard load point")
+	shardWarm := flag.Duration("shardwarm", 500*time.Millisecond, "shard-experiment warmup before measurement")
+	shardMax := flag.Int("shardmax", 4, "largest shard count the shard experiment sweeps")
 
 	// Node-runner mode: the fault experiment re-execs this binary as the
 	// cluster's replica processes, so a SIGKILL is a real process death.
@@ -110,6 +118,19 @@ func main() {
 		fmt.Printf("wrote %s\n", *faultOut)
 	}
 
+	runShard := func() {
+		results, err := bench.RunShard(os.Stdout, bench.DefaultShardConfigs(*shardMax), *shardDur, *shardWarm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shard experiment: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteShardJSON(*shardOut, results, *shardDur); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *shardOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *shardOut)
+	}
+
 	experiments := map[string]func(){
 		"fig5":               func() { bench.Fig5(o) },
 		"fig6":               func() { bench.Fig6(o) },
@@ -122,9 +143,10 @@ func main() {
 		"micro":              runMicro,
 		"cluster":            runCluster,
 		"fault":              runFault,
+		"shard":              runShard,
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "fig9",
-		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault"}
+		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault", "shard"}
 
 	if *exp == "all" {
 		for _, name := range order {

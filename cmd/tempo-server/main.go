@@ -1,12 +1,13 @@
-// Command tempo-server runs one Tempo replica as a networked process.
+// Command tempo-server runs Tempo replicas as a networked process.
 //
-// A three-replica local cluster:
+// # Single-shard mode (-peers)
+//
+// One replica of a full-replication cluster:
 //
 //	tempo-server -id 1 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
 //	tempo-server -id 2 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
 //	tempo-server -id 3 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
 //	tempo-client -servers 127.0.0.1:7001,127.0.0.1:7002 put greeting hello
-//	tempo-client -servers 127.0.0.1:7002 get greeting
 //
 // The i-th entry of -peers is the address of the replica with -id i.
 // Each replica serves peers and clients on the same port: the pipelined
@@ -14,12 +15,30 @@
 // client protocol, both peer codecs, and the state-sync protocol used
 // by restarting peers are all auto-detected per connection.
 //
-// With -data-dir the replica is durable: applied commands go to a
-// write-ahead log (fsync-batched per -fsync), periodic snapshots bound
-// replay length (-snapshot-every), and a killed process restarted on
-// the same directory replays its state, catches up from its peers and
-// rejoins. See docs/OPERATIONS.md for tuning and the crash-recovery
-// runbook.
+// # Sharded mode (-sites)
+//
+// One server process per site, hosting one replica for every shard the
+// site replicates (partial replication, internal/psmr). A 2-shard
+// deployment across three sites:
+//
+//	tempo-server -site 0 -sites a:7001,b:7001,c:7001 -shards 2 &   # on a
+//	tempo-server -site 1 -sites a:7001,b:7001,c:7001 -shards 2 &   # on b
+//	tempo-server -site 2 -sites a:7001,b:7001,c:7001 -shards 2 &   # on c
+//
+// All of a site's shards share one listener and one set of inter-site
+// links; cross-shard commands are first-class (the client package
+// merges per-shard results). -shard-sites restricts which sites
+// replicate each shard, e.g. "0,1,2;1,2,3" for two shards over four
+// sites; by default every site replicates every shard.
+//
+// With -data-dir the replicas are durable: applied commands go to a
+// write-ahead log (fsync-batched per -fsync, one log per shard in
+// sharded mode), periodic snapshots bound replay length
+// (-snapshot-every), and a killed process restarted on the same
+// directory replays its state, catches up from its peers and rejoins.
+// With -metrics-addr the server reports serving counters — ops/s, mean
+// batch size, executor queue depth, per-shard submit counts — as JSON.
+// See docs/OPERATIONS.md for tuning and the crash-recovery runbook.
 package main
 
 import (
@@ -30,23 +49,32 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"tempo/internal/cluster"
 	"tempo/internal/ids"
+	"tempo/internal/metrics"
+	"tempo/internal/psmr"
 	"tempo/internal/tempo"
 	"tempo/internal/topology"
 )
 
 func main() {
-	id := flag.Int("id", 1, "replica id (1-based index into -peers)")
-	peers := flag.String("peers", "", "comma-separated replica addresses, in id order")
+	id := flag.Int("id", 1, "single-shard mode: replica id (1-based index into -peers)")
+	peers := flag.String("peers", "", "single-shard mode: comma-separated replica addresses, in id order")
+	site := flag.Int("site", 0, "sharded mode: this server's site (0-based index into -sites)")
+	sites := flag.String("sites", "", "sharded mode: comma-separated site addresses; hosts one replica per locally replicated shard")
+	shards := flag.Int("shards", 1, "sharded mode: number of shards")
+	shardSites := flag.String("shard-sites", "", "sharded mode: per-shard site lists, e.g. \"0,1,2;1,2,3\" (default: every site replicates every shard)")
 	f := flag.Int("f", 1, "tolerated failures")
 	batchOps := flag.Int("batch-ops", cluster.DefaultBatchOps, "max client ops coalesced into one command (<=1 disables batching)")
 	batchWindow := flag.Duration("batch-window", cluster.DefaultBatchWindow, "submit-batch flush window (<=0 disables batching)")
+	batchPace := flag.Duration("batch-pace", 0, "min interval between batch flushes per shard (bounds each shard's consensus round rate; 0 disables pacing)")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
+	metricsAddr := flag.String("metrics-addr", "", "listen address for the JSON metrics endpoint (e.g. 127.0.0.1:9090); empty disables")
 	dataDir := flag.String("data-dir", "", "data directory for WAL+snapshot persistence; empty runs in-memory (a crash loses the replica's local state)")
 	fsync := flag.Duration("fsync", 2*time.Millisecond, "WAL fsync batching interval; 0 makes every command durable before its reply")
 	snapshotEvery := flag.Int("snapshot-every", cluster.DefaultSnapshotEvery, "applied commands between kvstore snapshots (bounds WAL replay length)")
@@ -63,12 +91,36 @@ func main() {
 		log.Printf("pprof serving on http://%s/debug/pprof/", *pprofAddr)
 	}
 
-	addrList := strings.Split(*peers, ",")
-	if len(addrList) < 3 {
-		log.Fatal("need at least 3 peers (-peers a,b,c)")
+	var nodes []*cluster.Node
+	var closeAll func()
+	if *sites != "" {
+		nodes, closeAll = startSharded(*site, *sites, *shards, *shardSites, *f,
+			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery)
+	} else {
+		nodes, closeAll = startSingleShard(*id, *peers, *f,
+			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery)
 	}
-	if *id < 1 || *id > len(addrList) {
-		log.Fatalf("-id %d out of range 1..%d", *id, len(addrList))
+
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, nodes)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	closeAll()
+}
+
+// startSingleShard runs one replica of a full-replication cluster (the
+// historical mode).
+func startSingleShard(id int, peers string, f, batchOps int, batchWindow, batchPace time.Duration,
+	dataDir string, fsync time.Duration, snapshotEvery int) ([]*cluster.Node, func()) {
+	addrList := strings.Split(peers, ",")
+	if len(addrList) < 3 {
+		log.Fatal("need at least 3 peers (-peers a,b,c) or a sharded deployment (-sites)")
+	}
+	if id < 1 || id > len(addrList) {
+		log.Fatalf("-id %d out of range 1..%d", id, len(addrList))
 	}
 
 	names := make([]string, len(addrList))
@@ -78,7 +130,7 @@ func main() {
 		rtt[i] = make([]time.Duration, len(addrList))
 	}
 	topo, err := topology.New(topology.Config{
-		SiteNames: names, RTT: rtt, NumShards: 1, F: *f,
+		SiteNames: names, RTT: rtt, NumShards: 1, F: f,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -88,18 +140,17 @@ func main() {
 	for i, a := range addrList {
 		addrs[ids.ProcessID(i+1)] = a
 	}
-	rep := tempo.New(ids.ProcessID(*id), topo, tempo.Config{})
-	node := cluster.NewNode(ids.ProcessID(*id), rep, addrs)
-	node.SetBatch(*batchOps, *batchWindow)
-	if *dataDir != "" {
-		sync := *fsync
-		if sync == 0 {
-			sync = -1 // flag 0 means "fsync every append"
-		}
+	rep := tempo.New(ids.ProcessID(id), topo, tempo.Config{})
+	node := cluster.NewNode(ids.ProcessID(id), rep, addrs)
+	node.SetBatch(batchOps, batchWindow)
+	if batchPace > 0 {
+		node.SetBatchPace(batchPace)
+	}
+	if dataDir != "" {
 		if err := node.SetDurable(cluster.DurableConfig{
-			Dir:           *dataDir,
-			SyncInterval:  sync,
-			SnapshotEvery: *snapshotEvery,
+			Dir:           dataDir,
+			SyncInterval:  durableSync(fsync),
+			SnapshotEvery: snapshotEvery,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -107,14 +158,135 @@ func main() {
 	if err := node.Start(); err != nil {
 		log.Fatal(err)
 	}
-	if *dataDir != "" {
-		log.Printf("tempo replica %d serving on %s (r=%d, f=%d, data-dir=%s)", *id, node.Addr(), len(addrList), *f, *dataDir)
-	} else {
-		log.Printf("tempo replica %d serving on %s (r=%d, f=%d, in-memory)", *id, node.Addr(), len(addrList), *f)
+	mode := "in-memory"
+	if dataDir != "" {
+		mode = "data-dir=" + dataDir
 	}
+	log.Printf("tempo replica %d serving on %s (r=%d, f=%d, %s)", id, node.Addr(), len(addrList), f, mode)
+	return []*cluster.Node{node}, node.Close
+}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	node.Close()
+// startSharded runs one site of a partial-replication deployment: one
+// hosted replica per shard the site replicates, behind one listener.
+func startSharded(site int, sites string, shards int, shardSitesSpec string, f, batchOps int,
+	batchWindow, batchPace time.Duration, dataDir string, fsync time.Duration, snapshotEvery int) ([]*cluster.Node, func()) {
+	addrList := strings.Split(sites, ",")
+	if site < 0 || site >= len(addrList) {
+		log.Fatalf("-site %d out of range 0..%d", site, len(addrList)-1)
+	}
+	names := make([]string, len(addrList))
+	rtt := make([][]time.Duration, len(addrList))
+	siteAddrs := make(map[ids.SiteID]string, len(addrList))
+	for i, a := range addrList {
+		names[i] = fmt.Sprintf("site-%d", i)
+		rtt[i] = make([]time.Duration, len(addrList))
+		siteAddrs[ids.SiteID(i)] = a
+	}
+	var shardSites [][]int
+	if shardSitesSpec != "" {
+		var err error
+		if shardSites, err = parseShardSites(shardSitesSpec, shards, len(addrList)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	topo, err := topology.New(topology.Config{
+		SiteNames: names, RTT: rtt, NumShards: shards, F: f, ShardSites: shardSites,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := psmr.Start(psmr.Config{
+		Topo:          topo,
+		Site:          ids.SiteID(site),
+		SiteAddrs:     siteAddrs,
+		BatchOps:      batchOps,
+		BatchWindow:   batchWindow,
+		BatchPace:     batchPace,
+		DataDir:       dataDir,
+		FsyncInterval: durableSync(fsync),
+		SnapshotEvery: snapshotEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := "in-memory"
+	if dataDir != "" {
+		mode = "data-dir=" + dataDir
+	}
+	log.Printf("tempo site %d serving %d shard(s) on %s (sites=%d, f=%d, %s)",
+		site, len(g.Nodes()), g.Addr(), len(addrList), f, mode)
+	return g.Nodes(), g.Close
+}
+
+// durableSync maps the -fsync flag onto DurableConfig.SyncInterval
+// semantics (flag 0 = "fsync every append" = config -1).
+func durableSync(fsync time.Duration) time.Duration {
+	if fsync == 0 {
+		return -1
+	}
+	return fsync
+}
+
+// parseShardSites parses "0,1,2;1,2,3": one comma-separated site-index
+// list per shard, semicolon-separated.
+func parseShardSites(spec string, shards, sites int) ([][]int, error) {
+	parts := strings.Split(spec, ";")
+	if len(parts) != shards {
+		return nil, fmt.Errorf("-shard-sites has %d shard entries, want %d", len(parts), shards)
+	}
+	out := make([][]int, len(parts))
+	for i, p := range parts {
+		for _, fld := range strings.Split(p, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(fld))
+			if err != nil || v < 0 || v >= sites {
+				return nil, fmt.Errorf("-shard-sites shard %d: bad site index %q", i, fld)
+			}
+			out[i] = append(out[i], v)
+		}
+	}
+	return out, nil
+}
+
+// serveMetrics exposes the nodes' serving counters as JSON: cumulative
+// per-shard counters plus ops/s computed between successive scrapes.
+func serveMetrics(addr string, nodes []*cluster.Node) {
+	start := time.Now()
+	rates := metrics.NewRateTracker()
+	snapshot := func() any {
+		type shardStats struct {
+			cluster.Stats
+			OpsPerSec     float64 `json:"ops_per_sec"`
+			ReqsPerSec    float64 `json:"reqs_per_sec"`
+			MeanBatchSize float64 `json:"mean_batch_size"`
+		}
+		out := struct {
+			UptimeSec  float64      `json:"uptime_sec"`
+			OpsPerSec  float64      `json:"ops_per_sec"`
+			ReqsPerSec float64      `json:"reqs_per_sec"`
+			Shards     []shardStats `json:"shards"`
+		}{UptimeSec: time.Since(start).Seconds()}
+		for i, n := range nodes {
+			st := n.Stats()
+			ss := shardStats{Stats: st}
+			// Operations vs requests: one multi-op command carries many
+			// client ops, so the two rates differ by the mean batch size.
+			ss.OpsPerSec = rates.Rate(fmt.Sprintf("ops-%d", i), st.SubmittedOps)
+			ss.ReqsPerSec = rates.Rate(fmt.Sprintf("reqs-%d", i), st.CompletedReqs)
+			if st.BatchFlushes > 0 {
+				ss.MeanBatchSize = float64(st.BatchedOps) / float64(st.BatchFlushes)
+			}
+			out.OpsPerSec += ss.OpsPerSec
+			out.ReqsPerSec += ss.ReqsPerSec
+			out.Shards = append(out.Shards, ss)
+		}
+		return out
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.JSONHandler(snapshot))
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	}()
+	log.Printf("metrics serving on http://%s/metrics", addr)
 }

@@ -1,10 +1,13 @@
-// Partial replication over real TCP: the state is split into four
-// shards replicated at three sites (12 processes on loopback), and a
-// topology-aware client session routes each command to a replica of the
-// shard owning its key. A single command atomically updates keys living
-// on different shards — the multi-partition protocol of §4 (per-shard
-// timestamps, final timestamp = max, MStable barriers) makes the
-// cross-shard update linearizable.
+// Partial replication over real TCP, the paper's §6.4 deployment shape:
+// the state is split into four shards replicated at three sites, and
+// each site runs ONE server process (a psmr group) hosting a replica of
+// every shard behind a single listener — 3 processes, not 12. A
+// topology-aware client session routes single-shard commands to a
+// replica of the owning shard, and ops spanning shards become true
+// cross-shard transactions: ordered per shard, executed at the maximum
+// timestamp across shards (per-shard timestamps + MStable barriers,
+// Algorithm 3), with the per-shard result segments merged back into one
+// op-ordered result at the client.
 package main
 
 import (
@@ -12,18 +15,19 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"tempo/client"
-	"tempo/internal/cluster"
 	"tempo/internal/command"
 	"tempo/internal/ids"
+	"tempo/internal/psmr"
 	"tempo/internal/tempo"
 	"tempo/internal/topology"
 )
 
 func main() {
-	topo, addrs := startShardedCluster([]string{"ireland", "n-california", "singapore"}, 4)
+	topo, addrs := startSites([]string{"ireland", "n-california", "singapore"}, 4)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
@@ -60,30 +64,45 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One command, two shards: a transfer. Both writes execute under one
-	// final timestamp, so no observer can see the money in flight.
-	if _, err := sess.Execute(ctx,
+	// One command, two shards: a transfer that also reads both balances
+	// it overwrites. The command is submitted under one id to a replica
+	// of alice's shard while a watch rides to bob's; both shards execute
+	// at the same final timestamp and the session merges their result
+	// segments, so the reads and writes are one atomic step — no
+	// observer can see the money in flight.
+	vals, err := sess.Execute(ctx,
+		command.Op{Kind: command.Get, Key: command.Key(alice)},
+		command.Op{Kind: command.Get, Key: command.Key(bob)},
 		command.Op{Kind: command.Put, Key: command.Key(alice), Value: []byte("60")},
 		command.Op{Kind: command.Put, Key: command.Key(bob), Value: []byte("40")},
-	); err != nil {
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("transfer read balances atomically: alice=%s bob=%s\n", vals[0], vals[1])
 
-	// A session at another site reads both accounts consistently.
+	// A session at another site reads both accounts in one cross-shard
+	// command: a consistent snapshot of the pair.
 	other, err := client.New(client.Config{Addrs: addrs, Topo: topo, Site: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer other.Close()
-	a, _ := other.Get(ctx, alice)
-	b, _ := other.Get(ctx, bob)
-	fmt.Printf("after transfer: alice=%s bob=%s\n", a, b)
+	pair, err := other.Execute(ctx,
+		command.Op{Kind: command.Get, Key: command.Key(alice)},
+		command.Op{Kind: command.Get, Key: command.Key(bob)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after transfer: alice=%s bob=%s\n", pair[0], pair[1])
 }
 
-// startShardedCluster boots one Tempo process per (site, shard) pair on
-// loopback and returns the topology plus the address map a
-// topology-aware session needs.
-func startShardedCluster(sites []string, shards int) (*topology.Topology, map[ids.ProcessID]string) {
+// startSites boots one psmr group per site on loopback — each hosting
+// one Tempo replica per shard behind a single listener — and returns
+// the topology plus the per-process address map a topology-aware
+// session needs.
+func startSites(sites []string, shards int) (*topology.Topology, map[ids.ProcessID]string) {
 	rtt := make([][]time.Duration, len(sites))
 	for i := range rtt {
 		rtt[i] = make([]time.Duration, len(sites))
@@ -94,22 +113,38 @@ func startShardedCluster(sites []string, shards int) (*topology.Topology, map[id
 	if err != nil {
 		log.Fatal(err)
 	}
-	addrs := make(map[ids.ProcessID]string)
-	lns := make(map[ids.ProcessID]net.Listener)
-	for _, pi := range topo.Processes() {
+	siteAddrs := make(map[ids.SiteID]string)
+	lns := make(map[ids.SiteID]net.Listener)
+	for _, site := range topo.Sites() {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
-		lns[pi.ID] = ln
-		addrs[pi.ID] = ln.Addr().String()
+		lns[site.ID] = ln
+		siteAddrs[site.ID] = ln.Addr().String()
 	}
-	for _, pi := range topo.Processes() {
-		rep := tempo.New(pi.ID, topo, tempo.Config{
-			PromiseInterval: 2 * time.Millisecond,
-			RecoveryTimeout: time.Hour,
-		})
-		cluster.NewNode(pi.ID, rep, addrs).StartListener(lns[pi.ID])
+	var wg sync.WaitGroup
+	for _, site := range topo.Sites() {
+		wg.Add(1)
+		go func(id ids.SiteID) {
+			defer wg.Done()
+			if _, err := psmr.StartListener(psmr.Config{
+				Topo:      topo,
+				Site:      id,
+				SiteAddrs: siteAddrs,
+				Tempo: tempo.Config{
+					PromiseInterval: 2 * time.Millisecond,
+					RecoveryTimeout: time.Hour,
+				},
+			}, lns[id]); err != nil {
+				log.Fatal(err)
+			}
+		}(site.ID)
+	}
+	wg.Wait()
+	addrs, _, err := psmr.ProcessAddrs(topo, siteAddrs)
+	if err != nil {
+		log.Fatal(err)
 	}
 	return topo, addrs
 }

@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/psmr"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// The sharded-cluster experiment (`bench -exp shard`): real TCP
+// partial-replication clusters — three sites, each one psmr group
+// hosting every shard behind a single listener — swept across shard
+// counts and cross-shard command ratios, with results written to
+// BENCH_shard.json.
+//
+// Methodology. The replicas run durable (batched fsync) with PACED
+// group commit (cluster.Node.SetBatchPace): each shard admits at most
+// one consensus round of batchOps operations per pace interval per
+// serving replica, so a single shard's throughput is capped at
+// sites*batchOps/pace no matter how many clients pile on — the
+// per-shard ordering-pipeline bound that real deployments hit as
+// per-shard round rate (quorum RTT pipelining, round fan-out, bounded
+// recovery). That bound is exactly what partial replication multiplies:
+// every added shard brings its own independently paced ordering
+// pipeline, so aggregate admission grows linearly with the shard count
+// while commands stay single-round. The sweep shows that scaling at 0%
+// cross-shard commands, and prices the paper's cross-shard coordination
+// (gateway + watch legs, stability barriers, max-timestamp execution)
+// at 5% and 50% ratios. Note the harness host is a single-core
+// container: the scaling measured here is the protocol-level
+// multiplication of per-shard pipelines, not hardware parallelism — on
+// multi-core/multi-machine deployments the same sweep additionally
+// scales CPU.
+
+// ShardConfig is one load point of the shard experiment.
+type ShardConfig struct {
+	Name     string
+	Shards   int
+	RatioPct int // percentage of commands that touch two shards
+	Sessions int
+	Inflight int
+	BatchOps int
+	Window   time.Duration
+	Pace     time.Duration // per-shard round pacing (SetBatchPace)
+}
+
+// ShardResult is one measured load point in BENCH_shard.json.
+type ShardResult struct {
+	Name          string  `json:"name"`
+	Shards        int     `json:"shards"`
+	RatioPct      int     `json:"cross_ratio_pct"`
+	Sessions      int     `json:"sessions"`
+	Inflight      int     `json:"inflight"`
+	Cmds          int     `json:"cmds"`
+	CrossCmds     int     `json:"cross_cmds"`
+	Ops           int     `json:"ops"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	SingleP50us   float64 `json:"single_p50_us"`
+	SingleP99us   float64 `json:"single_p99_us"`
+	CrossP50us    float64 `json:"cross_p50_us"`
+	CrossP99us    float64 `json:"cross_p99_us"`
+	CrossMeanUS   float64 `json:"cross_mean_us"`
+	SingleMeanUS  float64 `json:"single_mean_us"`
+	CrossOverhead float64 `json:"cross_overhead_x"` // cross mean / single mean
+}
+
+// ShardReport is the schema of BENCH_shard.json.
+type ShardReport struct {
+	Generated  string        `json:"generated"`
+	Go         string        `json:"go"`
+	DurationMS float64       `json:"duration_ms"`
+	Sites      int           `json:"sites"`
+	Fsync      string        `json:"fsync"`
+	ScalingX   float64       `json:"scaling_2shard_over_1shard_x"`
+	Results    []ShardResult `json:"results"`
+}
+
+// DefaultShardConfigs sweeps shard counts 1..maxShards at 0% cross, and
+// cross ratios 5%/50% at every multi-shard count.
+func DefaultShardConfigs(maxShards int) []ShardConfig {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	const (
+		sessions = 6
+		inflight = 128
+		batchOps = 64
+		window   = 200 * time.Microsecond
+		pace     = 5 * time.Millisecond
+	)
+	var cfgs []ShardConfig
+	for s := 1; s <= maxShards; s++ {
+		cfgs = append(cfgs, ShardConfig{
+			Name:   fmt.Sprintf("shard%d-cross0", s),
+			Shards: s, RatioPct: 0, Sessions: sessions, Inflight: inflight,
+			BatchOps: batchOps, Window: window, Pace: pace,
+		})
+	}
+	for s := 2; s <= maxShards; s++ {
+		for _, r := range []int{5, 50} {
+			cfgs = append(cfgs, ShardConfig{
+				Name:   fmt.Sprintf("shard%d-cross%d", s, r),
+				Shards: s, RatioPct: r, Sessions: sessions, Inflight: inflight,
+				BatchOps: batchOps, Window: window, Pace: pace,
+			})
+		}
+	}
+	return cfgs
+}
+
+// startShardCluster boots a 3-site durable psmr deployment of the given
+// shard count on loopback with paced group commit.
+func startShardCluster(shards, batchOps int, window, pace time.Duration) (*topology.Topology, map[ids.ProcessID]string, func(), error) {
+	const sites = 3
+	names := make([]string, sites)
+	rtt := make([][]time.Duration, sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, sites)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: shards, F: 1})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	base, err := os.MkdirTemp("", "tempo-shardbench-*")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	siteAddrs := make(map[ids.SiteID]string)
+	lns := make(map[ids.SiteID]net.Listener)
+	for _, site := range topo.Sites() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			os.RemoveAll(base)
+			return nil, nil, nil, err
+		}
+		lns[site.ID] = ln
+		siteAddrs[site.ID] = ln.Addr().String()
+	}
+	groups := make([]*psmr.Group, sites)
+	errs := make([]error, sites)
+	var wg sync.WaitGroup
+	for i, site := range topo.Sites() {
+		wg.Add(1)
+		go func(i int, id ids.SiteID) {
+			defer wg.Done()
+			groups[i], errs[i] = psmr.StartListener(psmr.Config{
+				Topo:      topo,
+				Site:      id,
+				SiteAddrs: siteAddrs,
+				Tempo: tempo.Config{
+					PromiseInterval: time.Millisecond,
+					RecoveryTimeout: time.Hour,
+				},
+				BatchOps:    batchOps,
+				BatchWindow: window,
+				BatchPace:   pace,
+				DataDir:     fmt.Sprintf("%s/site-%d", base, id),
+			}, lns[id])
+		}(i, site.ID)
+	}
+	wg.Wait()
+	cleanup := func() {
+		for _, g := range groups {
+			if g != nil {
+				g.Close()
+			}
+		}
+		os.RemoveAll(base)
+	}
+	for _, err := range errs {
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+	}
+	addrs, _, err := psmr.ProcessAddrs(topo, siteAddrs)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	return topo, addrs, cleanup, nil
+}
+
+// shardKeys picks, per shard, a pool of keys owned by it.
+func shardKeys(topo *topology.Topology, shards, perShard int) [][]command.Key {
+	pools := make([][]command.Key, shards)
+	for i := 0; len(pools[0]) < perShard || shortest(pools) < perShard; i++ {
+		k := command.Key(fmt.Sprintf("sb-%d", i))
+		s := topo.ShardOf(k)
+		if len(pools[s]) < perShard {
+			pools[s] = append(pools[s], k)
+		}
+	}
+	return pools
+}
+
+func shortest(pools [][]command.Key) int {
+	m := len(pools[0])
+	for _, p := range pools {
+		if len(p) < m {
+			m = len(p)
+		}
+	}
+	return m
+}
+
+// runShardConfig drives one load point: Sessions closed-loop sessions
+// (spread over the sites), each keeping Inflight commands pipelined; a
+// RatioPct fraction of commands put two keys on two distinct shards
+// (one cross-shard transaction), the rest put one key on one shard.
+func runShardConfig(cfg ShardConfig, duration, warmup time.Duration) (ShardResult, error) {
+	topo, addrs, cleanup, err := startShardCluster(cfg.Shards, cfg.BatchOps, cfg.Window, cfg.Pace)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	defer cleanup()
+	pools := shardKeys(topo, cfg.Shards, 64)
+
+	type sessResult struct {
+		cmds, crossCmds, ops  int
+		singleLats, crossLats []float64 // µs
+		err                   error
+	}
+	results := make([]sessResult, cfg.Sessions)
+	start := time.Now()
+	warmEnd := start.Add(warmup)
+	stop := warmEnd.Add(duration)
+	var wg sync.WaitGroup
+	for si := 0; si < cfg.Sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			res := &results[si]
+			site := ids.SiteID(si % len(topo.Sites()))
+			sess, err := client.New(client.Config{Addrs: addrs, Topo: topo, Site: site})
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer sess.Close()
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(int64(si) + 1))
+			val := []byte("x")
+			type issued struct {
+				f     *client.Future
+				at    time.Time
+				cross bool
+				nops  int
+			}
+			ring := make([]issued, cfg.Inflight)
+			head, tail := 0, 0
+			reap := func(it issued) bool {
+				if _, err := it.f.Wait(ctx); err != nil {
+					res.err = err
+					return false
+				}
+				now := time.Now()
+				if now.After(warmEnd) && !now.After(stop) {
+					res.cmds++
+					res.ops += it.nops
+					lat := float64(now.Sub(it.at).Nanoseconds()) / 1e3
+					if it.cross {
+						res.crossCmds++
+						res.crossLats = append(res.crossLats, lat)
+					} else {
+						res.singleLats = append(res.singleLats, lat)
+					}
+				}
+				return true
+			}
+			issue := func() issued {
+				s0 := rng.Intn(cfg.Shards)
+				k0 := pools[s0][rng.Intn(len(pools[s0]))]
+				if cfg.Shards > 1 && rng.Intn(100) < cfg.RatioPct {
+					s1 := (s0 + 1 + rng.Intn(cfg.Shards-1)) % cfg.Shards
+					k1 := pools[s1][rng.Intn(len(pools[s1]))]
+					return issued{
+						f: sess.Do(ctx,
+							command.Op{Kind: command.Put, Key: k0, Value: val},
+							command.Op{Kind: command.Put, Key: k1, Value: val}),
+						at: time.Now(), cross: true, nops: 2,
+					}
+				}
+				return issued{
+					f:  sess.Do(ctx, command.Op{Kind: command.Put, Key: k0, Value: val}),
+					at: time.Now(), nops: 1,
+				}
+			}
+			for time.Now().Before(stop) {
+				if tail-head == cfg.Inflight {
+					if !reap(ring[head%cfg.Inflight]) {
+						return
+					}
+					head++
+				}
+				ring[tail%cfg.Inflight] = issue()
+				tail++
+			}
+			for ; head < tail; head++ {
+				if !reap(ring[head%cfg.Inflight]) {
+					return
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	out := ShardResult{
+		Name: cfg.Name, Shards: cfg.Shards, RatioPct: cfg.RatioPct,
+		Sessions: cfg.Sessions, Inflight: cfg.Inflight,
+	}
+	var single, cross []float64
+	for _, r := range results {
+		if r.err != nil {
+			return out, r.err
+		}
+		out.Cmds += r.cmds
+		out.CrossCmds += r.crossCmds
+		out.Ops += r.ops
+		single = append(single, r.singleLats...)
+		cross = append(cross, r.crossLats...)
+	}
+	out.OpsPerSec = float64(out.Ops) / duration.Seconds()
+	sort.Float64s(single)
+	sort.Float64s(cross)
+	pct := func(lats []float64, p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	mean := func(lats []float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		var s float64
+		for _, l := range lats {
+			s += l
+		}
+		return s / float64(len(lats))
+	}
+	out.SingleP50us, out.SingleP99us = pct(single, 0.50), pct(single, 0.99)
+	out.CrossP50us, out.CrossP99us = pct(cross, 0.50), pct(cross, 0.99)
+	out.SingleMeanUS, out.CrossMeanUS = mean(single), mean(cross)
+	if out.SingleMeanUS > 0 && out.CrossMeanUS > 0 {
+		out.CrossOverhead = out.CrossMeanUS / out.SingleMeanUS
+	}
+	return out, nil
+}
+
+// RunShard runs the sharded-cluster sweep, printing one line per load
+// point.
+func RunShard(out io.Writer, cfgs []ShardConfig, duration, warmup time.Duration) ([]ShardResult, error) {
+	var results []ShardResult
+	for _, cfg := range cfgs {
+		r, err := runShardConfig(cfg, duration, warmup)
+		if err != nil {
+			return results, fmt.Errorf("shard config %s: %w", cfg.Name, err)
+		}
+		fmt.Fprintf(out, "%-16s %d shard(s) cross=%2d%%  %9.0f ops/s  single p50=%6.0fµs p99=%7.0fµs  cross p50=%6.0fµs p99=%7.0fµs\n",
+			r.Name, r.Shards, r.RatioPct, r.OpsPerSec, r.SingleP50us, r.SingleP99us, r.CrossP50us, r.CrossP99us)
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// WriteShardJSON writes the results (and the headline 2-shard/1-shard
+// scaling factor at 0% cross) to path in the BENCH_shard.json schema.
+func WriteShardJSON(path string, results []ShardResult, duration time.Duration) error {
+	rep := ShardReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		DurationMS: float64(duration.Milliseconds()),
+		Sites:      3,
+		Fsync:      "batched-2ms",
+		Results:    results,
+	}
+	var one, two float64
+	for _, r := range results {
+		if r.RatioPct == 0 {
+			switch r.Shards {
+			case 1:
+				one = r.OpsPerSec
+			case 2:
+				two = r.OpsPerSec
+			}
+		}
+	}
+	if one > 0 {
+		rep.ScalingX = two / one
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

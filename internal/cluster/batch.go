@@ -27,6 +27,17 @@ type submitBatcher struct {
 	sharder opSharder
 	maxOps  int
 	window  time.Duration
+	// pace, when non-zero, is the minimum interval between two flushes
+	// of one bucket — a per-shard bound on the consensus round rate.
+	// Each flush then carries at most maxOps operations (the remainder
+	// stays queued for the next paced round), so a shard's admission is
+	// capped at maxOps/pace per gateway: overload amortizes into
+	// full-size rounds at a fixed rate instead of a round per arrival
+	// burst, bounding round fan-out and executor backlog per shard at a
+	// latency cost of up to pace per request. Zero (the default)
+	// preserves plain group commit: flush on size or window, whole
+	// bucket at once.
+	pace time.Duration
 
 	mu      sync.Mutex
 	closed  bool
@@ -42,14 +53,19 @@ type batchEntry struct {
 type batchBucket struct {
 	entries []batchEntry
 	nops    int
+	// lastFlush and timerSet drive paced flushing; lastFlush is zero
+	// until the bucket's first flush.
+	lastFlush time.Time
+	timerSet  bool
 }
 
-func newSubmitBatcher(n *Node, sharder opSharder, maxOps int, window time.Duration) *submitBatcher {
+func newSubmitBatcher(n *Node, sharder opSharder, maxOps int, window time.Duration, pace time.Duration) *submitBatcher {
 	return &submitBatcher{
 		n:       n,
 		sharder: sharder,
 		maxOps:  maxOps,
 		window:  window,
+		pace:    pace,
 		buckets: make(map[ids.ShardID]*batchBucket),
 	}
 }
@@ -78,30 +94,80 @@ func (b *submitBatcher) add(shard ids.ShardID, w *waiter, ops []command.Op) {
 		bk = &batchBucket{}
 		b.buckets[shard] = bk
 	}
-	wasEmpty := len(bk.entries) == 0
 	bk.entries = append(bk.entries, batchEntry{w: w, ops: ops})
 	bk.nops += len(ops)
-	if bk.nops >= b.maxOps || b.n.pendingCmds() == 0 {
-		entries := bk.entries
-		bk.entries, bk.nops = nil, 0
+	now := time.Now()
+	if (bk.nops >= b.maxOps || b.n.pendingCmds() == 0) && b.paceAllowsLocked(bk, now) {
+		entries := b.takeLocked(bk, now)
 		b.mu.Unlock()
 		b.flushEntries(entries)
 		return
 	}
+	b.armTimerLocked(shard, bk, now)
 	b.mu.Unlock()
-	if wasEmpty {
-		time.AfterFunc(b.window, func() { b.flushShard(shard) })
-	}
 }
 
-// flushShard flushes whatever a shard's bucket holds (the timer path).
+// paceAllowsLocked reports whether a bucket may flush now under the
+// pacing policy. The caller holds b.mu.
+func (b *submitBatcher) paceAllowsLocked(bk *batchBucket, now time.Time) bool {
+	return b.pace == 0 || now.Sub(bk.lastFlush) >= b.pace
+}
+
+// takeLocked removes the next flush's entries from the bucket: the
+// whole bucket unpaced, or up to maxOps operations (at least one entry)
+// paced, with the remainder left for the next round. The caller holds
+// b.mu and is responsible for arming a timer if a remainder stays.
+func (b *submitBatcher) takeLocked(bk *batchBucket, now time.Time) []batchEntry {
+	bk.lastFlush = now
+	if b.pace == 0 {
+		entries := bk.entries
+		bk.entries, bk.nops = nil, 0
+		return entries
+	}
+	n, ops := 0, 0
+	for n < len(bk.entries) && (n == 0 || ops+len(bk.entries[n].ops) <= b.maxOps) {
+		ops += len(bk.entries[n].ops)
+		n++
+	}
+	entries := bk.entries[:n:n]
+	bk.entries = append([]batchEntry(nil), bk.entries[n:]...)
+	bk.nops -= ops
+	return entries
+}
+
+// armTimerLocked schedules the next timer flush for a non-empty bucket:
+// one window out, or when the pace next allows, whichever is later. The
+// caller holds b.mu.
+func (b *submitBatcher) armTimerLocked(shard ids.ShardID, bk *batchBucket, now time.Time) {
+	if bk.timerSet || len(bk.entries) == 0 {
+		return
+	}
+	bk.timerSet = true
+	delay := b.window
+	if b.pace > 0 {
+		if until := bk.lastFlush.Add(b.pace).Sub(now); until > delay {
+			delay = until
+		}
+	}
+	time.AfterFunc(delay, func() { b.flushShard(shard) })
+}
+
+// flushShard flushes a shard's bucket (the timer path): everything it
+// holds unpaced, the next maxOps-bounded round paced — re-arming for
+// the round after when a remainder stays queued.
 func (b *submitBatcher) flushShard(shard ids.ShardID) {
 	b.mu.Lock()
 	bk := b.buckets[shard]
 	var entries []batchEntry
 	if bk != nil {
-		entries, bk.entries = bk.entries, nil
-		bk.nops = 0
+		bk.timerSet = false
+		now := time.Now()
+		if len(bk.entries) > 0 {
+			if b.paceAllowsLocked(bk, now) {
+				entries = b.takeLocked(bk, now)
+			}
+			b.armTimerLocked(shard, bk, now)
+		}
 	}
 	b.mu.Unlock()
 	b.flushEntries(entries)
@@ -140,6 +206,8 @@ func (b *submitBatcher) flushEntries(entries []batchEntry) {
 		w.fail(command.WireError{Code: command.ErrCodeTimeout, Msg: "deadline exceeded before execution"})
 	}
 	if len(members) > 0 {
+		b.n.stat.batchFlushes.Add(1)
+		b.n.stat.batchedOps.Add(uint64(len(ops)))
 		b.n.submitCmd(members, ops)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tempo/internal/command"
+	"tempo/internal/ids"
 	"tempo/internal/proto"
 )
 
@@ -31,6 +32,43 @@ import (
 // peerMagic, the leading 0xFF cannot begin a gob stream, and the third
 // byte distinguishes clients from peers.
 var ClientMagic = [4]byte{0xFF, 'T', 'C', 1}
+
+// ClientMagic2 prefixes version-2 client connections: every request
+// frame starts with a kind byte, which adds the cross-shard requests
+// (mint, submit-at, watch) next to plain submission. Replies are
+// unchanged. Servers keep serving version-1 connections, so old clients
+// interoperate; the client package always dials version 2, so new
+// clients need servers at least this version (a pre-v2 server drops the
+// unknown magic and the session reports every replica unreachable).
+var ClientMagic2 = [4]byte{0xFF, 'T', 'C', 2}
+
+// Version-2 request kinds.
+const (
+	// ReqSubmit is a plain submission: the serving replica mints the
+	// command id, executes the ops on their (single) shard and replies
+	// with the per-op values. Ops spanning shards are rejected with
+	// ErrCodeCrossShard — a merged result needs ReqSubmitAt + ReqWatch.
+	ReqSubmit byte = 1
+	// ReqMint asks the replica to mint a contiguous block of command
+	// identifiers for the session's cross-shard submissions. The reply
+	// carries the first Dot of the block (see AppendMintReply); minted
+	// seqs are covered by the replica's durable id reservation, so a
+	// crash-restart never re-mints them.
+	ReqMint byte = 2
+	// ReqSubmitAt submits a (typically cross-shard) command under a
+	// client-held id minted via ReqMint. The serving replica — the
+	// "gateway", a replica of the request's target shard — drives the
+	// whole multi-shard protocol and replies with its own shard's result
+	// segment; the client collects the other shards' segments via
+	// ReqWatch registrations placed concurrently at one replica of each
+	// other accessed shard.
+	ReqSubmitAt byte = 3
+	// ReqWatch registers interest in a command id at a replica of the
+	// request's target shard: the reply carries that shard's result
+	// segment once the command executes locally (or immediately, from
+	// the parked-results buffer, if it already has).
+	ReqWatch byte = 4
+)
 
 // MaxClientFrameBytes bounds a client protocol frame body in both
 // directions; receivers drop connections announcing larger frames.
@@ -97,6 +135,149 @@ func DecodeClientReply(b []byte) (reqID uint64, werr command.WireError, values [
 		}
 	}
 	return reqID, werr, values, nil
+}
+
+// ClientRequest2 is one decoded version-2 request frame. Which fields
+// are meaningful depends on Kind: every request has ReqID; Deadline
+// rides on Submit/SubmitAt/Watch; Shard and ID on SubmitAt/Watch; Ops
+// on Submit/SubmitAt; Count on Mint.
+type ClientRequest2 struct {
+	Kind     byte
+	ReqID    uint64
+	Deadline time.Duration
+	Shard    ids.ShardID
+	ID       ids.Dot
+	Count    uint64
+	Ops      []command.Op
+}
+
+// appendReqHeader stages the fields shared by every v2 request kind.
+func appendReqHeader(body []byte, kind byte, reqID uint64, deadline time.Duration) []byte {
+	body = append(body, kind)
+	body = binary.AppendUvarint(body, reqID)
+	return binary.AppendUvarint(body, uint64(deadline.Microseconds()))
+}
+
+// finishFrame appends the staged body to buf as one length-prefixed
+// frame, updating the scratch buffer.
+func finishFrame(buf []byte, scratch *[]byte, body []byte) []byte {
+	*scratch = body
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	return append(buf, body...)
+}
+
+// AppendSubmitRequest appends a v2 plain-submission frame.
+func AppendSubmitRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time.Duration, ops []command.Op) []byte {
+	body := appendReqHeader((*scratch)[:0], ReqSubmit, reqID, deadline)
+	body = command.AppendOps(body, ops)
+	return finishFrame(buf, scratch, body)
+}
+
+// AppendMintRequest appends a v2 id-block mint frame.
+func AppendMintRequest(buf []byte, scratch *[]byte, reqID uint64, count int) []byte {
+	body := appendReqHeader((*scratch)[:0], ReqMint, reqID, 0)
+	body = binary.AppendUvarint(body, uint64(count))
+	return finishFrame(buf, scratch, body)
+}
+
+// AppendSubmitAtRequest appends a v2 cross-shard submission frame:
+// the full op list submitted under a client-held id, served by a
+// replica of the target shard.
+func AppendSubmitAtRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time.Duration, shard ids.ShardID, id ids.Dot, ops []command.Op) []byte {
+	body := appendReqHeader((*scratch)[:0], ReqSubmitAt, reqID, deadline)
+	body = binary.AppendUvarint(body, uint64(shard))
+	body = appendDot(body, id)
+	body = command.AppendOps(body, ops)
+	return finishFrame(buf, scratch, body)
+}
+
+// AppendWatchRequest appends a v2 watch frame: the reply carries the
+// target shard's result segment of the watched command.
+func AppendWatchRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time.Duration, shard ids.ShardID, id ids.Dot) []byte {
+	body := appendReqHeader((*scratch)[:0], ReqWatch, reqID, deadline)
+	body = binary.AppendUvarint(body, uint64(shard))
+	body = appendDot(body, id)
+	return finishFrame(buf, scratch, body)
+}
+
+func appendDot(buf []byte, id ids.Dot) []byte {
+	buf = binary.AppendUvarint(buf, uint64(id.Source))
+	return binary.AppendUvarint(buf, id.Seq)
+}
+
+func decodeDot(b []byte) (ids.Dot, []byte, error) {
+	src, b, err := proto.ReadUvarint(b)
+	if err != nil {
+		return ids.Dot{}, b, err
+	}
+	seq, b, err := proto.ReadUvarint(b)
+	if err != nil {
+		return ids.Dot{}, b, err
+	}
+	return ids.Dot{Source: ids.ProcessID(src), Seq: seq}, b, nil
+}
+
+// DecodeClientRequest2 decodes a v2 request frame body.
+func DecodeClientRequest2(b []byte) (req ClientRequest2, err error) {
+	if len(b) == 0 {
+		return req, proto.ErrCorrupt
+	}
+	req.Kind = b[0]
+	b = b[1:]
+	if req.ReqID, b, err = proto.ReadUvarint(b); err != nil {
+		return req, err
+	}
+	var us uint64
+	if us, b, err = proto.ReadUvarint(b); err != nil {
+		return req, err
+	}
+	req.Deadline = time.Duration(us) * time.Microsecond
+	switch req.Kind {
+	case ReqSubmit:
+		if req.Ops, _, err = command.DecodeOps(b); err != nil {
+			return req, err
+		}
+	case ReqMint:
+		if req.Count, _, err = proto.ReadUvarint(b); err != nil {
+			return req, err
+		}
+	case ReqSubmitAt, ReqWatch:
+		var s uint64
+		if s, b, err = proto.ReadUvarint(b); err != nil {
+			return req, err
+		}
+		req.Shard = ids.ShardID(s)
+		if req.ID, b, err = decodeDot(b); err != nil {
+			return req, err
+		}
+		if req.Kind == ReqSubmitAt {
+			if req.Ops, _, err = command.DecodeOps(b); err != nil {
+				return req, err
+			}
+		}
+	default:
+		return req, proto.ErrCorrupt
+	}
+	return req, nil
+}
+
+// MaxMintBlock bounds how many ids one mint request may reserve.
+const MaxMintBlock = 1 << 16
+
+// AppendMintReply encodes a mint reply's payload as a single result
+// value: the first Dot of the reserved block (the block is
+// [Seq, Seq+count) at that source).
+func AppendMintReply(id ids.Dot) [][]byte {
+	return [][]byte{appendDot(nil, id)}
+}
+
+// DecodeMintReply decodes the payload built by AppendMintReply.
+func DecodeMintReply(values [][]byte) (ids.Dot, error) {
+	if len(values) != 1 {
+		return ids.Dot{}, proto.ErrCorrupt
+	}
+	id, _, err := decodeDot(values[0])
+	return id, err
 }
 
 // ReadFrame reads one length-prefixed frame body into *buf (grown as

@@ -123,6 +123,25 @@ type Node struct {
 	rep   proto.Replica
 	addrs map[ids.ProcessID]string
 
+	// sharder maps op lists to shards when the replica supports it;
+	// shard/hasShard identify the (single) shard this replica serves.
+	// Both drive client-request routing and the batcher.
+	sharder  opSharder
+	shard    ids.ShardID
+	hasShard bool
+
+	// transport, when set (group deployments), carries outgoing protocol
+	// messages instead of the node's own per-peer links; see SetTransport.
+	transport Transport
+
+	// syncPeers restricts the durable state-catch-up round to the
+	// replicas of this node's own shard (nil: every address, the
+	// single-shard default).
+	syncPeers []ids.ProcessID
+
+	// stat collects the serving counters exposed by Stats.
+	stat nodeStats
+
 	mu sync.Mutex // guards rep
 	// out holds per-peer outbound queues; a writer goroutine per peer
 	// dials and encodes, so protocol steps never block on the network.
@@ -137,6 +156,10 @@ type Node struct {
 	// reach a recycled request slot.
 	waitMu  sync.Mutex
 	waiters map[ids.Dot]*pendingCmd
+	// parked holds result values of executed cross-shard commands with
+	// no local waiter, so a late watch still gets its segment (guarded
+	// by waitMu; see completeOrPark in cross.go).
+	parked map[ids.Dot]parkedResult
 	// nPending mirrors len(waiters); updated under waitMu at every map
 	// mutation and read lock-free by the batcher's idle check, keeping
 	// the per-request submit path off waitMu.
@@ -148,6 +171,7 @@ type Node struct {
 	batcher     *submitBatcher
 	batchMaxOps int
 	batchWindow time.Duration
+	batchPace   time.Duration
 
 	// Deferred execution pipeline: when the replica implements
 	// proto.DeferredApplier, protocol steps (under n.mu) only append
@@ -210,12 +234,13 @@ const (
 // NewNode creates a node for process id with the given replica and the
 // listen addresses of every process.
 func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string) *Node {
-	return &Node{
+	n := &Node{
 		id:          id,
 		rep:         rep,
 		addrs:       addrs,
 		out:         make(map[ids.ProcessID]chan proto.Message),
 		waiters:     make(map[ids.Dot]*pendingCmd),
+		parked:      make(map[ids.Dot]parkedResult),
 		clientConns: make(map[*clientConn]struct{}),
 		peerConns:   make(map[net.Conn]struct{}),
 		done:        make(chan struct{}),
@@ -225,12 +250,52 @@ func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string
 		batchWindow: DefaultBatchWindow,
 		execKick:    make(chan struct{}, 1),
 	}
+	if sh, ok := rep.(opSharder); ok {
+		n.sharder = sh
+	}
+	if sr, ok := rep.(interface{ Shard() ids.ShardID }); ok {
+		n.shard, n.hasShard = sr.Shard(), true
+	}
+	return n
 }
 
 // SetCodec selects the wire codec for outgoing peer links. Call before
 // Start; the default is CodecBinary. Inbound links auto-detect the
 // sender's codec, so nodes with different codecs interoperate.
 func (n *Node) SetCodec(c Codec) { n.codec = c }
+
+// Transport carries outgoing protocol messages on behalf of hosted
+// nodes. A Group installs one so every node it hosts shares the group's
+// peer links (and its in-process fast path between co-hosted shards)
+// instead of dialing its own. Send must not block: implementations
+// queue and drop like the node's own writers.
+type Transport interface {
+	Send(from, to ids.ProcessID, msg proto.Message)
+}
+
+// SetTransport routes the node's outgoing protocol messages through t
+// instead of per-peer links owned by the node. Call before Start.
+func (n *Node) SetTransport(t Transport) { n.transport = t }
+
+// SetExecObserver registers fn to be called by the executor for every
+// command just before it is applied — an instrumentation hook for tests
+// and exactly-once accounting (WAL replay and peer catch-up do not run
+// through it, so within-incarnation double applies are observable).
+// Call before Start.
+func (n *Node) SetExecObserver(fn func(proto.Stable)) { n.execObserver = fn }
+
+// SetSyncPeers restricts the durable state-catch-up round to the given
+// processes (the replicas of this node's own shard). Without it every
+// address is asked, which is only correct when all processes replicate
+// the same shard. Call before Start.
+func (n *Node) SetSyncPeers(peers []ids.ProcessID) { n.syncPeers = peers }
+
+// Deliver feeds a decoded message batch from a remote process into the
+// replica; group transports use it to hand inbound traffic to the node
+// they demultiplexed it for.
+func (n *Node) Deliver(from ids.ProcessID, msgs []proto.Message) {
+	n.deliverBatch(from, msgs)
+}
 
 // SetBatch tunes server-side submit batching: client operations arriving
 // within window are coalesced, per target shard, into one command of at
@@ -240,6 +305,16 @@ func (n *Node) SetCodec(c Codec) { n.codec = c }
 func (n *Node) SetBatch(maxOps int, window time.Duration) {
 	n.batchMaxOps, n.batchWindow = maxOps, window
 }
+
+// SetBatchPace bounds the batcher's per-shard consensus round rate: at
+// most one flush per pace interval per shard bucket, each carrying at
+// most the batch's maxOps operations (the remainder waits for the next
+// round). Pacing caps a shard's admission at maxOps/pace per serving
+// replica — overload amortizes into full rounds at a fixed rate,
+// bounding round fan-out and executor backlog, at a latency cost of up
+// to pace per request. Zero (the default) disables pacing. Call before
+// Start.
+func (n *Node) SetBatchPace(pace time.Duration) { n.batchPace = pace }
 
 // Start listens on the node's address, recovers durable state when a
 // data directory is configured, and runs the tick loop. It returns once
@@ -270,15 +345,7 @@ func (n *Node) StartListener(ln net.Listener) error {
 			return fmt.Errorf("cluster: durable recovery: %w", err)
 		}
 	}
-	if dr, ok := n.rep.(proto.DeferredApplier); ok {
-		dr.SetDeferredApply(true)
-		n.defRep = dr
-		go n.execLoop()
-	}
-	if sh, ok := n.rep.(opSharder); ok && n.batchMaxOps > 1 && n.batchWindow > 0 {
-		n.batcher = newSubmitBatcher(n, sh, n.batchMaxOps, n.batchWindow)
-	}
-	n.ready.Store(true)
+	n.startCore()
 	if n.dur == nil {
 		go n.acceptLoop()
 	}
@@ -286,8 +353,44 @@ func (n *Node) StartListener(ln net.Listener) error {
 	return nil
 }
 
-// Addr returns the bound listen address.
-func (n *Node) Addr() string { return n.ln.Addr().String() }
+// StartHosted runs the node without a listener of its own: a Group owns
+// the shared listener and hands the node its inbound traffic via
+// Deliver/serve hooks. Durable recovery still runs here — the group's
+// listener must already be accepting, so restarting sites can answer
+// each other's state-catch-up requests mid-recovery.
+func (n *Node) StartHosted() error {
+	if n.dur != nil {
+		if err := n.recoverDurable(); err != nil {
+			return fmt.Errorf("cluster: durable recovery: %w", err)
+		}
+	}
+	n.startCore()
+	go n.tickLoop()
+	return nil
+}
+
+// startCore arms the execution pipeline and the submit batcher and
+// flips the node to ready.
+func (n *Node) startCore() {
+	if dr, ok := n.rep.(proto.DeferredApplier); ok {
+		dr.SetDeferredApply(true)
+		n.defRep = dr
+		go n.execLoop()
+	}
+	if n.sharder != nil && n.batchMaxOps > 1 && n.batchWindow > 0 {
+		n.batcher = newSubmitBatcher(n, n.sharder, n.batchMaxOps, n.batchWindow, n.batchPace)
+	}
+	n.ready.Store(true)
+}
+
+// Addr returns the bound listen address ("" for a group-hosted node,
+// which shares its group's listener).
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
 
 // Close shuts the node down. Pending client requests fail with a
 // shutdown error (best effort — the reply races the connection
@@ -296,7 +399,9 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 func (n *Node) Close() {
 	n.closed.Do(func() {
 		close(n.done)
-		n.ln.Close()
+		if n.ln != nil {
+			n.ln.Close()
+		}
 		// Claim every pending waiter — registered ones first, then the
 		// requests still sitting in the batcher: binary ones get a
 		// shutdown reply enqueued, legacy ones unblock their serving
@@ -370,11 +475,11 @@ func (n *Node) serveConn(conn net.Conn) {
 			}
 			defer n.untrackPeerConn(conn)
 			n.serveBinaryPeer(br)
-		case ClientMagic:
+		case ClientMagic, ClientMagic2:
 			if !n.ready.Load() {
 				return // mid-recovery: sessions fail over to live replicas
 			}
-			n.serveBinaryClient(conn, br)
+			serveClientStream(n, conn, br, magic == ClientMagic2)
 		case SyncMagic:
 			n.serveSync(conn, br)
 		}
@@ -505,6 +610,11 @@ type waiter struct {
 // pendingCmd is the set of client requests riding one submitted command.
 type pendingCmd struct {
 	members []*waiter
+	// submitted records that the command was handed to the replica here
+	// (false for entries created by a watch racing ahead of its
+	// submission): a duplicated cross-shard submission for the same id
+	// must register its waiter without re-running Submit.
+	submitted bool
 }
 
 // claimAllLocked claims every unclaimed member and returns them. The
@@ -561,14 +671,24 @@ func (w *waiter) fail(e command.WireError) {
 	w.ch <- &ClientReply{Error: e.Msg}
 }
 
-// submit routes one client request: through the batcher when the ops
-// map to a single shard (the common case — one consensus round then
-// carries many requests), directly otherwise.
+// submit routes one client request. The shard split is explicit:
+// single-shard ops go through the batcher (the common case — one
+// consensus round then carries many requests); ops spanning shards
+// take the direct cross-shard path, never the batcher — coalescing
+// them with single-shard requests would change the combined command's
+// shard set, and therefore its quorum cost and every batchmate's
+// result segment. The cross-shard waiter owns the whole local result
+// (the serving shard's segment); version-2 clients obtain the other
+// shards' segments via watch registrations.
 func (n *Node) submit(w *waiter, ops []command.Op) {
-	if b := n.batcher; b != nil {
-		if shard, ok := b.sharder.OpsShard(ops); ok {
-			b.add(shard, w, ops)
+	if n.sharder != nil {
+		shard, single := n.sharder.OpsShard(ops)
+		if single && n.batcher != nil {
+			n.batcher.add(shard, w, ops)
 			return
+		}
+		if !single {
+			n.stat.crossSubmitted.Add(1)
 		}
 	}
 	w.nvals = -1
@@ -608,12 +728,14 @@ func (n *Node) submitCmd(members []*waiter, ops []command.Op) {
 		return
 	default:
 	}
-	n.waiters[id] = &pendingCmd{members: members}
+	n.waiters[id] = &pendingCmd{members: members, submitted: true}
 	n.syncPendingLocked()
 	n.waitMu.Unlock()
 	if id.Seq > n.lastSeq {
 		n.lastSeq = id.Seq
 	}
+	n.stat.submittedCmds.Add(1)
+	n.stat.submittedOps.Add(uint64(len(ops)))
 	acts := n.rep.Submit(command.New(id, ops...))
 	n.afterStepLocked(acts)
 	n.mu.Unlock()
@@ -652,6 +774,7 @@ func (n *Node) completeCmd(id ids.Dot, values [][]byte) {
 	n.syncPendingLocked()
 	done := pc.claimAllLocked()
 	n.waitMu.Unlock()
+	n.stat.completedReqs.Add(uint64(len(done)))
 	for _, w := range done {
 		w.complete(w.segment(values))
 	}
@@ -712,7 +835,7 @@ func (n *Node) serveClient(req *ClientRequest) *ClientReply {
 // n.mu) never block on the network, and replies completed in one
 // protocol step coalesce into one write.
 type clientConn struct {
-	n    *Node
+	host clientHost
 	conn net.Conn
 	dead chan struct{} // closed when the read loop exits
 
@@ -766,76 +889,19 @@ func (cc *clientConn) writeLoop() {
 	}
 }
 
-// serveBinaryClient streams request frames from a binary-protocol
-// client: each request is submitted with an id-tagged waiter and
-// completed asynchronously, so any number of requests from one
-// connection are in flight at once.
-func (n *Node) serveBinaryClient(conn net.Conn, br *bufio.Reader) {
-	cc := &clientConn{
-		n:    n,
-		conn: conn,
-		dead: make(chan struct{}),
-		kick: make(chan struct{}, 1),
-	}
-	n.ccMu.Lock()
-	n.clientConns[cc] = struct{}{}
-	n.ccMu.Unlock()
-	select {
-	case <-n.done:
-		// Close ran concurrently with this registration; make sure the
-		// connection does not outlive the node.
-		conn.Close()
-	default:
-	}
-	go cc.writeLoop()
-	defer cc.abandon()
-	var buf []byte
-	for {
-		body, err := ReadFrame(br, n.frameLimit, &buf)
-		if err != nil {
-			return
-		}
-		reqID, deadline, ops, err := DecodeClientRequest(body)
-		if err != nil {
-			return
-		}
-		if len(ops) == 0 {
-			cc.reply(reqID, command.WireError{Code: command.ErrCodeBadRequest, Msg: "empty command"}, nil)
-			continue
-		}
-		w := &waiter{cc: cc, reqID: reqID}
-		if deadline > 0 {
-			w.deadline = time.Now().Add(deadline)
-		}
-		n.submit(w, ops)
-	}
-}
-
 // abandon tears the connection's server state down: the writer stops,
-// and every waiter still pending for this connection is claimed and
-// dropped (there is no one left to reply to).
+// and every waiter still pending for this connection — on any node the
+// host serves — is claimed and dropped (there is no one left to reply
+// to).
 func (cc *clientConn) abandon() {
 	close(cc.dead)
 	cc.mu.Lock()
 	cc.closed = true
 	cc.mu.Unlock()
-	n := cc.n
-	n.ccMu.Lock()
-	delete(n.clientConns, cc)
-	n.ccMu.Unlock()
-	n.waitMu.Lock()
-	for id, pc := range n.waiters {
-		for _, w := range pc.members {
-			if w.cc == cc {
-				w.claimed = true // no one left to reply to
-			}
-		}
-		if pc.allClaimedLocked() {
-			delete(n.waiters, id)
-		}
+	cc.host.untrackClientConn(cc)
+	for _, n := range cc.host.localNodes() {
+		n.sweepConn(cc)
 	}
-	n.syncPendingLocked()
-	n.waitMu.Unlock()
 }
 
 // deliver feeds a message into the replica.
@@ -865,6 +931,7 @@ func (n *Node) tickLoop() {
 	t := time.NewTicker(n.tick)
 	defer t.Stop()
 	start := time.Now()
+	lastSweep := start
 	for {
 		select {
 		case <-n.done:
@@ -874,7 +941,12 @@ func (n *Node) tickLoop() {
 			acts := n.rep.Tick(time.Since(start))
 			n.afterStepLocked(acts)
 			n.mu.Unlock()
-			n.expireWaiters(time.Now())
+			now := time.Now()
+			n.expireWaiters(now)
+			if now.Sub(lastSweep) >= time.Second {
+				lastSweep = now
+				n.sweepParked(now)
+			}
 		}
 	}
 }
@@ -912,7 +984,12 @@ func (n *Node) afterStepLocked(acts []proto.Action) {
 	}
 	ex := n.rep.Drain()
 	for _, e := range ex {
-		n.completeCmd(e.Cmd.ID, e.Result.Values)
+		n.stat.appliedCmds.Add(1)
+		if n.crossShardCmd(e.Cmd.Ops) {
+			n.completeOrPark(e.Cmd.ID, e.Result.Values)
+		} else {
+			n.completeCmd(e.Cmd.ID, e.Result.Values)
+		}
 	}
 }
 
@@ -936,14 +1013,21 @@ func (n *Node) execLoop() {
 				n.execObserver(it)
 			}
 			res := n.defRep.ApplyStable(it.Cmd, it.TS)
+			n.stat.appliedCmds.Add(1)
 			// The WAL record precedes the replies: with a zero sync
 			// interval the command is durable before any client sees its
 			// result; with a batching interval the record is at most one
-			// interval behind (see durability.recordApply).
+			// interval behind (see durability.recordApply). Cross-shard
+			// applies ride the same record path — the final timestamp it
+			// persists is already the max across the accessed shards.
 			if n.dur != nil {
 				n.dur.recordApply(it)
 			}
-			n.completeCmd(it.Cmd.ID, res.Values)
+			if it.Multi {
+				n.completeOrPark(it.Cmd.ID, res.Values)
+			} else {
+				n.completeCmd(it.Cmd.ID, res.Values)
+			}
 		}
 		clear(local) // drop command refs until the next swap
 	}
@@ -951,8 +1035,13 @@ func (n *Node) execLoop() {
 
 // sendLocked enqueues an envelope for a peer; a writer goroutine per
 // peer performs the dialing and encoding. A full queue drops the message
-// — the protocol's liveness machinery retries.
+// — the protocol's liveness machinery retries. Group-hosted nodes hand
+// the message to the shared transport instead.
 func (n *Node) sendLocked(to ids.ProcessID, msg proto.Message) {
+	if n.transport != nil {
+		n.transport.Send(n.id, to, msg)
+		return
+	}
 	n.outMu.Lock()
 	ch, ok := n.out[to]
 	if !ok {

@@ -16,13 +16,18 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
 
 	"tempo/client"
 	"tempo/internal/cluster"
+	"tempo/internal/command"
 	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/psmr"
 	"tempo/internal/tempo"
 	"tempo/internal/topology"
 )
@@ -247,5 +252,298 @@ func TestCrashRestartSIGKILL(t *testing.T) {
 	}
 	if v, err := get("post-restart"); err != nil || v != "back" {
 		t.Fatalf("post-restart read-back = %q, %v", v, err)
+	}
+}
+
+// --- cross-shard crash-restart ---
+
+// crossTopo is the fixed shape of the cross-shard crash test: 3 sites,
+// 2 shards, f=1, every site hosting both shards (one psmr group per
+// site). Parent and children must build the identical topology.
+func crossTopo() (*topology.Topology, error) {
+	names := []string{"s0", "s1", "s2"}
+	rtt := make([][]time.Duration, 3)
+	for i := range rtt {
+		rtt[i] = make([]time.Duration, 3)
+	}
+	return topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 2, F: 1})
+}
+
+// TestHelperSiteProcess is the child entry point of the cross-shard
+// crash test: one durable psmr site (a group hosting one replica per
+// shard). It reports DOUBLE_APPLY on stdout if any command is applied
+// twice by an executor within this incarnation — the exactly-once
+// accounting the parent asserts on.
+func TestHelperSiteProcess(t *testing.T) {
+	if os.Getenv("TEMPO_SITE_CHILD") == "" {
+		t.Skip("child-process helper")
+	}
+	site, _ := strconv.Atoi(os.Getenv("TEMPO_SITE_ID"))
+	siteAddrList := strings.Split(os.Getenv("TEMPO_SITE_ADDRS"), ",")
+	dir := os.Getenv("TEMPO_SITE_DIR")
+
+	topo, err := crossTopo()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	siteAddrs := make(map[ids.SiteID]string, len(siteAddrList))
+	for i, a := range siteAddrList {
+		siteAddrs[ids.SiteID(i)] = a
+	}
+	// Exactly-once accounting, per (dot, shard): a site hosts one
+	// replica per shard, so the same command legitimately applies once
+	// for each hosted shard it accesses — but never twice for one shard
+	// within an incarnation.
+	type dotShard struct {
+		id    ids.Dot
+		shard ids.ShardID
+	}
+	var mu sync.Mutex
+	applied := make(map[dotShard]int)
+	g, err := psmr.Start(psmr.Config{
+		Topo:      topo,
+		Site:      ids.SiteID(site),
+		SiteAddrs: siteAddrs,
+		Tempo: tempo.Config{
+			PromiseInterval: 2 * time.Millisecond,
+			RecoveryTimeout: 200 * time.Millisecond,
+		},
+		DataDir:       dir,
+		FsyncInterval: time.Millisecond,
+		ExecObserver: func(st proto.Stable) {
+			mu.Lock()
+			k := dotShard{st.Cmd.ID, st.Shard}
+			applied[k]++
+			twice := applied[k] == 2
+			mu.Unlock()
+			if twice {
+				fmt.Printf("DOUBLE_APPLY %v shard %d\n", st.Cmd.ID, st.Shard)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("NODE_READY")
+	var buf [1]byte
+	os.Stdin.Read(buf[:])
+	g.Close()
+}
+
+// spawnSite starts one psmr site as a child process and waits for it to
+// recover and serve. doubleApply is set if the child ever reports a
+// within-incarnation double apply. It returns an error instead of
+// failing the test so callers may spawn sites from goroutines (t.Fatal
+// must only run on the test goroutine).
+func spawnSite(t *testing.T, site int, siteAddrs []string, dir string, doubleApply *atomic.Bool) (*exec.Cmd, error) {
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperSiteProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"TEMPO_SITE_CHILD=1",
+		fmt.Sprintf("TEMPO_SITE_ID=%d", site),
+		"TEMPO_SITE_ADDRS="+strings.Join(siteAddrs, ","),
+		"TEMPO_SITE_DIR="+dir,
+	)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	t.Cleanup(func() {
+		stdin.Close()
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		cmd.Wait()
+	})
+	readyCh := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		var acc []byte
+		ready := false
+		for {
+			n, err := stdout.Read(buf)
+			acc = append(acc, buf[:n]...)
+			if strings.Contains(string(acc), "DOUBLE_APPLY") && doubleApply != nil {
+				doubleApply.Store(true)
+			}
+			if !ready && strings.Contains(string(acc), "NODE_READY") {
+				ready = true
+				readyCh <- nil
+			}
+			if err != nil {
+				if !ready {
+					readyCh <- fmt.Errorf("site child %d exited before ready: %s", site, acc)
+				}
+				return
+			}
+			// Bound the accumulator; keep a tail for marker matching.
+			if len(acc) > 1<<16 {
+				acc = append(acc[:0], acc[len(acc)-1024:]...)
+			}
+		}
+	}()
+	select {
+	case err := <-readyCh:
+		if err != nil {
+			return nil, err
+		}
+	case <-time.After(30 * time.Second):
+		return nil, fmt.Errorf("site child %d not ready in time", site)
+	}
+	return cmd, nil
+}
+
+// TestCrossShardCrashRestartSIGKILL kill-restarts one whole site of a
+// sharded deployment — one replica of each shard — under continuous
+// cross-shard load, and asserts: the load keeps completing through the
+// outage (per-shard quorums survive f=1), every cross-shard command
+// eventually completes, no command is applied twice within any
+// incarnation, and the restarted site serves the recovered cross-shard
+// state atomically.
+func TestCrossShardCrashRestartSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	topo, err := crossTopo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteAddrs := freeAddrs(t, 3)
+	base := t.TempDir()
+	var doubleApply atomic.Bool
+	dirs := make([]string, 3)
+	cmds := make([]*exec.Cmd, 3)
+	spawnErrs := make([]error, 3)
+	var spawnWG sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("site-%d", i))
+		spawnWG.Add(1)
+		go func(i int) {
+			defer spawnWG.Done()
+			cmds[i], spawnErrs[i] = spawnSite(t, i, siteAddrs, dirs[i], &doubleApply)
+		}(i)
+	}
+	spawnWG.Wait()
+	for i, err := range spawnErrs {
+		if err != nil {
+			t.Fatalf("spawn site %d: %v", i, err)
+		}
+	}
+
+	addrMap := make(map[ids.SiteID]string, 3)
+	for i, a := range siteAddrs {
+		addrMap[ids.SiteID(i)] = a
+	}
+	procAddrs, _, err := psmr.ProcessAddrs(topo, addrMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := client.New(client.Config{Addrs: procAddrs, Topo: topo, Site: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	// Keys on distinct shards for the paired (atomic) writes.
+	keyOn := func(shard ids.ShardID, tag string) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("%s-%d", tag, i)
+			if topo.ShardOf(command.Key(k)) == shard {
+				return k
+			}
+		}
+	}
+	k0, k1 := keyOn(0, "x0"), keyOn(1, "x1")
+
+	crossPut := func(i int) error {
+		c, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		v := []byte(fmt.Sprintf("v%d", i))
+		_, err := sess.Execute(c,
+			command.Op{Kind: command.Put, Key: command.Key(k0), Value: v},
+			command.Op{Kind: command.Put, Key: command.Key(k1), Value: v},
+		)
+		return err
+	}
+	for i := 0; i < 30; i++ {
+		if err := crossPut(i); err != nil {
+			t.Fatalf("pre-crash cross put %d: %v", i, err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond) // let the victim apply replicated history
+
+	// SIGKILL site 2: one replica of shard 0 AND of shard 1 vanish.
+	victim := cmds[2]
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	// Cross-shard commands keep completing during the outage: both
+	// shards still have 2 of 3 replicas (a fast quorum at f=1), and the
+	// client's gateway/watch legs fail over to the live sites.
+	for i := 30; i < 60; i++ {
+		if err := crossPut(i); err != nil {
+			t.Fatalf("during-outage cross put %d: %v", i, err)
+		}
+	}
+
+	// Restart the site on the same directories and address.
+	if cmds[2], err = spawnSite(t, 2, siteAddrs, dirs[2], &doubleApply); err != nil {
+		t.Fatalf("restart site 2: %v", err)
+	}
+
+	// A session homed at the restarted site reads the final pair — the
+	// replay + catch-up state must be atomic (k0 == k1) and current.
+	probe, err := client.New(client.Config{Addrs: procAddrs, Topo: topo, Site: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Close()
+	readPair := func() (string, string, error) {
+		c, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		vals, err := probe.Execute(c,
+			command.Op{Kind: command.Get, Key: command.Key(k0)},
+			command.Op{Kind: command.Get, Key: command.Key(k1)},
+		)
+		if err != nil {
+			return "", "", err
+		}
+		return string(vals[0]), string(vals[1]), nil
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	var a, b string
+	for {
+		a, b, err = readPair()
+		if err == nil && a == "v59" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted site never served the final state: a=%q b=%q err=%v", a, b, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if a != b {
+		t.Fatalf("torn cross-shard state after restart: k0=%q k1=%q", a, b)
+	}
+	// New cross-shard commands commit with the restarted site back.
+	for i := 60; i < 70; i++ {
+		if err := crossPut(i); err != nil {
+			t.Fatalf("post-restart cross put %d: %v", i, err)
+		}
+	}
+	if doubleApply.Load() {
+		t.Fatal("a site reported a within-incarnation double apply")
 	}
 }

@@ -1,0 +1,434 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+)
+
+// Cross-shard serving (the version-2 client protocol).
+//
+// A multi-shard command is ordered independently by every shard it
+// accesses and executes, at every replica of each accessed shard, at the
+// maximum timestamp across those shards (Algorithm 3 of the paper); each
+// shard's execution produces only that shard's result segment. The
+// version-2 protocol makes the full result reachable from the client
+// with no extra round trip on the submission path:
+//
+//   - The session pre-mints a block of command ids from any replica
+//     (ReqMint — the ids come out of the replica's ordinary Dot
+//     sequence, covered by its durable id reservation).
+//   - A cross-shard command is submitted under one such id to a replica
+//     of its first accessed shard (ReqSubmitAt, the "gateway"), while
+//     ReqWatch registrations carrying the same id go concurrently to
+//     one replica of every other accessed shard.
+//   - Each of those replicas completes its request with its own shard's
+//     segment when the command executes locally; the session merges the
+//     segments back into op order.
+//
+// A watch can lose the race with local execution (the command executed
+// before the watch frame arrived). Executed cross-shard commands with no
+// local waiter therefore park their result values for parkTTL; a late
+// watch is answered straight from the parked buffer. Single-shard
+// commands never park — their results always have a registered waiter
+// or nobody to answer.
+
+// clientHost serves client connections over a set of locally hosted
+// nodes: a standalone Node hosts itself; a Group hosts one node per
+// locally replicated shard and routes each request to the right one.
+type clientHost interface {
+	// routeSubmit picks the node serving a plain submission. legacy
+	// marks version-1 connections, which keep their historical
+	// pass-through semantics on standalone nodes.
+	routeSubmit(ops []command.Op, legacy bool) (*Node, command.WireError)
+	// nodeForShard returns the local node replicating shard s, or nil.
+	nodeForShard(s ids.ShardID) *Node
+	// mintNode returns the node whose Dot sequence serves ReqMint.
+	mintNode() *Node
+	// localNodes returns every hosted node (for the teardown sweep).
+	localNodes() []*Node
+	// trackClientConn registers a live connection; false means the host
+	// is shutting down and the caller must drop the connection.
+	trackClientConn(cc *clientConn) bool
+	// untrackClientConn removes a connection from the host's set.
+	untrackClientConn(cc *clientConn)
+	// maxFrame bounds inbound client frame bodies (the host's
+	// corruption guard).
+	maxFrame() uint64
+}
+
+// Node as a clientHost: it hosts exactly itself.
+
+// routeSubmit implements clientHost. Version-2 submissions are checked
+// against the replica's shard map: ops of a foreign shard are rejected
+// as ErrCodeWrongShard, ops spanning shards as ErrCodeCrossShard (the
+// client must use the submit-at/watch path to get a merged result).
+// Version-1 connections keep the historical behavior — submit whatever
+// arrives — so old binaries against single-shard clusters are
+// untouched.
+func (n *Node) routeSubmit(ops []command.Op, legacy bool) (*Node, command.WireError) {
+	if legacy || n.sharder == nil {
+		return n, command.WireError{}
+	}
+	s, ok := n.sharder.OpsShard(ops)
+	if !ok {
+		return nil, command.WireError{Code: command.ErrCodeCrossShard,
+			Msg: "operations span shards; use cross-shard submission"}
+	}
+	if n.hasShard && s != n.shard {
+		return nil, wrongShardErr(s)
+	}
+	return n, command.WireError{}
+}
+
+// nodeForShard implements clientHost.
+func (n *Node) nodeForShard(s ids.ShardID) *Node {
+	if n.hasShard && s != n.shard {
+		return nil
+	}
+	return n
+}
+
+// mintNode implements clientHost.
+func (n *Node) mintNode() *Node { return n }
+
+// localNodes implements clientHost.
+func (n *Node) localNodes() []*Node { return []*Node{n} }
+
+// trackClientConn implements clientHost. The done check shares ccMu
+// with Close's sweep, so either the registration is visible to Close or
+// the shutdown is visible here.
+func (n *Node) trackClientConn(cc *clientConn) bool {
+	n.ccMu.Lock()
+	defer n.ccMu.Unlock()
+	select {
+	case <-n.done:
+		return false
+	default:
+	}
+	n.clientConns[cc] = struct{}{}
+	return true
+}
+
+// untrackClientConn implements clientHost.
+func (n *Node) untrackClientConn(cc *clientConn) {
+	n.ccMu.Lock()
+	delete(n.clientConns, cc)
+	n.ccMu.Unlock()
+}
+
+// maxFrame implements clientHost.
+func (n *Node) maxFrame() uint64 { return n.frameLimit }
+
+// sweepConn claims every waiter still pending for a gone connection
+// (there is no one left to reply to) and drops fully-claimed commands.
+func (n *Node) sweepConn(cc *clientConn) {
+	n.waitMu.Lock()
+	for id, pc := range n.waiters {
+		for _, w := range pc.members {
+			if w.cc == cc {
+				w.claimed = true // no one left to reply to
+			}
+		}
+		if pc.allClaimedLocked() {
+			delete(n.waiters, id)
+		}
+	}
+	n.syncPendingLocked()
+	n.waitMu.Unlock()
+}
+
+// serveClientStream runs one binary-protocol client connection against
+// a host: requests are submitted with id-tagged waiters and completed
+// asynchronously, so any number of requests from one connection are in
+// flight at once, across every node the host serves.
+func serveClientStream(h clientHost, conn net.Conn, br *bufio.Reader, v2 bool) {
+	cc := &clientConn{
+		host: h,
+		conn: conn,
+		dead: make(chan struct{}),
+		kick: make(chan struct{}, 1),
+	}
+	if !h.trackClientConn(cc) {
+		conn.Close()
+		return
+	}
+	go cc.writeLoop()
+	defer cc.abandon()
+	limit := h.maxFrame()
+	var buf []byte
+	for {
+		body, err := ReadFrame(br, limit, &buf)
+		if err != nil {
+			return
+		}
+		if v2 {
+			if !serveRequest2(h, cc, body) {
+				return
+			}
+			continue
+		}
+		reqID, deadline, ops, err := DecodeClientRequest(body)
+		if err != nil {
+			return
+		}
+		if len(ops) == 0 {
+			cc.reply(reqID, command.WireError{Code: command.ErrCodeBadRequest, Msg: "empty command"}, nil)
+			continue
+		}
+		n, werr := h.routeSubmit(ops, true)
+		if werr.Code != command.ErrCodeNone {
+			cc.reply(reqID, werr, nil)
+			continue
+		}
+		w := &waiter{cc: cc, reqID: reqID}
+		if deadline > 0 {
+			w.deadline = time.Now().Add(deadline)
+		}
+		n.submit(w, ops)
+	}
+}
+
+// serveRequest2 dispatches one version-2 request frame. It reports
+// false on a protocol error (the connection must be dropped).
+func serveRequest2(h clientHost, cc *clientConn, body []byte) bool {
+	req, err := DecodeClientRequest2(body)
+	if err != nil {
+		return false
+	}
+	badReq := func(msg string) {
+		cc.reply(req.ReqID, command.WireError{Code: command.ErrCodeBadRequest, Msg: msg}, nil)
+	}
+	newWaiter := func() *waiter {
+		w := &waiter{cc: cc, reqID: req.ReqID}
+		if req.Deadline > 0 {
+			w.deadline = time.Now().Add(req.Deadline)
+		}
+		return w
+	}
+	switch req.Kind {
+	case ReqSubmit:
+		if len(req.Ops) == 0 {
+			badReq("empty command")
+			return true
+		}
+		n, werr := h.routeSubmit(req.Ops, false)
+		if werr.Code != command.ErrCodeNone {
+			cc.reply(req.ReqID, werr, nil)
+			return true
+		}
+		n.submit(newWaiter(), req.Ops)
+	case ReqMint:
+		if req.Count == 0 || req.Count > MaxMintBlock {
+			badReq("mint count out of range")
+			return true
+		}
+		first := h.mintNode().mintBlock(int(req.Count))
+		cc.reply(req.ReqID, command.WireError{}, AppendMintReply(first))
+	case ReqSubmitAt:
+		if len(req.Ops) == 0 || req.ID.IsZero() {
+			badReq("cross-shard submission needs ops and an id")
+			return true
+		}
+		n := h.nodeForShard(req.Shard)
+		if n == nil {
+			cc.reply(req.ReqID, wrongShardErr(req.Shard), nil)
+			return true
+		}
+		n.submitCmdAt(req.ID, newWaiter(), req.Ops)
+	case ReqWatch:
+		if req.ID.IsZero() {
+			badReq("watch needs an id")
+			return true
+		}
+		n := h.nodeForShard(req.Shard)
+		if n == nil {
+			cc.reply(req.ReqID, wrongShardErr(req.Shard), nil)
+			return true
+		}
+		n.watch(newWaiter(), req.ID)
+	default:
+		return false
+	}
+	return true
+}
+
+func wrongShardErr(s ids.ShardID) command.WireError {
+	return command.WireError{Code: command.ErrCodeWrongShard,
+		Msg: fmt.Sprintf("shard %d is not replicated by this process", s)}
+}
+
+// mintBlock reserves a contiguous block of count command ids from the
+// replica's ordinary Dot sequence and returns the first. The block is
+// covered by the durable id reservation before the reply, so a
+// crash-restart of this replica never re-mints any of the ids; the
+// session owning the block submits cross-shard commands under them.
+func (n *Node) mintBlock(count int) ids.Dot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.rep.(idMinter)
+	first := m.NextID()
+	for i := 1; i < count; i++ {
+		m.NextID()
+	}
+	if hi := first.Seq + uint64(count) - 1; hi > n.lastSeq {
+		n.lastSeq = hi
+	}
+	n.maybeReserveLocked()
+	return first
+}
+
+// submitCmdAt registers w and submits ops as one command under a
+// client-held id (minted via mintBlock, possibly at another replica).
+// Cross-shard commands always take this direct path: they are never
+// batched — coalescing would change the command's shard set — and
+// their waiter owns the whole local result segment. A duplicated
+// submission for an already-submitted id (a client retry) only
+// registers its waiter; the command is handed to the replica once.
+func (n *Node) submitCmdAt(id ids.Dot, w *waiter, ops []command.Op) {
+	w.nvals = -1
+	n.mu.Lock()
+	n.waitMu.Lock()
+	select {
+	case <-n.done:
+		claimed := !w.claimed
+		w.claimed = true
+		n.waitMu.Unlock()
+		n.mu.Unlock()
+		if claimed {
+			w.fail(command.WireError{Code: command.ErrCodeShutdown, Msg: "node shutting down"})
+		}
+		return
+	default:
+	}
+	pc := n.waiters[id]
+	if pc != nil {
+		// A watch raced ahead of the submission, or a client
+		// resubmitted: the command is one, the waiters are many.
+		pc.members = append(pc.members, w)
+	} else {
+		pc = &pendingCmd{members: []*waiter{w}}
+		n.waiters[id] = pc
+	}
+	resubmit := pc.submitted
+	pc.submitted = true
+	n.syncPendingLocked()
+	n.waitMu.Unlock()
+	if resubmit {
+		n.mu.Unlock()
+		return
+	}
+	n.stat.crossSubmitted.Add(1)
+	n.stat.submittedCmds.Add(1)
+	n.stat.submittedOps.Add(uint64(len(ops)))
+	acts := n.rep.Submit(command.New(id, ops...))
+	n.afterStepLocked(acts)
+	n.mu.Unlock()
+}
+
+// watch registers interest in a command id: w completes with this
+// shard's result segment when the command executes locally. A command
+// that already executed is answered from the parked-results buffer.
+func (n *Node) watch(w *waiter, id ids.Dot) {
+	w.nvals = -1
+	n.stat.watches.Add(1)
+	n.waitMu.Lock()
+	select {
+	case <-n.done:
+		w.claimed = true
+		n.waitMu.Unlock()
+		w.fail(command.WireError{Code: command.ErrCodeShutdown, Msg: "node shutting down"})
+		return
+	default:
+	}
+	if pr, ok := n.parked[id]; ok {
+		delete(n.parked, id)
+		w.claimed = true
+		n.waitMu.Unlock()
+		n.stat.completedReqs.Add(1)
+		w.complete(pr.values)
+		return
+	}
+	pc := n.waiters[id]
+	if pc == nil {
+		pc = &pendingCmd{}
+		n.waiters[id] = pc
+	}
+	pc.members = append(pc.members, w)
+	n.syncPendingLocked()
+	n.waitMu.Unlock()
+}
+
+// Parked results: executed cross-shard commands with no local waiter
+// keep their result values for parkTTL, so a watch that lost the race
+// with execution is still answered. maxParked bounds the buffer — every
+// replica of an accessed shard executes every cross-shard command, but
+// only the client-chosen one carries a watch, so the others park
+// everything they execute until the TTL reclaims it. A watch arriving
+// after its entry was reclaimed (TTL, or cap eviction under extreme
+// load) waits until its deadline and surfaces as a timeout — the same
+// executed-but-unobserved ambiguity any timed-out command has; a
+// deadline-less watch for a command that is never submitted locally is
+// reclaimed when its connection goes away.
+const (
+	parkTTL   = 5 * time.Second
+	maxParked = 1 << 16
+)
+
+type parkedResult struct {
+	values  [][]byte
+	expires time.Time
+}
+
+// completeOrPark completes every waiter of an executed cross-shard
+// command, or parks the result when no one is waiting locally.
+func (n *Node) completeOrPark(id ids.Dot, values [][]byte) {
+	n.waitMu.Lock()
+	if pc := n.waiters[id]; pc != nil {
+		delete(n.waiters, id)
+		n.syncPendingLocked()
+		done := pc.claimAllLocked()
+		n.waitMu.Unlock()
+		n.stat.completedReqs.Add(uint64(len(done)))
+		for _, w := range done {
+			w.complete(w.segment(values))
+		}
+		return
+	}
+	if len(n.parked) >= maxParked {
+		// Arbitrary eviction keeps the buffer bounded; the TTL sweep is
+		// the primary reclaim.
+		for k := range n.parked {
+			delete(n.parked, k)
+			break
+		}
+	}
+	n.parked[id] = parkedResult{values: values, expires: time.Now().Add(parkTTL)}
+	n.waitMu.Unlock()
+}
+
+// sweepParked drops parked results whose TTL expired. The tick loop
+// calls it about once a second.
+func (n *Node) sweepParked(now time.Time) {
+	n.waitMu.Lock()
+	for id, pr := range n.parked {
+		if now.After(pr.expires) {
+			delete(n.parked, id)
+		}
+	}
+	n.waitMu.Unlock()
+}
+
+// crossShardCmd reports whether an executed command's ops span shards
+// (such commands route results through completeOrPark).
+func (n *Node) crossShardCmd(ops []command.Op) bool {
+	if n.sharder == nil {
+		return false
+	}
+	_, ok := n.sharder.OpsShard(ops)
+	return !ok
+}

@@ -349,21 +349,32 @@ func tsPointLess(aTS uint64, aID ids.Dot, bTS uint64, bID ids.Dot) bool {
 // Any node can answer (the snapshot is read under the store's own lock,
 // concurrent with its executor); only restarting durable nodes ask.
 
-// syncFromPeers asks every peer for a state snapshot newer than ours,
-// installing each improvement before asking the next peer (so at most
-// one peer's full snapshot is typically transferred, and later peers are
-// filtered against the improved watermark). Unreachable peers are
-// skipped: on a cold cluster start nobody is ahead, and a lone restart
-// only needs one live peer to heal the WAL's unsynced tail.
+// syncFromPeers asks every peer replicating this node's shard for a
+// state snapshot newer than ours, installing each improvement before
+// asking the next peer (so at most one peer's full snapshot is
+// typically transferred, and later peers are filtered against the
+// improved watermark). Unreachable peers are skipped: on a cold cluster
+// start nobody is ahead, and a lone restart only needs one live peer to
+// heal the WAL's unsynced tail. The peer set defaults to every address
+// (the single-shard deployments) and is restricted by SetSyncPeers in
+// sharded ones, where other shards' processes hold a different state
+// machine.
 func (n *Node) syncFromPeers() {
 	d := n.dur
 	caughtUp := false
-	for pid, addr := range n.addrs {
-		if pid == n.id {
+	peers := n.syncPeers
+	if peers == nil {
+		for pid := range n.addrs {
+			peers = append(peers, pid)
+		}
+	}
+	for _, pid := range peers {
+		addr, ok := n.addrs[pid]
+		if pid == n.id || !ok {
 			continue
 		}
 		myTS, myID := d.rep.AppliedWM()
-		snap, err := fetchPeerSnapshot(addr, myTS, myID, n.frameLimit)
+		snap, err := fetchPeerSnapshot(addr, n.id, myTS, myID, n.frameLimit)
 		if err != nil {
 			// Dial failures are the normal cold-start case; anything
 			// else (protocol error, oversized snapshot) means a peer
@@ -391,8 +402,10 @@ func (n *Node) syncFromPeers() {
 }
 
 // fetchPeerSnapshot performs one sync round trip. A nil result with nil
-// error means the peer had nothing newer.
-func fetchPeerSnapshot(addr string, wmTS uint64, wmID ids.Dot, limit uint64) ([]byte, error) {
+// error means the peer had nothing newer. from identifies the
+// requesting process so a group listener can route the request to its
+// local replica of the requester's shard.
+func fetchPeerSnapshot(addr string, from ids.ProcessID, wmTS uint64, wmID ids.Dot, limit uint64) ([]byte, error) {
 	conn, err := net.DialTimeout("tcp", addr, time.Second)
 	if err != nil {
 		return nil, err
@@ -407,6 +420,7 @@ func fetchPeerSnapshot(addr string, wmTS uint64, wmID ids.Dot, limit uint64) ([]
 	body := proto.AppendUvarint(nil, wmTS)
 	body = proto.AppendUvarint(body, uint64(wmID.Source))
 	body = proto.AppendUvarint(body, wmID.Seq)
+	body = proto.AppendUvarint(body, uint64(from))
 	req = proto.AppendUvarint(req, uint64(len(body)))
 	req = append(req, body...)
 	if _, err := conn.Write(req); err != nil {
@@ -427,33 +441,65 @@ func fetchPeerSnapshot(addr string, wmTS uint64, wmID ids.Dot, limit uint64) ([]
 	return append([]byte(nil), reply[1:]...), nil
 }
 
+// syncRequest is one decoded state-catch-up request: the requester's
+// applied watermark plus (in sharded deployments) the requesting
+// process, which identifies the shard whose state is wanted.
+type syncRequest struct {
+	TS   uint64
+	ID   ids.Dot
+	From ids.ProcessID // 0 when sent by an old single-shard binary
+}
+
+// readSyncRequest reads and decodes the one request frame of a sync
+// connection. The From field is absent in frames from old binaries.
+func readSyncRequest(conn net.Conn, br *bufio.Reader, limit uint64) (syncRequest, bool) {
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var buf []byte
+	body, err := ReadFrame(br, limit, &buf)
+	if err != nil {
+		return syncRequest{}, false
+	}
+	var r syncRequest
+	var src, seq uint64
+	if r.TS, body, err = proto.ReadUvarint(body); err != nil {
+		return r, false
+	}
+	if src, body, err = proto.ReadUvarint(body); err != nil {
+		return r, false
+	}
+	if seq, body, err = proto.ReadUvarint(body); err != nil {
+		return r, false
+	}
+	r.ID = ids.Dot{Source: ids.ProcessID(src), Seq: seq}
+	if len(body) > 0 { // optional requester id (sharded deployments)
+		var from uint64
+		if from, _, err = proto.ReadUvarint(body); err != nil {
+			return r, false
+		}
+		r.From = ids.ProcessID(from)
+	}
+	return r, true
+}
+
 // serveSync answers one state-catch-up request (see the protocol note
-// above). The requester's watermark decides whether a snapshot is worth
-// shipping; ours is embedded in the snapshot itself.
+// above).
 func (n *Node) serveSync(conn net.Conn, br *bufio.Reader) {
+	req, ok := readSyncRequest(conn, br, n.frameLimit)
+	if !ok {
+		return
+	}
+	n.answerSync(conn, req)
+}
+
+// answerSync ships a snapshot if ours is newer than the requester's
+// watermark; ours is embedded in the snapshot itself.
+func (n *Node) answerSync(conn net.Conn, req syncRequest) {
 	d, ok := n.rep.(proto.Durable)
 	if !ok {
 		return
 	}
-	conn.SetDeadline(time.Now().Add(30 * time.Second))
-	var buf []byte
-	body, err := ReadFrame(br, n.frameLimit, &buf)
-	if err != nil {
-		return
-	}
-	var reqTS, src, seq uint64
-	if reqTS, body, err = proto.ReadUvarint(body); err != nil {
-		return
-	}
-	if src, body, err = proto.ReadUvarint(body); err != nil {
-		return
-	}
-	if seq, _, err = proto.ReadUvarint(body); err != nil {
-		return
-	}
-	reqID := ids.Dot{Source: ids.ProcessID(src), Seq: seq}
 	myTS, myID := d.AppliedWM()
-	if !tsPointLess(reqTS, reqID, myTS, myID) {
+	if !tsPointLess(req.TS, req.ID, myTS, myID) {
 		conn.Write([]byte{1, 0}) // frame(0): up to date
 		return
 	}

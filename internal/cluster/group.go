@@ -1,0 +1,512 @@
+package cluster
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+)
+
+// dialPeerTimeout bounds peer-link dials (same as node-owned links).
+const dialPeerTimeout = 2 * time.Second
+
+// Group hosts one Node per locally replicated shard behind a single
+// listener and a single set of peer links — the deployment unit of
+// partial replication: one tempo-server process per site, serving every
+// shard that site replicates.
+//
+// Outbound protocol traffic from every hosted node funnels through the
+// group (each node's Transport): messages to co-hosted shards take an
+// in-process queue, messages to remote sites share one link per remote
+// address, with the same coalesced frame batching as node-owned links.
+// Group frames carry (from, to) per message, so one connection
+// multiplexes every shard pair between two sites — including the
+// cross-shard stability signals (MStable) and commit fan-out that make
+// multi-shard commands execute.
+//
+// Inbound, the shared listener demultiplexes by magic prefix: group
+// peer frames to the addressed node, client connections to a router
+// that picks the hosted node by the request's shard, and state-sync
+// requests to the local replica of the requester's shard.
+//
+// GroupMagic prefixes inter-group peer links. Like the other magics,
+// the leading 0xFF cannot begin a gob stream.
+var GroupMagic = [4]byte{0xFF, 'T', 'G', 1}
+
+// groupMsg is one queued protocol message between two processes.
+type groupMsg struct {
+	from, to ids.ProcessID
+	msg      proto.Message
+}
+
+// Group is the shared runtime for the nodes of one site. Create with
+// NewGroup, add nodes, then StartListener + node StartHosted calls +
+// SetReady (the psmr package wraps this sequence).
+type Group struct {
+	addrs   map[ids.ProcessID]string      // every process -> its site's address
+	shardOf map[ids.ProcessID]ids.ShardID // every process -> its shard
+
+	nodes   map[ids.ProcessID]*Node
+	byShard map[ids.ShardID]*Node
+	list    []*Node
+
+	ln         net.Listener
+	done       chan struct{}
+	closed     sync.Once
+	ready      atomic.Bool
+	frameLimit uint64
+
+	outMu  sync.Mutex
+	out    map[string]chan groupMsg        // per remote address
+	localQ map[ids.ProcessID]chan groupMsg // per hosted node
+
+	ccMu      sync.Mutex
+	conns     map[*clientConn]struct{}
+	peerConns map[net.Conn]struct{}
+}
+
+// NewGroup creates a group for the given global address and shard maps
+// (every process of the topology, not just the local ones).
+func NewGroup(addrs map[ids.ProcessID]string, shardOf map[ids.ProcessID]ids.ShardID) *Group {
+	return &Group{
+		addrs:      addrs,
+		shardOf:    shardOf,
+		nodes:      make(map[ids.ProcessID]*Node),
+		byShard:    make(map[ids.ShardID]*Node),
+		list:       nil,
+		done:       make(chan struct{}),
+		frameLimit: defaultMaxFrameBytes,
+		out:        make(map[string]chan groupMsg),
+		localQ:     make(map[ids.ProcessID]chan groupMsg),
+		conns:      make(map[*clientConn]struct{}),
+		peerConns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// AddNode registers a hosted node (one per locally replicated shard)
+// and installs the group as its transport. Call before StartListener.
+func (g *Group) AddNode(n *Node) {
+	n.SetTransport(g)
+	g.nodes[n.id] = n
+	g.byShard[n.shard] = n
+	g.list = append(g.list, n)
+	q := make(chan groupMsg, 8192)
+	g.localQ[n.id] = q
+	go g.localLoop(n, q)
+}
+
+// StartListener starts accepting on the shared listener. Only the
+// state-sync and peer protocols are served until SetReady — clients
+// fail over to live sites while this one recovers, but co-recovering
+// sites can still exchange snapshots and protocol traffic flows to
+// nodes as each finishes recovery.
+func (g *Group) StartListener(ln net.Listener) {
+	g.ln = ln
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go g.serveConn(conn)
+		}
+	}()
+}
+
+// Addr returns the shared listen address.
+func (g *Group) Addr() string { return g.ln.Addr().String() }
+
+// SetReady opens the group for client traffic; call once every hosted
+// node finished StartHosted.
+func (g *Group) SetReady() { g.ready.Store(true) }
+
+// Close tears the shared runtime down: the listener, every tracked
+// connection, and the outbound links. Hosted nodes are closed by the
+// caller first, so their shutdown replies are already queued on the
+// client connections when the sockets go away (best effort, as with a
+// standalone node).
+func (g *Group) Close() {
+	g.closed.Do(func() {
+		close(g.done)
+		if g.ln != nil {
+			g.ln.Close()
+		}
+		g.ccMu.Lock()
+		conns := make([]*clientConn, 0, len(g.conns))
+		for cc := range g.conns {
+			conns = append(conns, cc)
+		}
+		peers := make([]net.Conn, 0, len(g.peerConns))
+		for pc := range g.peerConns {
+			peers = append(peers, pc)
+		}
+		g.ccMu.Unlock()
+		for _, cc := range conns {
+			cc.conn.Close()
+		}
+		for _, pc := range peers {
+			pc.Close()
+		}
+	})
+}
+
+// Send implements Transport: co-hosted destinations take the in-process
+// queue, remote ones the shared per-address link. Never blocks; full
+// queues drop (the protocol's liveness machinery retries).
+func (g *Group) Send(from, to ids.ProcessID, msg proto.Message) {
+	if q, ok := g.localQ[to]; ok {
+		select {
+		case q <- groupMsg{from, to, msg}:
+		default:
+		}
+		return
+	}
+	addr, ok := g.addrs[to]
+	if !ok {
+		return
+	}
+	g.outMu.Lock()
+	ch, ok := g.out[addr]
+	if !ok {
+		ch = make(chan groupMsg, 8192)
+		g.out[addr] = ch
+		go g.writer(addr, ch)
+	}
+	g.outMu.Unlock()
+	select {
+	case ch <- groupMsg{from, to, msg}:
+	default:
+	}
+}
+
+// localLoop drains one hosted node's in-process inbound queue,
+// delivering runs of same-origin messages in one batch. Delivery waits
+// for the node to finish recovery (ready), mirroring how a standalone
+// node rejects peer traffic until then; pre-ready messages drop.
+func (g *Group) localLoop(n *Node, q chan groupMsg) {
+	var batch []proto.Message
+	for {
+		var m groupMsg
+		select {
+		case <-g.done:
+			return
+		case m = <-q:
+		}
+		from := m.from
+		batch = append(batch[:0], m.msg)
+	coalesce:
+		for len(batch) < maxWriteBatch {
+			select {
+			case mm := <-q:
+				if mm.from != from {
+					if n.ready.Load() {
+						n.Deliver(from, batch)
+					}
+					from = mm.from
+					batch = batch[:0]
+				}
+				batch = append(batch, mm.msg)
+			default:
+				break coalesce
+			}
+		}
+		if n.ready.Load() {
+			n.Deliver(from, batch)
+		}
+		clear(batch) // drop message refs until the next wake-up
+	}
+}
+
+// writer drains one remote address's outbound queue over a (re)dialed
+// connection, coalescing everything queued at wake-up into framed
+// writes, exactly like a node's own peer writer but with (from, to)
+// multiplexing records.
+func (g *Group) writer(addr string, ch chan groupMsg) {
+	var conn net.Conn
+	var bw *bufio.Writer
+	var head, body []byte
+	batch := make([]groupMsg, 0, maxWriteBatch)
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var m groupMsg
+		select {
+		case <-g.done:
+			return
+		case m = <-ch:
+		}
+		batch = append(batch[:0], m)
+	coalesce:
+		for len(batch) < maxWriteBatch {
+			select {
+			case mm := <-ch:
+				batch = append(batch, mm)
+			default:
+				break coalesce
+			}
+		}
+		for attempt := 0; attempt < 2; attempt++ {
+			if conn == nil {
+				c, err := dialGroupPeer(addr)
+				if err != nil {
+					break // drop; liveness machinery retries
+				}
+				conn, bw = c, bufio.NewWriter(c)
+			}
+			err := g.writeGroupBatch(bw, batch, &head, &body)
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				conn.Close()
+				conn, bw = nil, nil
+				continue
+			}
+			break
+		}
+	}
+}
+
+func dialGroupPeer(addr string) (net.Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, dialPeerTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Write(GroupMagic[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// writeGroupBatch encodes one coalesced batch as group frames, each a
+// sequence of (uvarint from || uvarint to || message) records, split so
+// no frame body exceeds the frame limit. Oversized single messages drop,
+// like everywhere else on the peer path.
+func (g *Group) writeGroupBatch(bw *bufio.Writer, batch []groupMsg, head, body *[]byte) error {
+	writeFrame := func(b []byte) error {
+		h := proto.AppendUvarint((*head)[:0], uint64(len(b)))
+		*head = h
+		if _, err := bw.Write(h); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		return err
+	}
+	b := (*body)[:0]
+	var err error
+	for _, m := range batch {
+		mark := len(b)
+		b = proto.AppendUvarint(b, uint64(m.from))
+		b = proto.AppendUvarint(b, uint64(m.to))
+		if b, err = proto.AppendMessage(b, m.msg); err != nil {
+			*body = b
+			return err
+		}
+		if uint64(len(b)) > g.frameLimit && mark > 0 {
+			if err := writeFrame(b[:mark]); err != nil {
+				*body = b
+				return err
+			}
+			moved := copy(b, b[mark:])
+			b = b[:moved]
+		}
+		if uint64(len(b)) > g.frameLimit {
+			b = b[:0] // oversized single message: drop
+		}
+	}
+	*body = b
+	if len(b) > 0 {
+		return writeFrame(b)
+	}
+	return nil
+}
+
+// serveConn demultiplexes one inbound connection by magic prefix. The
+// gob protocols are not served by groups (they predate sharded
+// deployments); a single-node group still answers plain peerMagic links
+// for mixed deployments of one shard.
+func (g *Group) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return
+	}
+	switch magic {
+	case GroupMagic:
+		if !g.trackPeerConn(conn) {
+			return
+		}
+		defer g.untrackPeerConn(conn)
+		g.servePeer(br)
+	case peerMagic:
+		if len(g.list) == 1 {
+			n := g.list[0]
+			if !n.ready.Load() || !g.trackPeerConn(conn) {
+				return
+			}
+			defer g.untrackPeerConn(conn)
+			n.serveBinaryPeer(br)
+		}
+	case ClientMagic, ClientMagic2:
+		if !g.ready.Load() {
+			return // mid-recovery: sessions fail over to live sites
+		}
+		serveClientStream(g, conn, br, magic == ClientMagic2)
+	case SyncMagic:
+		g.serveSync(conn, br)
+	}
+}
+
+// servePeer streams group frames, delivering runs of same-(from, to)
+// messages to the addressed node in one batch. Frames for nodes still
+// recovering (or not hosted here) drop, as a standalone node drops peer
+// connections until ready.
+func (g *Group) servePeer(br *bufio.Reader) {
+	var buf []byte
+	var msgs []proto.Message
+	var curFrom, curTo ids.ProcessID
+	flush := func() {
+		if len(msgs) == 0 {
+			return
+		}
+		if n := g.nodes[curTo]; n != nil && n.ready.Load() {
+			n.Deliver(curFrom, msgs)
+		}
+		clear(msgs)
+		msgs = msgs[:0]
+	}
+	for {
+		b, err := ReadFrame(br, g.frameLimit, &buf)
+		if err != nil {
+			return
+		}
+		for len(b) > 0 {
+			var from, to uint64
+			if from, b, err = proto.ReadUvarint(b); err != nil {
+				return
+			}
+			if to, b, err = proto.ReadUvarint(b); err != nil {
+				return
+			}
+			msg, rest, err := proto.DecodeMessage(b)
+			if err != nil {
+				return
+			}
+			b = rest
+			if ids.ProcessID(from) != curFrom || ids.ProcessID(to) != curTo {
+				flush()
+				curFrom, curTo = ids.ProcessID(from), ids.ProcessID(to)
+			}
+			msgs = append(msgs, msg)
+		}
+		flush()
+	}
+}
+
+// serveSync routes a state-catch-up request to the local replica of the
+// requester's shard (the request names the requesting process; old
+// single-shard requests without one are only answerable by single-node
+// groups).
+func (g *Group) serveSync(conn net.Conn, br *bufio.Reader) {
+	req, ok := readSyncRequest(conn, br, g.frameLimit)
+	if !ok {
+		return
+	}
+	var n *Node
+	if req.From != 0 {
+		// The requester must be a known process: an unknown pid would
+		// map to the zero shard and be handed the wrong state machine.
+		if shard, ok := g.shardOf[req.From]; ok {
+			n = g.byShard[shard]
+		}
+	} else if len(g.list) == 1 {
+		n = g.list[0]
+	}
+	if n != nil {
+		n.answerSync(conn, req)
+	}
+}
+
+func (g *Group) trackPeerConn(conn net.Conn) bool {
+	g.ccMu.Lock()
+	defer g.ccMu.Unlock()
+	select {
+	case <-g.done:
+		return false
+	default:
+	}
+	g.peerConns[conn] = struct{}{}
+	return true
+}
+
+func (g *Group) untrackPeerConn(conn net.Conn) {
+	g.ccMu.Lock()
+	delete(g.peerConns, conn)
+	g.ccMu.Unlock()
+}
+
+// Group as a clientHost: requests route to the hosted node of their
+// shard.
+
+// routeSubmit implements clientHost. Groups are younger than the
+// version-2 protocol, so cross-shard ops are rejected on both protocol
+// versions — a merged result needs submit-at/watch.
+func (g *Group) routeSubmit(ops []command.Op, legacy bool) (*Node, command.WireError) {
+	sharder := g.list[0].sharder
+	if sharder == nil {
+		return g.list[0], command.WireError{}
+	}
+	s, ok := sharder.OpsShard(ops)
+	if !ok {
+		return nil, command.WireError{Code: command.ErrCodeCrossShard,
+			Msg: "operations span shards; use cross-shard submission"}
+	}
+	if n := g.byShard[s]; n != nil {
+		return n, command.WireError{}
+	}
+	return nil, wrongShardErr(s)
+}
+
+// nodeForShard implements clientHost.
+func (g *Group) nodeForShard(s ids.ShardID) *Node { return g.byShard[s] }
+
+// mintNode implements clientHost: id blocks come from the first hosted
+// node's Dot sequence.
+func (g *Group) mintNode() *Node { return g.list[0] }
+
+// localNodes implements clientHost.
+func (g *Group) localNodes() []*Node { return g.list }
+
+// trackClientConn implements clientHost.
+func (g *Group) trackClientConn(cc *clientConn) bool {
+	g.ccMu.Lock()
+	defer g.ccMu.Unlock()
+	select {
+	case <-g.done:
+		return false
+	default:
+	}
+	g.conns[cc] = struct{}{}
+	return true
+}
+
+// untrackClientConn implements clientHost.
+func (g *Group) untrackClientConn(cc *clientConn) {
+	g.ccMu.Lock()
+	delete(g.conns, cc)
+	g.ccMu.Unlock()
+}
+
+// maxFrame implements clientHost.
+func (g *Group) maxFrame() uint64 { return g.frameLimit }

@@ -1,0 +1,66 @@
+package cluster
+
+import "tempo/internal/metrics"
+
+// nodeStats are the serving counters a node maintains on its hot paths
+// (metrics.Counter: lock-free, incremented where the work happens,
+// snapshotted by Stats for the -metrics-addr endpoint).
+type nodeStats struct {
+	submittedCmds  metrics.Counter // commands handed to the replica
+	submittedOps   metrics.Counter // client ops inside those commands
+	completedReqs  metrics.Counter // client requests answered with results
+	appliedCmds    metrics.Counter // commands applied to the state machine
+	crossSubmitted metrics.Counter // cross-shard commands submitted here
+	watches        metrics.Counter // watch registrations served
+	batchFlushes   metrics.Counter // submit batches flushed
+	batchedOps     metrics.Counter // client ops that rode those batches
+}
+
+// Stats is a point-in-time snapshot of a node's serving counters,
+// exposed through the tempo-server metrics endpoint.
+type Stats struct {
+	// Shard is the shard this node replicates.
+	Shard uint32 `json:"shard"`
+	// SubmittedCmds counts commands handed to the replica.
+	SubmittedCmds uint64 `json:"submitted_cmds"`
+	// SubmittedOps counts client operations inside those commands.
+	SubmittedOps uint64 `json:"submitted_ops"`
+	// CompletedReqs counts client requests answered with results.
+	CompletedReqs uint64 `json:"completed_reqs"`
+	// AppliedCmds counts commands applied to the state machine.
+	AppliedCmds uint64 `json:"applied_cmds"`
+	// CrossSubmitted counts cross-shard commands submitted at this node.
+	CrossSubmitted uint64 `json:"cross_submitted"`
+	// Watches counts cross-shard watch registrations served.
+	Watches uint64 `json:"watches"`
+	// BatchFlushes counts submit batches flushed.
+	BatchFlushes uint64 `json:"batch_flushes"`
+	// BatchedOps counts client operations that rode those batches; the
+	// mean batch size is BatchedOps/BatchFlushes.
+	BatchedOps uint64 `json:"batched_ops"`
+	// ExecQueue is the executor delivery queue depth at snapshot time.
+	ExecQueue int `json:"exec_queue"`
+	// Pending is the number of commands awaiting execution with live
+	// client waiters.
+	Pending int `json:"pending"`
+}
+
+// Stats snapshots the node's serving counters.
+func (n *Node) Stats() Stats {
+	n.execMu.Lock()
+	execQ := len(n.execQ)
+	n.execMu.Unlock()
+	return Stats{
+		Shard:          uint32(n.shard),
+		SubmittedCmds:  n.stat.submittedCmds.Load(),
+		SubmittedOps:   n.stat.submittedOps.Load(),
+		CompletedReqs:  n.stat.completedReqs.Load(),
+		AppliedCmds:    n.stat.appliedCmds.Load(),
+		CrossSubmitted: n.stat.crossSubmitted.Load(),
+		Watches:        n.stat.watches.Load(),
+		BatchFlushes:   n.stat.batchFlushes.Load(),
+		BatchedOps:     n.stat.batchedOps.Load(),
+		ExecQueue:      execQ,
+		Pending:        n.pendingCmds(),
+	}
+}

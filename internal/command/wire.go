@@ -222,6 +222,14 @@ const (
 	ErrCodeBadRequest ErrCode = 2
 	// ErrCodeShutdown reports that the serving replica is shutting down.
 	ErrCodeShutdown ErrCode = 3
+	// ErrCodeWrongShard reports a request whose key's shard is not
+	// replicated by the serving process.
+	ErrCodeWrongShard ErrCode = 4
+	// ErrCodeCrossShard reports a plain submission whose operations span
+	// shards; such commands must go through the cross-shard submission
+	// protocol (submit-at + watch), which merges per-shard result
+	// segments instead of silently returning one shard's values.
+	ErrCodeCrossShard ErrCode = 5
 )
 
 // Typed client-visible errors mirroring the wire codes. They live here,
@@ -237,6 +245,10 @@ var (
 	// ErrClosed reports a request against a closed session or a replica
 	// that shut down.
 	ErrClosed = errors.New("tempo: session closed")
+	// ErrWrongShard reports a command on a key whose shard is not
+	// replicated by any reachable process (a partial-replication topology
+	// where the session dialed only a subset of the shards).
+	ErrWrongShard = errors.New("tempo: key's shard not replicated by any dialed replica")
 )
 
 // WireError is a typed error plus detail message as carried by the

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server-side instrumentation: lock-free counters for serving hot paths
+// (cluster.Node), a rate tracker for ops/s style readings, and the JSON
+// HTTP handler behind tempo-server's -metrics-addr endpoint.
+
+// Counter is a monotonically increasing, concurrency-safe counter.
+// The zero value is ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// RateTracker turns successive counter observations into per-second
+// rates: each named reading remembers its previous (value, time) pair.
+// Safe for concurrent use.
+type RateTracker struct {
+	mu     sync.Mutex
+	last   map[string]uint64
+	lastAt map[string]time.Time
+}
+
+// NewRateTracker creates an empty tracker.
+func NewRateTracker() *RateTracker {
+	return &RateTracker{last: make(map[string]uint64), lastAt: make(map[string]time.Time)}
+}
+
+// Rate records the current value of the named counter and returns the
+// per-second rate since the previous observation (0 on the first one).
+func (r *RateTracker) Rate(name string, cur uint64) float64 {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, ok := r.last[name]
+	prevAt := r.lastAt[name]
+	r.last[name], r.lastAt[name] = cur, now
+	if !ok || cur < prev {
+		return 0
+	}
+	window := now.Sub(prevAt).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return float64(cur-prev) / window
+}
+
+// JSONHandler serves the value returned by snapshot as indented JSON —
+// the shape of tempo-server's metrics endpoint. snapshot runs per
+// request and must be safe for concurrent use.
+func JSONHandler(snapshot func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		data, err := json.MarshalIndent(snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+}

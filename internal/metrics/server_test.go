@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				c.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000*3 {
+		t.Fatalf("counter = %d, want %d", got, 8*1000*3)
+	}
+}
+
+func TestRateTracker(t *testing.T) {
+	r := NewRateTracker()
+	if rate := r.Rate("x", 100); rate != 0 {
+		t.Fatalf("first observation rate = %v, want 0", rate)
+	}
+	time.Sleep(20 * time.Millisecond)
+	rate := r.Rate("x", 300)
+	if rate <= 0 {
+		t.Fatalf("rate = %v, want > 0", rate)
+	}
+	// 200 ops over >=20ms: rate must be at most 200/0.02 = 10000/s.
+	if rate > 10000 {
+		t.Fatalf("rate = %v, implausibly high", rate)
+	}
+	// A counter reset (restart) must not yield a negative/huge rate.
+	if rate := r.Rate("x", 10); rate != 0 {
+		t.Fatalf("rate after reset = %v, want 0", rate)
+	}
+}
+
+func TestJSONHandler(t *testing.T) {
+	h := JSONHandler(func() any {
+		return map[string]int{"ops": 42}
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["ops"] != 42 {
+		t.Fatalf("body = %v", got)
+	}
+}

@@ -53,11 +53,14 @@ type Executed struct {
 // process for one shard, in delivery order. Replicas running in deferred-
 // apply mode (see DeferredApplier) emit Stable entries instead of applying
 // commands inline, so a runtime can apply them to the state machine off
-// the protocol's critical section.
+// the protocol's critical section. Multi marks commands accessing more
+// than one shard (the protocol already knows the access set, sparing
+// runtimes a per-op re-hash when routing cross-shard results).
 type Stable struct {
 	Cmd   *command.Command
 	Shard ids.ShardID
 	TS    uint64
+	Multi bool
 }
 
 // DeferredApplier is implemented by replicas that can hand execution-

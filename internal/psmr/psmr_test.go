@@ -1,0 +1,273 @@
+package psmr_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/psmr"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// flatTopo builds a zero-RTT topology of the given shape.
+func flatTopo(t *testing.T, sites, shards int) *topology.Topology {
+	t.Helper()
+	names := make([]string, sites)
+	rtt := make([][]time.Duration, sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, sites)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: shards, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// startSites boots one psmr group per site on loopback and returns the
+// per-site groups plus the site address map. mutate lets callers adjust
+// each site's config (durability etc.) before start.
+func startSites(t *testing.T, topo *topology.Topology, mutate func(site ids.SiteID, cfg *psmr.Config)) ([]*psmr.Group, map[ids.SiteID]string) {
+	t.Helper()
+	siteAddrs := make(map[ids.SiteID]string)
+	lns := make(map[ids.SiteID]net.Listener)
+	for _, site := range topo.Sites() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[site.ID] = ln
+		siteAddrs[site.ID] = ln.Addr().String()
+	}
+	// Start sites concurrently, as real deployments do: a durable site's
+	// recovery asks its peers for state, so sites must be able to answer
+	// each other's sync requests while they all come up.
+	groups := make([]*psmr.Group, len(topo.Sites()))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, site := range topo.Sites() {
+		cfg := psmr.Config{
+			Topo:      topo,
+			Site:      site.ID,
+			SiteAddrs: siteAddrs,
+			Tempo: tempo.Config{
+				PromiseInterval: 2 * time.Millisecond,
+				RecoveryTimeout: time.Hour,
+			},
+		}
+		if mutate != nil {
+			mutate(site.ID, &cfg)
+		}
+		wg.Add(1)
+		go func(i int, cfg psmr.Config, ln net.Listener) {
+			defer wg.Done()
+			groups[i], errs[i] = psmr.StartListener(cfg, ln)
+		}(i, cfg, lns[site.ID])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	})
+	return groups, siteAddrs
+}
+
+func sessionAt(t *testing.T, topo *topology.Topology, siteAddrs map[ids.SiteID]string, site ids.SiteID) *client.Session {
+	t.Helper()
+	addrs, _, err := psmr.ProcessAddrs(topo, siteAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := client.New(client.Config{Addrs: addrs, Topo: topo, Site: site})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func keyOn(t *testing.T, topo *topology.Topology, shard ids.ShardID, tag string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("%s-%d", tag, i)
+		if topo.ShardOf(command.Key(k)) == shard {
+			return k
+		}
+	}
+	t.Fatalf("no key on shard %d", shard)
+	return ""
+}
+
+// TestGroupClusterCrossShard boots a real 3-site, 2-shard TCP cluster
+// of co-hosting groups and checks single-shard routing and cross-shard
+// commands end-to-end: one merged result per command, atomicity across
+// shards, and visibility from another site.
+func TestGroupClusterCrossShard(t *testing.T) {
+	topo := flatTopo(t, 3, 2)
+	_, siteAddrs := startSites(t, topo, nil)
+	sess := sessionAt(t, topo, siteAddrs, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	k0 := keyOn(t, topo, 0, "g0")
+	k1 := keyOn(t, topo, 1, "g1")
+
+	if err := sess.Put(ctx, k0, []byte("a")); err != nil {
+		t.Fatalf("single-shard put shard 0: %v", err)
+	}
+	if err := sess.Put(ctx, k1, []byte("b")); err != nil {
+		t.Fatalf("single-shard put shard 1: %v", err)
+	}
+	vals, err := sess.Execute(ctx,
+		command.Op{Kind: command.Get, Key: command.Key(k1)},
+		command.Op{Kind: command.Put, Key: command.Key(k0), Value: []byte("a2")},
+	)
+	if err != nil {
+		t.Fatalf("cross-shard execute: %v", err)
+	}
+	if len(vals) != 2 || string(vals[0]) != "b" || vals[1] != nil {
+		t.Fatalf("cross-shard result = %q, want [b, nil]", vals)
+	}
+	// Another site observes the cross-shard write.
+	other := sessionAt(t, topo, siteAddrs, 2)
+	got, err := other.Get(ctx, k0)
+	if err != nil || string(got) != "a2" {
+		t.Fatalf("site-2 read after cross-shard write: %q, %v", got, err)
+	}
+}
+
+// TestGroupClusterPipelined drives many concurrent single- and
+// cross-shard commands through one group-hosted cluster.
+func TestGroupClusterPipelined(t *testing.T) {
+	topo := flatTopo(t, 3, 4)
+	groups, siteAddrs := startSites(t, topo, nil)
+	sess := sessionAt(t, topo, siteAddrs, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	keys := make([]string, 4)
+	for s := range keys {
+		keys[s] = keyOn(t, topo, ids.ShardID(s), "p")
+	}
+	const n = 100
+	futs := make([]*client.Future, 0, 2*n)
+	for i := 0; i < n; i++ {
+		futs = append(futs, sess.Do(ctx, command.Op{
+			Kind: command.Put, Key: command.Key(fmt.Sprintf("%s-%d", keys[i%4], i)), Value: []byte{byte(i)},
+		}))
+		futs = append(futs, sess.Do(ctx,
+			command.Op{Kind: command.Put, Key: command.Key(keys[i%4]), Value: []byte{byte(i)}},
+			command.Op{Kind: command.Put, Key: command.Key(keys[(i+1)%4]), Value: []byte{byte(i)}},
+		))
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+
+	// The serving counters saw the load: submissions and applies on
+	// every shard of the session's home site, and cross-shard machinery
+	// (gateway submissions, watches) somewhere in the cluster.
+	var cross, watches, applied uint64
+	for _, g := range groups {
+		for _, n := range g.Nodes() {
+			st := n.Stats()
+			cross += st.CrossSubmitted
+			watches += st.Watches
+			applied += st.AppliedCmds
+		}
+	}
+	if cross == 0 || watches == 0 {
+		t.Fatalf("cross-shard counters flat: cross=%d watches=%d", cross, watches)
+	}
+	if applied == 0 {
+		t.Fatal("no applies counted")
+	}
+}
+
+// TestGroupDurableRestart makes every site durable, writes state (incl.
+// cross-shard), restarts one whole site in-process on the same data
+// directories, and checks the restarted site serves the recovered state.
+func TestGroupDurableRestart(t *testing.T) {
+	topo := flatTopo(t, 3, 2)
+	dirs := make(map[ids.SiteID]string)
+	groups, siteAddrs := startSites(t, topo, func(site ids.SiteID, cfg *psmr.Config) {
+		dirs[site] = t.TempDir()
+		cfg.DataDir = dirs[site]
+		cfg.FsyncInterval = -1 // fsync every append: restart loses nothing
+	})
+	sess := sessionAt(t, topo, siteAddrs, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	k0 := keyOn(t, topo, 0, "d0")
+	k1 := keyOn(t, topo, 1, "d1")
+	if _, err := sess.Execute(ctx,
+		command.Op{Kind: command.Put, Key: command.Key(k0), Value: []byte("x")},
+		command.Op{Kind: command.Put, Key: command.Key(k1), Value: []byte("x")},
+	); err != nil {
+		t.Fatalf("cross-shard put: %v", err)
+	}
+
+	// Restart site 1: close its group, rebind its address, recover.
+	groups[1].Close()
+	var ln net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		ln, err = net.Listen("tcp", siteAddrs[1])
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind site 1: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	g1, err := psmr.StartListener(psmr.Config{
+		Topo:      topo,
+		Site:      1,
+		SiteAddrs: siteAddrs,
+		Tempo: tempo.Config{
+			PromiseInterval: 2 * time.Millisecond,
+			RecoveryTimeout: time.Hour,
+		},
+		DataDir:       dirs[1],
+		FsyncInterval: -1,
+	}, ln)
+	if err != nil {
+		t.Fatalf("restart site 1: %v", err)
+	}
+	groups[1] = g1
+
+	// A session homed at the restarted site reads the recovered state.
+	restarted := sessionAt(t, topo, siteAddrs, 1)
+	for _, k := range []string{k0, k1} {
+		v, err := restarted.Get(ctx, k)
+		if err != nil || string(v) != "x" {
+			t.Fatalf("read %q after restart: %q, %v", k, v, err)
+		}
+	}
+	// And the cluster still commits new cross-shard commands.
+	if _, err := sess.Execute(ctx,
+		command.Op{Kind: command.Put, Key: command.Key(k0), Value: []byte("y")},
+		command.Op{Kind: command.Put, Key: command.Key(k1), Value: []byte("y")},
+	); err != nil {
+		t.Fatalf("cross-shard put after restart: %v", err)
+	}
+}

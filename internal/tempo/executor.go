@@ -151,6 +151,7 @@ func (p *Process) execute(td tsDot, ci *cmdInfo) {
 			Cmd:   ci.cmd,
 			Shard: p.shard,
 			TS:    td.ts,
+			Multi: len(ci.shards) > 1,
 		})
 	} else {
 		res := p.store.ApplyAt(ci.cmd, p.shard, p.topo.ShardOf, td.ts)
