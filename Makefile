@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test test-race doc-check bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault bench-shard
+.PHONY: ci fmt vet build test test-race doc-check bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault bench-shard bench-wan soak soak-short
 
 ## ci: the main CI job, in order (the race and bench-smoke jobs run in
 ## parallel in the workflow)
@@ -45,6 +45,7 @@ bench-smoke:
 		-faultout /tmp/bench_fault_smoke.json
 	$(GO) run ./cmd/bench -exp shard -sharddur 400ms -shardwarm 200ms -shardmax 2 \
 		-shardout /tmp/bench_shard_smoke.json
+	$(MAKE) soak-short
 
 ## fuzz-smoke: a short run of each fuzz target
 fuzz-smoke:
@@ -69,3 +70,21 @@ bench-fault:
 ## 1..4 shards, cross-shard ratios 0/5/50%)
 bench-shard:
 	$(GO) run ./cmd/bench -exp shard
+
+## bench-wan: regenerate BENCH_wan.json (durable 3-region deployments
+## link-shaped by the named chaos profiles)
+bench-wan:
+	$(GO) run ./cmd/bench -exp wan
+
+## soak: the full chaos soak — the consistency vulture probing a shaped
+## durable cluster for 10 minutes through a partition, a SIGKILL+restart
+## and a slow-fsync replica. Exits non-zero on ANY consistency
+## violation; the report lands in BENCH_chaos.json.
+soak:
+	$(GO) run ./cmd/bench -exp chaos -chaosdur 10m
+
+## soak-short: the same soak compressed to 72s (12s per schedule slice)
+## so CI exercises the whole fault sequence on every run; still fails on
+## any violation.
+soak-short:
+	$(GO) run ./cmd/bench -exp chaos -chaosdur 72s -chaosout /tmp/bench_chaos_smoke.json

@@ -1,0 +1,159 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"tempo/internal/ids"
+)
+
+func backoffSession(t *testing.T, addr string, base, max time.Duration) *Session {
+	t.Helper()
+	s, err := New(Config{
+		Addrs:            map[ids.ProcessID]string{1: addr},
+		RedialBackoff:    base,
+		RedialBackoffMax: max,
+		DialTimeout:      500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func waitOf(t *testing.T, s *Session, before time.Time) time.Duration {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.down[1]
+	if !ok {
+		t.Fatal("no backoff recorded")
+	}
+	return b.until.Sub(before)
+}
+
+func TestRedialBackoffGrowsAndCaps(t *testing.T) {
+	const base, max = 100 * time.Millisecond, 800 * time.Millisecond
+	s := backoffSession(t, "127.0.0.1:1", base, max)
+	for i := 0; i < 10; i++ {
+		before := time.Now()
+		s.noteDialFailure(1)
+		wait := waitOf(t, s, before)
+		want := base << i
+		if want > max {
+			want = max
+		}
+		if wait > want {
+			t.Fatalf("failure %d: wait %v above %v", i+1, wait, want)
+		}
+		if wait < want/2 {
+			t.Fatalf("failure %d: wait %v below the jitter floor %v", i+1, wait, want/2)
+		}
+	}
+}
+
+func TestRedialBackoffFixedWhenMaxDisabled(t *testing.T) {
+	// RedialBackoffMax below the base (e.g. -1) pins the legacy
+	// fixed-step behavior.
+	s := backoffSession(t, "127.0.0.1:1", 200*time.Millisecond, -1)
+	for i := 0; i < 5; i++ {
+		before := time.Now()
+		s.noteDialFailure(1)
+		if wait := waitOf(t, s, before); wait > 200*time.Millisecond {
+			t.Fatalf("failure %d: wait %v grew past the fixed step", i+1, wait)
+		}
+	}
+}
+
+// TestFlappingReplicaBackoff drives many sessions against a replica
+// that flaps: on failure their backoffs must desynchronize (jitter), on
+// heal a successful dial must fully reset the backoff state.
+func TestFlappingReplicaBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	discard := func(ln net.Listener) {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 256)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(c)
+		}
+	}
+	go discard(ln)
+
+	const n = 32
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		sessions[i] = backoffSession(t, addr, 50*time.Millisecond, 400*time.Millisecond)
+		if _, err := sessions[i].conn(1); err != nil {
+			t.Fatalf("initial dial: %v", err)
+		}
+	}
+
+	// The replica goes down: kill the listener and every live
+	// connection, then let each session fail twice.
+	ln.Close()
+	for _, s := range sessions {
+		s.mu.Lock()
+		s.conns[1].fail(errors.New("flap"))
+		s.mu.Unlock()
+	}
+	for round := 0; round < 2; round++ {
+		for _, s := range sessions {
+			if _, err := s.conn(1); err == nil {
+				t.Fatal("dial succeeded against a dead replica")
+			}
+		}
+	}
+
+	// Jitter: the sessions' redial deadlines must spread out, not form
+	// one synchronized storm.
+	distinct := map[time.Time]bool{}
+	for _, s := range sessions {
+		s.mu.Lock()
+		b := s.down[1]
+		s.mu.Unlock()
+		if b.fails != 2 {
+			t.Fatalf("fails = %d, want 2", b.fails)
+		}
+		distinct[b.until] = true
+	}
+	if len(distinct) < n/4 {
+		t.Fatalf("only %d distinct redial deadlines across %d sessions: synchronized storm", len(distinct), n)
+	}
+
+	// Heal: rebind the address; a successful dial clears the backoff
+	// state entirely, so a later blip restarts from the base step.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer ln2.Close()
+	go discard(ln2)
+	for _, s := range sessions {
+		if _, err := s.conn(1); err != nil {
+			t.Fatalf("dial after heal: %v", err)
+		}
+		s.mu.Lock()
+		_, stillDown := s.down[1]
+		s.mu.Unlock()
+		if stillDown {
+			t.Fatal("successful dial did not clear the backoff state")
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -87,8 +88,15 @@ type Config struct {
 	// RedialBackoff is how long a replica that failed to dial is skipped
 	// before it is tried again (default 1s; negative disables). Without
 	// it, every request issued while a replica is down would pay a full
-	// dial timeout before failing over.
+	// dial timeout before failing over. Consecutive failures back off
+	// exponentially from this base up to RedialBackoffMax, and every
+	// wait is jittered into [wait/2, wait) so that the many sessions a
+	// healed partition releases do not redial in one synchronized storm.
 	RedialBackoff time.Duration
+	// RedialBackoffMax caps the exponential redial backoff (default
+	// 8×RedialBackoff; values below RedialBackoff, e.g. -1, pin the
+	// backoff to the fixed RedialBackoff step).
+	RedialBackoffMax time.Duration
 	// RequestTimeout is the per-request deadline applied when the
 	// context has none (default 10s; negative disables). The deadline
 	// travels with the request, so the replica itself fails the command
@@ -106,8 +114,11 @@ type Session struct {
 	conns  map[ids.ProcessID]*conn
 	closed bool
 	// down records, per replica, until when dialing is skipped after a
-	// dial failure (the redial backoff). Guarded by mu.
-	down map[ids.ProcessID]time.Time
+	// dial failure and how many times in a row it failed (driving the
+	// exponential backoff). Guarded by mu.
+	down map[ids.ProcessID]backoff
+	// rng jitters redial backoffs; guarded by mu.
+	rng *rand.Rand
 	// dialMu serializes dialing per replica so a burst of first
 	// requests shares one connection instead of racing dials. Keys are
 	// fixed at New; only the mutexes are contended.
@@ -137,11 +148,18 @@ func New(cfg Config) (*Session, error) {
 	if cfg.RedialBackoff < 0 {
 		cfg.RedialBackoff = 0
 	}
+	if cfg.RedialBackoffMax == 0 {
+		cfg.RedialBackoffMax = 8 * cfg.RedialBackoff
+	}
+	if cfg.RedialBackoffMax < cfg.RedialBackoff {
+		cfg.RedialBackoffMax = cfg.RedialBackoff
+	}
 	s := &Session{
 		cfg:    cfg,
 		conns:  make(map[ids.ProcessID]*conn),
-		down:   make(map[ids.ProcessID]time.Time),
+		down:   make(map[ids.ProcessID]backoff),
 		dialMu: make(map[ids.ProcessID]*sync.Mutex, len(cfg.Addrs)),
+		rng:    rand.New(rand.NewSource(rand.Int63())),
 	}
 	for id := range cfg.Addrs {
 		s.order = append(s.order, id)
@@ -236,12 +254,42 @@ func (s *Session) candidates(key command.Key) []ids.ProcessID {
 	return out
 }
 
+// backoff is one replica's redial state: skip dialing until `until`,
+// after `fails` consecutive dial failures.
+type backoff struct {
+	until time.Time
+	fails uint32
+}
+
 // inBackoff reports whether a replica's dial backoff is still running.
 func (s *Session) inBackoff(pid ids.ProcessID, now time.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	until, ok := s.down[pid]
-	return ok && now.Before(until)
+	b, ok := s.down[pid]
+	return ok && now.Before(b.until)
+}
+
+// noteDialFailure extends a replica's redial backoff: exponential in
+// the number of consecutive failures, capped at RedialBackoffMax, and
+// jittered into [wait/2, wait) so sessions desynchronize their redials
+// after a shared outage heals.
+func (s *Session) noteDialFailure(pid ids.ProcessID) {
+	if s.cfg.RedialBackoff <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.down[pid]
+	if b.fails < 32 {
+		b.fails++
+	}
+	wait := s.cfg.RedialBackoff << (b.fails - 1)
+	if wait > s.cfg.RedialBackoffMax || wait < s.cfg.RedialBackoff { // cap (and shift overflow)
+		wait = s.cfg.RedialBackoffMax
+	}
+	wait = wait/2 + time.Duration(s.rng.Int63n(int64(wait/2)+1))
+	b.until = time.Now().Add(wait)
+	s.down[pid] = b
 }
 
 // Do submits a command built from ops and returns a Future for its
@@ -403,11 +451,7 @@ func (s *Session) conn(pid ids.ProcessID) (*conn, error) {
 	}
 	nc, err := dial(s.cfg.Addrs[pid], s.cfg.DialTimeout)
 	if err != nil {
-		if s.cfg.RedialBackoff > 0 {
-			s.mu.Lock()
-			s.down[pid] = time.Now().Add(s.cfg.RedialBackoff)
-			s.mu.Unlock()
-		}
+		s.noteDialFailure(pid)
 		return nil, err
 	}
 	fresh := newConn(pid, nc)

@@ -10,9 +10,12 @@
 //	bench -exp cluster             # loaded TCP cluster sweep -> BENCH_cluster.json
 //	bench -exp fault               # kill-restart a durable replica -> BENCH_fault.json
 //	bench -exp shard               # sharded TCP clusters 1..4 shards -> BENCH_shard.json
+//	bench -exp wan                 # durable 3-region clusters under WAN profiles -> BENCH_wan.json
+//	bench -exp chaos               # vulture soak under partition+SIGKILL+slow-fsync -> BENCH_chaos.json
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, ablation-mbump,
-// ablation-piggyback, ablation-f, micro, cluster, fault, shard, all.
+// ablation-piggyback, ablation-f, micro, cluster, fault, shard, wan,
+// chaos, all.
 // See EXPERIMENTS.md for the paper-vs-reproduction comparison. The
 // micro experiment writes its results to -microout (default
 // BENCH_micro.json); the cluster experiment — a real loopback cluster
@@ -22,8 +25,15 @@
 // restarted under load — writes -faultout (default BENCH_fault.json);
 // the shard experiment — real durable partial-replication deployments
 // (psmr groups) swept over shard counts and cross-shard ratios — writes
-// -shardout (default BENCH_shard.json). Successive PRs track the
-// hot-path, failure-path and scaling trajectory through these files.
+// -shardout (default BENCH_shard.json); the wan experiment — durable
+// 3-region deployments link-shaped by the named chaos profiles (paper
+// EC2 ring, asymmetric transatlantic, flapping link, slow-fsync site) —
+// writes -wanout (default BENCH_wan.json); the chaos experiment — the
+// consistency vulture soaking a shaped cluster through a partition, a
+// SIGKILL+restart and a slow-fsync replica, exiting non-zero on any
+// violation — writes -chaosout (default BENCH_chaos.json). Successive
+// PRs track the hot-path, failure-path and scaling trajectory through
+// these files.
 package main
 
 import (
@@ -51,18 +61,35 @@ func main() {
 	shardDur := flag.Duration("sharddur", 2*time.Second, "measured wall-clock time per shard load point")
 	shardWarm := flag.Duration("shardwarm", 500*time.Millisecond, "shard-experiment warmup before measurement")
 	shardMax := flag.Int("shardmax", 4, "largest shard count the shard experiment sweeps")
+	wanOut := flag.String("wanout", "BENCH_wan.json", "output path for the WAN experiment")
+	wanDur := flag.Duration("wandur", 4*time.Second, "measured wall-clock time per WAN profile")
+	wanWarm := flag.Duration("wanwarm", 1*time.Second, "WAN-experiment warmup before measurement")
+	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for the chaos soak")
+	chaosDur := flag.Duration("chaosdur", 60*time.Second, "total chaos-soak duration, fault schedule included")
+	chaosProfile := flag.String("chaosprofile", "metro", "chaos link profile the soak replicas run under")
 
-	// Node-runner mode: the fault experiment re-execs this binary as the
-	// cluster's replica processes, so a SIGKILL is a real process death.
+	// Node-runner mode: the fault and chaos experiments re-exec this
+	// binary as the cluster's replica processes, so a SIGKILL is a real
+	// process death.
 	faultNode := flag.Bool("fault-node", false, "internal: run as one durable replica of the fault experiment")
-	nodeID := flag.Int("node-id", 0, "internal: fault-node replica id")
-	nodePeers := flag.String("node-peers", "", "internal: fault-node peer addresses")
-	nodeDir := flag.String("node-dir", "", "internal: fault-node data directory")
-	nodeFsync := flag.Duration("node-fsync", 2*time.Millisecond, "internal: fault-node WAL fsync interval")
+	chaosNode := flag.Bool("chaos-node", false, "internal: run as one durable shaped replica of the chaos soak")
+	nodeID := flag.Int("node-id", 0, "internal: node-runner replica id")
+	nodePeers := flag.String("node-peers", "", "internal: node-runner peer addresses")
+	nodeDir := flag.String("node-dir", "", "internal: node-runner data directory")
+	nodeFsync := flag.Duration("node-fsync", 2*time.Millisecond, "internal: node-runner WAL fsync interval")
+	nodeFsyncDelay := flag.Duration("node-fsync-delay", 0, "internal: chaos-node per-fsync stall (slow-disk fault)")
+	nodeProfile := flag.String("node-profile", "lan", "internal: chaos-node link profile")
 	flag.Parse()
 
 	if *faultNode {
 		if err := bench.RunFaultNode(*nodeID, *nodePeers, *nodeDir, *nodeFsync); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosNode {
+		if err := bench.RunChaosNode(*nodeID, *nodePeers, *nodeDir, *nodeFsync, *nodeFsyncDelay, *nodeProfile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -131,6 +158,35 @@ func main() {
 		fmt.Printf("wrote %s\n", *shardOut)
 	}
 
+	runWAN := func() {
+		results, err := bench.RunWAN(os.Stdout, bench.DefaultWANConfigs(), *wanDur, *wanWarm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wan experiment: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteWANJSON(*wanOut, results, *wanDur); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *wanOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *wanOut)
+	}
+
+	runChaos := func() {
+		res, err := bench.RunChaos(os.Stdout, bench.ChaosOptions{
+			Profile:  *chaosProfile,
+			Duration: *chaosDur,
+		})
+		if werr := bench.WriteChaosJSON(*chaosOut, res); werr != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *chaosOut, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *chaosOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos soak: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	experiments := map[string]func(){
 		"fig5":               func() { bench.Fig5(o) },
 		"fig6":               func() { bench.Fig6(o) },
@@ -144,9 +200,11 @@ func main() {
 		"cluster":            runCluster,
 		"fault":              runFault,
 		"shard":              runShard,
+		"wan":                runWAN,
+		"chaos":              runChaos,
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "fig9",
-		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault", "shard"}
+		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault", "shard", "wan", "chaos"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -38,10 +38,25 @@
 // directory replays its state, catches up from its peers and rejoins.
 // With -metrics-addr the server reports serving counters — ops/s, mean
 // batch size, executor queue depth, per-shard submit counts — as JSON.
-// See docs/OPERATIONS.md for tuning and the crash-recovery runbook.
+//
+// With -chaos-profile the server's outgoing inter-replica links run
+// through a traffic shaper configured from a named WAN profile (lan,
+// metro, ring, transatlantic, flap, slow-fsync — internal/chaos),
+// adding per-direction delay, jitter, bandwidth and loss; the profile's
+// standing faults (link flapping, per-site fsync stalls) start with the
+// server, and -chaos-fsync-delay adds an explicit WAL fsync stall on
+// top. When -metrics-addr is set the shaper is also runtime-controllable
+// over HTTP: GET /chaos shows the profile and live partition state, and
+// /chaos/cut, /chaos/heal, /chaos/isolate, /chaos/rejoin,
+// /chaos/cut-site, /chaos/heal-site, /chaos/isolate-site and
+// /chaos/heal-all inject and lift partitions on this server's outgoing
+// links without restarting it.
+// See docs/OPERATIONS.md for tuning, the crash-recovery runbook and the
+// chaos runbook.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -54,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"tempo/internal/chaos"
 	"tempo/internal/cluster"
 	"tempo/internal/ids"
 	"tempo/internal/metrics"
@@ -78,6 +94,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "data directory for WAL+snapshot persistence; empty runs in-memory (a crash loses the replica's local state)")
 	fsync := flag.Duration("fsync", 2*time.Millisecond, "WAL fsync batching interval; 0 makes every command durable before its reply")
 	snapshotEvery := flag.Int("snapshot-every", cluster.DefaultSnapshotEvery, "applied commands between kvstore snapshots (bounds WAL replay length)")
+	chaosProfile := flag.String("chaos-profile", "", "chaos link profile shaping this server's outgoing inter-replica traffic (lan, metro, ring, transatlantic, flap, slow-fsync); empty disables")
+	chaosFsyncDelay := flag.Duration("chaos-fsync-delay", 0, "stall every WAL fsync by this much (slow-disk fault injection; adds to the profile's slow-fsync site, needs -data-dir)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -93,16 +111,19 @@ func main() {
 
 	var nodes []*cluster.Node
 	var closeAll func()
+	var ctl *chaosCtl
 	if *sites != "" {
-		nodes, closeAll = startSharded(*site, *sites, *shards, *shardSites, *f,
-			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery)
+		nodes, closeAll, ctl = startSharded(*site, *sites, *shards, *shardSites, *f,
+			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery,
+			*chaosProfile, *chaosFsyncDelay)
 	} else {
-		nodes, closeAll = startSingleShard(*id, *peers, *f,
-			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery)
+		nodes, closeAll, ctl = startSingleShard(*id, *peers, *f,
+			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery,
+			*chaosProfile, *chaosFsyncDelay)
 	}
 
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, nodes)
+		serveMetrics(*metricsAddr, nodes, ctl)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -111,10 +132,43 @@ func main() {
 	closeAll()
 }
 
+// chaosCtl carries a server's chaos state: the shaper its outgoing
+// inter-replica links run through, for the runtime /chaos endpoints.
+type chaosCtl struct {
+	profile string
+	sh      *cluster.Shaper
+	topo    *topology.Topology
+}
+
+// newChaosCtl builds the server's shaper from the named profile (nil
+// ctl when chaos is disabled) and starts the profile's standing faults.
+// It returns the ctl, the effective WAL fsync stall for this site, and
+// a stop function folded into the server's shutdown.
+func newChaosCtl(profile string, topo *topology.Topology, site ids.SiteID, fsyncDelay time.Duration) (*chaosCtl, time.Duration, func()) {
+	if profile == "" {
+		return nil, fsyncDelay, func() {}
+	}
+	p, err := chaos.Lookup(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sh := chaos.NewShaper(topo, p)
+	stopFaults := p.StartFaults(sh, topo)
+	if d := p.FsyncDelayFor(site); d > fsyncDelay {
+		fsyncDelay = d
+	}
+	log.Printf("chaos: profile %q shaping outgoing links (%s)", p.Name, p.Description)
+	return &chaosCtl{profile: profile, sh: sh, topo: topo}, fsyncDelay, func() {
+		stopFaults()
+		sh.Close()
+	}
+}
+
 // startSingleShard runs one replica of a full-replication cluster (the
 // historical mode).
 func startSingleShard(id int, peers string, f, batchOps int, batchWindow, batchPace time.Duration,
-	dataDir string, fsync time.Duration, snapshotEvery int) ([]*cluster.Node, func()) {
+	dataDir string, fsync time.Duration, snapshotEvery int,
+	chaosProfile string, chaosFsyncDelay time.Duration) ([]*cluster.Node, func(), *chaosCtl) {
 	addrList := strings.Split(peers, ",")
 	if len(addrList) < 3 {
 		log.Fatal("need at least 3 peers (-peers a,b,c) or a sharded deployment (-sites)")
@@ -140,17 +194,23 @@ func startSingleShard(id int, peers string, f, batchOps int, batchWindow, batchP
 	for i, a := range addrList {
 		addrs[ids.ProcessID(i+1)] = a
 	}
+	// Each single-shard replica is its own site: site index = id-1.
+	ctl, fsyncDelay, stopChaos := newChaosCtl(chaosProfile, topo, ids.SiteID(id-1), chaosFsyncDelay)
 	rep := tempo.New(ids.ProcessID(id), topo, tempo.Config{})
 	node := cluster.NewNode(ids.ProcessID(id), rep, addrs)
 	node.SetBatch(batchOps, batchWindow)
 	if batchPace > 0 {
 		node.SetBatchPace(batchPace)
 	}
+	if ctl != nil {
+		node.SetShaper(ctl.sh)
+	}
 	if dataDir != "" {
 		if err := node.SetDurable(cluster.DurableConfig{
 			Dir:           dataDir,
 			SyncInterval:  durableSync(fsync),
 			SnapshotEvery: snapshotEvery,
+			FsyncDelay:    fsyncDelay,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -163,13 +223,17 @@ func startSingleShard(id int, peers string, f, batchOps int, batchWindow, batchP
 		mode = "data-dir=" + dataDir
 	}
 	log.Printf("tempo replica %d serving on %s (r=%d, f=%d, %s)", id, node.Addr(), len(addrList), f, mode)
-	return []*cluster.Node{node}, node.Close
+	return []*cluster.Node{node}, func() {
+		node.Close()
+		stopChaos()
+	}, ctl
 }
 
 // startSharded runs one site of a partial-replication deployment: one
 // hosted replica per shard the site replicates, behind one listener.
 func startSharded(site int, sites string, shards int, shardSitesSpec string, f, batchOps int,
-	batchWindow, batchPace time.Duration, dataDir string, fsync time.Duration, snapshotEvery int) ([]*cluster.Node, func()) {
+	batchWindow, batchPace time.Duration, dataDir string, fsync time.Duration, snapshotEvery int,
+	chaosProfile string, chaosFsyncDelay time.Duration) ([]*cluster.Node, func(), *chaosCtl) {
 	addrList := strings.Split(sites, ",")
 	if site < 0 || site >= len(addrList) {
 		log.Fatalf("-site %d out of range 0..%d", site, len(addrList)-1)
@@ -195,7 +259,8 @@ func startSharded(site int, sites string, shards int, shardSitesSpec string, f, 
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := psmr.Start(psmr.Config{
+	ctl, fsyncDelay, stopChaos := newChaosCtl(chaosProfile, topo, ids.SiteID(site), chaosFsyncDelay)
+	cfg := psmr.Config{
 		Topo:          topo,
 		Site:          ids.SiteID(site),
 		SiteAddrs:     siteAddrs,
@@ -205,7 +270,12 @@ func startSharded(site int, sites string, shards int, shardSitesSpec string, f, 
 		DataDir:       dataDir,
 		FsyncInterval: durableSync(fsync),
 		SnapshotEvery: snapshotEvery,
-	})
+		FsyncDelay:    fsyncDelay,
+	}
+	if ctl != nil {
+		cfg.Shaper = ctl.sh
+	}
+	g, err := psmr.Start(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -215,7 +285,10 @@ func startSharded(site int, sites string, shards int, shardSitesSpec string, f, 
 	}
 	log.Printf("tempo site %d serving %d shard(s) on %s (sites=%d, f=%d, %s)",
 		site, len(g.Nodes()), g.Addr(), len(addrList), f, mode)
-	return g.Nodes(), g.Close
+	return g.Nodes(), func() {
+		g.Close()
+		stopChaos()
+	}, ctl
 }
 
 // durableSync maps the -fsync flag onto DurableConfig.SyncInterval
@@ -249,7 +322,7 @@ func parseShardSites(spec string, shards, sites int) ([][]int, error) {
 
 // serveMetrics exposes the nodes' serving counters as JSON: cumulative
 // per-shard counters plus ops/s computed between successive scrapes.
-func serveMetrics(addr string, nodes []*cluster.Node) {
+func serveMetrics(addr string, nodes []*cluster.Node, ctl *chaosCtl) {
 	start := time.Now()
 	rates := metrics.NewRateTracker()
 	snapshot := func() any {
@@ -283,10 +356,126 @@ func serveMetrics(addr string, nodes []*cluster.Node) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", metrics.JSONHandler(snapshot))
+	if ctl != nil {
+		mountChaos(mux, ctl)
+	}
 	go func() {
 		if err := http.ListenAndServe(addr, mux); err != nil {
 			log.Printf("metrics: %v", err)
 		}
 	}()
 	log.Printf("metrics serving on http://%s/metrics", addr)
+}
+
+// mountChaos wires the runtime fault-injection endpoints beside
+// /metrics. All take query parameters and reply with the shaper state,
+// so a curl both acts and shows the result:
+//
+//	curl 'host:9090/chaos'                        # profile + live state
+//	curl 'host:9090/chaos/cut?a=1&b=3'            # sever 1<->3 (oneway=1: only 1->3)
+//	curl 'host:9090/chaos/heal?a=1&b=3'           # restore 1<->3
+//	curl 'host:9090/chaos/isolate?p=3'            # sever all of 3's links
+//	curl 'host:9090/chaos/rejoin?p=3'             # undo isolate
+//	curl 'host:9090/chaos/cut-site?a=0&b=1'       # sever every link between two sites
+//	curl 'host:9090/chaos/heal-site?s=1'          # reconnect a site to all others
+//	curl 'host:9090/chaos/isolate-site?s=1'       # partition a whole site off
+//	curl 'host:9090/chaos/heal-all'               # drop every standing cut
+//
+// Only this server's outgoing links are controlled: partitioning a
+// site both ways means hitting the endpoint on every involved server
+// (or using the in-process harness, which shares one shaper).
+func mountChaos(mux *http.ServeMux, ctl *chaosCtl) {
+	state := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Profile string              `json:"profile"`
+			State   cluster.ShaperState `json:"state"`
+		}{ctl.profile, ctl.sh.State()})
+	}
+	pid := func(r *http.Request, key string) (ids.ProcessID, bool) {
+		v, err := strconv.Atoi(r.URL.Query().Get(key))
+		return ids.ProcessID(v), err == nil && v > 0
+	}
+	sid := func(r *http.Request, key string) (ids.SiteID, bool) {
+		v, err := strconv.Atoi(r.URL.Query().Get(key))
+		return ids.SiteID(v), err == nil && v >= 0
+	}
+	badParams := func(w http.ResponseWriter, msg string) {
+		http.Error(w, msg, http.StatusBadRequest)
+	}
+	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) { state(w) })
+	mux.HandleFunc("/chaos/cut", func(w http.ResponseWriter, r *http.Request) {
+		a, oka := pid(r, "a")
+		b, okb := pid(r, "b")
+		if !oka || !okb {
+			badParams(w, "need ?a=<pid>&b=<pid>")
+			return
+		}
+		if r.URL.Query().Get("oneway") != "" {
+			ctl.sh.CutOneWay(a, b)
+		} else {
+			ctl.sh.Cut(a, b)
+		}
+		state(w)
+	})
+	mux.HandleFunc("/chaos/heal", func(w http.ResponseWriter, r *http.Request) {
+		a, oka := pid(r, "a")
+		b, okb := pid(r, "b")
+		if !oka || !okb {
+			badParams(w, "need ?a=<pid>&b=<pid>")
+			return
+		}
+		ctl.sh.Heal(a, b)
+		state(w)
+	})
+	mux.HandleFunc("/chaos/isolate", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := pid(r, "p")
+		if !ok {
+			badParams(w, "need ?p=<pid>")
+			return
+		}
+		ctl.sh.Isolate(p)
+		state(w)
+	})
+	mux.HandleFunc("/chaos/rejoin", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := pid(r, "p")
+		if !ok {
+			badParams(w, "need ?p=<pid>")
+			return
+		}
+		ctl.sh.Rejoin(p)
+		state(w)
+	})
+	mux.HandleFunc("/chaos/cut-site", func(w http.ResponseWriter, r *http.Request) {
+		a, oka := sid(r, "a")
+		b, okb := sid(r, "b")
+		if !oka || !okb {
+			badParams(w, "need ?a=<site>&b=<site>")
+			return
+		}
+		chaos.CutSiteLink(ctl.sh, ctl.topo, a, b)
+		state(w)
+	})
+	mux.HandleFunc("/chaos/heal-site", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := sid(r, "s")
+		if !ok {
+			badParams(w, "need ?s=<site>")
+			return
+		}
+		chaos.HealSite(ctl.sh, ctl.topo, s)
+		state(w)
+	})
+	mux.HandleFunc("/chaos/isolate-site", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := sid(r, "s")
+		if !ok {
+			badParams(w, "need ?s=<site>")
+			return
+		}
+		chaos.IsolateSite(ctl.sh, ctl.topo, s)
+		state(w)
+	})
+	mux.HandleFunc("/chaos/heal-all", func(w http.ResponseWriter, r *http.Request) {
+		ctl.sh.HealAll()
+		state(w)
+	})
 }

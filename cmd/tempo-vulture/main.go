@@ -1,0 +1,125 @@
+// Command tempo-vulture is the always-on consistency prober: it writes,
+// reads, and verifies versioned tagged keys against a live cluster
+// through the public client package, and reports violations plus
+// availability windows as JSON.
+//
+//	tempo-vulture -servers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	    -metrics-addr 127.0.0.1:9091 -duration 5m
+//
+// The i-th entry of -servers is the address of the replica with id i+1
+// (the same order as tempo-server's -peers). The prober exits 0 when
+// the run observed no consistency violation and 2 otherwise, so it
+// slots directly into CI soak jobs; `curl <metrics-addr>` serves the
+// live report (see internal/vulture for the probe model and the report
+// schema). Fault injectors can mark their actions on the timeline by
+// POSTing /event?name=sigkill to the same address, which attributes
+// subsequent availability windows to that fault.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/ids"
+	"tempo/internal/vulture"
+)
+
+func main() {
+	servers := flag.String("servers", "", "comma-separated replica addresses, in replica-id order")
+	writers := flag.Int("writers", 2, "writer workers (each owns a slice of the tagged keys)")
+	readers := flag.Int("readers", 2, "reader workers")
+	keys := flag.Int("keys", 64, "tagged keyspace size")
+	theta := flag.Float64("theta", 0.9, "zipfian skew with which workers pick keys")
+	interval := flag.Duration("interval", 2*time.Millisecond, "pause between operations per worker")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
+	duration := flag.Duration("duration", 0, "how long to probe; 0 runs until SIGINT/SIGTERM")
+	outage := flag.Duration("outage-threshold", 500*time.Millisecond, "success gaps longer than this count as availability windows")
+	metricsAddr := flag.String("metrics-addr", "", "listen address for the JSON report (e.g. 127.0.0.1:9091); empty disables")
+	flag.Parse()
+
+	if *servers == "" {
+		log.Fatal("need -servers a,b,c")
+	}
+	addrs := make(map[ids.ProcessID]string)
+	for i, a := range strings.Split(*servers, ",") {
+		addrs[ids.ProcessID(i+1)] = strings.TrimSpace(a)
+	}
+	v, err := vulture.New(vulture.Config{
+		Client: client.Config{
+			Addrs:          addrs,
+			RequestTimeout: *timeout,
+		},
+		Writers:         *writers,
+		Readers:         *readers,
+		Keys:            *keys,
+		Theta:           *theta,
+		Interval:        *interval,
+		OutageThreshold: *outage,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", v.Handler())
+		mux.HandleFunc("/event", func(w http.ResponseWriter, r *http.Request) {
+			name := r.URL.Query().Get("name")
+			if name == "" {
+				http.Error(w, "need ?name=", http.StatusBadRequest)
+				return
+			}
+			v.Event(name)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+		log.Printf("report serving on http://%s/", *metricsAddr)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if *duration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+	go func() {
+		t := time.NewTicker(10 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				r := v.Report()
+				log.Printf("ops=%d errors=%d violations=%d outages=%d", r.Ops, r.Errors, r.Violations, len(r.Outages))
+			}
+		}
+	}()
+
+	if err := v.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	cancel()
+	r := v.Report()
+	log.Printf("done: ops=%d errors=%d timeouts=%d violations=%d outages=%d",
+		r.Ops, r.Errors, r.Timeouts, r.Violations, len(r.Outages))
+	if err := v.Failed(); err != nil {
+		log.Printf("FAIL: %v", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/chaos"
+	"tempo/internal/cluster"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+	"tempo/internal/vulture"
+)
+
+// The chaos soak (`bench -exp chaos`): a real 3-replica durable cluster
+// of OS processes shaped by a chaos profile, probed end-to-end by the
+// consistency vulture while the harness injects the combined fault
+// schedule — a site partition (cut and healed at runtime through each
+// node's stdin), a SIGKILL + same-directory restart, and a standing
+// slow-fsync replica. The run FAILS (non-zero exit through cmd/bench)
+// if the vulture observes a single consistency violation; the report —
+// violations, availability windows per fault, op counters, restart
+// catch-up time — goes to BENCH_chaos.json. `make soak` / `make
+// soak-short` wrap this experiment; see docs/OPERATIONS.md.
+
+// ChaosOptions configures the chaos soak.
+type ChaosOptions struct {
+	// Profile names the chaos link profile the replicas run under
+	// (default "metro": WAN-ish delays without dominating a short soak).
+	Profile string
+	// Duration is the whole soak length, faults included (default 60s).
+	Duration time.Duration
+	// FsyncDelay stalls every WAL fsync of the slow replica (node 2) to
+	// emulate a degraded disk (default 5ms; <0 disables).
+	FsyncDelay time.Duration
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Profile == "" {
+		o.Profile = "metro"
+	}
+	if o.Duration == 0 {
+		o.Duration = 60 * time.Second
+	}
+	if o.FsyncDelay == 0 {
+		o.FsyncDelay = 5 * time.Millisecond
+	}
+	return o
+}
+
+// ChaosResult is the schema of BENCH_chaos.json.
+type ChaosResult struct {
+	Generated  string  `json:"generated"`
+	Go         string  `json:"go"`
+	Profile    string  `json:"profile"`
+	DurationMS float64 `json:"duration_ms"`
+	// Faults lists the injected schedule in order.
+	Faults []string `json:"faults"`
+	// CatchupMS is the killed replica's restart-to-serving time.
+	CatchupMS float64 `json:"catchup_ms"`
+	// Vulture is the prober's full report: op counters, violations
+	// (must be zero for the run to pass), availability windows.
+	Vulture vulture.Report `json:"vulture"`
+}
+
+// RunChaosNode is the chaos node-runner mode of cmd/bench: one durable
+// replica shaped by the profile, with runtime partition control on
+// stdin. It prints NODE_READY once recovery is complete, then executes
+// one command per stdin line — "cut <pid>" / "heal <pid>" severs or
+// restores this node's outgoing link, "isolate" / "healall" all of them
+// — until stdin closes.
+func RunChaosNode(id int, peersCSV, dir string, fsync, fsyncDelay time.Duration, profile string) error {
+	p, err := chaos.Lookup(profile)
+	if err != nil {
+		return err
+	}
+	peers := strings.Split(peersCSV, ",")
+	names := make([]string, len(peers))
+	rtt := make([][]time.Duration, len(peers))
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, len(peers))
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		return err
+	}
+	addrs := make(map[ids.ProcessID]string, len(peers))
+	for i, a := range peers {
+		addrs[ids.ProcessID(i+1)] = a
+	}
+	self := ids.ProcessID(id)
+	rep := tempo.New(self, topo, tempo.Config{PromiseInterval: time.Millisecond})
+	node := cluster.NewNode(self, rep, addrs)
+	// Each process shapes its own outgoing half of every link, so the
+	// cluster-wide policy emerges without any shared state.
+	sh := chaos.NewShaper(topo, p)
+	defer sh.Close()
+	node.SetShaper(sh)
+	if err := node.SetDurable(cluster.DurableConfig{
+		Dir:          dir,
+		SyncInterval: fsync,
+		FsyncDelay:   fsyncDelay,
+	}); err != nil {
+		return err
+	}
+	if err := node.Start(); err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Println("NODE_READY")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		arg := ids.ProcessID(0)
+		if len(fields) > 1 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				continue
+			}
+			arg = ids.ProcessID(n)
+		}
+		switch fields[0] {
+		case "cut":
+			sh.CutOneWay(self, arg)
+		case "heal":
+			sh.Heal(self, arg)
+		case "isolate":
+			for _, pi := range topo.Processes() {
+				if pi.ID != self {
+					sh.CutOneWay(self, pi.ID)
+				}
+			}
+		case "healall":
+			sh.HealAll()
+		}
+	}
+	return nil
+}
+
+// chaosCmd sends one control line to a node-runner's stdin.
+func chaosCmd(p *faultProc, line string) {
+	fmt.Fprintln(p.stdin, line)
+}
+
+// spawnChaosNode re-execs this binary in chaos node-runner mode and
+// waits for NODE_READY.
+func spawnChaosNode(id int, peers []string, dir, profile string, fsyncDelay time.Duration) (*faultProc, error) {
+	return spawnNode(id, []string{
+		"-chaos-node",
+		"-node-id", fmt.Sprint(id),
+		"-node-peers", strings.Join(peers, ","),
+		"-node-dir", dir,
+		"-node-fsync-delay", fsyncDelay.String(),
+		"-node-profile", profile,
+	})
+}
+
+// RunChaos runs the chaos soak and returns the measured result; the
+// returned error is non-nil when the vulture saw any violation.
+func RunChaos(out io.Writer, opts ChaosOptions) (ChaosResult, error) {
+	opts = opts.withDefaults()
+	res := ChaosResult{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		Profile:    opts.Profile,
+		DurationMS: float64(opts.Duration.Milliseconds()),
+	}
+	if _, err := chaos.Lookup(opts.Profile); err != nil {
+		return res, err
+	}
+
+	const r = 3
+	const victim = 3 // fast quorums prefer low ids; losing 3 never blocks them
+	const slow = 2   // the standing slow-fsync replica
+	peers := make([]string, r)
+	for i := range peers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return res, err
+		}
+		peers[i] = ln.Addr().String()
+		ln.Close()
+	}
+	base, err := os.MkdirTemp("", "tempo-chaos-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(base)
+	dirs := make([]string, r)
+	procs := make([]*faultProc, r)
+	for i := 0; i < r; i++ {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("node-%d", i+1))
+		delay := time.Duration(0)
+		if i+1 == slow && opts.FsyncDelay > 0 {
+			delay = opts.FsyncDelay
+		}
+		p, err := spawnChaosNode(i+1, peers, dirs[i], opts.Profile, delay)
+		if err != nil {
+			return res, err
+		}
+		procs[i] = p
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil {
+				p.kill()
+			}
+		}
+	}()
+	fmt.Fprintf(out, "chaos: 3 durable replicas up under profile %q (%s), replica %d fsync+%v\n",
+		opts.Profile, strings.Join(peers, " "), slow, opts.FsyncDelay)
+
+	addrMap := make(map[ids.ProcessID]string, r)
+	for i, a := range peers {
+		addrMap[ids.ProcessID(i+1)] = a
+	}
+	v, err := vulture.New(vulture.Config{
+		Client: client.Config{
+			Addrs:          addrMap,
+			RequestTimeout: 3 * time.Second,
+			DialTimeout:    500 * time.Millisecond,
+			RedialBackoff:  250 * time.Millisecond,
+		},
+		Writers:  2,
+		Readers:  2,
+		Keys:     32,
+		Interval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	if opts.FsyncDelay > 0 {
+		v.Event("slow-fsync")
+		res.Faults = append(res.Faults, fmt.Sprintf("slow-fsync: replica %d, +%v per fsync, whole run", slow, opts.FsyncDelay))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- v.Run(ctx) }()
+
+	// The schedule slices the soak into sixths: steady, partition,
+	// steady, kill+down, restart+steady.
+	slice := opts.Duration / 6
+	sleep := func(d time.Duration) { time.Sleep(d) }
+
+	sleep(slice) // steady warmup
+
+	// Partition: isolate the victim both ways (its outgoing links, and
+	// every other node's link to it).
+	v.Event("partition")
+	res.Faults = append(res.Faults, fmt.Sprintf("partition: replica %d isolated for %v", victim, slice))
+	chaosCmd(procs[victim-1], "isolate")
+	for i := 0; i < r; i++ {
+		if i+1 != victim {
+			chaosCmd(procs[i], fmt.Sprintf("cut %d", victim))
+		}
+	}
+	fmt.Fprintf(out, "chaos: partitioned replica %d\n", victim)
+	sleep(slice)
+
+	v.Event("heal")
+	for _, p := range procs {
+		chaosCmd(p, "healall")
+	}
+	fmt.Fprintf(out, "chaos: healed\n")
+	sleep(slice)
+
+	// SIGKILL: no flushed WAL tail, kernel-closed sockets; restart on
+	// the same directory and measure replay + catch-up.
+	v.Event("sigkill")
+	res.Faults = append(res.Faults, fmt.Sprintf("sigkill: replica %d killed, down %v, restarted on its data dir", victim, slice))
+	procs[victim-1].kill()
+	procs[victim-1] = nil
+	fmt.Fprintf(out, "chaos: killed replica %d\n", victim)
+	sleep(slice)
+
+	v.Event("restart")
+	restartAt := time.Now()
+	p, err := spawnChaosNode(victim, peers, dirs[victim-1], opts.Profile, 0)
+	if err != nil {
+		cancel()
+		<-runDone
+		return res, fmt.Errorf("restart: %w", err)
+	}
+	procs[victim-1] = p
+	res.CatchupMS = float64(time.Since(restartAt).Microseconds()) / 1e3
+	fmt.Fprintf(out, "chaos: replica %d restarted, ready after %.0fms\n", victim, res.CatchupMS)
+	sleep(2 * slice) // post-restart steady tail
+
+	cancel()
+	if err := <-runDone; err != nil {
+		return res, err
+	}
+	res.Vulture = v.Report()
+	rep := res.Vulture
+	fmt.Fprintf(out, "chaos: vulture ops=%d errors=%d timeouts=%d not_found=%d violations=%d outages=%d\n",
+		rep.Ops, rep.Errors, rep.Timeouts, rep.NotFound, rep.Violations, len(rep.Outages))
+	for _, o := range rep.Outages {
+		fmt.Fprintf(out, "chaos:   outage %.1fs..%.1fs (%.0fms) after %q\n", o.StartSec, o.EndSec, o.DurationMS, o.After)
+	}
+	if err := v.Failed(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// WriteChaosJSON writes the result to path in the BENCH_chaos.json
+// schema.
+func WriteChaosJSON(path string, res ChaosResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

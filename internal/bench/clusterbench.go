@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"tempo/internal/ids"
 	"tempo/internal/tempo"
 	"tempo/internal/topology"
+	"tempo/internal/workload"
 )
 
 // The loaded-cluster experiment (`bench -exp cluster`): a real 3-replica
@@ -38,6 +40,12 @@ type ClusterConfig struct {
 	Inflight int // pipelined requests per session
 	BatchOps int // server batch size cap; <=1 disables batching
 	Window   time.Duration
+	// ZipfTheta, when positive, draws each put's key zipfian over
+	// ZipfKeys hot keys (internal/workload.Zipfian) instead of one
+	// conflict-free key per session — conflict skew, where timestamp
+	// stability is actually exercised.
+	ZipfTheta float64
+	ZipfKeys  int // keyspace size under ZipfTheta (default 1024)
 }
 
 // ClusterResult is one measured load point in BENCH_cluster.json.
@@ -47,6 +55,8 @@ type ClusterResult struct {
 	Inflight      int     `json:"inflight"`
 	BatchOps      int     `json:"batch_ops"`
 	BatchWindowUS float64 `json:"batch_window_us"`
+	ZipfTheta     float64 `json:"zipf_theta,omitempty"`
+	ZipfKeys      int     `json:"zipf_keys,omitempty"`
 	Ops           int     `json:"ops"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
 	P50us         float64 `json:"p50_us"`
@@ -73,6 +83,10 @@ func DefaultClusterConfigs() []ClusterConfig {
 		{Name: "batch16-8x64", Sessions: 8, Inflight: 64, BatchOps: 16, Window: w},
 		{Name: "batch64-8x64", Sessions: 8, Inflight: 64, BatchOps: 64, Window: w},
 		{Name: "batch256-8x64", Sessions: 8, Inflight: 64, BatchOps: 256, Window: 2 * w},
+		// Conflict skew: every session hammers the same zipfian hot
+		// keys (theta 0.5 mild, 0.99 heavy — the YCSB extremes).
+		{Name: "zipf50-8x64", Sessions: 8, Inflight: 64, BatchOps: 64, Window: w, ZipfTheta: 0.5, ZipfKeys: 1024},
+		{Name: "zipf99-8x64", Sessions: 8, Inflight: 64, BatchOps: 64, Window: w, ZipfTheta: 0.99, ZipfKeys: 1024},
 	}
 }
 
@@ -156,7 +170,20 @@ func runClusterConfig(cfg ClusterConfig, duration, warmup time.Duration) (Cluste
 			}
 			defer sess.Close()
 			ctx := context.Background()
-			op := command.Op{Kind: command.Put, Key: command.Key(fmt.Sprintf("bench-%d", si)), Value: []byte("x")}
+			nextOp := func() command.Op {
+				return command.Op{Kind: command.Put, Key: command.Key(fmt.Sprintf("bench-%d", si)), Value: []byte("x")}
+			}
+			if cfg.ZipfTheta > 0 {
+				keys := cfg.ZipfKeys
+				if keys == 0 {
+					keys = 1024
+				}
+				z := workload.NewZipfian(keys, cfg.ZipfTheta)
+				rng := rand.New(rand.NewSource(int64(si)*7919 + 1))
+				nextOp = func() command.Op {
+					return command.Op{Kind: command.Put, Key: command.Key(fmt.Sprintf("z%d", z.Sample(rng))), Value: []byte("x")}
+				}
+			}
 			type issued struct {
 				f  *client.Future
 				at time.Time
@@ -185,7 +212,7 @@ func runClusterConfig(cfg ClusterConfig, duration, warmup time.Duration) (Cluste
 					}
 					head++
 				}
-				ring[tail%cfg.Inflight] = issued{f: sess.Do(ctx, op), at: time.Now()}
+				ring[tail%cfg.Inflight] = issued{f: sess.Do(ctx, nextOp()), at: time.Now()}
 				tail++
 			}
 			for ; head < tail; head++ {
@@ -203,6 +230,8 @@ func runClusterConfig(cfg ClusterConfig, duration, warmup time.Duration) (Cluste
 		Inflight:      cfg.Inflight,
 		BatchOps:      cfg.BatchOps,
 		BatchWindowUS: float64(cfg.Window.Microseconds()),
+		ZipfTheta:     cfg.ZipfTheta,
+		ZipfKeys:      cfg.ZipfKeys,
 	}
 	var lats []float64
 	for _, r := range results {

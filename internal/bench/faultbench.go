@@ -151,12 +151,18 @@ func (p *faultProc) kill() {
 // NODE_READY (recovery included). The ready wait IS the catch-up
 // measurement on restart.
 func spawnFaultNode(id int, peers []string, dir string) (*faultProc, error) {
-	cmd := exec.Command(os.Args[0],
+	return spawnNode(id, []string{
 		"-fault-node",
 		"-node-id", fmt.Sprint(id),
 		"-node-peers", strings.Join(peers, ","),
 		"-node-dir", dir,
-	)
+	})
+}
+
+// spawnNode re-execs this binary with the given node-runner flags and
+// waits for the child's NODE_READY line (recovery included).
+func spawnNode(id int, args []string) (*faultProc, error) {
+	cmd := exec.Command(os.Args[0], args...)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/chaos"
+	"tempo/internal/cluster"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/psmr"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// The WAN experiment (`bench -exp wan`): real durable 3-region psmr
+// deployments on loopback, with the chaos link shaper emulating the
+// named multi-region profiles — the paper's EC2 ring, an asymmetric
+// lossy transatlantic pair, a metro triangle, a flapping link, a
+// slow-fsync site — and clients co-located with their home region (the
+// client hop stays unshaped; only inter-site consensus traffic pays the
+// WAN). Each profile gets its own cluster boot, warmup, and measured
+// window; BENCH_wan.json records throughput plus client-observed
+// latency percentiles per profile, the latency/throughput curve the
+// chaos runbook and EXPERIMENTS.md cite.
+
+// WANConfig is one profile run of the WAN experiment.
+type WANConfig struct {
+	// Profile names a chaos profile (chaos.Names).
+	Profile  string
+	Sessions int
+	Inflight int
+	BatchOps int
+	Window   time.Duration
+}
+
+// WANResult is one measured profile in BENCH_wan.json.
+type WANResult struct {
+	Profile     string  `json:"profile"`
+	Description string  `json:"description"`
+	Sessions    int     `json:"sessions"`
+	Inflight    int     `json:"inflight"`
+	Ops         int     `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50ms       float64 `json:"p50_ms"`
+	P90ms       float64 `json:"p90_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	// ShapedDelivered/ShapedDropped count inter-site messages the
+	// shaper carried and shed (loss + partitions) during the run.
+	ShapedDelivered uint64 `json:"shaped_delivered"`
+	ShapedDropped   uint64 `json:"shaped_dropped"`
+}
+
+// WANReport is the schema of BENCH_wan.json.
+type WANReport struct {
+	Generated  string      `json:"generated"`
+	Go         string      `json:"go"`
+	DurationMS float64     `json:"duration_ms"`
+	Sites      int         `json:"sites"`
+	Fsync      string      `json:"fsync"`
+	Results    []WANResult `json:"results"`
+}
+
+// DefaultWANConfigs sweeps the named profiles from the loopback
+// baseline out to the paper's EC2 ring, plus the standing-fault
+// profiles (flapping link, slow-fsync site).
+func DefaultWANConfigs() []WANConfig {
+	var cfgs []WANConfig
+	for _, p := range []string{"lan", "metro", "ring", "transatlantic", "flap", "slow-fsync"} {
+		cfgs = append(cfgs, WANConfig{
+			Profile: p, Sessions: 3, Inflight: 32,
+			BatchOps: 64, Window: 200 * time.Microsecond,
+		})
+	}
+	return cfgs
+}
+
+// startWANCluster boots a durable 3-region psmr deployment shaped by
+// the profile: one shared shaper across the in-process sites, the
+// profile's fsync stall on its slow site, and its standing faults
+// running. The returned cleanup stops faults, closes the groups, then
+// the shaper.
+func startWANCluster(p chaos.Profile, batchOps int, window time.Duration) (*topology.Topology, map[ids.ProcessID]string, *cluster.Shaper, func(), error) {
+	const sites = 3
+	names := make([]string, sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	rtt := make([][]time.Duration, sites)
+	for i := range rtt {
+		rtt[i] = make([]time.Duration, sites)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	base, err := os.MkdirTemp("", "tempo-wanbench-*")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	sh := chaos.NewShaper(topo, p)
+	stopFaults := p.StartFaults(sh, topo)
+
+	siteAddrs := make(map[ids.SiteID]string)
+	lns := make(map[ids.SiteID]net.Listener)
+	for _, site := range topo.Sites() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stopFaults()
+			sh.Close()
+			os.RemoveAll(base)
+			return nil, nil, nil, nil, err
+		}
+		lns[site.ID] = ln
+		siteAddrs[site.ID] = ln.Addr().String()
+	}
+	groups := make([]*psmr.Group, sites)
+	errs := make([]error, sites)
+	var wg sync.WaitGroup
+	for i, site := range topo.Sites() {
+		wg.Add(1)
+		go func(i int, id ids.SiteID) {
+			defer wg.Done()
+			groups[i], errs[i] = psmr.StartListener(psmr.Config{
+				Topo:      topo,
+				Site:      id,
+				SiteAddrs: siteAddrs,
+				// Lossy profiles (transatlantic) rely on resend: a dropped
+				// inter-site message must be retransmitted well inside the
+				// client deadline, but the resend interval must also clear
+				// the ring profile's ~360ms quorum round trips.
+				Tempo: tempo.Config{
+					PromiseInterval: time.Millisecond,
+					RecoveryTimeout: time.Second,
+				},
+				BatchOps:    batchOps,
+				BatchWindow: window,
+				DataDir:     fmt.Sprintf("%s/site-%d", base, id),
+				FsyncDelay:  p.FsyncDelayFor(id),
+				Shaper:      sh,
+			}, lns[id])
+		}(i, site.ID)
+	}
+	wg.Wait()
+	cleanup := func() {
+		stopFaults()
+		for _, g := range groups {
+			if g != nil {
+				g.Close()
+			}
+		}
+		sh.Close()
+		os.RemoveAll(base)
+	}
+	for _, err := range errs {
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, nil, err
+		}
+	}
+	addrs, _, err := psmr.ProcessAddrs(topo, siteAddrs)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, nil, err
+	}
+	return topo, addrs, sh, cleanup, nil
+}
+
+// runWANConfig drives one profile: boot the shaped durable deployment,
+// run Sessions closed-loop pipelined sessions each homed on one region,
+// and sample client-observed latencies inside the measured window.
+func runWANConfig(cfg WANConfig, duration, warmup time.Duration) (WANResult, error) {
+	p, err := chaos.Lookup(cfg.Profile)
+	if err != nil {
+		return WANResult{}, err
+	}
+	topo, addrs, sh, cleanup, err := startWANCluster(p, cfg.BatchOps, cfg.Window)
+	if err != nil {
+		return WANResult{}, err
+	}
+	defer cleanup()
+
+	type sessResult struct {
+		ops  int
+		lats []float64 // ms
+		err  error
+	}
+	results := make([]sessResult, cfg.Sessions)
+	start := time.Now()
+	warmEnd := start.Add(warmup)
+	stop := warmEnd.Add(duration)
+	var wg sync.WaitGroup
+	for si := 0; si < cfg.Sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			res := &results[si]
+			site := ids.SiteID(si % len(topo.Sites()))
+			sess, err := client.New(client.Config{Addrs: addrs, Topo: topo, Site: site})
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer sess.Close()
+			ctx := context.Background()
+			key := command.Key(fmt.Sprintf("wan-%d", si))
+			type issued struct {
+				f  *client.Future
+				at time.Time
+			}
+			ring := make([]issued, cfg.Inflight)
+			head, tail := 0, 0
+			reap := func(it issued) bool {
+				if _, err := it.f.Wait(ctx); err != nil {
+					res.err = err
+					return false
+				}
+				now := time.Now()
+				if now.After(warmEnd) && !now.After(stop) {
+					res.ops++
+					res.lats = append(res.lats, float64(now.Sub(it.at).Nanoseconds())/1e6)
+				}
+				return true
+			}
+			for time.Now().Before(stop) {
+				if tail-head == cfg.Inflight {
+					if !reap(ring[head%cfg.Inflight]) {
+						return
+					}
+					head++
+				}
+				ring[tail%cfg.Inflight] = issued{
+					f:  sess.Do(ctx, command.Op{Kind: command.Put, Key: key, Value: []byte("x")}),
+					at: time.Now(),
+				}
+				tail++
+			}
+			for ; head < tail; head++ {
+				if !reap(ring[head%cfg.Inflight]) {
+					return
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	out := WANResult{
+		Profile:     cfg.Profile,
+		Description: p.Description,
+		Sessions:    cfg.Sessions,
+		Inflight:    cfg.Inflight,
+	}
+	var lats []float64
+	for _, r := range results {
+		if r.err != nil {
+			return out, r.err
+		}
+		out.Ops += r.ops
+		lats = append(lats, r.lats...)
+	}
+	out.OpsPerSec = float64(out.Ops) / duration.Seconds()
+	sort.Float64s(lats)
+	pct := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	out.P50ms, out.P90ms, out.P99ms = pct(0.50), pct(0.90), pct(0.99)
+	st := sh.State()
+	out.ShapedDelivered, out.ShapedDropped = st.Delivered, st.Dropped
+	return out, nil
+}
+
+// RunWAN runs the WAN profile sweep, printing one line per profile.
+func RunWAN(out io.Writer, cfgs []WANConfig, duration, warmup time.Duration) ([]WANResult, error) {
+	var results []WANResult
+	for _, cfg := range cfgs {
+		r, err := runWANConfig(cfg, duration, warmup)
+		if err != nil {
+			return results, fmt.Errorf("wan profile %s: %w", cfg.Profile, err)
+		}
+		fmt.Fprintf(out, "%-14s %d sess x %2d inflight  %8.0f ops/s  p50=%7.1fms p90=%7.1fms p99=%7.1fms  shaped=%d dropped=%d\n",
+			r.Profile, r.Sessions, r.Inflight, r.OpsPerSec, r.P50ms, r.P90ms, r.P99ms, r.ShapedDelivered, r.ShapedDropped)
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// WriteWANJSON writes the results to path in the BENCH_wan.json schema.
+func WriteWANJSON(path string, results []WANResult, duration time.Duration) error {
+	rep := WANReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		DurationMS: float64(duration.Milliseconds()),
+		Sites:      3,
+		Fsync:      "batched-2ms",
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,303 @@
+// Package chaos names the fault-injection shapes used by benches, the
+// vulture, and tempo-server: multi-region WAN profiles (link delay,
+// jitter, loss, bandwidth per site pair), periodically flapping links,
+// and slow-fsync sites — all mapped onto a deployment topology and
+// enforced by a cluster.Shaper plus the WAL's FsyncDelay hook.
+//
+// Profiles are selected by name (-chaos-profile on tempo-server,
+// -profile(s) on bench experiments):
+//
+//	lan            no shaping (the loopback baseline)
+//	metro          5ms one-way mesh with 1ms jitter (a metro triangle)
+//	ring           the paper's EC2 regions (Table 2 RTTs)
+//	transatlantic  an asymmetric transatlantic pair plus a nearby site
+//	flap           metro links with one link flapping down every cycle
+//	slow-fsync     metro links with one site's WAL fsyncs stalled
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/ids"
+	"tempo/internal/topology"
+)
+
+// Profile is one named chaos shape: per-site-pair link policies plus
+// optional standing faults (a flapping link, a slow-fsync site).
+type Profile struct {
+	// Name selects the profile from flags.
+	Name string
+	// Description is a one-line operator summary.
+	Description string
+	// SiteLink returns the one-direction policy from site `from` to
+	// site `to`; nil means no link shaping. Implementations must be
+	// safe for concurrent use and treat same-site pairs as unshaped.
+	SiteLink func(from, to ids.SiteID) cluster.LinkPolicy
+	// Flap, when set, is a standing fault: one inter-site link
+	// periodically cut and healed (see StartFaults).
+	Flap *FlapSpec
+	// SlowFsyncSite, when non-negative, marks the site whose replicas
+	// run with FsyncDelay on every WAL fsync.
+	SlowFsyncSite int
+	// FsyncDelay is the per-fsync stall for SlowFsyncSite's replicas.
+	FsyncDelay time.Duration
+}
+
+// FlapSpec describes a flapping inter-site link: every Period the link
+// between sites A and B is cut for Down, then healed again.
+type FlapSpec struct {
+	// A and B are the sites joined by the flapping link.
+	A, B ids.SiteID
+	// Period is the full flap cycle length.
+	Period time.Duration
+	// Down is how long the link stays cut within each period.
+	Down time.Duration
+}
+
+// none marks profiles without a slow-fsync site.
+const none = -1
+
+// metroLink is the 5ms one-way mesh shared by metro/flap/slow-fsync.
+func metroLink(from, to ids.SiteID) cluster.LinkPolicy {
+	if from == to {
+		return cluster.LinkPolicy{}
+	}
+	return cluster.LinkPolicy{Delay: 5 * time.Millisecond, Jitter: time.Millisecond}
+}
+
+// ringLink maps the paper's EC2 RTT matrix (Table 2) onto site pairs:
+// one-way delay is half the measured RTT, with 2ms jitter. Sites beyond
+// the five measured regions wrap around the matrix.
+func ringLink(from, to ids.SiteID) cluster.LinkPolicy {
+	if from == to {
+		return cluster.LinkPolicy{}
+	}
+	m := topology.EC2RTT()
+	a, b := int(from)%len(m), int(to)%len(m)
+	if a == b {
+		return cluster.LinkPolicy{}
+	}
+	return cluster.LinkPolicy{Delay: m[a][b] / 2, Jitter: 2 * time.Millisecond}
+}
+
+// transatlanticLink is an asymmetric pair: sites 0 and 1 sit on
+// opposite sides of the Atlantic with asymmetric routes (40ms east,
+// 55ms west, 0.1% loss), site 2 (and beyond) is near site 0.
+func transatlanticLink(from, to ids.SiteID) cluster.LinkPolicy {
+	if from == to {
+		return cluster.LinkPolicy{}
+	}
+	pol := func(d time.Duration, loss float64) cluster.LinkPolicy {
+		return cluster.LinkPolicy{Delay: d, Jitter: 2 * time.Millisecond, Loss: loss}
+	}
+	across := func(s ids.SiteID) bool { return s == 1 } // site 1 is alone across the ocean
+	switch {
+	case across(from) == across(to):
+		return pol(8*time.Millisecond, 0)
+	case across(to):
+		return pol(40*time.Millisecond, 0.001)
+	default:
+		return pol(55*time.Millisecond, 0.001)
+	}
+}
+
+// profiles is the registry, in presentation order.
+var profiles = []Profile{
+	{
+		Name:          "lan",
+		Description:   "no shaping: the loopback baseline",
+		SlowFsyncSite: none,
+	},
+	{
+		Name:          "metro",
+		Description:   "5ms one-way mesh with 1ms jitter (metro triangle)",
+		SiteLink:      metroLink,
+		SlowFsyncSite: none,
+	},
+	{
+		Name:          "ring",
+		Description:   "the paper's EC2 regions (Table 2 RTTs, 2ms jitter)",
+		SiteLink:      ringLink,
+		SlowFsyncSite: none,
+	},
+	{
+		Name:          "transatlantic",
+		Description:   "asymmetric transatlantic pair (40/55ms, 0.1% loss) plus a nearby site",
+		SiteLink:      transatlanticLink,
+		SlowFsyncSite: none,
+	},
+	{
+		Name:          "flap",
+		Description:   "metro mesh with the 0-1 link down 1s in every 5s",
+		SiteLink:      metroLink,
+		Flap:          &FlapSpec{A: 0, B: 1, Period: 5 * time.Second, Down: time.Second},
+		SlowFsyncSite: none,
+	},
+	{
+		Name:          "slow-fsync",
+		Description:   "metro mesh with site 2's WAL fsyncs stalled 5ms each",
+		SiteLink:      metroLink,
+		SlowFsyncSite: 2,
+		FsyncDelay:    5 * time.Millisecond,
+	},
+}
+
+// Names lists the profile names in presentation order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Lookup resolves a profile by name.
+func Lookup(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return Profile{}, fmt.Errorf("chaos: unknown profile %q (have %v)", name, names)
+}
+
+// PolicyFor maps the profile's site-pair policies onto a topology's
+// processes, for cluster.NewShaper.
+func (p Profile) PolicyFor(topo *topology.Topology) cluster.PolicyFunc {
+	if p.SiteLink == nil {
+		return nil
+	}
+	siteOf := make(map[ids.ProcessID]ids.SiteID)
+	for _, pi := range topo.Processes() {
+		siteOf[pi.ID] = pi.Site
+	}
+	link := p.SiteLink
+	return func(from, to ids.ProcessID) cluster.LinkPolicy {
+		return link(siteOf[from], siteOf[to])
+	}
+}
+
+// NewShaper builds a shaper enforcing the profile over topo. Even
+// delay-free profiles get a shaper, so runtime partition control
+// (cut/heal endpoints, benches) always has a hook.
+func NewShaper(topo *topology.Topology, p Profile) *cluster.Shaper {
+	return cluster.NewShaper(p.PolicyFor(topo))
+}
+
+// FsyncDelayFor returns the WAL fsync stall for one site under the
+// profile (zero for all sites of profiles without a slow-fsync fault).
+func (p Profile) FsyncDelayFor(site ids.SiteID) time.Duration {
+	if p.SlowFsyncSite >= 0 && site == ids.SiteID(p.SlowFsyncSite) {
+		return p.FsyncDelay
+	}
+	return 0
+}
+
+// StartFaults starts the profile's standing faults (today: the flapping
+// link) against sh and returns a stop function that heals and waits for
+// the fault goroutines. The returned stop is never nil and is safe to
+// call for profiles without standing faults.
+func (p Profile) StartFaults(sh *cluster.Shaper, topo *topology.Topology) (stop func()) {
+	if p.Flap == nil {
+		return func() {}
+	}
+	return startFlap(sh, topo, *p.Flap)
+}
+
+// sitePairs lists the directed process pairs joining two sites.
+func sitePairs(topo *topology.Topology, a, b ids.SiteID) [][2]ids.ProcessID {
+	var as, bs []ids.ProcessID
+	for _, pi := range topo.Processes() {
+		switch pi.Site {
+		case a:
+			as = append(as, pi.ID)
+		case b:
+			bs = append(bs, pi.ID)
+		}
+	}
+	var out [][2]ids.ProcessID
+	for _, x := range as {
+		for _, y := range bs {
+			out = append(out, [2]ids.ProcessID{x, y})
+		}
+	}
+	return out
+}
+
+// CutSiteLink severs every link between the processes of sites a and b.
+func CutSiteLink(sh *cluster.Shaper, topo *topology.Topology, a, b ids.SiteID) {
+	for _, pr := range sitePairs(topo, a, b) {
+		sh.Cut(pr[0], pr[1])
+	}
+}
+
+// HealSiteLink heals every link between the processes of sites a and b.
+func HealSiteLink(sh *cluster.Shaper, topo *topology.Topology, a, b ids.SiteID) {
+	for _, pr := range sitePairs(topo, a, b) {
+		sh.Heal(pr[0], pr[1])
+	}
+}
+
+// IsolateSite cuts site s off from every other site (intra-site links
+// between co-hosted shards keep working, like a datacenter losing its
+// WAN uplink).
+func IsolateSite(sh *cluster.Shaper, topo *topology.Topology, s ids.SiteID) {
+	for _, site := range topo.Sites() {
+		if site.ID != s {
+			CutSiteLink(sh, topo, s, site.ID)
+		}
+	}
+}
+
+// HealSite undoes IsolateSite(s) (and any other cuts touching s's
+// links to other sites).
+func HealSite(sh *cluster.Shaper, topo *topology.Topology, s ids.SiteID) {
+	for _, site := range topo.Sites() {
+		if site.ID != s {
+			HealSiteLink(sh, topo, s, site.ID)
+		}
+	}
+}
+
+// startFlap runs one flapping link until stop is called.
+func startFlap(sh *cluster.Shaper, topo *topology.Topology, spec FlapSpec) func() {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTimer(spec.Period - spec.Down)
+		defer t.Stop()
+		down := false
+		for {
+			select {
+			case <-done:
+				if down {
+					HealSiteLink(sh, topo, spec.A, spec.B)
+				}
+				return
+			case <-t.C:
+			}
+			if down {
+				HealSiteLink(sh, topo, spec.A, spec.B)
+				t.Reset(spec.Period - spec.Down)
+			} else {
+				CutSiteLink(sh, topo, spec.A, spec.B)
+				t.Reset(spec.Down)
+			}
+			down = !down
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+			<-exited
+		}
+	}
+}

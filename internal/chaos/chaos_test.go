@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tempo/internal/cluster"
+	"tempo/internal/ids"
+	"tempo/internal/topology"
+)
+
+func testTopo(t *testing.T, sites, shards int) *topology.Topology {
+	t.Helper()
+	names := make([]string, sites)
+	rtt := make([][]time.Duration, sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, sites)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: shards, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Lookup(name)
+		if err != nil || p.Name != name {
+			t.Fatalf("Lookup(%q) = %+v, %v", name, p, err)
+		}
+	}
+	if len(Names()) < 5 {
+		t.Fatalf("want at least 5 named profiles, have %v", Names())
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup of unknown profile succeeded")
+	}
+}
+
+func TestRingUsesPaperRTT(t *testing.T) {
+	p, err := Lookup("ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2: ireland <-> n-california ping is 141ms; one-way is half.
+	got := p.SiteLink(0, 1)
+	if want := 141 * time.Millisecond / 2; got.Delay != want {
+		t.Fatalf("ring 0->1 delay = %v, want %v (half the paper's RTT)", got.Delay, want)
+	}
+	if same := p.SiteLink(2, 2); same.Delay != 0 || same.Jitter != 0 {
+		t.Fatalf("ring same-site link shaped: %+v", same)
+	}
+}
+
+func TestTransatlanticAsymmetry(t *testing.T) {
+	p, err := Lookup("transatlantic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	east, west := p.SiteLink(0, 1), p.SiteLink(1, 0)
+	if east.Delay == west.Delay {
+		t.Fatalf("transatlantic link symmetric (%v both ways), want asymmetric routes", east.Delay)
+	}
+	if east.Loss == 0 || west.Loss == 0 {
+		t.Fatal("transatlantic link lossless, want nonzero loss")
+	}
+	if near := p.SiteLink(0, 2); near.Delay >= east.Delay {
+		t.Fatalf("near-site delay %v not below transatlantic %v", near.Delay, east.Delay)
+	}
+}
+
+func TestPolicyForMapsProcessesToSites(t *testing.T) {
+	topo := testTopo(t, 3, 2)
+	p, err := Lookup("metro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := p.PolicyFor(topo)
+	a := topo.ProcessAt(0, 0)
+	b := topo.ProcessAt(1, 0)
+	sib := topo.ProcessAt(0, 1)
+	if got := pol(a, b); got.Delay != 5*time.Millisecond {
+		t.Fatalf("cross-site policy = %+v, want 5ms delay", got)
+	}
+	if got := pol(a, sib); got.Delay != 0 || got.Jitter != 0 {
+		t.Fatalf("co-sited policy shaped: %+v", got)
+	}
+
+	if lan, _ := Lookup("lan"); lan.PolicyFor(topo) != nil {
+		t.Fatal("lan profile produced a shaping policy")
+	}
+}
+
+func TestFsyncDelayFor(t *testing.T) {
+	p, err := Lookup("slow-fsync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FsyncDelayFor(2) == 0 {
+		t.Fatal("slow-fsync profile has no delay on its slow site")
+	}
+	if p.FsyncDelayFor(0) != 0 || p.FsyncDelayFor(1) != 0 {
+		t.Fatal("slow-fsync profile delays healthy sites")
+	}
+	if metro, _ := Lookup("metro"); metro.FsyncDelayFor(2) != 0 {
+		t.Fatal("metro profile has a slow-fsync site")
+	}
+}
+
+func TestSitePartitionHelpers(t *testing.T) {
+	topo := testTopo(t, 3, 2)
+	sh := cluster.NewShaper(nil)
+	defer sh.Close()
+
+	IsolateSite(sh, topo, 2)
+	st := sh.State()
+	// Site 2 hosts 2 processes, the other sites 4: 2*4 pairs, both
+	// directions.
+	if len(st.Cuts) != 16 {
+		t.Fatalf("IsolateSite cut %d directed links, want 16", len(st.Cuts))
+	}
+	a0 := topo.ProcessAt(0, 0)
+	a1 := topo.ProcessAt(0, 1)
+	c0 := topo.ProcessAt(2, 0)
+	if !cutIn(st, c0, a0) || !cutIn(st, a0, c0) {
+		t.Fatal("site 2 process still linked to site 0")
+	}
+	if cutIn(st, a0, a1) {
+		t.Fatal("IsolateSite severed an intra-site link")
+	}
+	HealSite(sh, topo, 2)
+	if st := sh.State(); len(st.Cuts) != 0 {
+		t.Fatalf("HealSite left cuts: %+v", st.Cuts)
+	}
+}
+
+func cutIn(st cluster.ShaperState, from, to ids.ProcessID) bool {
+	for _, c := range st.Cuts {
+		if c[0] == from && c[1] == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFlapCutsAndHeals(t *testing.T) {
+	topo := testTopo(t, 3, 1)
+	sh := cluster.NewShaper(nil)
+	defer sh.Close()
+	p := Profile{
+		Name: "test-flap",
+		Flap: &FlapSpec{A: 0, B: 1, Period: 60 * time.Millisecond, Down: 25 * time.Millisecond},
+	}
+	stop := p.StartFaults(sh, topo)
+
+	sawCut, sawHeal := false, false
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && !(sawCut && sawHeal) {
+		if n := len(sh.State().Cuts); n > 0 {
+			sawCut = true
+			if sawCut && n != 2 {
+				t.Fatalf("flap cut %d directed links, want 2", n)
+			}
+		} else if sawCut {
+			sawHeal = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawCut || !sawHeal {
+		t.Fatalf("flapper never cycled: sawCut=%v sawHeal=%v", sawCut, sawHeal)
+	}
+	stop()
+	if st := sh.State(); len(st.Cuts) != 0 {
+		t.Fatalf("stop left the flapped link cut: %+v", st.Cuts)
+	}
+	stop() // idempotent
+
+	if lan, _ := Lookup("lan"); lan.StartFaults(sh, topo) == nil {
+		t.Fatal("StartFaults returned nil stop for a fault-free profile")
+	}
+}

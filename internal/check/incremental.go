@@ -1,0 +1,308 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"tempo/internal/ids"
+	"tempo/internal/promise"
+)
+
+// Incremental is the streaming verify mode behind long soaks (the
+// vulture): it checks, online and with bounded memory, that every
+// process of a shard executes the same commands in the same order at
+// the same final timestamps — Tempo's total-order guarantee, of which
+// the specification's Ordering property is a corollary — plus
+// per-incarnation Validity (no command executed twice by one process)
+// and per-process timestamp monotonicity.
+//
+// Memory stays bounded by pruning: each shard keeps only the suffix of
+// the agreed execution order above the *stable watermark* — the lowest
+// index some registered process has not yet confirmed. Everything below
+// has been cross-checked by every process and can never be contradicted
+// retroactively (each process's stream is consumed in order), so
+// pruning never masks a violation. Duplicate detection survives pruning
+// unconditionally: executed command ids are remembered as per-source
+// interval sets (promise.IntervalSet), whose size tracks fragmentation,
+// not history length.
+//
+// Register every replica of every shard with AddProcess before feeding
+// (the watermark waits for registered processes, so a slow or
+// not-yet-started replica holds history instead of losing it). Feed
+// executions from each process in its execution order — e.g. from
+// cluster.Node.SetExecObserver — via Executed; they may interleave
+// arbitrarily across processes. After a crash-restart, call
+// ResetProcess: the new incarnation resumes wherever its recovery
+// (snapshot + WAL + peer catch-up) left it, and the checker re-anchors
+// its stream at the first execution it reports.
+//
+// The first violation sticks and is returned by Err; later input is
+// ignored (a live cluster keeps executing — one sticky report beats an
+// avalanche).
+type Incremental struct {
+	mu     sync.Mutex
+	shards map[ids.ShardID]*shardStream
+	err    error
+	seen   uint64
+	pruned uint64
+}
+
+// refEntry is one slot of a shard's agreed execution order.
+type refEntry struct {
+	id ids.Dot
+	ts uint64
+}
+
+// shardStream is one shard's reference order suffix plus its process
+// cursors.
+type shardStream struct {
+	base  uint64 // global index of ref[0]
+	ref   []refEntry
+	procs map[ids.ProcessID]*procStream
+	// prunedIDs records, per command source, every command id whose
+	// reference entry was pruned — interval-compressed, so its size
+	// tracks sequence fragmentation, not history length. Resync uses
+	// it to tell a replayed old command (verified before a crash) from
+	// a genuinely new one.
+	prunedIDs map[ids.ProcessID]*promise.IntervalSet
+}
+
+// procStream is one process's cursor into a shard's reference order.
+type procStream struct {
+	next     uint64 // global index of the next expected execution
+	resync   bool   // re-anchor at the next execution (crash-restart)
+	started  bool
+	lastTS   uint64
+	lastID   ids.Dot
+	executed map[ids.ProcessID]*promise.IntervalSet // per Dot.Source, this incarnation
+}
+
+// pruneBatch amortizes the reference-suffix copy: prune only once this
+// many entries are below the stable watermark.
+const pruneBatch = 1024
+
+// NewIncremental creates an empty incremental checker.
+func NewIncremental() *Incremental {
+	return &Incremental{shards: make(map[ids.ShardID]*shardStream)}
+}
+
+// AddProcess registers one replica of a shard. Call for every replica
+// before feeding executions: the shard's stable watermark — and with it
+// pruning — waits for every registered process.
+func (c *Incremental) AddProcess(shard ids.ShardID, p ids.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ss := c.shard(shard)
+	if _, ok := ss.procs[p]; !ok {
+		ss.procs[p] = newProcStream(ss.base)
+	}
+}
+
+// ResetProcess starts a new incarnation of a registered process after a
+// crash-restart: its duplicate-detection sets reset (recovery may
+// legitimately re-apply a lost unsynced tail) and its stream re-anchors
+// at the first execution the new incarnation reports — skipping the
+// entries it recovered via snapshot/peer catch-up, which never pass the
+// execution observer.
+func (c *Incremental) ResetProcess(shard ids.ShardID, p ids.ProcessID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ss := c.shard(shard)
+	ps, ok := ss.procs[p]
+	if !ok {
+		ps = newProcStream(ss.base)
+		ss.procs[p] = ps
+		return
+	}
+	ps.resync = true
+	ps.started = false
+	ps.executed = make(map[ids.ProcessID]*promise.IntervalSet)
+}
+
+// Executed feeds one execution: process p applied command id at final
+// timestamp ts on shard. Calls for one process must arrive in that
+// process's execution order; processes may interleave freely.
+func (c *Incremental) Executed(p ids.ProcessID, shard ids.ShardID, id ids.Dot, ts uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.seen++
+	ss := c.shard(shard)
+	ps, ok := ss.procs[p]
+	if !ok {
+		// Late registration: best effort — anchor at the current
+		// watermark and re-sync like a restarted process. Register
+		// upfront with AddProcess to verify the full stream.
+		ps = newProcStream(ss.base)
+		ps.resync = true
+		ss.procs[p] = ps
+	}
+
+	// Validity (per incarnation): never execute the same command twice.
+	set := ps.executed[id.Source]
+	if set == nil {
+		set = &promise.IntervalSet{}
+		ps.executed[id.Source] = set
+	}
+	if set.Contains(id.Seq) {
+		c.err = fmt.Errorf("check: validity: process %d executed %v twice on shard %d", p, id, shard)
+		return
+	}
+	set.Add(id.Seq)
+
+	// Per-process timestamp monotonicity: the executor applies in
+	// (ts, id) order, strictly increasing.
+	if ps.started && !tsIDAfter(ts, id, ps.lastTS, ps.lastID) {
+		c.err = fmt.Errorf("check: ordering: process %d executed %v at ts %d after (%v, ts %d) on shard %d",
+			p, id, ts, ps.lastID, ps.lastTS, shard)
+		return
+	}
+	ps.lastTS, ps.lastID, ps.started = ts, id, true
+
+	if ps.resync {
+		// Re-anchor the new incarnation. Three cases:
+		//   - id is in the retained suffix: resume there (possibly
+		//     *below* the old cursor — a crash can lose the WAL's
+		//     unsynced tail, which the new incarnation re-executes);
+		//   - id was pruned: a replayed command below the watermark,
+		//     verified before the crash; its position is gone, skip it
+		//     and keep looking for the anchor;
+		//   - otherwise it is new: the incarnation is at the frontier.
+		if idx, ok := ss.find(id, ss.base); ok {
+			ps.next = idx
+			ps.resync = false
+		} else if pr := ss.prunedIDs[id.Source]; pr != nil && pr.Contains(id.Seq) {
+			return
+		} else {
+			ps.next = ss.base + uint64(len(ss.ref))
+			ps.resync = false
+		}
+	}
+
+	// Total order: compare against the agreed reference order, or
+	// extend it when this process is the first to execute index next.
+	idx := ps.next
+	frontier := ss.base + uint64(len(ss.ref))
+	switch {
+	case idx > frontier:
+		c.err = fmt.Errorf("check: internal: process %d cursor %d beyond frontier %d on shard %d", p, idx, frontier, shard)
+		return
+	case idx == frontier:
+		ss.ref = append(ss.ref, refEntry{id: id, ts: ts})
+	default:
+		want := ss.ref[idx-ss.base]
+		if want.id != id {
+			c.err = fmt.Errorf("check: ordering: process %d executed %v at position %d of shard %d, but the agreed order has %v",
+				p, id, idx, shard, want.id)
+			return
+		}
+		if want.ts != ts {
+			c.err = fmt.Errorf("check: ordering: process %d executed %v at ts %d on shard %d, but it stabilized at ts %d elsewhere",
+				p, id, ts, shard, want.ts)
+			return
+		}
+	}
+	ps.next = idx + 1
+	c.pruneLocked(ss)
+}
+
+// Err returns the first violation observed, or nil.
+func (c *Incremental) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// IncrementalStats snapshots the checker's memory accounting.
+type IncrementalStats struct {
+	// Seen counts executions fed in.
+	Seen uint64 `json:"seen"`
+	// Pruned counts reference entries discarded below the stable
+	// watermark.
+	Pruned uint64 `json:"pruned"`
+	// Retained counts reference entries currently held across shards.
+	Retained uint64 `json:"retained"`
+	// Shards counts shard streams.
+	Shards int `json:"shards"`
+}
+
+// Stats snapshots the checker.
+func (c *Incremental) Stats() IncrementalStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := IncrementalStats{Seen: c.seen, Pruned: c.pruned, Shards: len(c.shards)}
+	for _, ss := range c.shards {
+		st.Retained += uint64(len(ss.ref))
+	}
+	return st
+}
+
+func (c *Incremental) shard(s ids.ShardID) *shardStream {
+	ss, ok := c.shards[s]
+	if !ok {
+		ss = &shardStream{
+			procs:     make(map[ids.ProcessID]*procStream),
+			prunedIDs: make(map[ids.ProcessID]*promise.IntervalSet),
+		}
+		c.shards[s] = ss
+	}
+	return ss
+}
+
+// pruneLocked drops the reference prefix every registered process has
+// confirmed, in batches.
+func (c *Incremental) pruneLocked(ss *shardStream) {
+	min := ss.base + uint64(len(ss.ref))
+	for _, ps := range ss.procs {
+		if ps.next < min {
+			min = ps.next
+		}
+	}
+	if min-ss.base < pruneBatch {
+		return
+	}
+	drop := min - ss.base
+	for _, e := range ss.ref[:drop] {
+		set := ss.prunedIDs[e.id.Source]
+		if set == nil {
+			set = &promise.IntervalSet{}
+			ss.prunedIDs[e.id.Source] = set
+		}
+		set.Add(e.id.Seq)
+	}
+	ss.ref = append([]refEntry(nil), ss.ref[drop:]...)
+	ss.base = min
+	c.pruned += drop
+}
+
+// find locates id in the retained suffix at an index >= from.
+func (ss *shardStream) find(id ids.Dot, from uint64) (uint64, bool) {
+	start := from
+	if start < ss.base {
+		start = ss.base
+	}
+	for i := start - ss.base; i < uint64(len(ss.ref)); i++ {
+		if ss.ref[i].id == id {
+			return ss.base + i, true
+		}
+	}
+	return 0, false
+}
+
+func newProcStream(base uint64) *procStream {
+	return &procStream{next: base, executed: make(map[ids.ProcessID]*promise.IntervalSet)}
+}
+
+// tsIDAfter reports whether (ts, id) strictly follows (lastTS, lastID)
+// in the executor's (timestamp, command-id) order.
+func tsIDAfter(ts uint64, id ids.Dot, lastTS uint64, lastID ids.Dot) bool {
+	if ts != lastTS {
+		return ts > lastTS
+	}
+	if id.Source != lastID.Source {
+		return id.Source > lastID.Source
+	}
+	return id.Seq > lastID.Seq
+}

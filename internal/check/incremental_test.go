@@ -1,0 +1,225 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"tempo/internal/ids"
+)
+
+// feed synthesizes a shard-0 execution stream: entry i is the command
+// (source 1, seq i+1) at ts i+1.
+func entryAt(i uint64) (ids.Dot, uint64) {
+	return ids.Dot{Source: 1, Seq: i + 1}, i + 1
+}
+
+func newShardChecker(procs ...ids.ProcessID) *Incremental {
+	c := NewIncremental()
+	for _, p := range procs {
+		c.AddProcess(0, p)
+	}
+	return c
+}
+
+func TestIncrementalAgreementPrunes(t *testing.T) {
+	const n = 10_000
+	c := newShardChecker(1, 2, 3)
+	for i := uint64(0); i < n; i++ {
+		id, ts := entryAt(i)
+		for _, p := range []ids.ProcessID{1, 2, 3} {
+			c.Executed(p, 0, id, ts)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("agreeing streams flagged: %v", err)
+	}
+	st := c.Stats()
+	if st.Seen != 3*n {
+		t.Fatalf("Seen = %d, want %d", st.Seen, 3*n)
+	}
+	if st.Pruned == 0 {
+		t.Fatal("long agreeing run pruned nothing: memory would grow unbounded")
+	}
+	if st.Retained > 2*pruneBatch {
+		t.Fatalf("Retained = %d entries after full agreement, want <= %d", st.Retained, 2*pruneBatch)
+	}
+}
+
+func TestIncrementalLaggardHoldsWatermark(t *testing.T) {
+	// Process 3 never reports: the watermark must wait for it, not
+	// prune past it (pruning early could mask its future divergence).
+	const n = 5_000
+	c := newShardChecker(1, 2, 3)
+	for i := uint64(0); i < n; i++ {
+		id, ts := entryAt(i)
+		c.Executed(1, 0, id, ts)
+		c.Executed(2, 0, id, ts)
+	}
+	if st := c.Stats(); st.Pruned != 0 || st.Retained != n {
+		t.Fatalf("pruned %d/retained %d with a registered process at index 0", st.Pruned, st.Retained)
+	}
+	// The laggard wakes up and disagrees at index 0.
+	c.Executed(3, 0, ids.Dot{Source: 9, Seq: 9}, 1)
+	if err := c.Err(); err == nil {
+		t.Fatal("laggard divergence at index 0 not flagged")
+	}
+}
+
+func TestIncrementalDivergenceAfterPruning(t *testing.T) {
+	// Both processes agree long enough for heavy pruning, then process
+	// 2 executes the next two commands in swapped order. Pruning must
+	// not mask the divergence.
+	const n = 8_000
+	c := newShardChecker(1, 2)
+	for i := uint64(0); i < n; i++ {
+		id, ts := entryAt(i)
+		c.Executed(1, 0, id, ts)
+		c.Executed(2, 0, id, ts)
+	}
+	if st := c.Stats(); st.Pruned == 0 {
+		t.Fatal("setup: no pruning happened; test would not cover the pruned path")
+	}
+	x, xts := entryAt(n)
+	y, yts := entryAt(n + 1)
+	c.Executed(1, 0, x, xts)
+	c.Executed(1, 0, y, yts)
+	c.Executed(2, 0, y, yts) // swapped: diverges from the agreed order
+	err := c.Err()
+	if err == nil {
+		t.Fatal("post-prune divergence not flagged")
+	}
+	if !strings.Contains(err.Error(), "agreed order") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestIncrementalDuplicateAcrossPruneBoundary(t *testing.T) {
+	// Process 1 re-executes a command whose reference entry was pruned
+	// thousands of entries ago: the interval sets must still remember.
+	const n = 8_000
+	c := newShardChecker(1, 2)
+	for i := uint64(0); i < n; i++ {
+		id, ts := entryAt(i)
+		c.Executed(1, 0, id, ts)
+		c.Executed(2, 0, id, ts)
+	}
+	if st := c.Stats(); st.Pruned == 0 {
+		t.Fatal("setup: no pruning happened")
+	}
+	dup, _ := entryAt(3) // long since pruned
+	c.Executed(1, 0, dup, n+100)
+	err := c.Err()
+	if err == nil {
+		t.Fatal("duplicate execution across the prune boundary not flagged")
+	}
+	if !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+}
+
+func TestIncrementalTimestampMismatch(t *testing.T) {
+	c := newShardChecker(1, 2)
+	id, _ := entryAt(0)
+	c.Executed(1, 0, id, 5)
+	c.Executed(2, 0, id, 7) // same command, different final timestamp
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "stabilized") {
+		t.Fatalf("timestamp disagreement not flagged: %v", c.Err())
+	}
+}
+
+func TestIncrementalTimestampRegression(t *testing.T) {
+	c := newShardChecker(1)
+	c.Executed(1, 0, ids.Dot{Source: 1, Seq: 1}, 10)
+	c.Executed(1, 0, ids.Dot{Source: 1, Seq: 2}, 9)
+	if err := c.Err(); err == nil {
+		t.Fatal("timestamp regression not flagged")
+	}
+}
+
+func TestIncrementalRestartResync(t *testing.T) {
+	const crashAt, catchUpTo, end = 100, 150, 220
+	c := newShardChecker(1, 2)
+	// Both execute to crashAt; process 2 crashes, process 1 runs on.
+	for i := uint64(0); i < crashAt; i++ {
+		id, ts := entryAt(i)
+		c.Executed(1, 0, id, ts)
+		c.Executed(2, 0, id, ts)
+	}
+	for i := uint64(crashAt); i < catchUpTo; i++ {
+		id, ts := entryAt(i)
+		c.Executed(1, 0, id, ts)
+	}
+	// Process 2 restarts, recovers [crashAt, catchUpTo) via peer
+	// catch-up (never observed), and resumes executing at catchUpTo.
+	c.ResetProcess(0, 2)
+	for i := uint64(catchUpTo); i < end; i++ {
+		id, ts := entryAt(i)
+		c.Executed(1, 0, id, ts)
+		c.Executed(2, 0, id, ts)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean restart flagged: %v", err)
+	}
+
+	// A second restart followed by divergence must still be caught.
+	c.ResetProcess(0, 2)
+	id, ts := entryAt(end)
+	c.Executed(1, 0, id, ts)
+	c.Executed(1, 0, ids.Dot{Source: 1, Seq: end + 2}, ts+1)
+	c.Executed(2, 0, id, ts)                             // re-anchors at `end`
+	c.Executed(2, 0, ids.Dot{Source: 7, Seq: 777}, ts+1) // diverges next
+	if err := c.Err(); err == nil {
+		t.Fatal("post-restart divergence not flagged")
+	}
+}
+
+func TestIncrementalRestartReplayBelowWatermark(t *testing.T) {
+	// The replayed tail can even reach below the prune watermark; the
+	// pruned-id record classifies those as old (skip), not new
+	// (which would falsely extend the frontier).
+	const n = 2_000
+	c := newShardChecker(1, 2)
+	for i := uint64(0); i < n; i++ {
+		id, ts := entryAt(i)
+		c.Executed(1, 0, id, ts)
+		c.Executed(2, 0, id, ts)
+	}
+	if st := c.Stats(); st.Pruned == 0 {
+		t.Fatal("setup: no pruning happened")
+	}
+	c.ResetProcess(0, 2)
+	for i := uint64(1020); i < n; i++ { // 1020..1023 are pruned
+		id, ts := entryAt(i)
+		c.Executed(2, 0, id, ts)
+	}
+	id, ts := entryAt(n)
+	c.Executed(1, 0, id, ts)
+	c.Executed(2, 0, id, ts)
+	if err := c.Err(); err != nil {
+		t.Fatalf("below-watermark replay flagged: %v", err)
+	}
+}
+
+func TestIncrementalRestartMayReapplyTail(t *testing.T) {
+	// A crash can lose the WAL's unsynced tail: the new incarnation
+	// legitimately re-executes those commands. ResetProcess must not
+	// flag them as duplicates.
+	c := newShardChecker(1, 2)
+	for i := uint64(0); i < 10; i++ {
+		id, ts := entryAt(i)
+		c.Executed(1, 0, id, ts)
+		c.Executed(2, 0, id, ts)
+	}
+	c.ResetProcess(0, 2)
+	// Process 2 lost entries 8..9 and re-executes them.
+	for i := uint64(8); i < 12; i++ {
+		id, ts := entryAt(i)
+		if i >= 10 {
+			c.Executed(1, 0, id, ts)
+		}
+		c.Executed(2, 0, id, ts)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("re-applied unsynced tail flagged: %v", err)
+	}
+}

@@ -134,6 +134,11 @@ type Node struct {
 	// messages instead of the node's own per-peer links; see SetTransport.
 	transport Transport
 
+	// shaper, when set, interposes WAN emulation (delay/jitter/loss/
+	// bandwidth) and runtime partitions on outgoing protocol messages
+	// before they reach the transport or peer queues; see SetShaper.
+	shaper *Shaper
+
 	// syncPeers restricts the durable state-catch-up round to the
 	// replicas of this node's own shard (nil: every address, the
 	// single-shard default).
@@ -276,6 +281,13 @@ type Transport interface {
 // SetTransport routes the node's outgoing protocol messages through t
 // instead of per-peer links owned by the node. Call before Start.
 func (n *Node) SetTransport(t Transport) { n.transport = t }
+
+// SetShaper interposes sh on the node's outgoing protocol messages:
+// WAN emulation and runtime-controllable partitions for fault
+// injection. Call before Start. Group-hosted nodes should install the
+// shaper on the Group instead (one shaping layer per link, not two);
+// the node does not own sh and never closes it.
+func (n *Node) SetShaper(sh *Shaper) { n.shaper = sh }
 
 // SetExecObserver registers fn to be called by the executor for every
 // command just before it is applied — an instrumentation hook for tests
@@ -1033,13 +1045,25 @@ func (n *Node) execLoop() {
 	}
 }
 
-// sendLocked enqueues an envelope for a peer; a writer goroutine per
-// peer performs the dialing and encoding. A full queue drops the message
-// — the protocol's liveness machinery retries. Group-hosted nodes hand
-// the message to the shared transport instead.
+// sendLocked routes one outgoing envelope: through the shaper when one
+// is installed (which may delay, drop, or partition it), else straight
+// to the transport/peer queues via forward.
 func (n *Node) sendLocked(to ids.ProcessID, msg proto.Message) {
+	if n.shaper != nil {
+		n.shaper.Send(n.id, to, msg, n.forward)
+		return
+	}
+	n.forward(n.id, to, msg)
+}
+
+// forward enqueues an envelope for a peer; a writer goroutine per peer
+// performs the dialing and encoding. A full queue drops the message —
+// the protocol's liveness machinery retries. Group-hosted nodes hand
+// the message to the shared transport instead. Safe off the protocol
+// lock (shaper link goroutines call it after the delay elapses).
+func (n *Node) forward(from, to ids.ProcessID, msg proto.Message) {
 	if n.transport != nil {
-		n.transport.Send(n.id, to, msg)
+		n.transport.Send(from, to, msg)
 		return
 	}
 	n.outMu.Lock()

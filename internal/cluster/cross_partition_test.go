@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// startShardedNodesShaped boots a sites x shards cluster like
+// startShardedNodes, but routes every node's outgoing links through one
+// shared delay-free Shaper (runtime partition control) and runs a short
+// recovery timeout so replicas healed from a partition catch up via
+// resend/recovery within test time.
+func startShardedNodesShaped(t *testing.T, sites, shards int) (map[ids.ProcessID]*Node, map[ids.ProcessID]string, *topology.Topology, *Shaper) {
+	t.Helper()
+	names := make([]string, sites)
+	rtt := make([][]time.Duration, sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, sites)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: shards, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShaper(nil)
+	t.Cleanup(sh.Close) // registered first: runs after every node closed
+	addrs := make(map[ids.ProcessID]string)
+	lns := make(map[ids.ProcessID]net.Listener)
+	for _, pi := range topo.Processes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[pi.ID] = ln
+		addrs[pi.ID] = ln.Addr().String()
+	}
+	nodes := make(map[ids.ProcessID]*Node)
+	for _, pi := range topo.Processes() {
+		rep := tempo.New(pi.ID, topo, tempo.Config{
+			PromiseInterval: 2 * time.Millisecond,
+			RecoveryTimeout: 150 * time.Millisecond,
+		})
+		n := NewNode(pi.ID, rep, addrs)
+		n.SetShaper(sh)
+		if err := n.StartListener(lns[pi.ID]); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		nodes[pi.ID] = n
+	}
+	return nodes, addrs, topo, sh
+}
+
+// setSitePartition severs (or restores) every link between site s and
+// the other sites, both directions; intra-site links stay up.
+func setSitePartition(sh *Shaper, topo *topology.Topology, s ids.SiteID, cut bool) {
+	for _, a := range topo.Processes() {
+		if a.Site != s {
+			continue
+		}
+		for _, b := range topo.Processes() {
+			if b.Site == s {
+				continue
+			}
+			if cut {
+				sh.Cut(a.ID, b.ID)
+			} else {
+				sh.Heal(a.ID, b.ID)
+			}
+		}
+	}
+}
+
+// TestCrossShardWatchPartitionTimeoutThenParked pins the failure
+// semantics of the version-2 cross-shard path under a site partition:
+// the command commits on the surviving quorums, a watch at the
+// partitioned site's replica fails with the typed timeout (never
+// hangs), and after the heal the same id resolves there from the
+// parked-results buffer.
+func TestCrossShardWatchPartitionTimeoutThenParked(t *testing.T) {
+	nodes, addrs, topo, sh := startShardedNodesShaped(t, 3, 2)
+	gatewayPid := topo.ProcessAt(0, 0) // shard 0 at site 0
+	targetPid := topo.ProcessAt(1, 1)  // shard 1 at the partitioned site
+
+	k0 := shardedKey(t, topo, 0, "part0")
+	k1 := shardedKey(t, topo, 1, "part1")
+	id := nodes[gatewayPid].mintBlock(1)
+
+	setSitePartition(sh, topo, 1, true)
+
+	// The gateway submission still completes: with f=1, the quorums of
+	// both shards survive losing one site.
+	connG, brG := dialV2(t, addrs[gatewayPid])
+	var scratch []byte
+	frame := AppendSubmitAtRequest(nil, &scratch, 1, 10*time.Second, 0, id, []command.Op{
+		{Kind: command.Put, Key: k0, Value: []byte("v0")},
+		{Kind: command.Put, Key: k1, Value: []byte("v1")},
+		{Kind: command.Get, Key: k1},
+	})
+	if _, err := connG.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, werr, vals := readReply(t, brG); werr.Code != command.ErrCodeNone || len(vals) != 1 {
+		t.Fatalf("gateway submission under partition: code %d vals %d, want success with shard 0's segment", werr.Code, len(vals))
+	}
+
+	// The partitioned replica still accepts clients (the partition cuts
+	// inter-replica links, not its listener), but it cannot execute; a
+	// watch there must come back as a typed timeout, not hang.
+	connW, brW := dialV2(t, addrs[targetPid])
+	start := time.Now()
+	frame = AppendWatchRequest(nil, &scratch, 2, 500*time.Millisecond, 1, id)
+	if _, err := connW.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, werr, _ := readReply(t, brW); werr.Code != command.ErrCodeTimeout {
+		t.Fatalf("watch at partitioned replica: code %d, want ErrCodeTimeout", werr.Code)
+	}
+	// Deadlines are enforced at tick granularity; anything near the
+	// 500ms deadline (and far from the 10s hang ceiling) is on time.
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("typed timeout took %v, the watch effectively hung", waited)
+	}
+
+	// Heal. The replica catches up (resend/recovery), executes the
+	// command with no watcher registered — the timed-out one is gone —
+	// and parks the result.
+	setSitePartition(sh, topo, 1, false)
+	target := nodes[targetPid]
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		target.waitMu.Lock()
+		_, parked := target.parked[id]
+		target.waitMu.Unlock()
+		if parked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healed replica never executed and parked the cross-shard result")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A fresh watch for the same id on the same connection resolves
+	// immediately from the parked buffer with shard 1's segment.
+	frame = AppendWatchRequest(nil, &scratch, 3, 10*time.Second, 1, id)
+	if _, err := connW.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	_, werr, vals := readReply(t, brW)
+	if werr.Code != command.ErrCodeNone {
+		t.Fatalf("watch after heal: code %d (%s)", werr.Code, werr.Msg)
+	}
+	if len(vals) != 2 || vals[0] != nil || string(vals[1]) != "v1" {
+		t.Fatalf("watch after heal values = %q, want [nil, v1]", vals)
+	}
+}

@@ -60,6 +60,10 @@ type DurableConfig struct {
 	SnapshotEvery int
 	// NoPeerSync skips the startup state-catch-up round (tests only).
 	NoPeerSync bool
+	// FsyncDelay is the wal.Options.FsyncDelay fault-injection hook:
+	// every WAL fsync of this node sleeps this long first (the chaos
+	// profiles' "slow-fsync site").
+	FsyncDelay time.Duration
 }
 
 // Reservation chunking: RecMark records reserve [current, current+chunk)
@@ -136,7 +140,7 @@ func (n *Node) SetDurable(cfg DurableConfig) error {
 // from StartListener before any goroutine serves.
 func (n *Node) recoverDurable() error {
 	d := n.dur
-	l, err := wal.Open(d.cfg.Dir, wal.Options{SyncInterval: d.cfg.SyncInterval})
+	l, err := wal.Open(d.cfg.Dir, wal.Options{SyncInterval: d.cfg.SyncInterval, FsyncDelay: d.cfg.FsyncDelay})
 	if err != nil {
 		return err
 	}

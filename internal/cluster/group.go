@@ -69,6 +69,10 @@ type Group struct {
 	ccMu      sync.Mutex
 	conns     map[*clientConn]struct{}
 	peerConns map[net.Conn]struct{}
+
+	// shaper, when set, interposes WAN emulation and runtime partitions
+	// on every outgoing inter-process message; see SetShaper.
+	shaper *Shaper
 }
 
 // NewGroup creates a group for the given global address and shard maps
@@ -156,10 +160,29 @@ func (g *Group) Close() {
 	})
 }
 
-// Send implements Transport: co-hosted destinations take the in-process
-// queue, remote ones the shared per-address link. Never blocks; full
-// queues drop (the protocol's liveness machinery retries).
+// SetShaper interposes sh on the group's outgoing messages — both the
+// inter-site links and the in-process queues between co-hosted shards,
+// so a site-level partition severs a process from *every* peer, not
+// just remote ones. Call before StartListener. The group does not own
+// sh and never closes it.
+func (g *Group) SetShaper(sh *Shaper) { g.shaper = sh }
+
+// Send implements Transport: messages pass the shaper when one is
+// installed (which may delay, drop, or partition them), then forward to
+// the in-process queue or the shared per-address link.
 func (g *Group) Send(from, to ids.ProcessID, msg proto.Message) {
+	if g.shaper != nil {
+		g.shaper.Send(from, to, msg, g.forward)
+		return
+	}
+	g.forward(from, to, msg)
+}
+
+// forward implements the unshaped send path: co-hosted destinations
+// take the in-process queue, remote ones the shared per-address link.
+// Never blocks; full queues drop (the protocol's liveness machinery
+// retries). Safe from shaper link goroutines.
+func (g *Group) forward(from, to ids.ProcessID, msg proto.Message) {
 	if q, ok := g.localQ[to]; ok {
 		select {
 		case q <- groupMsg{from, to, msg}:

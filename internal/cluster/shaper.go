@@ -1,0 +1,347 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+)
+
+// LinkPolicy shapes one direction of a link between two processes: a
+// fixed propagation delay plus uniform jitter, an independent loss
+// probability, and a serialization bandwidth. The zero value is an
+// unshaped link (immediate in-process delivery).
+type LinkPolicy struct {
+	// Delay is the one-way propagation delay added to every message.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss drops each message independently with this probability.
+	Loss float64
+	// Bandwidth, when positive, is the link's serialization rate in
+	// bytes per second: messages queue behind each other's transmission
+	// time (proto.Message.Size) before the propagation delay applies.
+	Bandwidth int64
+}
+
+func (p LinkPolicy) shaped() bool {
+	return p.Delay > 0 || p.Jitter > 0 || p.Loss > 0 || p.Bandwidth > 0
+}
+
+// PolicyFunc returns the policy for one direction of a link. It must be
+// safe for concurrent use and stable for a given (from, to) pair; the
+// runtime consults it on the send path.
+type PolicyFunc func(from, to ids.ProcessID) LinkPolicy
+
+// DeliverFunc forwards a message that survived shaping to the real
+// transport (a node's peer queue or a group's shared link).
+type DeliverFunc func(from, to ids.ProcessID, msg proto.Message)
+
+// maxShapedQueue bounds each directed link's in-flight queue; overflow
+// drops (the protocol's liveness machinery retries), mirroring the
+// bounded peer queues of the unshaped path.
+const maxShapedQueue = 1 << 14
+
+// Shaper emulates wide-area links on top of the cluster's real TCP
+// transport: per-direction delay, jitter, loss, and bandwidth from a
+// PolicyFunc, plus runtime-controllable partitions (Cut/Isolate/Heal)
+// for fault injection. One Shaper instance can be shared by every node
+// and group of an in-process deployment (its state is keyed by directed
+// process pairs), or installed per server process in real deployments.
+//
+// Messages on a shaped link are released in FIFO order — a later
+// message never overtakes an earlier one on the same directed link —
+// matching TCP's in-order delivery. Unshaped, uncut links bypass the
+// queue entirely and cost one function call.
+type Shaper struct {
+	policy PolicyFunc
+
+	mu       sync.RWMutex
+	cut      map[[2]ids.ProcessID]bool
+	isolated map[ids.ProcessID]bool
+	links    map[[2]ids.ProcessID]*shapedLink
+	seed     int64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	dropped   atomic.Uint64
+	delivered atomic.Uint64
+}
+
+// NewShaper builds a shaper; policy may be nil (no delay shaping — the
+// shaper is then a pure partition injector).
+func NewShaper(policy PolicyFunc) *Shaper {
+	return &Shaper{
+		policy:   policy,
+		cut:      make(map[[2]ids.ProcessID]bool),
+		isolated: make(map[ids.ProcessID]bool),
+		links:    make(map[[2]ids.ProcessID]*shapedLink),
+		seed:     rand.Int63(),
+		done:     make(chan struct{}),
+	}
+}
+
+// Send routes one message through the shaper: dropped when the link is
+// cut or lossy, delivered inline when the link is unshaped, otherwise
+// queued on the directed link and delivered by its goroutine after the
+// policy's delay. Self-addressed messages always bypass shaping — the
+// protocol model assumes instantaneous self-delivery, and a partition
+// never severs a process from itself.
+func (s *Shaper) Send(from, to ids.ProcessID, msg proto.Message, deliver DeliverFunc) {
+	if from == to {
+		deliver(from, to, msg)
+		return
+	}
+	if s.closed.Load() {
+		s.dropped.Add(1)
+		return
+	}
+	if s.blocked(from, to) {
+		s.dropped.Add(1)
+		return
+	}
+	var p LinkPolicy
+	if s.policy != nil {
+		p = s.policy(from, to)
+	}
+	if !p.shaped() {
+		s.delivered.Add(1)
+		deliver(from, to, msg)
+		return
+	}
+	s.link(from, to).push(s, p, from, to, msg, deliver)
+}
+
+func (s *Shaper) blocked(from, to ids.ProcessID) bool {
+	s.mu.RLock()
+	b := s.isolated[from] || s.isolated[to] || s.cut[[2]ids.ProcessID{from, to}]
+	s.mu.RUnlock()
+	return b
+}
+
+func (s *Shaper) link(from, to ids.ProcessID) *shapedLink {
+	key := [2]ids.ProcessID{from, to}
+	s.mu.RLock()
+	l, ok := s.links[key]
+	s.mu.RUnlock()
+	if ok {
+		return l
+	}
+	s.mu.Lock()
+	l, ok = s.links[key]
+	if !ok {
+		l = &shapedLink{rng: rand.New(rand.NewSource(s.seed ^ int64(from)<<20 ^ int64(to)))}
+		s.links[key] = l
+	}
+	s.mu.Unlock()
+	return l
+}
+
+// CutOneWay severs the from→to direction only (an asymmetric partition).
+func (s *Shaper) CutOneWay(from, to ids.ProcessID) {
+	s.mu.Lock()
+	s.cut[[2]ids.ProcessID{from, to}] = true
+	s.mu.Unlock()
+}
+
+// Cut severs both directions of the link between a and b.
+func (s *Shaper) Cut(a, b ids.ProcessID) {
+	s.mu.Lock()
+	s.cut[[2]ids.ProcessID{a, b}] = true
+	s.cut[[2]ids.ProcessID{b, a}] = true
+	s.mu.Unlock()
+}
+
+// Heal clears both directions of the cut between a and b (cuts only —
+// an Isolate on either process still blocks the link).
+func (s *Shaper) Heal(a, b ids.ProcessID) {
+	s.mu.Lock()
+	delete(s.cut, [2]ids.ProcessID{a, b})
+	delete(s.cut, [2]ids.ProcessID{b, a})
+	s.mu.Unlock()
+}
+
+// Isolate severs every link to and from p (the classic single-process
+// partition). Self-delivery is unaffected.
+func (s *Shaper) Isolate(p ids.ProcessID) {
+	s.mu.Lock()
+	s.isolated[p] = true
+	s.mu.Unlock()
+}
+
+// Rejoin undoes Isolate(p); pairwise cuts involving p remain.
+func (s *Shaper) Rejoin(p ids.ProcessID) {
+	s.mu.Lock()
+	delete(s.isolated, p)
+	s.mu.Unlock()
+}
+
+// HealAll clears every cut and isolation.
+func (s *Shaper) HealAll() {
+	s.mu.Lock()
+	clear(s.cut)
+	clear(s.isolated)
+	s.mu.Unlock()
+}
+
+// Dropped returns how many messages the shaper discarded (cuts,
+// isolations, loss, queue overflow, or sends after Close).
+func (s *Shaper) Dropped() uint64 { return s.dropped.Load() }
+
+// Delivered returns how many messages passed the shaper.
+func (s *Shaper) Delivered() uint64 { return s.delivered.Load() }
+
+// ShaperState is a JSON-able snapshot of the shaper's runtime partition
+// state and counters, served by the /chaos control endpoint.
+type ShaperState struct {
+	// Cuts lists the severed directed links as [from, to] pairs.
+	Cuts [][2]ids.ProcessID `json:"cuts,omitempty"`
+	// Isolated lists fully isolated processes.
+	Isolated []ids.ProcessID `json:"isolated,omitempty"`
+	// Dropped and Delivered mirror the shaper's counters.
+	Dropped   uint64 `json:"dropped"`
+	Delivered uint64 `json:"delivered"`
+}
+
+// State snapshots the current partition state.
+func (s *Shaper) State() ShaperState {
+	st := ShaperState{Dropped: s.dropped.Load(), Delivered: s.delivered.Load()}
+	s.mu.RLock()
+	for k := range s.cut {
+		st.Cuts = append(st.Cuts, k)
+	}
+	for p := range s.isolated {
+		st.Isolated = append(st.Isolated, p)
+	}
+	s.mu.RUnlock()
+	sort.Slice(st.Cuts, func(i, j int) bool {
+		if st.Cuts[i][0] != st.Cuts[j][0] {
+			return st.Cuts[i][0] < st.Cuts[j][0]
+		}
+		return st.Cuts[i][1] < st.Cuts[j][1]
+	})
+	sort.Slice(st.Isolated, func(i, j int) bool { return st.Isolated[i] < st.Isolated[j] })
+	return st
+}
+
+// Close stops every link goroutine; queued messages are discarded and
+// later sends drop. Nodes and groups keep running (the shaper is an
+// overlay, not the transport).
+func (s *Shaper) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.done)
+	})
+}
+
+// shapedLink is one directed process pair's delay queue: a FIFO of
+// (releaseTime, message) drained by an on-demand goroutine.
+type shapedLink struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	q       []shapedMsg
+	head    int
+	last    time.Time // release time of the newest queued message (FIFO clamp)
+	busy    time.Time // when the serialization "wire" frees up (Bandwidth)
+	running bool
+}
+
+type shapedMsg struct {
+	at       time.Time
+	from, to ids.ProcessID
+	msg      proto.Message
+	deliver  DeliverFunc
+}
+
+func (l *shapedLink) push(s *Shaper, p LinkPolicy, from, to ids.ProcessID, msg proto.Message, deliver DeliverFunc) {
+	l.mu.Lock()
+	if p.Loss > 0 && l.rng.Float64() < p.Loss {
+		l.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	}
+	if len(l.q)-l.head >= maxShapedQueue {
+		l.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	}
+	now := time.Now()
+	release := now
+	if p.Bandwidth > 0 {
+		tx := time.Duration(float64(msg.Size()) / float64(p.Bandwidth) * float64(time.Second))
+		if l.busy.Before(now) {
+			l.busy = now
+		}
+		l.busy = l.busy.Add(tx)
+		release = l.busy
+	}
+	release = release.Add(p.Delay)
+	if p.Jitter > 0 {
+		release = release.Add(time.Duration(l.rng.Int63n(int64(p.Jitter))))
+	}
+	// FIFO: a low-jitter message never overtakes an earlier high-jitter
+	// one (TCP delivers in order; jitter stretches gaps, not ordering).
+	if release.Before(l.last) {
+		release = l.last
+	}
+	l.last = release
+	l.q = append(l.q, shapedMsg{release, from, to, msg, deliver})
+	kick := !l.running
+	if kick {
+		l.running = true
+	}
+	l.mu.Unlock()
+	if kick {
+		go l.run(s)
+	}
+}
+
+func (l *shapedLink) run(s *Shaper) {
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for {
+		l.mu.Lock()
+		if l.head == len(l.q) {
+			l.q = l.q[:0]
+			l.head = 0
+			l.running = false
+			l.mu.Unlock()
+			return
+		}
+		m := l.q[l.head]
+		now := time.Now()
+		if m.at.After(now) {
+			l.mu.Unlock()
+			timer.Reset(m.at.Sub(now))
+			select {
+			case <-timer.C:
+			case <-s.done:
+				l.mu.Lock()
+				l.running = false
+				l.mu.Unlock()
+				return
+			}
+			continue
+		}
+		l.head++
+		if l.head > 1024 && l.head*2 >= len(l.q) {
+			l.q = append(l.q[:0], l.q[l.head:]...)
+			l.head = 0
+		}
+		l.mu.Unlock()
+		// A message in flight when the link is cut is lost, like a
+		// packet on a severed wire.
+		if s.blocked(m.from, m.to) {
+			s.dropped.Add(1)
+			continue
+		}
+		s.delivered.Add(1)
+		m.deliver(m.from, m.to, m.msg)
+	}
+}

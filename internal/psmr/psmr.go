@@ -64,6 +64,14 @@ type Config struct {
 	SnapshotEvery int
 	// NoPeerSync skips the startup state-catch-up round (tests only).
 	NoPeerSync bool
+	// FsyncDelay injects a per-fsync stall into every hosted replica's
+	// WAL (the chaos profiles' "slow-fsync site"); zero disables.
+	FsyncDelay time.Duration
+	// Shaper, when set, interposes WAN emulation and runtime partitions
+	// on the site's outgoing inter-process messages (cluster.Shaper).
+	// The caller owns it; one shaper may be shared across in-process
+	// sites.
+	Shaper *cluster.Shaper
 	// ExecObserver, when set, is called by each hosted node's executor
 	// for every command just before it is applied (instrumentation).
 	ExecObserver func(proto.Stable)
@@ -107,6 +115,9 @@ func StartListener(cfg Config, ln net.Listener) (*Group, error) {
 		return nil, err
 	}
 	cg := cluster.NewGroup(addrs, shardOf)
+	if cfg.Shaper != nil {
+		cg.SetShaper(cfg.Shaper)
+	}
 	g := &Group{cfg: cfg, cg: cg}
 	for _, pi := range cfg.Topo.Processes() {
 		if pi.Site != cfg.Site {
@@ -138,6 +149,7 @@ func StartListener(cfg Config, ln net.Listener) (*Group, error) {
 				SyncInterval:  cfg.FsyncInterval,
 				SnapshotEvery: cfg.SnapshotEvery,
 				NoPeerSync:    cfg.NoPeerSync,
+				FsyncDelay:    cfg.FsyncDelay,
 			}); err != nil {
 				return nil, err
 			}

@@ -60,6 +60,12 @@ type Options struct {
 	// synced at most once per interval. 0 syncs every Append before it
 	// returns (strict local durability).
 	SyncInterval time.Duration
+	// FsyncDelay is a fault-injection hook: when positive, every fsync
+	// sleeps this long first, under the log's lock — emulating a slow
+	// disk (a degraded volume, a saturated fsync queue). Appends queue
+	// behind the stalled sync exactly as they would on real slow
+	// storage. Never set it in production configurations.
+	FsyncDelay time.Duration
 }
 
 // Log is an append log plus snapshot store in one directory. Append and
@@ -269,6 +275,9 @@ func (l *Log) writeAndSyncLocked() {
 		return
 	}
 	l.buf = l.buf[:0]
+	if l.opts.FsyncDelay > 0 {
+		time.Sleep(l.opts.FsyncDelay)
+	}
 	if err := l.f.Sync(); err != nil {
 		l.failed = fmt.Errorf("wal: fsync: %w", err)
 	}

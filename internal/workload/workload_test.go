@@ -107,6 +107,64 @@ func TestZipfianSkew(t *testing.T) {
 	}
 }
 
+// TestZipfianHeadMassMatchesTheory pins the sampler to the
+// distribution it claims: the hottest rank's draw probability is
+// exactly 1/zeta(n, theta), and empirical frequencies must match it —
+// over the 1024-key keyspace the cluster bench's zipf load points and
+// the vulture use.
+func TestZipfianHeadMassMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, draws = 1024, 200000
+	for _, theta := range []float64{0.5, 0.7, 0.99} {
+		z := NewZipfian(n, theta)
+		want := 1 / zeta(n, theta)
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if z.Sample(rng) == 0 {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(draws)
+		if math.Abs(got-want) > 0.15*want+0.005 {
+			t.Errorf("theta %.2f: top-rank mass %.4f, theory %.4f", theta, got, want)
+		}
+	}
+}
+
+// TestZipfianRankMonotonicity checks the defining shape: lower ranks
+// are at least as hot as higher ones (binned to smooth sampling noise).
+func TestZipfianRankMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, draws = 1024, 200000
+	z := NewZipfian(n, 0.99)
+	var bins [4]int // ranks [0,4) [4,16) [16,64) [64,n)
+	for i := 0; i < draws; i++ {
+		k := z.Sample(rng)
+		switch {
+		case k < 4:
+			bins[0]++
+		case k < 16:
+			bins[1]++
+		case k < 64:
+			bins[2]++
+		default:
+			bins[3]++
+		}
+	}
+	// Per-key mass must decrease across bins.
+	per := [4]float64{
+		float64(bins[0]) / 4,
+		float64(bins[1]) / 12,
+		float64(bins[2]) / 48,
+		float64(bins[3]) / float64(n-64),
+	}
+	for i := 1; i < len(per); i++ {
+		if per[i] >= per[i-1] {
+			t.Fatalf("per-key mass not decreasing: bin %d (%.1f) >= bin %d (%.1f)", i, per[i], i-1, per[i-1])
+		}
+	}
+}
+
 func TestZipfianRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	z := NewZipfian(1000, 0.7)
