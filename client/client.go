@@ -110,6 +110,7 @@ type Session struct {
 	cfg   Config
 	order []ids.ProcessID // routing preference without a topology
 
+	//tempo:guard
 	mu     sync.Mutex
 	conns  map[ids.ProcessID]*conn
 	closed bool

@@ -21,6 +21,7 @@ type conn struct {
 	pid ids.ProcessID
 	nc  net.Conn
 
+	//tempo:guard
 	mu      sync.Mutex
 	closed  bool
 	err     error

@@ -39,6 +39,7 @@ type submitBatcher struct {
 	// bucket at once.
 	pace time.Duration
 
+	//tempo:guard
 	mu      sync.Mutex
 	closed  bool
 	buckets map[ids.ShardID]*batchBucket

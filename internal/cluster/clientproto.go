@@ -81,6 +81,8 @@ const MaxClientFrameBytes = 64 << 20
 // width, so the body is staged there before the copy into buf); callers
 // on the hot path keep one per connection so steady state allocates
 // nothing.
+//
+//tempo:noalloc
 func AppendClientRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time.Duration, ops []command.Op) []byte {
 	body := binary.AppendUvarint((*scratch)[:0], reqID)
 	body = binary.AppendUvarint(body, uint64(deadline.Microseconds()))
@@ -110,6 +112,8 @@ func DecodeClientRequest(b []byte) (reqID uint64, deadline time.Duration, ops []
 // buf. A zero werr.Code reports success and carries values; any other
 // code carries only the error. scratch is reused as in
 // AppendClientRequest.
+//
+//tempo:noalloc
 func AppendClientReply(buf []byte, scratch *[]byte, reqID uint64, werr command.WireError, values [][]byte) []byte {
 	body := binary.AppendUvarint((*scratch)[:0], reqID)
 	body = command.AppendError(body, werr)
@@ -141,6 +145,8 @@ func DecodeClientReply(b []byte) (reqID uint64, werr command.WireError, values [
 // are meaningful depends on Kind: every request has ReqID; Deadline
 // rides on Submit/SubmitAt/Watch; Shard and ID on SubmitAt/Watch; Ops
 // on Submit/SubmitAt; Count on Mint.
+//
+//tempo:wire encode=- decode=DecodeClientRequest2
 type ClientRequest2 struct {
 	Kind     byte
 	ReqID    uint64
@@ -152,6 +158,8 @@ type ClientRequest2 struct {
 }
 
 // appendReqHeader stages the fields shared by every v2 request kind.
+//
+//tempo:noalloc
 func appendReqHeader(body []byte, kind byte, reqID uint64, deadline time.Duration) []byte {
 	body = append(body, kind)
 	body = binary.AppendUvarint(body, reqID)
@@ -160,6 +168,8 @@ func appendReqHeader(body []byte, kind byte, reqID uint64, deadline time.Duratio
 
 // finishFrame appends the staged body to buf as one length-prefixed
 // frame, updating the scratch buffer.
+//
+//tempo:noalloc
 func finishFrame(buf []byte, scratch *[]byte, body []byte) []byte {
 	*scratch = body
 	buf = binary.AppendUvarint(buf, uint64(len(body)))
@@ -167,6 +177,8 @@ func finishFrame(buf []byte, scratch *[]byte, body []byte) []byte {
 }
 
 // AppendSubmitRequest appends a v2 plain-submission frame.
+//
+//tempo:noalloc
 func AppendSubmitRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time.Duration, ops []command.Op) []byte {
 	body := appendReqHeader((*scratch)[:0], ReqSubmit, reqID, deadline)
 	body = command.AppendOps(body, ops)
@@ -174,6 +186,8 @@ func AppendSubmitRequest(buf []byte, scratch *[]byte, reqID uint64, deadline tim
 }
 
 // AppendMintRequest appends a v2 id-block mint frame.
+//
+//tempo:noalloc
 func AppendMintRequest(buf []byte, scratch *[]byte, reqID uint64, count int) []byte {
 	body := appendReqHeader((*scratch)[:0], ReqMint, reqID, 0)
 	body = binary.AppendUvarint(body, uint64(count))
@@ -183,6 +197,8 @@ func AppendMintRequest(buf []byte, scratch *[]byte, reqID uint64, count int) []b
 // AppendSubmitAtRequest appends a v2 cross-shard submission frame:
 // the full op list submitted under a client-held id, served by a
 // replica of the target shard.
+//
+//tempo:noalloc
 func AppendSubmitAtRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time.Duration, shard ids.ShardID, id ids.Dot, ops []command.Op) []byte {
 	body := appendReqHeader((*scratch)[:0], ReqSubmitAt, reqID, deadline)
 	body = binary.AppendUvarint(body, uint64(shard))
@@ -193,6 +209,8 @@ func AppendSubmitAtRequest(buf []byte, scratch *[]byte, reqID uint64, deadline t
 
 // AppendWatchRequest appends a v2 watch frame: the reply carries the
 // target shard's result segment of the watched command.
+//
+//tempo:noalloc
 func AppendWatchRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time.Duration, shard ids.ShardID, id ids.Dot) []byte {
 	body := appendReqHeader((*scratch)[:0], ReqWatch, reqID, deadline)
 	body = binary.AppendUvarint(body, uint64(shard))
@@ -200,6 +218,8 @@ func AppendWatchRequest(buf []byte, scratch *[]byte, reqID uint64, deadline time
 	return finishFrame(buf, scratch, body)
 }
 
+//
+//tempo:noalloc
 func appendDot(buf []byte, id ids.Dot) []byte {
 	buf = binary.AppendUvarint(buf, uint64(id.Source))
 	return binary.AppendUvarint(buf, id.Seq)

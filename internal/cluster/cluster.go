@@ -147,9 +147,11 @@ type Node struct {
 	// stat collects the serving counters exposed by Stats.
 	stat nodeStats
 
+	//tempo:guard
 	mu sync.Mutex // guards rep
 	// out holds per-peer outbound queues; a writer goroutine per peer
 	// dials and encodes, so protocol steps never block on the network.
+	//tempo:guard
 	outMu sync.Mutex
 	out   map[ids.ProcessID]chan proto.Message
 
@@ -159,6 +161,7 @@ type Node struct {
 	// exactly once — by local execution, by deadline expiry, by its
 	// connection going away, or by shutdown — so a late result can never
 	// reach a recycled request slot.
+	//tempo:guard
 	waitMu  sync.Mutex
 	waiters map[ids.Dot]*pendingCmd
 	// parked holds result values of executed cross-shard commands with
@@ -183,7 +186,8 @@ type Node struct {
 	// newly-stable commands to execQ, and a dedicated executor goroutine
 	// applies them to the state machine and completes waiters — the
 	// critical section shrinks to pure protocol state.
-	defRep   proto.DeferredApplier
+	defRep proto.DeferredApplier
+	//tempo:guard
 	execMu   sync.Mutex
 	execQ    []proto.Stable
 	execKick chan struct{} // cap 1: wakes the executor
@@ -671,6 +675,7 @@ func (w *waiter) complete(values [][]byte) {
 		w.cc.reply(w.reqID, command.WireError{}, values)
 		return
 	}
+	//tempo:allowblock cap-1 channel, claimed exactly once, so the send always has buffer space
 	w.ch <- &ClientReply{OK: true, Values: values}
 }
 
@@ -680,6 +685,7 @@ func (w *waiter) fail(e command.WireError) {
 		w.cc.reply(w.reqID, e, nil)
 		return
 	}
+	//tempo:allowblock cap-1 channel, claimed exactly once, so the send always has buffer space
 	w.ch <- &ClientReply{Error: e.Msg}
 }
 
@@ -851,6 +857,7 @@ type clientConn struct {
 	conn net.Conn
 	dead chan struct{} // closed when the read loop exits
 
+	//tempo:guard
 	mu      sync.Mutex
 	closed  bool
 	buf     []byte        // pending encoded reply frames

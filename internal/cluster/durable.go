@@ -262,6 +262,7 @@ func (n *Node) maybeReserveLocked() {
 	seq := n.lastSeq
 	rc, rs := d.reservedClock.Load(), d.reservedSeq.Load()
 	if clock >= rc || seq >= rs {
+		//tempo:allowblock clock jumped past the reserved range; the reservation must be durable before the next step can promise above it
 		if err := d.reserve(clock+reserveChunk, seq+reserveChunk); err != nil {
 			log.Printf("cluster: node %d reservation failed: %v", n.id, err)
 		}
@@ -448,6 +449,8 @@ func fetchPeerSnapshot(addr string, from ids.ProcessID, wmTS uint64, wmID ids.Do
 // syncRequest is one decoded state-catch-up request: the requester's
 // applied watermark plus (in sharded deployments) the requesting
 // process, which identifies the shard whose state is wanted.
+//
+//tempo:wire encode=- decode=readSyncRequest
 type syncRequest struct {
 	TS   uint64
 	ID   ids.Dot

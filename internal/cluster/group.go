@@ -62,6 +62,7 @@ type Group struct {
 	ready      atomic.Bool
 	frameLimit uint64
 
+	//tempo:guard
 	outMu  sync.Mutex
 	out    map[string]chan groupMsg        // per remote address
 	localQ map[ids.ProcessID]chan groupMsg // per hosted node

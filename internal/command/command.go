@@ -36,6 +36,8 @@ func (k OpKind) String() string {
 }
 
 // Op is a single operation on one key.
+//
+//tempo:wire encode=AppendOps decode=DecodeOps
 type Op struct {
 	Kind  OpKind
 	Key   Key
@@ -45,6 +47,8 @@ type Op struct {
 // Command is a client command: a set of operations plus the unique
 // identifier assigned by the submitting process. A command may touch keys
 // in several shards; a PSMR protocol executes it once per accessed shard.
+//
+//tempo:wire encode=AppendCommand decode=DecodeCommand
 type Command struct {
 	ID  ids.Dot
 	Ops []Op

@@ -17,6 +17,8 @@ var ErrCorrupt = errors.New("command: corrupt wire data")
 // AppendCommand appends the binary encoding of c to buf: a presence
 // byte, then id, ops (kind, key, value) and padding. A nil command
 // encodes as a single 0 byte.
+//
+//tempo:noalloc
 func AppendCommand(buf []byte, c *Command) []byte {
 	if c == nil {
 		return append(buf, 0)
@@ -115,6 +117,8 @@ func readUvarint(b []byte) (uint64, []byte, error) {
 const MaxOpsPerCommand = 1 << 16
 
 // AppendOps appends the binary encoding of an operation list to buf.
+//
+//tempo:noalloc
 func AppendOps(buf []byte, ops []Op) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(ops)))
 	for _, op := range ops {
@@ -164,6 +168,8 @@ func DecodeOps(b []byte) ([]Op, []byte, error) {
 // AppendValues appends per-op result values with a presence byte per
 // entry, so a nil value (key not found) survives the wire distinct from
 // a present-but-empty value.
+//
+//tempo:noalloc
 func AppendValues(buf []byte, values [][]byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(values)))
 	for _, v := range values {
@@ -253,12 +259,16 @@ var (
 
 // WireError is a typed error plus detail message as carried by the
 // client protocol.
+//
+//tempo:wire encode=AppendError decode=DecodeError
 type WireError struct {
 	Code ErrCode
 	Msg  string
 }
 
 // AppendError appends the binary encoding of a wire error.
+//
+//tempo:noalloc
 func AppendError(buf []byte, e WireError) []byte {
 	buf = append(buf, byte(e.Code))
 	buf = binary.AppendUvarint(buf, uint64(len(e.Msg)))

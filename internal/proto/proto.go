@@ -109,7 +109,9 @@ type Durable interface {
 	Clock() uint64
 	AppliedWM() (ts uint64, id ids.Dot)
 	Restore(clock, nextSeq, wmTS uint64, wmID ids.Dot)
+	//tempo:blocks serializes the full state machine to w
 	SnapshotTo(w io.Writer) error
+	//tempo:blocks reads and applies a full snapshot from r
 	RestoreFrom(r io.Reader) (wmTS uint64, wmID ids.Dot, err error)
 }
 

@@ -51,9 +51,12 @@ func RegisterWire(tag byte, dec WireDecoder) {
 }
 
 // AppendMessage appends the tagged binary encoding of m to buf.
+//
+//tempo:noalloc
 func AppendMessage(buf []byte, m Message) ([]byte, error) {
 	bm, ok := m.(BinaryMessage)
 	if !ok {
+		//tempo:allowalloc error path only; every registered message is a BinaryMessage
 		return buf, fmt.Errorf("proto: %T does not implement BinaryMessage", m)
 	}
 	buf = append(buf, bm.WireTag())
@@ -74,6 +77,8 @@ func DecodeMessage(b []byte) (Message, []byte, error) {
 }
 
 // AppendUvarint appends v in varint encoding.
+//
+//tempo:noalloc
 func AppendUvarint(buf []byte, v uint64) []byte {
 	return binary.AppendUvarint(buf, v)
 }
@@ -88,6 +93,8 @@ func ReadUvarint(b []byte) (uint64, []byte, error) {
 }
 
 // AppendByteSlice appends a length-prefixed byte slice.
+//
+//tempo:noalloc
 func AppendByteSlice(buf, s []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)

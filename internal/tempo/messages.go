@@ -89,6 +89,8 @@ func (q Quorums) size() int {
 // while computing the proposal (zero DetLo means no detached promises).
 // Broadcasting these in MCommit is the §3.2 optimization that makes a
 // committed timestamp usually stable immediately.
+//
+//tempo:wire encode=MCommit.AppendBinary decode=decodeMCommit
 type RankTS struct {
 	Rank         ids.Rank
 	TS           uint64
@@ -98,6 +100,8 @@ type RankTS struct {
 // TSWatermark is the executed watermark of a process: commands are
 // executed in (TS, ID) order, so everything up to the watermark has been
 // executed by the sender.
+//
+//tempo:wire encode=appendWM decode=readWM
 type TSWatermark struct {
 	TS uint64
 	ID ids.Dot
@@ -114,6 +118,8 @@ func (w TSWatermark) less(o TSWatermark) bool {
 // MSubmit asks a process to act as a command's coordinator for its shard
 // (line 4 of Algorithm 1). The submitting process sends it to one replica
 // of each shard the command accesses.
+//
+//tempo:wire
 type MSubmit struct {
 	ID      ids.Dot
 	Cmd     *command.Command
@@ -122,6 +128,8 @@ type MSubmit struct {
 
 // MPayload carries the command payload to the processes outside the fast
 // quorum (line 8).
+//
+//tempo:wire
 type MPayload struct {
 	ID      ids.Dot
 	Cmd     *command.Command
@@ -129,6 +137,8 @@ type MPayload struct {
 }
 
 // MPropose asks a fast-quorum process for a timestamp proposal (line 7).
+//
+//tempo:wire
 type MPropose struct {
 	ID      ids.Dot
 	Cmd     *command.Command
@@ -139,6 +149,8 @@ type MPropose struct {
 // MProposeAck returns a timestamp proposal to the coordinator (line 16).
 // DetachedLo/Hi piggyback the detached promises generated while computing
 // the proposal (§3.2 optimization); an empty range means none.
+//
+//tempo:wire
 type MProposeAck struct {
 	ID         ids.Dot
 	TS         uint64
@@ -149,6 +161,8 @@ type MProposeAck struct {
 // MBump tells nearby processes of sibling shards to bump their clocks to
 // the sender's proposal, generating detached promises early (Algorithm 3,
 // line 68; "faster stability").
+//
+//tempo:wire
 type MBump struct {
 	ID ids.Dot
 	TS uint64
@@ -157,6 +171,8 @@ type MBump struct {
 // MCommit announces the timestamp committed for a command at one shard
 // (lines 20/33). Attached carries the attached promises of the shard's
 // fast quorum so receivers can advance stability immediately (§3.2).
+//
+//tempo:wire
 type MCommit struct {
 	ID       ids.Dot
 	Shard    ids.ShardID
@@ -165,6 +181,8 @@ type MCommit struct {
 }
 
 // MConsensus is Flexible Paxos phase 2 for the slow path (line 21).
+//
+//tempo:wire
 type MConsensus struct {
 	ID     ids.Dot
 	TS     uint64
@@ -172,12 +190,16 @@ type MConsensus struct {
 }
 
 // MConsensusAck accepts a consensus proposal (line 30).
+//
+//tempo:wire
 type MConsensusAck struct {
 	ID     ids.Dot
 	Ballot ids.Ballot
 }
 
 // MRec starts recovery of a command at a ballot (Algorithm 4, line 75).
+//
+//tempo:wire
 type MRec struct {
 	ID     ids.Dot
 	Ballot ids.Ballot
@@ -185,6 +207,8 @@ type MRec struct {
 
 // MRecAck answers MRec with the local timestamp, phase and accepted
 // ballot (line 85).
+//
+//tempo:wire
 type MRecAck struct {
 	ID       ids.Dot
 	TS       uint64
@@ -196,6 +220,8 @@ type MRecAck struct {
 
 // MRecNAck tells a would-be recovery coordinator that its ballot is stale
 // (Appendix B, line 81).
+//
+//tempo:wire
 type MRecNAck struct {
 	ID     ids.Dot
 	Ballot ids.Ballot
@@ -203,6 +229,8 @@ type MRecNAck struct {
 
 // MCommitRequest asks a process that has committed a command to share the
 // payload and commit information (Appendix B, line 86).
+//
+//tempo:wire
 type MCommitRequest struct {
 	ID ids.Dot
 }
@@ -211,6 +239,8 @@ type MCommitRequest struct {
 // (Algorithm 2, line 45). Detached is an interval-encoded set (pairs of
 // lo,hi); Attached lists the sender's attached promises not yet folded
 // away; WM is the sender's executed watermark, used for promise GC.
+//
+//tempo:wire
 type MPromises struct {
 	Rank     ids.Rank
 	Detached []uint64
@@ -220,6 +250,8 @@ type MPromises struct {
 
 // AttachedWire is an attached promise on the wire, including the command
 // id it is attached to.
+//
+//tempo:wire encode=MPromises.AppendBinary decode=decodeMPromises
 type AttachedWire struct {
 	ID ids.Dot
 	TS uint64
@@ -228,6 +260,8 @@ type AttachedWire struct {
 // MStable signals that a command's timestamp is stable at the sender's
 // shard (Algorithm 3, line 64). A process executes a multi-shard command
 // only after every accessed shard signalled stability.
+//
+//tempo:wire
 type MStable struct {
 	ID    ids.Dot
 	Shard ids.ShardID

@@ -51,6 +51,8 @@ func init() {
 
 // --- shared field helpers ---
 
+//
+//tempo:noalloc
 func appendDot(buf []byte, d ids.Dot) []byte {
 	buf = proto.AppendUvarint(buf, uint64(d.Source))
 	return proto.AppendUvarint(buf, d.Seq)
@@ -70,11 +72,14 @@ func readDot(b []byte) (ids.Dot, []byte, error) {
 
 // appendQuorums serializes the map in ascending shard order so equal
 // maps always produce equal bytes.
+//
+//tempo:noalloc
 func appendQuorums(buf []byte, q Quorums) []byte {
 	buf = proto.AppendUvarint(buf, uint64(len(q)))
 	var stack [8]ids.ShardID
 	keys := stack[:0]
 	for s := range q {
+		//tempo:allowalloc stack-backed up to 8 shards; grows only beyond that
 		keys = append(keys, s)
 	}
 	for i := 1; i < len(keys); i++ { // insertion sort; quorum maps are tiny
@@ -126,6 +131,8 @@ func readQuorums(b []byte) (Quorums, []byte, error) {
 	return q, b, nil
 }
 
+//
+//tempo:noalloc
 func appendWM(buf []byte, w TSWatermark) []byte {
 	buf = proto.AppendUvarint(buf, w.TS)
 	return appendDot(buf, w.ID)
@@ -149,6 +156,8 @@ func readWM(b []byte) (TSWatermark, []byte, error) {
 func (m *MSubmit) WireTag() byte { return tagMSubmit }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MSubmit) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	buf = command.AppendCommand(buf, m.Cmd)
@@ -174,6 +183,8 @@ func decodeMSubmit(b []byte) (proto.Message, []byte, error) {
 func (m *MPayload) WireTag() byte { return tagMPayload }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MPayload) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	buf = command.AppendCommand(buf, m.Cmd)
@@ -199,6 +210,8 @@ func decodeMPayload(b []byte) (proto.Message, []byte, error) {
 func (m *MPropose) WireTag() byte { return tagMPropose }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MPropose) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	buf = command.AppendCommand(buf, m.Cmd)
@@ -228,6 +241,8 @@ func decodeMPropose(b []byte) (proto.Message, []byte, error) {
 func (m *MProposeAck) WireTag() byte { return tagMProposeAck }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MProposeAck) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	buf = proto.AppendUvarint(buf, m.TS)
@@ -257,6 +272,8 @@ func decodeMProposeAck(b []byte) (proto.Message, []byte, error) {
 func (m *MBump) WireTag() byte { return tagMBump }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MBump) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	return proto.AppendUvarint(buf, m.TS)
@@ -278,6 +295,8 @@ func decodeMBump(b []byte) (proto.Message, []byte, error) {
 func (m *MCommit) WireTag() byte { return tagMCommit }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MCommit) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	buf = proto.AppendUvarint(buf, uint64(m.Shard))
@@ -335,6 +354,8 @@ func decodeMCommit(b []byte) (proto.Message, []byte, error) {
 func (m *MConsensus) WireTag() byte { return tagMConsensus }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MConsensus) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	buf = proto.AppendUvarint(buf, m.TS)
@@ -362,6 +383,8 @@ func decodeMConsensus(b []byte) (proto.Message, []byte, error) {
 func (m *MConsensusAck) WireTag() byte { return tagMConsensusAck }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MConsensusAck) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	return proto.AppendUvarint(buf, uint64(m.Ballot))
@@ -385,6 +408,8 @@ func decodeMConsensusAck(b []byte) (proto.Message, []byte, error) {
 func (m *MRec) WireTag() byte { return tagMRec }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MRec) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	return proto.AppendUvarint(buf, uint64(m.Ballot))
@@ -408,6 +433,8 @@ func decodeMRec(b []byte) (proto.Message, []byte, error) {
 func (m *MRecAck) WireTag() byte { return tagMRecAck }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MRecAck) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	buf = proto.AppendUvarint(buf, m.TS)
@@ -455,6 +482,8 @@ func decodeMRecAck(b []byte) (proto.Message, []byte, error) {
 func (m *MRecNAck) WireTag() byte { return tagMRecNAck }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MRecNAck) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	return proto.AppendUvarint(buf, uint64(m.Ballot))
@@ -478,6 +507,8 @@ func decodeMRecNAck(b []byte) (proto.Message, []byte, error) {
 func (m *MCommitRequest) WireTag() byte { return tagMCommitRequest }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MCommitRequest) AppendBinary(buf []byte) []byte {
 	return appendDot(buf, m.ID)
 }
@@ -495,6 +526,8 @@ func decodeMCommitRequest(b []byte) (proto.Message, []byte, error) {
 func (m *MPromises) WireTag() byte { return tagMPromises }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MPromises) AppendBinary(buf []byte) []byte {
 	buf = proto.AppendUvarint(buf, uint64(m.Rank))
 	buf = proto.AppendUvarint(buf, uint64(len(m.Detached)))
@@ -552,6 +585,8 @@ func decodeMPromises(b []byte) (proto.Message, []byte, error) {
 func (m *MStable) WireTag() byte { return tagMStable }
 
 // AppendBinary implements proto.BinaryMessage.
+//
+//tempo:noalloc
 func (m *MStable) AppendBinary(buf []byte) []byte {
 	buf = appendDot(buf, m.ID)
 	return proto.AppendUvarint(buf, uint64(m.Shard))

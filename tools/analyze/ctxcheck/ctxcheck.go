@@ -1,0 +1,106 @@
+// Package ctxcheck implements the deadline-propagation analyzer:
+// library packages must not mint fresh root contexts or dial without a
+// deadline.
+//
+// The PR 2 client redesign made "the caller's context is the deadline"
+// a load-bearing contract: every client call takes a ctx, the deadline
+// rides the wire, and the server sweeps expired waiters against it. A
+// stray context.Background() inside the library quietly detaches a
+// subtree from that contract — the operation can no longer be
+// cancelled and its deadline never propagates. ctxcheck forbids it
+// where it matters.
+//
+// Rules, applied only in library packages (by default anything under
+// the module that is not package main, not a _test.go file, and not an
+// internal benchmark/simulation harness — see -ctxcheck.exclude):
+//
+//   - calls to context.Background() or context.TODO() are flagged
+//   - calls to net.Dial are flagged (use net.DialTimeout, a net.Dialer
+//     with a deadline, or DialContext: an undeadlined dial can hang a
+//     library call forever)
+//
+// //tempo:allowctx <reason> on the line (or the line above) waives one
+// finding — e.g. a long-lived background goroutine whose lifetime is
+// genuinely process-scoped, where a root context is the honest choice.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tempo/tools/analyze/internal/directive"
+)
+
+// Analyzer is the ctxcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "forbids context.Background/TODO and undeadlined dials in library packages",
+	Run:  run,
+}
+
+// exclude is the package-path pattern exempt from the rules: binaries'
+// support harnesses that legitimately own root contexts. Overridable
+// for the fixture suite and for future layout changes.
+var exclude = regexp.MustCompile(`(^|/)(cmd|bench|sim|chaos|vulture|testnet|examples|workload)(/|$)`)
+
+func init() {
+	Analyzer.Flags.Func("exclude", "regexp of package paths exempt from ctxcheck", func(s string) error {
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return err
+		}
+		exclude = re
+		return nil
+	})
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" || exclude.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	waivers := directive.NewWaivers(pass.Fset, "allowctx", pass.Files)
+	for _, file := range pass.Files {
+		if directive.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath := selPkgPath(pass, sel)
+			switch {
+			case pkgPath == "context" && (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO"):
+				if !waivers.Covers(pass.Fset, call.Pos()) {
+					pass.Reportf(call.Pos(), "context.%s() in library code detaches this call tree from the caller's deadline; take a ctx parameter (or waive with //tempo:allowctx <reason>)", sel.Sel.Name)
+				}
+			case pkgPath == "net" && sel.Sel.Name == "Dial":
+				if !waivers.Covers(pass.Fset, call.Pos()) {
+					pass.Reportf(call.Pos(), "net.Dial has no deadline and can hang a library call forever; use net.DialTimeout or a net.Dialer bound to the caller's ctx")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// selPkgPath returns the import path of the package a selector's base
+// identifier names, or "".
+func selPkgPath(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

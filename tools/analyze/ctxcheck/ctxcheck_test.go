@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"tempo/tools/analyze/ctxcheck"
+	"tempo/tools/analyze/internal/antest"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, "testdata", ctxcheck.Analyzer)
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises ctxcheck: fresh root contexts and
+// undeadlined dials in library code are findings; waivers and
+// ctx-threading are not.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func freshRoot() {
+	ctx := context.Background() // want "detaches this call tree"
+	_ = ctx
+}
+
+func freshTODO() {
+	_ = context.TODO() // want "detaches this call tree"
+}
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second) // ok: derives from the caller
+}
+
+func waivedRoot() context.Context {
+	//tempo:allowctx process-lifetime supervisor goroutine
+	return context.Background() // ok: waived with a reason
+}

@@ -1,0 +1,14 @@
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+func dialNoDeadline(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "no deadline"
+}
+
+func dialBounded(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second) // ok: bounded
+}

@@ -1,0 +1,94 @@
+// Package doccheck implements the documentation-floor analyzer: every
+// package carries a package comment and every exported top-level
+// identifier carries a doc comment.
+//
+// This is the former standalone tools/doccheck binary folded into the
+// multichecker so one binary and one CI job own all repo lint. The rule
+// is deliberately presence-only (no style linting): the valuable
+// invariant is that `go doc` never comes back empty for anything a
+// reader can reach. Test files are exempt.
+package doccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tempo/tools/analyze/internal/directive"
+)
+
+// Analyzer is the doccheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "doccheck",
+	Doc:  "requires package comments and doc comments on all exported identifiers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// go vet analyzes test variants of packages too (pkg.test mains and
+	// external _test packages); the documentation floor applies only to
+	// the shipped package proper.
+	if strings.HasSuffix(pass.Pkg.Path(), ".test") || strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil, nil
+	}
+	hasPkgDoc := false
+	var firstFile *ast.File
+	for _, file := range pass.Files {
+		if directive.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		if firstFile == nil {
+			firstFile = file
+		}
+		if file.Doc != nil {
+			hasPkgDoc = true
+		}
+		checkDecls(pass, file)
+	}
+	if firstFile != nil && !hasPkgDoc {
+		pass.Reportf(firstFile.Package, "package %s has no package comment", pass.Pkg.Name())
+	}
+	return nil, nil
+}
+
+// isDocComment reports whether a trailing spec comment counts as
+// documentation. Trailing comments do (go doc renders them for
+// single-line specs) — except test-harness `// want` expectations,
+// which annotate a line precisely because it is undocumented.
+func isDocComment(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	return !strings.HasPrefix(cg.Text(), "want ")
+}
+
+func checkDecls(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				pass.Reportf(d.Pos(), "exported func %s has no doc comment", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && !isDocComment(s.Comment) {
+						pass.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && d.Doc == nil && s.Doc == nil && !isDocComment(s.Comment) {
+							pass.Reportf(n.Pos(), "exported %s %s has no doc comment", d.Tok, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}

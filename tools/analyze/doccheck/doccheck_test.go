@@ -1,0 +1,16 @@
+package doccheck_test
+
+import (
+	"testing"
+
+	"tempo/tools/analyze/doccheck"
+	"tempo/tools/analyze/internal/antest"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, "testdata/documented", doccheck.Analyzer)
+}
+
+func TestMissingPackageComment(t *testing.T) {
+	antest.Run(t, "testdata/nopkgdoc", doccheck.Analyzer)
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises doccheck: exported identifiers without doc
+// comments are findings.
+package fixture
+
+// Documented carries a doc comment.
+type Documented struct{}
+
+type Undocumented struct{} // want "exported type Undocumented has no doc comment"
+
+// DoThing is documented.
+func DoThing() {}
+
+func Naked() {} // want "exported func Naked has no doc comment"
+
+// MaxThings is documented.
+const MaxThings = 3
+
+const MinThings = 1 // want "exported const MinThings has no doc comment"
+
+// Registry is documented.
+var Registry = map[string]int{}
+
+var Fallback = 2 // want "exported var Fallback has no doc comment"
+
+// unexported needs no doc comment.
+func unexported() {}
+
+type hidden struct{}
+
+var _ = hidden{}
+
+func init() { unexported() }

@@ -1,0 +1,4 @@
+package fixture // want "package fixture has no package comment"
+
+// Exported is documented; only the package comment is missing.
+func Exported() {}

@@ -1,0 +1,279 @@
+// Package antest is the repo's offline stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture
+// directory as one package, runs an analyzer (and its Requires
+// closure), and matches reported diagnostics against `// want "rx"`
+// comments in the fixtures.
+//
+// analysistest itself depends on go/packages, which is not part of the
+// x/tools subset vendored from the Go toolchain; this harness
+// type-checks fixtures with the stdlib source importer instead, so the
+// suites run with no network and no module downloads. Fixtures may
+// import anything from the standard library and nothing else.
+//
+// Expectation syntax, a strict subset of analysistest's:
+//
+//	ch <- 1 // want "sends on a channel"
+//
+// The string is a regexp matched against diagnostics reported on that
+// line of that file. Multiple expectations on one line are written as
+// consecutive quoted strings: // want "first" "second". The test fails
+// on any unmatched expectation and on any unexpected diagnostic.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// diag is one collected diagnostic.
+type diag struct {
+	file string
+	line int
+	msg  string
+}
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE matches one double-quoted or backquoted expectation string.
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads the fixture directory, applies the analyzer, and matches
+// diagnostics against want comments.
+func Run(t *testing.T, fixtureDir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("antest: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("antest: no fixtures in %s", fixtureDir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("antest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files)
+	if err != nil {
+		t.Fatalf("antest: typecheck %s: %v", fixtureDir, err)
+	}
+
+	var got []diag
+	report := func(d analysis.Diagnostic) {
+		pos := fset.Position(d.Pos)
+		got = append(got, diag{file: filepath.Base(pos.Filename), line: pos.Line, msg: d.Message})
+	}
+	if err := runAnalyzer(a, fset, files, pkg, info, report, make(map[*analysis.Analyzer]interface{})); err != nil {
+		t.Fatalf("antest: run %s: %v", a.Name, err)
+	}
+
+	expectations := parseWants(t, fset, files)
+	for i := range got {
+		d := &got[i]
+		found := false
+		for j := range expectations {
+			e := &expectations[j]
+			if e.matched || e.file != d.file || e.line != d.line {
+				continue
+			}
+			if e.rx.MatchString(d.msg) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.msg)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// typecheck type-checks the fixture files with the stdlib source
+// importer (offline; resolves standard-library imports from GOROOT
+// source).
+func typecheck(fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check("fixture", fset, files, info)
+	return pkg, info, err
+}
+
+// runAnalyzer executes a and its Requires closure, memoizing results.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	report func(analysis.Diagnostic), results map[*analysis.Analyzer]interface{}) error {
+	if _, done := results[a]; done {
+		return nil
+	}
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		if err := runAnalyzer(req, fset, files, pkg, info, func(analysis.Diagnostic) {}, results); err != nil {
+			return err
+		}
+		resultOf[req] = results[req]
+	}
+	facts := newFactStore()
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		// Fixtures pose as module code: analyzers that restrict
+		// themselves to the enclosing module (lockcheck) must not skip
+		// them the way they skip standard-library dependencies.
+		Module:            &analysis.Module{Path: "fixture.test", GoVersion: "go1.24"},
+		TypesInfo:         info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          resultOf,
+		Report:            report,
+		ImportObjectFact:  facts.importObjectFact,
+		ExportObjectFact:  facts.exportObjectFact,
+		ImportPackageFact: facts.importPackageFact,
+		ExportPackageFact: facts.exportPackageFact,
+		AllObjectFacts:    facts.allObjectFacts,
+		AllPackageFacts:   facts.allPackageFacts,
+		ReadFile:          os.ReadFile,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.Name, err)
+	}
+	results[a] = res
+	return nil
+}
+
+// factStore is a trivial single-package in-memory fact table; fixture
+// suites never exercise cross-package facts (the lint-at-HEAD test
+// covers those through the real go vet driver).
+type factStore struct {
+	obj map[types.Object][]analysis.Fact
+	pkg map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		obj: make(map[types.Object][]analysis.Fact),
+		pkg: make(map[*types.Package][]analysis.Fact),
+	}
+}
+
+func (s *factStore) exportObjectFact(obj types.Object, f analysis.Fact) {
+	s.obj[obj] = append(s.obj[obj], f)
+}
+
+func (s *factStore) importObjectFact(obj types.Object, f analysis.Fact) bool {
+	for _, have := range s.obj[obj] {
+		if fmt.Sprintf("%T", have) == fmt.Sprintf("%T", f) {
+			reflectSet(f, have)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) exportPackageFact(f analysis.Fact) {}
+
+func (s *factStore) importPackageFact(p *types.Package, f analysis.Fact) bool { return false }
+
+func (s *factStore) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for obj, fs := range s.obj {
+		for _, f := range fs {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	return out
+}
+
+func (s *factStore) allPackageFacts() []analysis.PackageFact { return nil }
+
+// reflectSet copies src's pointed-to value into dst (both *T facts).
+func reflectSet(dst, src analysis.Fact) {
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(src)
+	if dv.Kind() == reflect.Pointer && sv.Kind() == reflect.Pointer && dv.Type() == sv.Type() {
+		dv.Elem().Set(sv.Elem())
+	}
+}
+
+// parseWants extracts want expectations from fixture comments.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var out []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					raw := q[1]
+					if raw == "" {
+						raw = q[2]
+					}
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						rx:   rx,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Package directive parses the repository's //tempo: analysis
+// directives out of Go source comments.
+//
+// A directive is a single-line comment of the form
+//
+//	//tempo:NAME [arg ...]
+//
+// (no space between // and tempo:, mirroring //go: directives). The
+// analyzers in tools/analyze use them two ways: contract annotations
+// (//tempo:guard, //tempo:noalloc, //tempo:wire, //tempo:blocks)
+// attach an invariant to a declaration, and waivers
+// (//tempo:allowblock, //tempo:allowalloc, //tempo:allowctx) suppress a
+// finding on the line they trail or the line directly below them, with
+// a mandatory human-readable reason.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //tempo: comment.
+type Directive struct {
+	// Name is the directive name without the tempo: prefix
+	// ("guard", "wire", "allowblock", ...).
+	Name string
+	// Args is the remainder of the line, space-trimmed ("encode=Foo
+	// decode=Bar", or a waiver reason).
+	Args string
+	// Pos is the comment's position.
+	Pos token.Pos
+}
+
+const prefix = "//tempo:"
+
+// Parse returns the directive encoded in a single comment, if any.
+func Parse(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, prefix) {
+		return Directive{}, false
+	}
+	body := strings.TrimPrefix(c.Text, prefix)
+	name, args, _ := strings.Cut(body, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()}, true
+}
+
+// FromCommentGroups returns the first directive with the given name in
+// any of the groups (a declaration's Doc and trailing Comment,
+// typically).
+func FromCommentGroups(name string, groups ...*ast.CommentGroup) (Directive, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if d, ok := Parse(c); ok && d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// Waivers indexes waiver directives by file and line so analyzers can
+// ask "is the finding at this position waived?" in O(1).
+type Waivers struct {
+	name  string
+	lines map[*token.File]map[int]bool
+}
+
+// NewWaivers collects every //tempo:<name> directive in the files. A
+// waiver covers findings on its own line (trailing comment) and on the
+// line immediately below it (comment above the statement).
+func NewWaivers(fset *token.FileSet, name string, files []*ast.File) *Waivers {
+	w := &Waivers{name: name, lines: make(map[*token.File]map[int]bool)}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				d, ok := Parse(c)
+				if !ok || d.Name != name {
+					continue
+				}
+				tf := fset.File(c.Pos())
+				if tf == nil {
+					continue
+				}
+				m := w.lines[tf]
+				if m == nil {
+					m = make(map[int]bool)
+					w.lines[tf] = m
+				}
+				line := tf.Line(c.Pos())
+				m[line] = true
+				m[line+1] = true
+			}
+		}
+	}
+	return w
+}
+
+// Covers reports whether a waiver covers the given position.
+func (w *Waivers) Covers(fset *token.FileSet, pos token.Pos) bool {
+	tf := fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	return w.lines[tf][tf.Line(pos)]
+}
+
+// KeyValues splits directive args of the form "k1=v1 k2=v2" into a map.
+// Bare words map to "".
+func KeyValues(args string) map[string]string {
+	m := make(map[string]string)
+	for _, fldStr := range strings.Fields(args) {
+		k, v, _ := strings.Cut(fldStr, "=")
+		m[k] = v
+	}
+	return m
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file (the
+// contract analyzers skip test code; tests may block, allocate and use
+// context.Background freely).
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	tf := fset.File(pos)
+	return tf != nil && strings.HasSuffix(tf.Name(), "_test.go")
+}

@@ -1,0 +1,35 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestLintAtHead builds the analyzer binary and runs the whole suite
+// over the module, the same way `make lint` does. The tree must stay
+// lint-clean: a diagnostic anywhere (a blocking call under a
+// //tempo:guard mutex, a codec field the decoder forgot, an allocation
+// on a //tempo:noalloc path, a missing doc comment) fails this test.
+func TestLintAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping full-tree lint")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "analyze")
+
+	build := exec.Command("go", "build", "-o", bin, "./tools/analyze")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./tools/analyze: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("lint found diagnostics at HEAD: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,623 @@
+// Package lockcheck implements the off-lock-execution analyzer: no
+// blocking operation may be reachable while a //tempo:guard-annotated
+// mutex is held.
+//
+// This machine-checks the contract established by the server's
+// execution pipeline: protocol steps under n.mu only mutate protocol
+// state and enqueue work; everything that can stall — network writes,
+// fsyncs and WAL appends, channel sends, sleeps, waiter completion,
+// state-machine applies — happens on dedicated goroutines outside the
+// lock. Before this analyzer the contract lived in comments; now a
+// violation is a build failure.
+//
+// Annotations:
+//
+//	//tempo:guard            on a mutex field or package var: protect
+//	                         its critical sections from blocking calls
+//	//tempo:blocks <reason>  on a function: treat calls to it as
+//	                         blocking even if its body looks benign
+//	                         (unbounded work, e.g. state-machine apply)
+//	//tempo:allowblock <reason>
+//	                         waiver: suppress the finding on this line
+//	                         or the line below (e.g. a cap-1 channel
+//	                         send that is claimed-once by construction)
+//
+// Blocking-ness is inferred transitively: a function whose body
+// contains a blocking primitive (channel send/receive, select without
+// default, time.Sleep, net/os/bufio write-path calls, sync.WaitGroup/
+// Cond waits) — or a call to another blocking function — is itself
+// blocking. The inference crosses package boundaries through analysis
+// facts, so cluster code calling wal.(*Log).Append is flagged without
+// any local annotation. Waived call sites do not propagate: waiving a
+// provably-non-blocking send also declares the enclosing function
+// non-blocking through that site.
+//
+// Limitations (deliberate, documented): the held-region tracking is
+// syntactic and per-function — a Lock acquired inside a conditional is
+// assumed released when the conditional exits, function literals that
+// escape are not attributed to the region that created them, and defer
+// ordering relative to a deferred Unlock is not modeled.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"tempo/tools/analyze/internal/directive"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockcheck",
+	Doc:       "reports blocking operations reached while a //tempo:guard mutex is held",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*blocksFact)(nil)},
+}
+
+// blocksFact marks a function as blocking; exported so callers in other
+// packages inherit the classification.
+type blocksFact struct {
+	// Reason explains why the function blocks, chained through the
+	// call graph ("calls (*Log).Append, which calls (*File).Sync").
+	Reason string
+}
+
+// AFact implements analysis.Fact.
+func (*blocksFact) AFact() {}
+
+// String implements analysis.Fact diagnostics output.
+func (f *blocksFact) String() string { return "blocks: " + f.Reason }
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Analyze (and export facts for) module code only. The driver also
+	// runs fact-exporting analyzers over every dependency, including the
+	// standard library; inferring "blocks" through runtime internals
+	// (every allocation can trigger a GC assist) would classify nearly
+	// all code as blocking. Standard-library behavior comes from the
+	// curated stdBlocking table instead.
+	if pass.Module == nil || pass.Module.Path == "" || pass.Module.Path == "std" || pass.Module.Path == "cmd" {
+		return nil, nil
+	}
+	c := &checker{
+		pass:     pass,
+		guarded:  make(map[types.Object]bool),
+		blocking: make(map[*types.Func]string),
+		bodies:   make(map[*types.Func]*ast.FuncDecl),
+		waivers:  directive.NewWaivers(pass.Fset, "allowblock", pass.Files),
+	}
+	c.collectGuards()
+	c.collectFuncs()
+	c.infer()
+	for fn, reason := range c.blocking {
+		// The fact store rejects objects from other packages; inferred
+		// functions are always package-local.
+		f := &blocksFact{Reason: reason}
+		pass.ExportObjectFact(fn, f)
+	}
+	c.checkHeldRegions()
+	return nil, nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	guarded  map[types.Object]bool
+	blocking map[*types.Func]string
+	bodies   map[*types.Func]*ast.FuncDecl
+	waivers  *directive.Waivers
+}
+
+// collectGuards finds //tempo:guard-annotated mutex fields and package
+// vars and records their types.Objects.
+func (c *checker) collectGuards() {
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.Field:
+				if _, ok := directive.FromCommentGroups("guard", d.Doc, d.Comment); !ok {
+					return true
+				}
+				for _, name := range d.Names {
+					c.addGuard(name)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if _, ok := directive.FromCommentGroups("guard", d.Doc, vs.Doc, vs.Comment); !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c.addGuard(name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) addGuard(name *ast.Ident) {
+	obj := c.pass.TypesInfo.Defs[name]
+	if obj == nil {
+		return
+	}
+	if !isMutexType(obj.Type()) {
+		c.pass.Reportf(name.Pos(), "//tempo:guard on %s, which is not a sync.Mutex or sync.RWMutex", name.Name)
+		return
+	}
+	c.guarded[obj] = true
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// collectFuncs indexes function declarations and seeds the blocking set
+// with //tempo:blocks annotations.
+func (c *checker) collectFuncs() {
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.bodies[obj] = fd
+			if reason, ok := blocksAnnotation(fd.Doc); ok {
+				c.blocking[obj] = reason
+			}
+		}
+		// Interface methods may be annotated too: dynamic calls resolve
+		// to the interface method object, so a //tempo:blocks on the
+		// declaration covers every implementation.
+		ast.Inspect(file, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, m := range it.Methods.List {
+				reason, ok := blocksAnnotation(m.Doc)
+				if !ok {
+					continue
+				}
+				for _, name := range m.Names {
+					if obj, ok := c.pass.TypesInfo.Defs[name].(*types.Func); ok {
+						c.blocking[obj] = reason
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// blocksAnnotation extracts a //tempo:blocks directive from a doc
+// comment, normalizing the reported reason.
+func blocksAnnotation(doc *ast.CommentGroup) (string, bool) {
+	d, ok := directive.FromCommentGroups("blocks", doc)
+	if !ok {
+		return "", false
+	}
+	if d.Args == "" {
+		return "is annotated //tempo:blocks", true
+	}
+	return "is annotated //tempo:blocks (" + d.Args + ")", true
+}
+
+// infer runs the transitive blocking-function inference to a fixpoint.
+func (c *checker) infer() {
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range c.bodies {
+			if _, done := c.blocking[fn]; done {
+				continue
+			}
+			if reason, found := c.bodyBlocks(fd); found {
+				c.blocking[fn] = reason
+				changed = true
+			}
+		}
+	}
+}
+
+// bodyBlocks reports whether fd's body contains a (non-waived) blocking
+// occurrence under the walker's reachability rules.
+func (c *checker) bodyBlocks(fd *ast.FuncDecl) (string, bool) {
+	var reason string
+	w := &walker{
+		c: c,
+		report: func(pos token.Pos, desc string) {
+			if reason == "" {
+				reason = desc
+			}
+		},
+		always: true,
+	}
+	w.stmts(fd.Body.List, map[types.Object]token.Pos{})
+	return reason, reason != ""
+}
+
+// checkHeldRegions reports blocking occurrences inside guarded critical
+// sections.
+func (c *checker) checkHeldRegions() {
+	for _, fd := range c.bodies {
+		w := &walker{c: c}
+		w.report = func(pos token.Pos, desc string) {
+			held := w.current
+			var names []string
+			for obj, lockPos := range held {
+				names = append(names, fmt.Sprintf("%s (locked at %s)", obj.Name(), c.pass.Fset.Position(lockPos)))
+			}
+			sort.Strings(names)
+			c.pass.Reportf(pos, "%s while //tempo:guard mutex %s is held", desc, strings.Join(names, ", "))
+		}
+		w.stmts(fd.Body.List, map[types.Object]token.Pos{})
+	}
+}
+
+// blockingCall classifies a resolved callee as blocking, either via the
+// built-in table of stdlib primitives, via a //tempo:blocks annotation
+// or inference in this package, or via an imported fact.
+func (c *checker) blockingCall(fn *types.Func) (string, bool) {
+	if reason, ok := c.blocking[fn]; ok {
+		return fmt.Sprintf("calls %s, which %s", fn.Name(), reason), true
+	}
+	var fact blocksFact
+	if c.pass.ImportObjectFact(fn, &fact) {
+		return fmt.Sprintf("calls %s.%s, which %s", fn.Pkg().Name(), fn.Name(), fact.Reason), true
+	}
+	if desc, ok := stdBlocking(fn); ok {
+		return desc, true
+	}
+	return "", false
+}
+
+// stdBlocking is the built-in table of blocking stdlib calls: the
+// write/fsync path (os, bufio), the network (net reads, writes and
+// dials), sleeps, and sync waits.
+func stdBlocking(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "time":
+		if name == "Sleep" {
+			return "calls time.Sleep", true
+		}
+	case "net":
+		if name == "Read" || name == "Write" || strings.HasPrefix(name, "Dial") {
+			return "calls net." + recvPrefix(fn) + name + ", which does network I/O", true
+		}
+	case "os":
+		switch name {
+		case "Sync":
+			return "calls os." + recvPrefix(fn) + "Sync, which fsyncs", true
+		case "Write", "WriteString", "WriteAt":
+			return "calls os." + recvPrefix(fn) + name + ", which does file I/O", true
+		}
+	case "bufio":
+		if recvNamed(fn) == "Writer" {
+			switch name {
+			case "Flush", "Write", "WriteString", "WriteByte", "WriteRune":
+				return "calls bufio.(*Writer)." + name + ", which may flush to the underlying writer", true
+			}
+		}
+	case "sync":
+		if name == "Wait" && (recvNamed(fn) == "WaitGroup" || recvNamed(fn) == "Cond") {
+			return "calls sync.(*" + recvNamed(fn) + ").Wait", true
+		}
+	}
+	return "", false
+}
+
+// recvNamed returns the name of the method receiver's base type, or "".
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func recvPrefix(fn *types.Func) string {
+	if r := recvNamed(fn); r != "" {
+		return "(" + r + ")."
+	}
+	return ""
+}
+
+// walker traverses one function body tracking which guarded mutexes are
+// held, reporting blocking occurrences while any is. In `always` mode
+// (inference) every statement is treated as guarded and lock-state
+// changes are ignored.
+type walker struct {
+	c      *checker
+	report func(pos token.Pos, desc string)
+	always bool
+	// current mirrors the held map of the most recent active() check so
+	// the report callback can name the mutexes without threading the
+	// map through every call.
+	current map[types.Object]token.Pos
+}
+
+func (w *walker) active(held map[types.Object]token.Pos) bool {
+	w.current = held
+	return w.always || len(held) > 0
+}
+
+// stmts processes a statement list sequentially, threading lock-state
+// through it. Compound statements recurse with a copy of the state so a
+// branch-local Unlock (the `if cond { mu.Unlock(); return }` early-exit
+// pattern) does not leak into the fall-through path.
+func (w *walker) stmts(list []ast.Stmt, held map[types.Object]token.Pos) {
+	for _, st := range list {
+		w.stmt(st, held)
+	}
+}
+
+func (w *walker) stmt(st ast.Stmt, held map[types.Object]token.Pos) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if obj, op := w.lockOp(s.X); obj != nil {
+			if w.always {
+				return
+			}
+			switch op {
+			case "Lock", "RLock":
+				held[obj] = s.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, obj)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		if obj, op := w.lockOp(s.Call); obj != nil && (op == "Unlock" || op == "RUnlock") {
+			// Deferred unlock: the mutex stays held for the remainder of
+			// the function, which the sequential walk already models.
+			return
+		}
+		// The call's function and arguments are evaluated now; the call
+		// itself runs at return time, outside the scanned region.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.GoStmt:
+		// Argument evaluation is synchronous; the callee runs on its own
+		// goroutine, off this critical section.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		if w.active(held) && !w.waived(s.Arrow) {
+			w.report(s.Arrow, "sends on a channel")
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		if w.active(held) && isChanType(w.c.pass.TypesInfo.TypeOf(s.X)) && !w.waived(s.For) {
+			w.report(s.For, "ranges over a channel (blocking receive)")
+		}
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					w.expr(e, held)
+				}
+				w.stmts(cl.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				w.stmts(cl.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok && cl.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && w.active(held) && !w.waived(s.Pos()) {
+			w.report(s.Pos(), "selects without a default case (blocks until a channel is ready)")
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				// The comm clauses themselves are non-blocking once the
+				// select has chosen; only their bodies are scanned.
+				w.stmts(cl.Body, copyHeld(held))
+			}
+		}
+	}
+}
+
+// expr scans one expression for blocking occurrences. Function literals
+// are only entered when immediately invoked; an escaping literal runs
+// in some other region.
+func (w *walker) expr(e ast.Expr, held map[types.Object]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && w.active(held) && !w.waived(x.OpPos) {
+				w.report(x.OpPos, "receives from a channel")
+			}
+		case *ast.CallExpr:
+			if fl, ok := x.Fun.(*ast.FuncLit); ok {
+				w.stmts(fl.Body.List, copyHeld(held))
+				for _, a := range x.Args {
+					w.expr(a, held)
+				}
+				return false
+			}
+			if !w.active(held) {
+				return true
+			}
+			if fn := typeutil.StaticCallee(w.c.pass.TypesInfo, x); fn != nil {
+				if desc, ok := w.c.blockingCall(fn); ok && !w.waived(x.Pos()) {
+					w.report(x.Pos(), desc)
+				}
+			} else if fn := interfaceCallee(w.c.pass.TypesInfo, x); fn != nil {
+				if desc, ok := w.c.blockingCall(fn); ok && !w.waived(x.Pos()) {
+					w.report(x.Pos(), desc)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// interfaceCallee resolves a dynamic method call to its interface
+// method object (StaticCallee returns nil for those); the stdlib table
+// matches net.Conn's Read/Write through it.
+func interfaceCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+// lockOp recognizes `<guarded>.Lock()` / `.Unlock()` (and RW variants)
+// and returns the guarded mutex object and the operation name.
+func (w *walker) lockOp(e ast.Expr) (types.Object, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	var obj types.Object
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		obj = w.c.pass.TypesInfo.Uses[x.Sel]
+	case *ast.Ident:
+		obj = w.c.pass.TypesInfo.Uses[x]
+	}
+	if obj == nil || !w.c.guarded[obj] {
+		return nil, ""
+	}
+	return obj, op
+}
+
+func (w *walker) waived(pos token.Pos) bool {
+	return w.c.waivers.Covers(w.c.pass.Fset, pos)
+}
+
+func copyHeld(held map[types.Object]token.Pos) map[types.Object]token.Pos {
+	cp := make(map[types.Object]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

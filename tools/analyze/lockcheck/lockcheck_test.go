@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"tempo/tools/analyze/internal/antest"
+	"tempo/tools/analyze/lockcheck"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, "testdata", lockcheck.Analyzer)
+}

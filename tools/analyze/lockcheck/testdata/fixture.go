@@ -1,0 +1,175 @@
+// Package fixture exercises lockcheck: blocking operations under a
+// //tempo:guard mutex are findings; off-lock, waived, select-default
+// and goroutine-spawn paths are not.
+package fixture
+
+import (
+	"bufio"
+	"os"
+	"sync"
+	"time"
+)
+
+type node struct {
+	//tempo:guard
+	mu sync.Mutex
+	// plain is not guarded: blocking under it is fine.
+	plain sync.Mutex
+
+	ch   chan int
+	kick chan struct{}
+	f    *os.File
+	bw   *bufio.Writer
+}
+
+func (n *node) sendUnderLock() {
+	n.mu.Lock()
+	n.ch <- 1 // want "sends on a channel"
+	n.mu.Unlock()
+}
+
+func (n *node) sleepUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "calls time.Sleep"
+}
+
+func (n *node) recvUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	<-n.ch // want "receives from a channel"
+}
+
+func (n *node) fsyncUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.f.Sync() // want "fsyncs"
+}
+
+func (n *node) flushUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bw.Flush() // want "may flush"
+}
+
+func (n *node) sendAfterUnlock() {
+	n.mu.Lock()
+	n.mu.Unlock()
+	n.ch <- 1 // ok: lock released
+}
+
+func (n *node) sendUnderPlainLock() {
+	n.plain.Lock()
+	n.ch <- 1 // ok: plain is not a guarded mutex
+	n.plain.Unlock()
+}
+
+func (n *node) nonBlockingKick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // ok: select with default never blocks
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (n *node) blockingSelect() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want "selects without a default"
+	case n.kick <- struct{}{}:
+	case v := <-n.ch:
+		_ = v
+	}
+}
+
+func (n *node) spawnUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.ch <- 1 // ok: runs on its own goroutine, off the lock
+	}()
+}
+
+func (n *node) earlyExitUnlock(cond bool) {
+	n.mu.Lock()
+	if cond {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	n.ch <- 1 // ok: both paths released the lock
+}
+
+func (n *node) waivedSend() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//tempo:allowblock cap-1 channel, claimed exactly once
+	n.ch <- 1 // ok: waived with a reason
+}
+
+// flushDisk is not annotated; lockcheck infers it blocks because its
+// body fsyncs.
+func (n *node) flushDisk() {
+	n.f.Sync()
+}
+
+func (n *node) transitiveUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flushDisk() // want "calls flushDisk, which calls os"
+}
+
+//tempo:blocks state-machine apply is unbounded work
+func (n *node) apply() {}
+
+func (n *node) annotatedUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.apply() // want "annotated //tempo:blocks"
+}
+
+func (n *node) applyOffLock() {
+	n.apply() // ok: no guarded mutex held
+}
+
+func (n *node) immediateClosure() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	func() {
+		n.ch <- 1 // want "sends on a channel"
+	}()
+}
+
+func (n *node) escapingClosure() []func() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return []func(){func() {
+		n.ch <- 1 // ok: literal escapes; it runs in some other region
+	}}
+}
+
+func (n *node) rangeOverChannel() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for v := range n.ch { // want "ranges over a channel"
+		_ = v
+	}
+}
+
+// store abstracts a state machine; the interface method carries the
+// annotation, so every dynamic call through it is blocking.
+type store interface {
+	//tempo:blocks serializes the full state machine
+	snapshotTo(buf []byte) error
+}
+
+func (n *node) snapshotUnderLock(st store) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st.snapshotTo(nil) // want "annotated //tempo:blocks"
+}
+
+func (n *node) snapshotOffLock(st store) {
+	st.snapshotTo(nil) // ok: no guarded mutex held
+}

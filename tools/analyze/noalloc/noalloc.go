@@ -1,0 +1,324 @@
+// Package noalloc implements the hot-path allocation analyzer: a
+// //tempo:noalloc-annotated function must not contain constructs that
+// allocate on every call.
+//
+// The repo's encode paths (proto primitives, the per-message
+// AppendBinary family, command payload appends, client frame builders)
+// are benchmarked at zero allocations per op; that property is the
+// backbone of the PR 1 codec numbers and regresses silently when
+// someone adds an fmt.Errorf or a fresh map to the path. noalloc makes
+// the property declarative.
+//
+// Flagged inside an annotated function:
+//
+//   - &T{...}, new(T): heap-candidate pointer construction
+//   - slice and map composite literals
+//   - make() of any kind (maps, chans, slices)
+//   - calls into fmt (every fmt call allocates)
+//   - string(b)/[]byte(s) conversions and non-constant string
+//     concatenation
+//   - function literals that capture enclosing variables (closure
+//     allocation)
+//   - append whose destination does not originate from a parameter or
+//     receiver (append into a caller-provided buffer is the amortized
+//     zero-alloc idiom; append into a locally-minted slice is an
+//     unbounded allocation)
+//   - implicit conversion of a non-pointer value to an interface type
+//     in call arguments (boxing)
+//
+// //tempo:allowalloc <reason> on the line (or the line above) waives
+// one finding — e.g. an error path that allocates only when the input
+// is corrupt. The analyzer checks syntax, not escape analysis: keeping
+// the benchmarks' allocs/op assertions alongside it is what proves the
+// property end to end; this pass catches the regression at compile
+// time instead of at benchmark time.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tempo/tools/analyze/internal/directive"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "reports per-call allocations inside //tempo:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	waivers := directive.NewWaivers(pass.Fset, "allowalloc", pass.Files)
+	for _, file := range pass.Files {
+		if directive.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := directive.FromCommentGroups("noalloc", fd.Doc); !ok {
+				continue
+			}
+			c := &checker{pass: pass, waivers: waivers, fn: fd}
+			c.check()
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	waivers *directive.Waivers
+	fn      *ast.FuncDecl
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...interface{}) {
+	if c.waivers.Covers(c.pass.Fset, pos) {
+		return
+	}
+	c.pass.Reportf(pos, "//tempo:noalloc %s: "+format, append([]interface{}{c.fn.Name.Name}, args...)...)
+}
+
+// paramObjs collects the function's parameters and receiver; append
+// into slices rooted in these is the caller-buffer idiom and allowed.
+func (c *checker) paramObjs() map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if obj := c.pass.TypesInfo.Defs[n]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	add(c.fn.Recv)
+	add(c.fn.Type.Params)
+	return objs
+}
+
+func (c *checker) check() {
+	params := c.paramObjs()
+	// allowedSlices tracks locals assigned from parameter-rooted
+	// append chains (`buf = append(buf, ...)`; `out := appendX(buf)`).
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if c.captures(x) {
+				c.reportf(x.Pos(), "closure captures enclosing variables (allocates)")
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					c.reportf(x.Pos(), "&composite literal allocates")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch c.litKind(x) {
+			case "slice":
+				c.reportf(x.Pos(), "slice literal allocates")
+			case "map":
+				c.reportf(x.Pos(), "map literal allocates")
+			}
+		case *ast.CallExpr:
+			c.call(x, params)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(c.pass.TypesInfo.TypeOf(x)) && !isConstExpr(c.pass.TypesInfo, x) {
+				c.reportf(x.Pos(), "non-constant string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) litKind(x *ast.CompositeLit) string {
+	t := c.pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return ""
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return ""
+}
+
+func (c *checker) call(x *ast.CallExpr, params map[types.Object]bool) {
+	switch fun := x.Fun.(type) {
+	case *ast.Ident:
+		if _, isBuiltin := c.pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+			switch fun.Name {
+			case "make":
+				c.reportf(x.Pos(), "make allocates")
+			case "new":
+				c.reportf(x.Pos(), "new allocates")
+			case "append":
+				c.appendCall(x, params)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				c.reportf(x.Pos(), "fmt.%s allocates", fun.Sel.Name)
+				return
+			}
+		}
+	}
+	// Conversions string<->[]byte.
+	if tv, ok := c.pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+		to := tv.Type
+		from := c.pass.TypesInfo.TypeOf(x.Args[0])
+		if isStringType(to) && isByteSlice(from) && !c.waivers.Covers(c.pass.Fset, x.Pos()) {
+			c.reportf(x.Pos(), "string([]byte) conversion allocates")
+		}
+		if isByteSlice(to) && isStringType(from) {
+			c.reportf(x.Pos(), "[]byte(string) conversion allocates")
+		}
+		return
+	}
+	// Interface boxing in arguments.
+	sig, _ := c.pass.TypesInfo.TypeOf(x.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range x.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if s, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(c.pass.TypesInfo, arg) {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointer-shaped: interface conversion without heap copy
+		}
+		c.reportf(arg.Pos(), "passing %s as interface %s boxes (allocates)", at, pt)
+	}
+}
+
+// appendCall flags appends whose destination slice is not rooted in a
+// parameter or receiver.
+func (c *checker) appendCall(x *ast.CallExpr, params map[types.Object]bool) {
+	if len(x.Args) == 0 {
+		return
+	}
+	root := rootIdent(x.Args[0])
+	if root != nil {
+		if obj := c.pass.TypesInfo.Uses[root]; obj != nil && params[obj] {
+			return
+		}
+	}
+	c.reportf(x.Pos(), "append into a non-parameter slice may grow (allocates); thread a caller buffer instead")
+}
+
+// rootIdent walks selector/index/slice expressions to the base ident.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// captures reports whether the literal references any object declared
+// outside itself but inside the enclosing function.
+func (c *checker) captures(fl *ast.FuncLit) bool {
+	inner := make(map[types.Object]bool)
+	ast.Inspect(fl, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil || inner[obj] {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			// Declared within the enclosing function (parameters,
+			// receiver or body locals)?
+			if c.fn.Pos() <= v.Pos() && v.Pos() < c.fn.End() {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"tempo/tools/analyze/internal/antest"
+	"tempo/tools/analyze/noalloc"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, "testdata", noalloc.Analyzer)
+}

@@ -1,0 +1,109 @@
+// Package fixture exercises noalloc: per-call allocations inside
+// //tempo:noalloc functions are findings; the append-into-caller-buffer
+// idiom and waived sites are not.
+package fixture
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type sink interface{ consume() }
+
+func (point) consume() {}
+
+//tempo:noalloc
+func appendPoint(buf []byte, p point) []byte {
+	buf = append(buf, byte(p.x)) // ok: appends into the caller's buffer
+	buf = append(buf, byte(p.y))
+	return buf
+}
+
+//tempo:noalloc
+func localAppend(n int) []byte {
+	var out []byte
+	for i := 0; i < n; i++ {
+		out = append(out, byte(i)) // want "append into a non-parameter slice"
+	}
+	return out
+}
+
+//tempo:noalloc
+func heapLiteral() *point {
+	return &point{1, 2} // want "composite literal allocates"
+}
+
+//tempo:noalloc
+func sliceLiteral() {
+	_ = []int{1, 2, 3} // want "slice literal allocates"
+}
+
+//tempo:noalloc
+func mapMaker() {
+	_ = map[string]int{}     // want "map literal allocates"
+	_ = make(map[string]int) // want "make allocates"
+}
+
+//tempo:noalloc
+func newMaker() *point {
+	return new(point) // want "new allocates"
+}
+
+//tempo:noalloc
+func formatter(v int) string {
+	return fmt.Sprintf("%d", v) // want "fmt.Sprintf allocates"
+}
+
+//tempo:noalloc
+func stringConv(b []byte, s string) {
+	_ = string(b) // want "conversion allocates"
+	_ = []byte(s) // want "conversion allocates"
+}
+
+//tempo:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+const prefix = "p"
+
+//tempo:noalloc
+func constConcat() string {
+	return prefix + "q" // ok: constant-folded at compile time
+}
+
+//tempo:noalloc
+func closureCapture(n int) func() int {
+	return func() int { return n } // want "closure captures"
+}
+
+//tempo:noalloc
+func closureStatic() func() int {
+	return func() int { return 42 } // ok: captures nothing
+}
+
+//tempo:noalloc
+func boxes(p point) {
+	var s sink
+	takeSink(s)
+	takeSink(p) // want "boxes"
+}
+
+//tempo:noalloc
+func pointerNoBox(p *point) {
+	takeAny(p) // ok: pointer-shaped, no heap copy on conversion
+}
+
+func takeSink(s sink) { _ = s }
+
+func takeAny(v interface{}) { _ = v }
+
+//tempo:noalloc
+func waived() *point {
+	//tempo:allowalloc corrupt-input error path only
+	return &point{3, 4} // ok: waived with a reason
+}
+
+// notAnnotated may allocate freely.
+func notAnnotated() *point {
+	return &point{5, 6} // ok: not a //tempo:noalloc function
+}

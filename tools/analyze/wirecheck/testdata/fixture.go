@@ -1,0 +1,149 @@
+// Package fixture exercises wirecheck: every field of a //tempo:wire
+// struct must be covered by the encoder/decoder pair; a field added to
+// the struct but missing from the decoder is the canonical finding.
+package fixture
+
+// appendUvarint stands in for the proto primitives.
+func appendUvarint(buf []byte, v uint64) []byte { return append(buf, byte(v)) }
+
+func readUvarint(b []byte) (uint64, []byte, error) { return uint64(b[0]), b[1:], nil }
+
+// Good is fully covered: both fields written and read.
+//
+//tempo:wire
+type Good struct {
+	A uint64
+	B uint64
+}
+
+// AppendBinary encodes Good.
+func (m *Good) AppendBinary(buf []byte) []byte {
+	buf = appendUvarint(buf, m.A)
+	return appendUvarint(buf, m.B)
+}
+
+func decodeGood(b []byte) (*Good, []byte, error) {
+	m := &Good{}
+	var err error
+	if m.A, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	if m.B, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	return m, b, nil
+}
+
+// Drifted grew a field C that the decoder never reads: the silent
+// corruption wirecheck exists to catch.
+//
+//tempo:wire
+type Drifted struct {
+	A uint64
+	C uint64 // want `field Drifted.C is not read by decoder decodeDrifted`
+}
+
+// AppendBinary encodes Drifted, including C.
+func (m *Drifted) AppendBinary(buf []byte) []byte {
+	buf = appendUvarint(buf, m.A)
+	return appendUvarint(buf, m.C)
+}
+
+func decodeDrifted(b []byte) (*Drifted, []byte, error) {
+	m := &Drifted{}
+	var err error
+	if m.A, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	return m, b, nil
+}
+
+// HalfWritten has a field the encoder skips.
+//
+//tempo:wire
+type HalfWritten struct {
+	A uint64
+	D uint64 // want `field HalfWritten.D is not written by encoder HalfWritten.AppendBinary`
+}
+
+// AppendBinary encodes HalfWritten but forgets D.
+func (m *HalfWritten) AppendBinary(buf []byte) []byte {
+	return appendUvarint(buf, m.A)
+}
+
+func decodeHalfWritten(b []byte) (*HalfWritten, []byte, error) {
+	var a, d uint64
+	var err error
+	if a, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	if d, b, err = readUvarint(b); err != nil {
+		return nil, b, err
+	}
+	return &HalfWritten{A: a, D: d}, b, nil // composite-literal keys count as reads
+}
+
+// Skipped has a derived field that deliberately does not travel.
+//
+//tempo:wire
+type Skipped struct {
+	A uint64
+	//tempo:wire-skip
+	cache uint64
+}
+
+// AppendBinary encodes Skipped.
+func (m *Skipped) AppendBinary(buf []byte) []byte { return appendUvarint(buf, m.A) }
+
+func decodeSkipped(b []byte) (*Skipped, []byte, error) {
+	m := &Skipped{}
+	var err error
+	m.A, b, err = readUvarint(b)
+	return m, b, err
+}
+
+// Explicit uses explicitly named codec functions.
+//
+//tempo:wire encode=AppendExplicit decode=ParseExplicit
+type Explicit struct {
+	A uint64
+	E uint64 // want `field Explicit.E is not read by decoder ParseExplicit`
+}
+
+// AppendExplicit encodes Explicit.
+func AppendExplicit(buf []byte, m *Explicit) []byte {
+	buf = appendUvarint(buf, m.A)
+	return appendUvarint(buf, m.E)
+}
+
+// ParseExplicit decodes Explicit but forgets E.
+func ParseExplicit(b []byte) (Explicit, []byte, error) {
+	var m Explicit
+	var err error
+	m.A, b, err = readUvarint(b)
+	return m, b, err
+}
+
+// DecodeOnly is built by loose-parameter encoders (the psmr v2 frame
+// style); only the decoder side is checkable.
+//
+//tempo:wire encode=- decode=DecodeDecodeOnly
+type DecodeOnly struct {
+	A uint64
+	F uint64 // want `field DecodeOnly.F is not read by decoder DecodeDecodeOnly`
+}
+
+// DecodeDecodeOnly decodes DecodeOnly but forgets F.
+func DecodeDecodeOnly(b []byte) (DecodeOnly, []byte, error) {
+	var m DecodeOnly
+	var err error
+	m.A, b, err = readUvarint(b)
+	return m, b, err
+}
+
+// Orphan has no codec at all.
+//
+//tempo:wire
+type Orphan struct { // want `struct Orphan has no encoder Orphan.AppendBinary` `struct Orphan has no decoder decodeOrphan`
+	A uint64
+}

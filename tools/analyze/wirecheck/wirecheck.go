@@ -1,0 +1,242 @@
+// Package wirecheck implements the codec-coverage analyzer: every
+// field of a //tempo:wire-annotated struct must be written by its
+// hand-rolled encoder and read by its hand-rolled decoder.
+//
+// The repo's wire formats (internal/proto frames, internal/tempo
+// protocol messages, internal/command payloads, the psmr v2 client
+// frames) are hand-written append/decode pairs for zero-alloc
+// encoding. The failure mode is silent: add a field to a message
+// struct, forget one side of the codec, and the field is zeroed or
+// garbage on the far side with no error anywhere. wirecheck turns that
+// drift into a build failure.
+//
+// Annotations, on the struct type declaration:
+//
+//	//tempo:wire                        use the default pair: method
+//	                                    AppendBinary (encoder) and
+//	                                    function decode<Type> or
+//	                                    Decode<Type> (decoder)
+//	//tempo:wire encode=F decode=G      explicit function names
+//	//tempo:wire encode=-               waive the encoder side (e.g. a
+//	                                    request struct whose encoders
+//	                                    write loose parameters); the
+//	                                    decoder side is still checked
+//
+// A field whose doc or line comment carries //tempo:wire-skip is
+// exempt (derived or cache-only fields that deliberately do not travel).
+//
+// "Written by the encoder" and "read by the decoder" are approximated
+// as: the function body mentions the field, either through a selector
+// on a value of the struct type or as a composite-literal key. That is
+// deliberately permissive — it cannot prove the bytes are in the right
+// order — but it exactly catches the add-a-field-and-forget case, which
+// is the one that happens.
+package wirecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"tempo/tools/analyze/internal/directive"
+)
+
+// Analyzer is the wirecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecheck",
+	Doc:  "checks that every field of a //tempo:wire struct is covered by its encoder and decoder",
+	Run:  run,
+}
+
+type wireStruct struct {
+	name    *ast.Ident
+	st      *ast.StructType
+	obj     types.Object // the type name object
+	encode  string       // "-" to waive
+	decode  string
+	skipped map[string]bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var targets []*wireStruct
+	// funcs indexes every declared function body by name; methods are
+	// indexed as "Recv.Name".
+	funcs := make(map[string]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		if directive.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				funcs[funcKey(d)] = d
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					dir, ok := directive.FromCommentGroups("wire", d.Doc, ts.Doc, ts.Comment)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						pass.Reportf(ts.Pos(), "//tempo:wire on %s, which is not a struct type", ts.Name.Name)
+						continue
+					}
+					w := &wireStruct{
+						name:    ts.Name,
+						st:      st,
+						obj:     pass.TypesInfo.Defs[ts.Name],
+						skipped: make(map[string]bool),
+					}
+					kv := directive.KeyValues(dir.Args)
+					w.encode = kv["encode"]
+					w.decode = kv["decode"]
+					targets = append(targets, w)
+				}
+			}
+		}
+	}
+	for _, w := range targets {
+		check(pass, w, funcs)
+	}
+	return nil, nil
+}
+
+func funcKey(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// resolve finds the encoder or decoder declaration for a target, trying
+// the explicit name, then the conventional candidates.
+func resolve(w *wireStruct, funcs map[string]*ast.FuncDecl, explicit string, candidates []string) (*ast.FuncDecl, string) {
+	if explicit != "" {
+		// Explicit names may be plain functions or methods of the type.
+		if fd, ok := funcs[explicit]; ok {
+			return fd, explicit
+		}
+		if fd, ok := funcs[w.name.Name+"."+explicit]; ok {
+			return fd, explicit
+		}
+		return nil, explicit
+	}
+	for _, cand := range candidates {
+		if fd, ok := funcs[cand]; ok {
+			return fd, cand
+		}
+	}
+	return nil, candidates[0]
+}
+
+func check(pass *analysis.Pass, w *wireStruct, funcs map[string]*ast.FuncDecl) {
+	if w.obj == nil {
+		return
+	}
+	var fields []*ast.Ident
+	for _, f := range w.st.Fields.List {
+		if _, skip := directive.FromCommentGroups("wire-skip", f.Doc, f.Comment); skip {
+			continue
+		}
+		for _, n := range f.Names {
+			if n.Name == "_" {
+				continue
+			}
+			fields = append(fields, n)
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: treat the type name as the field name.
+			t := f.Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok {
+				fields = append(fields, id)
+			}
+		}
+	}
+	sides := []struct {
+		which      string
+		explicit   string
+		candidates []string
+		verb       string
+	}{
+		{"encoder", w.encode, []string{w.name.Name + ".AppendBinary"}, "written"},
+		{"decoder", w.decode, []string{"decode" + w.name.Name, "Decode" + w.name.Name}, "read"},
+	}
+	for _, side := range sides {
+		if side.explicit == "-" {
+			continue
+		}
+		fd, shown := resolve(w, funcs, side.explicit, side.candidates)
+		if fd == nil {
+			pass.Reportf(w.name.Pos(), "//tempo:wire struct %s has no %s %s in this package", w.name.Name, side.which, shown)
+			continue
+		}
+		covered := fieldMentions(pass, fd, w.obj)
+		for _, f := range fields {
+			if !covered[f.Name] {
+				pass.Reportf(f.Pos(), "field %s.%s is not %s by %s %s; update the codec or mark the field //tempo:wire-skip",
+					w.name.Name, f.Name, side.verb, side.which, funcKey(fd))
+			}
+		}
+	}
+}
+
+// fieldMentions returns the set of field names of struct type obj that
+// fd's body mentions, via selector or composite-literal key.
+func fieldMentions(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) map[string]bool {
+	named, _ := obj.Type().(*types.Named)
+	if named == nil {
+		return nil
+	}
+	mentions := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if base := baseNamed(sel.Recv()); base != nil && base.Obj() == named.Obj() {
+					mentions[x.Sel.Name] = true
+				}
+			}
+		case *ast.CompositeLit:
+			if base := baseNamed(pass.TypesInfo.TypeOf(x)); base != nil && base.Obj() == named.Obj() {
+				for _, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							mentions[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return mentions
+}
+
+func baseNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+package wirecheck_test
+
+import (
+	"testing"
+
+	"tempo/tools/analyze/internal/antest"
+	"tempo/tools/analyze/wirecheck"
+)
+
+func TestFixtures(t *testing.T) {
+	antest.Run(t, "testdata", wirecheck.Analyzer)
+}
