@@ -5,7 +5,7 @@ GO ?= go
 ## (the container has no module proxy access).
 GOVULNCHECK_VERSION ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: ci fmt vet lint doc-check build test test-race bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault bench-shard bench-wan soak soak-short FORCE
+.PHONY: ci fmt vet lint doc-check build test test-race conformance bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault bench-shard bench-wan bench-compare soak soak-short FORCE
 
 ## ci: the main CI job, in order (the race and bench-smoke jobs run in
 ## parallel in the workflow)
@@ -51,6 +51,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+## conformance: the engine conformance matrix under the race detector —
+## every registered consensus engine (tempo, epaxos, fpaxos) through the
+## shared suite (linearizability, batching, deadlines, partition+heal,
+## durable restart), plus the negative controls proving the suite
+## catches broken engines
+conformance:
+	$(GO) test -race -run 'TestConformance' -count=1 ./internal/cluster/
+
 ## bench-smoke: one iteration of every benchmark plus a short run of the
 ## micro, cluster, fault and shard experiments — catches perf-path
 ## regressions that compile but deadlock or stall, not perf itself. The
@@ -66,6 +74,8 @@ bench-smoke:
 		-faultout /tmp/bench_fault_smoke.json
 	$(GO) run ./cmd/bench -exp shard -sharddur 400ms -shardwarm 200ms -shardmax 2 \
 		-shardout /tmp/bench_shard_smoke.json
+	$(GO) run ./cmd/bench -exp compare -comparedur 300ms -comparewarm 200ms \
+		-compareout /tmp/bench_compare_smoke.json
 	$(MAKE) soak-short
 
 ## fuzz-smoke: a short run of each fuzz target
@@ -73,6 +83,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzIntervalSet -fuzztime 10s ./internal/promise
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/tempo
 	$(GO) test -run '^$$' -fuzz FuzzShardMsgRoundTrip -fuzztime 10s ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzCompareCodecRoundTrip -fuzztime 10s ./internal/engine
 
 ## bench-micro: regenerate BENCH_micro.json (commit it when a PR moves a hot path)
 bench-micro:
@@ -96,6 +107,11 @@ bench-shard:
 ## link-shaped by the named chaos profiles)
 bench-wan:
 	$(GO) run ./cmd/bench -exp wan
+
+## bench-compare: regenerate BENCH_compare.json (tempo vs epaxos vs
+## fpaxos on the paper's 5-site ring WAN, conflict ratios 0/5/50%)
+bench-compare:
+	$(GO) run ./cmd/bench -exp compare
 
 ## soak: the full chaos soak — the consistency vulture probing a shaped
 ## durable cluster for 10 minutes through a partition, a SIGKILL+restart

@@ -12,10 +12,11 @@
 //	bench -exp shard               # sharded TCP clusters 1..4 shards -> BENCH_shard.json
 //	bench -exp wan                 # durable 3-region clusters under WAN profiles -> BENCH_wan.json
 //	bench -exp chaos               # vulture soak under partition+SIGKILL+slow-fsync -> BENCH_chaos.json
+//	bench -exp compare             # consensus engines on the ring WAN across conflict ratios -> BENCH_compare.json
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, ablation-mbump,
 // ablation-piggyback, ablation-f, micro, cluster, fault, shard, wan,
-// chaos, all.
+// chaos, compare, all.
 // See EXPERIMENTS.md for the paper-vs-reproduction comparison. The
 // micro experiment writes its results to -microout (default
 // BENCH_micro.json); the cluster experiment — a real loopback cluster
@@ -31,9 +32,12 @@
 // writes -wanout (default BENCH_wan.json); the chaos experiment — the
 // consistency vulture soaking a shaped cluster through a partition, a
 // SIGKILL+restart and a slow-fsync replica, exiting non-zero on any
-// violation — writes -chaosout (default BENCH_chaos.json). Successive
-// PRs track the hot-path, failure-path and scaling trajectory through
-// these files.
+// violation — writes -chaosout (default BENCH_chaos.json); the compare
+// experiment — every registered consensus engine (tempo, epaxos,
+// fpaxos) on the paper's 5-site EC2 topology under the ring chaos
+// profile, swept across key-conflict ratios — writes -compareout
+// (default BENCH_compare.json). Successive PRs track the hot-path,
+// failure-path and scaling trajectory through these files.
 package main
 
 import (
@@ -67,6 +71,9 @@ func main() {
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for the chaos soak")
 	chaosDur := flag.Duration("chaosdur", 60*time.Second, "total chaos-soak duration, fault schedule included")
 	chaosProfile := flag.String("chaosprofile", "metro", "chaos link profile the soak replicas run under")
+	compareOut := flag.String("compareout", "BENCH_compare.json", "output path for the engine-comparison experiment")
+	compareDur := flag.Duration("comparedur", 3*time.Second, "measured wall-clock time per compare load point")
+	compareWarm := flag.Duration("comparewarm", 1*time.Second, "compare-experiment warmup before measurement")
 
 	// Node-runner mode: the fault and chaos experiments re-exec this
 	// binary as the cluster's replica processes, so a SIGKILL is a real
@@ -187,6 +194,19 @@ func main() {
 		}
 	}
 
+	runCompare := func() {
+		results, err := bench.RunCompare(os.Stdout, bench.DefaultCompareConfigs(), *compareDur, *compareWarm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare experiment: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteCompareJSON(*compareOut, results, *compareDur); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *compareOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *compareOut)
+	}
+
 	experiments := map[string]func(){
 		"fig5":               func() { bench.Fig5(o) },
 		"fig6":               func() { bench.Fig6(o) },
@@ -202,9 +222,10 @@ func main() {
 		"shard":              runShard,
 		"wan":                runWAN,
 		"chaos":              runChaos,
+		"compare":            runCompare,
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "fig9",
-		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault", "shard", "wan", "chaos"}
+		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault", "shard", "wan", "chaos", "compare"}
 
 	if *exp == "all" {
 		for _, name := range order {

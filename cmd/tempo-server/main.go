@@ -15,6 +15,12 @@
 // client protocol, both peer codecs, and the state-sync protocol used
 // by restarting peers are all auto-detected per connection.
 //
+// -engine selects the consensus protocol: tempo (default), epaxos or
+// fpaxos (internal/engine). The baselines serve the same client
+// protocols over the same runtime; every replica of a cluster must run
+// the same engine. Durability (-data-dir) is Tempo-only, and sharded
+// mode always runs Tempo.
+//
 // # Sharded mode (-sites)
 //
 // One server process per site, hosting one replica for every shard the
@@ -71,15 +77,16 @@ import (
 
 	"tempo/internal/chaos"
 	"tempo/internal/cluster"
+	"tempo/internal/engine"
 	"tempo/internal/ids"
 	"tempo/internal/metrics"
 	"tempo/internal/psmr"
-	"tempo/internal/tempo"
 	"tempo/internal/topology"
 )
 
 func main() {
 	id := flag.Int("id", 1, "single-shard mode: replica id (1-based index into -peers)")
+	engineName := flag.String("engine", engine.Tempo, "consensus engine: tempo, epaxos or fpaxos (single-shard mode; sharded mode always runs tempo)")
 	peers := flag.String("peers", "", "single-shard mode: comma-separated replica addresses, in id order")
 	site := flag.Int("site", 0, "sharded mode: this server's site (0-based index into -sites)")
 	sites := flag.String("sites", "", "sharded mode: comma-separated site addresses; hosts one replica per locally replicated shard")
@@ -113,11 +120,14 @@ func main() {
 	var closeAll func()
 	var ctl *chaosCtl
 	if *sites != "" {
+		if *engineName != engine.Tempo {
+			log.Fatalf("-engine %s is single-shard only; sharded deployments (-sites) run tempo", *engineName)
+		}
 		nodes, closeAll, ctl = startSharded(*site, *sites, *shards, *shardSites, *f,
 			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery,
 			*chaosProfile, *chaosFsyncDelay)
 	} else {
-		nodes, closeAll, ctl = startSingleShard(*id, *peers, *f,
+		nodes, closeAll, ctl = startSingleShard(*id, *engineName, *peers, *f,
 			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery,
 			*chaosProfile, *chaosFsyncDelay)
 	}
@@ -165,8 +175,8 @@ func newChaosCtl(profile string, topo *topology.Topology, site ids.SiteID, fsync
 }
 
 // startSingleShard runs one replica of a full-replication cluster (the
-// historical mode).
-func startSingleShard(id int, peers string, f, batchOps int, batchWindow, batchPace time.Duration,
+// historical mode), on the selected consensus engine.
+func startSingleShard(id int, engineName, peers string, f, batchOps int, batchWindow, batchPace time.Duration,
 	dataDir string, fsync time.Duration, snapshotEvery int,
 	chaosProfile string, chaosFsyncDelay time.Duration) ([]*cluster.Node, func(), *chaosCtl) {
 	addrList := strings.Split(peers, ",")
@@ -196,7 +206,13 @@ func startSingleShard(id int, peers string, f, batchOps int, batchWindow, batchP
 	}
 	// Each single-shard replica is its own site: site index = id-1.
 	ctl, fsyncDelay, stopChaos := newChaosCtl(chaosProfile, topo, ids.SiteID(id-1), chaosFsyncDelay)
-	rep := tempo.New(ids.ProcessID(id), topo, tempo.Config{})
+	rep, err := engine.New(engineName, ids.ProcessID(id), topo, engineRuntimeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dataDir != "" && engineName != engine.Tempo {
+		log.Fatalf("-data-dir requires -engine tempo (%s is not durable)", engineName)
+	}
 	node := cluster.NewNode(ids.ProcessID(id), rep, addrs)
 	node.SetBatch(batchOps, batchWindow)
 	if batchPace > 0 {
@@ -222,11 +238,22 @@ func startSingleShard(id int, peers string, f, batchOps int, batchWindow, batchP
 	if dataDir != "" {
 		mode = "data-dir=" + dataDir
 	}
-	log.Printf("tempo replica %d serving on %s (r=%d, f=%d, %s)", id, node.Addr(), len(addrList), f, mode)
+	log.Printf("%s replica %d serving on %s (r=%d, f=%d, %s)", engineName, id, node.Addr(), len(addrList), f, mode)
 	return []*cluster.Node{node}, func() {
 		node.Close()
 		stopChaos()
 	}, ctl
+}
+
+// engineRuntimeConfig tunes the baselines for a real, lossy network:
+// their recovery machinery (resends, commit/slot catch-up) must be
+// armed, unlike in the loss-free simulator runs. Tempo's defaults
+// already include recovery.
+func engineRuntimeConfig() engine.Config {
+	var cfg engine.Config
+	cfg.EPaxos.ResendInterval = 250 * time.Millisecond
+	cfg.FPaxos.ResendInterval = 250 * time.Millisecond
+	return cfg
 }
 
 // startSharded runs one site of a partial-replication deployment: one

@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/chaos"
+	"tempo/internal/cluster"
+	"tempo/internal/command"
+	"tempo/internal/engine"
+	"tempo/internal/epaxos"
+	"tempo/internal/fpaxos"
+	"tempo/internal/ids"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// The engine-comparison experiment (`bench -exp compare`): the paper's
+// 5-site EC2 topology with the chaos `ring` WAN profile delaying every
+// inter-site protocol message by its real one-way latency, one cluster
+// per consensus engine from the registry (Tempo, EPaxos, FPaxos), swept
+// across key-conflict ratios. This is the paper's core claim made
+// runnable on the real TCP stack: Tempo's timestamp ordering holds its
+// latency profile as conflicts grow, EPaxos degrades with its
+// dependency slow path, and FPaxos pays the leader detour regardless of
+// conflicts. Results go to BENCH_compare.json.
+
+// CompareProfile is the chaos link profile every compare point runs
+// under.
+const CompareProfile = "ring"
+
+// CompareConfig is one load point of the engine-comparison experiment.
+type CompareConfig struct {
+	Engine   string  // engine registry name
+	Conflict float64 // probability a put hits the shared hot key
+	Sessions int     // concurrent sessions (spread round-robin over replicas)
+	Inflight int     // pipelined requests per session
+}
+
+// CompareResult is one measured load point in BENCH_compare.json.
+type CompareResult struct {
+	Engine    string  `json:"engine"`
+	Conflict  float64 `json:"conflict"`
+	Sessions  int     `json:"sessions"`
+	Inflight  int     `json:"inflight"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P90us     float64 `json:"p90_us"`
+	P99us     float64 `json:"p99_us"`
+}
+
+// CompareReport is the schema of BENCH_compare.json.
+type CompareReport struct {
+	Generated  string          `json:"generated"`
+	Go         string          `json:"go"`
+	Profile    string          `json:"profile"`
+	DurationMS float64         `json:"duration_ms"`
+	Results    []CompareResult `json:"results"`
+}
+
+// DefaultCompareConfigs sweeps every registry engine across the paper's
+// conflict ratios (0%, 5%, 50% — Figure 5's axis) at a fixed moderate
+// load.
+func DefaultCompareConfigs() []CompareConfig {
+	var cfgs []CompareConfig
+	for _, name := range engine.Names() {
+		for _, conflict := range []float64{0, 0.05, 0.5} {
+			cfgs = append(cfgs, CompareConfig{Engine: name, Conflict: conflict, Sessions: 4, Inflight: 16})
+		}
+	}
+	return cfgs
+}
+
+// compareEngineConfig arms recovery timers loosely: on a healthy (if
+// slow) WAN they should almost never fire, but a lost round must not
+// wedge a measurement run.
+func compareEngineConfig() engine.Config {
+	return engine.Config{
+		Tempo:  tempo.Config{PromiseInterval: 5 * time.Millisecond, RecoveryTimeout: time.Second},
+		EPaxos: epaxos.Config{ResendInterval: 250 * time.Millisecond},
+		FPaxos: fpaxos.Config{ResendInterval: 250 * time.Millisecond},
+	}
+}
+
+// wanCompareCluster boots the named engine on the 5-site EC2 topology
+// behind the ring chaos profile and returns the client addresses in
+// process-id order plus a shutdown function.
+func wanCompareCluster(engineName string) ([]string, func(), error) {
+	topo := topology.EC2(1)
+	prof, err := chaos.Lookup(CompareProfile)
+	if err != nil {
+		return nil, nil, err
+	}
+	shaper := chaos.NewShaper(topo, prof)
+	addrs := make(map[ids.ProcessID]string)
+	lns := make(map[ids.ProcessID]net.Listener)
+	var list []string
+	for _, pi := range topo.Processes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shaper.Close()
+			return nil, nil, err
+		}
+		lns[pi.ID] = ln
+		addrs[pi.ID] = ln.Addr().String()
+		list = append(list, ln.Addr().String())
+	}
+	var nodes []*cluster.Node
+	cleanup := func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		for _, ln := range lns {
+			ln.Close() // listeners not yet handed to a node
+		}
+		shaper.Close()
+	}
+	for _, pi := range topo.Processes() {
+		rep, err := engine.New(engineName, pi.ID, topo, compareEngineConfig())
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		n := cluster.NewNode(pi.ID, rep, addrs)
+		n.SetShaper(shaper)
+		if err := n.StartListener(lns[pi.ID]); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		delete(lns, pi.ID) // the node owns this listener now
+		nodes = append(nodes, n)
+	}
+	return list, cleanup, nil
+}
+
+// runCompareConfig drives one load point against a freshly booted WAN
+// cluster of cfg.Engine replicas: each session pipelines puts whose key
+// is the shared hot key with probability cfg.Conflict and a
+// session-private key otherwise.
+func runCompareConfig(cfg CompareConfig, duration, warmup time.Duration) (CompareResult, error) {
+	out := CompareResult{
+		Engine:   cfg.Engine,
+		Conflict: cfg.Conflict,
+		Sessions: cfg.Sessions,
+		Inflight: cfg.Inflight,
+	}
+	addrs, cleanup, err := wanCompareCluster(cfg.Engine)
+	if err != nil {
+		return out, err
+	}
+	defer cleanup()
+
+	type sessResult struct {
+		ops  int
+		lats []float64 // µs
+		err  error
+	}
+	results := make([]sessResult, cfg.Sessions)
+	start := time.Now()
+	warmEnd := start.Add(warmup)
+	stop := warmEnd.Add(duration)
+	var wg sync.WaitGroup
+	for si := 0; si < cfg.Sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			res := &results[si]
+			// Round-robin session homes: every leaderless engine
+			// coordinates at the session's replica; FPaxos forwards to
+			// its leader from wherever the client lands — the detour is
+			// part of what the comparison measures.
+			addr := addrs[si%len(addrs)]
+			sess, err := client.New(client.Config{
+				Addrs: map[ids.ProcessID]string{ids.ProcessID(si%len(addrs) + 1): addr},
+			})
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer sess.Close()
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(int64(si)*104729 + 17))
+			nextOp := func() command.Op {
+				key := command.Key(fmt.Sprintf("cmp-%d", si))
+				if rng.Float64() < cfg.Conflict {
+					key = "cmp-hot"
+				}
+				return command.Op{Kind: command.Put, Key: key, Value: []byte("x")}
+			}
+			type issued struct {
+				f  *client.Future
+				at time.Time
+			}
+			ring := make([]issued, cfg.Inflight)
+			head, tail := 0, 0
+			reap := func(it issued) bool {
+				if _, err := it.f.Wait(ctx); err != nil {
+					res.err = err
+					return false
+				}
+				now := time.Now()
+				if now.After(warmEnd) && !now.After(stop) {
+					res.ops++
+					res.lats = append(res.lats, float64(now.Sub(it.at).Nanoseconds())/1e3)
+				}
+				return true
+			}
+			for time.Now().Before(stop) {
+				if tail-head == cfg.Inflight {
+					if !reap(ring[head%cfg.Inflight]) {
+						return
+					}
+					head++
+				}
+				ring[tail%cfg.Inflight] = issued{f: sess.Do(ctx, nextOp()), at: time.Now()}
+				tail++
+			}
+			for ; head < tail; head++ {
+				if !reap(ring[head%cfg.Inflight]) {
+					return
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	var lats []float64
+	for _, r := range results {
+		if r.err != nil {
+			return out, fmt.Errorf("engine %s conflict %.2f: %w", cfg.Engine, cfg.Conflict, r.err)
+		}
+		out.Ops += r.ops
+		lats = append(lats, r.lats...)
+	}
+	out.OpsPerSec = float64(out.Ops) / duration.Seconds()
+	sort.Float64s(lats)
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	out.P50us, out.P90us, out.P99us = pct(0.50), pct(0.90), pct(0.99)
+	return out, nil
+}
+
+// RunCompare runs the engine-comparison sweep and prints one line per
+// load point.
+func RunCompare(out io.Writer, cfgs []CompareConfig, duration, warmup time.Duration) ([]CompareResult, error) {
+	var results []CompareResult
+	for _, cfg := range cfgs {
+		r, err := runCompareConfig(cfg, duration, warmup)
+		if err != nil {
+			return results, fmt.Errorf("compare config %s/%.2f: %w", cfg.Engine, cfg.Conflict, err)
+		}
+		fmt.Fprintf(out, "%-8s conflict=%4.0f%%  %2d sess x %3d inflight  %8.1f ops/s  p50=%8.0fµs p90=%8.0fµs p99=%8.0fµs\n",
+			r.Engine, r.Conflict*100, r.Sessions, r.Inflight, r.OpsPerSec, r.P50us, r.P90us, r.P99us)
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// WriteCompareJSON writes the results to path in the BENCH_compare.json
+// schema.
+func WriteCompareJSON(path string, results []CompareResult, duration time.Duration) error {
+	rep := CompareReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		Profile:    CompareProfile,
+		DurationMS: float64(duration.Milliseconds()),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

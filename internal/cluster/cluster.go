@@ -3,6 +3,20 @@
 // the server half of the client protocol (submit a command, get the
 // results once it executes locally).
 //
+// The consensus engine is pluggable: a Node drives any proto.Replica
+// that can mint command identifiers (proto.IDMinter) — Tempo, EPaxos and
+// FPaxos all run over this runtime (internal/engine names them). The
+// remaining engine features are optional capabilities detected at Start:
+// proto.DeferredApplier moves execution off the protocol lock onto the
+// node's executor goroutine, Shard()/OpsShard() enable shard routing and
+// the submit batcher, proto.Durable unlocks SetDurable persistence, and
+// proto.LeaderAware engines follow an external leader oracle. Engine
+// messages cross the peer links through the self-describing binary frame
+// layer: each message type registers its own tag and codec with
+// proto.RegisterWire (and with gob for the legacy codec), so the node
+// never inspects protocol messages. See docs/ARCHITECTURE.md "Pluggable
+// engines".
+//
 // Peer links default to the hand-rolled binary codec (proto.BinaryMessage)
 // with batched, length-prefixed frames: the writer goroutine coalesces
 // every message queued for a destination into one framed write, so a tick
@@ -47,7 +61,6 @@ import (
 	"tempo/internal/command"
 	"tempo/internal/ids"
 	"tempo/internal/proto"
-	"tempo/internal/tempo"
 )
 
 // Codec selects the wire encoding for outgoing peer links.
@@ -74,25 +87,6 @@ const (
 	// Node.frameLimit.
 	defaultMaxFrameBytes = 64 << 20
 )
-
-func init() {
-	// Protocol messages crossing TCP links. Only Tempo runs over the
-	// cluster runtime (the baselines are evaluated in simulation).
-	gob.Register(&tempo.MSubmit{})
-	gob.Register(&tempo.MPayload{})
-	gob.Register(&tempo.MPropose{})
-	gob.Register(&tempo.MProposeAck{})
-	gob.Register(&tempo.MBump{})
-	gob.Register(&tempo.MCommit{})
-	gob.Register(&tempo.MConsensus{})
-	gob.Register(&tempo.MConsensusAck{})
-	gob.Register(&tempo.MRec{})
-	gob.Register(&tempo.MRecAck{})
-	gob.Register(&tempo.MRecNAck{})
-	gob.Register(&tempo.MCommitRequest{})
-	gob.Register(&tempo.MPromises{})
-	gob.Register(&tempo.MStable{})
-}
 
 // envelope is the wire frame between nodes.
 type envelope struct {
@@ -349,6 +343,10 @@ func (n *Node) Start() error {
 // snapshot load, WAL replay, peer catch-up, watermark reservation —
 // happens here, before any protocol or client traffic is served.
 func (n *Node) StartListener(ln net.Listener) error {
+	if err := n.validateEngine(); err != nil {
+		ln.Close()
+		return err
+	}
 	n.ln = ln
 	if n.dur != nil {
 		// Accept connections during recovery so that peers restarting at
@@ -375,6 +373,9 @@ func (n *Node) StartListener(ln net.Listener) error {
 // listener must already be accepting, so restarting sites can answer
 // each other's state-catch-up requests mid-recovery.
 func (n *Node) StartHosted() error {
+	if err := n.validateEngine(); err != nil {
+		return err
+	}
 	if n.dur != nil {
 		if err := n.recoverDurable(); err != nil {
 			return fmt.Errorf("cluster: durable recovery: %w", err)
@@ -382,6 +383,16 @@ func (n *Node) StartHosted() error {
 	}
 	n.startCore()
 	go n.tickLoop()
+	return nil
+}
+
+// validateEngine rejects replicas missing a required capability before
+// any goroutine starts, so a misconfigured engine fails loudly at boot
+// instead of panicking on the first submitted command.
+func (n *Node) validateEngine() error {
+	if _, ok := n.rep.(proto.IDMinter); !ok {
+		return fmt.Errorf("cluster: engine %T does not implement proto.IDMinter", n.rep)
+	}
 	return nil
 }
 
@@ -570,8 +581,6 @@ func (n *Node) serveBinaryPeer(br *bufio.Reader) {
 	}
 }
 
-type idMinter interface{ NextID() ids.Dot }
-
 // trackPeerConn registers an inbound peer connection so Close can tear
 // it down; it reports false (and the caller must drop the connection)
 // when the node is already shutting down.
@@ -727,7 +736,7 @@ func (n *Node) submit(w *waiter, ops []command.Op) {
 // and enqueue work for an executor that already exited).
 func (n *Node) submitCmd(members []*waiter, ops []command.Op) {
 	n.mu.Lock()
-	id := n.rep.(idMinter).NextID()
+	id := n.rep.(proto.IDMinter).NextID()
 	n.waitMu.Lock()
 	select {
 	case <-n.done:

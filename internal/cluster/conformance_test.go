@@ -1,0 +1,130 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/cluster/conformancetest"
+	"tempo/internal/command"
+	"tempo/internal/engine"
+	"tempo/internal/epaxos"
+	"tempo/internal/fpaxos"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// conformanceConfig arms every engine's recovery timers aggressively:
+// the partition scenarios depend on resend/recovery to re-drive rounds
+// that stalled while a replica was cut off.
+func conformanceConfig() engine.Config {
+	return engine.Config{
+		Tempo:  tempo.Config{PromiseInterval: time.Millisecond, RecoveryTimeout: 250 * time.Millisecond},
+		EPaxos: epaxos.Config{ResendInterval: 50 * time.Millisecond},
+		FPaxos: fpaxos.Config{ResendInterval: 50 * time.Millisecond},
+	}
+}
+
+// conformanceEngine adapts a registry engine name to the suite's Engine.
+// EPaxos orders only conflicting commands, so it alone skips the
+// total-order check.
+func conformanceEngine(name string) conformancetest.Engine {
+	return conformancetest.Engine{
+		Name:       name,
+		TotalOrder: name != engine.EPaxos,
+		New: func(id ids.ProcessID, topo *topology.Topology) proto.Replica {
+			rep, err := engine.New(name, id, topo, conformanceConfig())
+			if err != nil {
+				panic(err)
+			}
+			return rep
+		},
+	}
+}
+
+// TestConformance runs the shared conformance suite over every engine
+// the registry knows: the acceptance gate for calling an engine
+// runnable on the cluster stack.
+func TestConformance(t *testing.T) {
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			conformancetest.Run(t, conformanceEngine(name))
+		})
+	}
+}
+
+// brokenReplica is FPaxos with a sabotaged apply pipeline: DrainStable
+// buffers execution-stable commands and releases adjacent pairs
+// swapped, so one replica applies a different order than everyone else.
+// Only called under the node's protocol lock, so pend needs no lock of
+// its own.
+type brokenReplica struct {
+	*fpaxos.Process
+	pend []proto.Stable
+}
+
+func (b *brokenReplica) DrainStable() []proto.Stable {
+	b.pend = append(b.pend, b.Process.DrainStable()...)
+	var out []proto.Stable
+	for len(b.pend) >= 2 {
+		out = append(out, b.pend[1], b.pend[0])
+		b.pend = b.pend[2:]
+	}
+	return out
+}
+
+// TestConformanceCatchesReordering proves the suite has teeth: an
+// engine whose replica 1 swaps adjacent stable commands must fail the
+// linearizability scenario (its log diverges from the other replicas').
+func TestConformanceCatchesReordering(t *testing.T) {
+	t.Parallel()
+	e := conformancetest.Engine{
+		Name:       "broken-swap",
+		TotalOrder: true,
+		New: func(id ids.ProcessID, topo *topology.Topology) proto.Replica {
+			p := fpaxos.New(id, topo, fpaxos.Config{ResendInterval: 50 * time.Millisecond})
+			if id == 1 {
+				return &brokenReplica{Process: p}
+			}
+			return p
+		},
+	}
+	err := conformancetest.Linearizability(e)
+	if err == nil {
+		t.Fatal("conformance suite passed an engine that reorders execution on one replica")
+	}
+	t.Logf("suite caught the broken engine: %v", err)
+}
+
+// muteReplica is FPaxos that silently drops every client submission —
+// a liveness hole rather than a safety one.
+type muteReplica struct {
+	*fpaxos.Process
+}
+
+func (m *muteReplica) Submit(cmd *command.Command) []proto.Action { return nil }
+
+// TestConformanceCatchesMutedSubmit proves the suite also catches
+// liveness failures: the deadline scenario's post-heal writes go
+// through the mute replica, never commit, and fail the scenario.
+func TestConformanceCatchesMutedSubmit(t *testing.T) {
+	t.Parallel()
+	e := conformancetest.Engine{
+		Name:       "broken-mute",
+		TotalOrder: true,
+		New: func(id ids.ProcessID, topo *topology.Topology) proto.Replica {
+			p := fpaxos.New(id, topo, fpaxos.Config{ResendInterval: 50 * time.Millisecond})
+			if id == 3 {
+				return &muteReplica{Process: p}
+			}
+			return p
+		},
+	}
+	err := conformancetest.Deadline(e)
+	if err == nil {
+		t.Fatal("conformance suite passed an engine that drops submissions")
+	}
+	t.Logf("suite caught the mute engine: %v", err)
+}

@@ -1,0 +1,341 @@
+package conformancetest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/command"
+)
+
+// Scenario is one conformance property: an error-returning check over an
+// Engine, so test suites can both run it (expect nil) and prove the
+// suite's teeth on a deliberately broken engine (expect non-nil).
+type Scenario struct {
+	// Name labels the subtest.
+	Name string
+	// NeedsDurable gates the scenario on proto.Durable engines.
+	NeedsDurable bool
+	// Run executes the scenario against a fresh cluster of e's replicas.
+	Run func(e Engine) error
+}
+
+// Scenarios returns the full conformance suite, in run order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "Linearizability", Run: Linearizability},
+		{Name: "Batching", Run: Batching},
+		{Name: "Deadline", Run: Deadline},
+		{Name: "PartitionHeal", Run: PartitionHeal},
+		{Name: "DurableRestart", NeedsDurable: true, Run: DurableRestart},
+	}
+}
+
+// Run executes every applicable scenario against e as subtests of t —
+// the entry point engine test suites call.
+func Run(t *testing.T, e Engine) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			if sc.NeedsDurable && !e.durable() {
+				t.Skipf("engine %s does not implement proto.Durable", e.Name)
+			}
+			if err := sc.Run(e); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Linearizability drives six concurrent sessions — homed round-robin
+// across all three replicas so every replica coordinates — through a
+// pipelined mix of writes and reads over four heavily conflicting keys,
+// then verifies the captured execution logs: validity, conflict-order
+// acyclicity and (for TotalOrder engines) a single per-shard total
+// order.
+func Linearizability(e Engine) error {
+	c, err := Start(e, Options{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	pids := c.Pids()
+	const nSess, opsPer, inflight = 6, 80, 8
+	errc := make(chan error, nSess)
+	for s := 0; s < nSess; s++ {
+		go func(s int) {
+			sess, err := c.Session(pids[s%len(pids)])
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer sess.Close()
+			//tempo:allowctx scenario is a self-contained check and bounds its own run
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			errc <- c.DoPipelined(ctx, sess, inflight, opsPer, func(i int) command.Op {
+				key := command.Key(fmt.Sprintf("hot-%d", i%4))
+				if i%7 == 3 {
+					return command.Op{Kind: command.Get, Key: key}
+				}
+				return command.Op{
+					Kind:  command.Put,
+					Key:   key,
+					Value: []byte(fmt.Sprintf("lin-s%d-i%d", s, i)),
+				}
+			})
+		}(s)
+	}
+	for s := 0; s < nSess; s++ {
+		if err := <-errc; err != nil {
+			return fmt.Errorf("conformance: %s: linearizability load: %w", e.Name, err)
+		}
+	}
+	if err := c.WaitExecuted(pids, c.AckedOps(), 20*time.Second); err != nil {
+		return err
+	}
+	return c.Verify(e.TotalOrder)
+}
+
+// Batching reruns the conflicting-write load with server-side submit
+// batching armed, then checks the client-visible contract survives
+// coalescing: a write issued after every other write acked must win the
+// final read, and the per-op execution logs must still verify.
+func Batching(e Engine) error {
+	c, err := Start(e, Options{BatchOps: 64})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	sess, err := c.Session()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	//tempo:allowctx scenario is a self-contained check and bounds its own run
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err = c.DoPipelined(ctx, sess, 32, 200, func(i int) command.Op {
+		return command.Op{
+			Kind:  command.Put,
+			Key:   "batch",
+			Value: []byte(fmt.Sprintf("batch-%d", i)),
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("conformance: %s: batched load: %w", e.Name, err)
+	}
+	const final = "batch-final"
+	if err := c.Put(ctx, sess, "batch", final); err != nil {
+		return fmt.Errorf("conformance: %s: final put: %w", e.Name, err)
+	}
+	got, err := c.Get(ctx, sess, "batch")
+	if err != nil {
+		return fmt.Errorf("conformance: %s: read-back: %w", e.Name, err)
+	}
+	if got != final {
+		return fmt.Errorf("conformance: %s: read-back after batched load = %q, want %q (real-time write order lost)",
+			e.Name, got, final)
+	}
+	if err := c.WaitExecuted(c.Pids(), c.AckedOps(), 20*time.Second); err != nil {
+		return err
+	}
+	return c.Verify(e.TotalOrder)
+}
+
+// Deadline isolates one replica and writes through it with a short
+// client deadline: the deadline must travel with the request and expire
+// server-side as client.ErrTimeout well before the session-level
+// request timeout, and after the heal the same replica must accept new
+// writes again.
+func Deadline(e Engine) error {
+	c, err := Start(e, Options{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.Shaper.Isolate(victim)
+	sess, err := c.Session(victim)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	start := time.Now()
+	//tempo:allowctx scenario is a self-contained check and bounds its own run
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	err = c.Put(ctx, sess, "dl", "dl-stalled")
+	cancel()
+	if err == nil {
+		return fmt.Errorf("conformance: %s: put through a fully isolated replica succeeded", e.Name)
+	}
+	if !errors.Is(err, client.ErrTimeout) {
+		return fmt.Errorf("conformance: %s: put on isolated replica = %v, want client.ErrTimeout", e.Name, err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		return fmt.Errorf("conformance: %s: deadline expired after %v; the 400ms client deadline did not propagate", e.Name, el)
+	}
+	c.Shaper.Rejoin(victim)
+	healBy := time.Now().Add(15 * time.Second)
+	for i := 0; ; i++ {
+		//tempo:allowctx scenario is a self-contained check and bounds its own run
+		pctx, pcancel := context.WithTimeout(context.Background(), time.Second)
+		err := c.Put(pctx, sess, "dl", fmt.Sprintf("dl-retry-%d", i))
+		pcancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(healBy) {
+			return fmt.Errorf("conformance: %s: replica still rejects writes %v after heal: %w",
+				e.Name, 15*time.Second, err)
+		}
+	}
+	if err := c.WaitExecuted(c.Pids(), c.AckedOps(), 20*time.Second); err != nil {
+		return err
+	}
+	return c.Verify(e.TotalOrder)
+}
+
+// PartitionHeal cuts the quorum-external replica off mid-stream: the
+// cluster must keep committing writes during the partition, and after
+// the heal the victim must catch up on everything it missed — driven by
+// whatever recovery machinery the engine has (Tempo recovery, EPaxos
+// commit requests, FPaxos slot requests) — until a consensus read at
+// the victim observes the latest write.
+func PartitionHeal(e Engine) error {
+	c, err := Start(e, Options{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	sess, err := c.Session()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	//tempo:allowctx scenario is a self-contained check and bounds its own run
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	var last string
+	put := func(phase string, i int) error {
+		last = fmt.Sprintf("ph-%s-%d", phase, i)
+		if err := c.Put(ctx, sess, "ph", last); err != nil {
+			return fmt.Errorf("conformance: %s: %s-partition put %d: %w", e.Name, phase, i, err)
+		}
+		return nil
+	}
+	for i := 0; i < 15; i++ {
+		if err := put("pre", i); err != nil {
+			return err
+		}
+	}
+	c.Shaper.Isolate(victim)
+	for i := 0; i < 15; i++ {
+		if err := put("cut", i); err != nil {
+			return fmt.Errorf("%w (the victim sits outside every quorum; writes must not stall)", err)
+		}
+	}
+	c.Shaper.Rejoin(victim)
+	for i := 0; i < 15; i++ {
+		if err := put("post", i); err != nil {
+			return err
+		}
+	}
+	if err := c.WaitExecuted(c.Pids(), c.AckedOps(), 30*time.Second); err != nil {
+		return fmt.Errorf("%w (healed replica did not catch up)", err)
+	}
+	probe, err := c.Session(victim)
+	if err != nil {
+		return err
+	}
+	defer probe.Close()
+	got, err := c.Get(ctx, probe, "ph")
+	if err != nil {
+		return fmt.Errorf("conformance: %s: consensus read at healed replica: %w", e.Name, err)
+	}
+	if got != last {
+		return fmt.Errorf("conformance: %s: read at healed replica = %q, want %q", e.Name, got, last)
+	}
+	return c.Verify(e.TotalOrder)
+}
+
+// DurableRestart stops the quorum-external replica, keeps writing
+// through the survivors, then boots a fresh replica on the same data
+// directory and address: it must recover its state, observe the writes
+// it missed and serve new consensus reads and writes. (The out-of-
+// process SIGKILL variant lives in the cluster package's crash e2e
+// test; this in-process variant is what makes the scenario runnable for
+// any Durable engine.) Logs are verified without the total-order check:
+// the restarted incarnation's observed log starts mid-stream, which the
+// from-index-0 prefix comparison cannot represent.
+func DurableRestart(e Engine) error {
+	dir, err := os.MkdirTemp("", "conformance-"+e.Name+"-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	c, err := Start(e, Options{DataDir: dir})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	pids := c.Pids()
+	//tempo:allowctx scenario is a self-contained check and bounds its own run
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	sess, err := c.Session()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	for i := 0; i < 30; i++ {
+		if err := c.Put(ctx, sess, fmt.Sprintf("dr-%d", i%5), fmt.Sprintf("dr-pre-%d", i)); err != nil {
+			return fmt.Errorf("conformance: %s: pre-crash put %d: %w", e.Name, i, err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond) // let the victim's WAL sync past the acked writes
+	c.Stop(victim)
+	surv, err := c.Session(pids[0], pids[1])
+	if err != nil {
+		return err
+	}
+	defer surv.Close()
+	var last string
+	for i := 0; i < 20; i++ {
+		last = fmt.Sprintf("dr-out-%d", i)
+		if err := c.Put(ctx, surv, "dr-live", last); err != nil {
+			return fmt.Errorf("conformance: %s: put with replica down: %w", e.Name, err)
+		}
+	}
+	if err := c.Restart(victim); err != nil {
+		return fmt.Errorf("conformance: %s: restart: %w", e.Name, err)
+	}
+	probe, err := c.Session(victim)
+	if err != nil {
+		return err
+	}
+	defer probe.Close()
+	catchBy := time.Now().Add(20 * time.Second)
+	for {
+		//tempo:allowctx scenario is a self-contained check and bounds its own run
+		pctx, pcancel := context.WithTimeout(context.Background(), time.Second)
+		got, err := c.Get(pctx, probe, "dr-live")
+		pcancel()
+		if err == nil && got == last {
+			break
+		}
+		if time.Now().After(catchBy) {
+			return fmt.Errorf("conformance: %s: restarted replica reads %q (err %v), want %q", e.Name, got, err, last)
+		}
+	}
+	if err := c.Put(ctx, probe, "dr-live", "dr-after-restart"); err != nil {
+		return fmt.Errorf("conformance: %s: write through restarted replica: %w", e.Name, err)
+	}
+	got, err := c.Get(ctx, probe, "dr-live")
+	if err != nil || got != "dr-after-restart" {
+		return fmt.Errorf("conformance: %s: read-back through restarted replica = %q, %v", e.Name, got, err)
+	}
+	return c.Verify(false)
+}

@@ -8,6 +8,7 @@ import (
 
 	"tempo/internal/command"
 	"tempo/internal/ids"
+	"tempo/internal/proto"
 )
 
 // Cross-shard serving (the version-2 client protocol).
@@ -270,7 +271,7 @@ func wrongShardErr(s ids.ShardID) command.WireError {
 func (n *Node) mintBlock(count int) ids.Dot {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	m := n.rep.(idMinter)
+	m := n.rep.(proto.IDMinter)
 	first := m.NextID()
 	for i := 1; i < count; i++ {
 		m.NextID()

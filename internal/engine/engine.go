@@ -1,0 +1,56 @@
+// Package engine names the consensus engines that run on the cluster
+// runtime and constructs their replicas: Tempo (the paper's protocol),
+// EPaxos (the conflict-sensitive leaderless baseline) and FPaxos (the
+// leader-based baseline). tempo-server's -engine flag, the compare
+// benchmark and the conformance suite all resolve engines here, so the
+// set of runnable protocols lives in exactly one place.
+//
+// Every engine satisfies the cluster runtime's required capabilities
+// (proto.Replica + proto.IDMinter) plus deferred apply, shard routing
+// and op-batching (proto.DeferredApplier, Shard, OpsShard). Tempo alone
+// is Durable; FPaxos alone is LeaderAware. See docs/ARCHITECTURE.md
+// "Pluggable engines" for the capability matrix.
+package engine
+
+import (
+	"fmt"
+
+	"tempo/internal/epaxos"
+	"tempo/internal/fpaxos"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+// Engine names accepted by New.
+const (
+	Tempo  = "tempo"
+	EPaxos = "epaxos"
+	FPaxos = "fpaxos"
+)
+
+// Names returns the engines New accepts, in documentation order.
+func Names() []string { return []string{Tempo, EPaxos, FPaxos} }
+
+// Config carries per-engine tuning; New reads only the section matching
+// the requested engine.
+type Config struct {
+	Tempo  tempo.Config
+	EPaxos epaxos.Config
+	FPaxos fpaxos.Config
+}
+
+// New constructs the named engine's replica for process id. The empty
+// name selects Tempo (the default engine everywhere).
+func New(name string, id ids.ProcessID, topo *topology.Topology, cfg Config) (proto.Replica, error) {
+	switch name {
+	case Tempo, "":
+		return tempo.New(id, topo, cfg.Tempo), nil
+	case EPaxos:
+		return epaxos.New(id, topo, cfg.EPaxos), nil
+	case FPaxos:
+		return fpaxos.New(id, topo, cfg.FPaxos), nil
+	}
+	return nil, fmt.Errorf("engine: unknown engine %q (have %v)", name, Names())
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tempo/internal/command"
+	"tempo/internal/epaxos"
+	"tempo/internal/fpaxos"
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+)
+
+func TestNewConstructsEveryEngine(t *testing.T) {
+	topo := topology.EC2(1)
+	for _, name := range Names() {
+		rep, err := New(name, topo.Processes()[0].ID, topo, Config{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if _, ok := rep.(proto.IDMinter); !ok {
+			t.Errorf("engine %q does not mint ids; the cluster runtime cannot run it", name)
+		}
+		if _, ok := rep.(proto.DeferredApplier); !ok {
+			t.Errorf("engine %q does not defer apply; execution would run under the protocol lock", name)
+		}
+	}
+	if rep, err := New("", topo.Processes()[0].ID, topo, Config{}); err != nil {
+		t.Fatalf("New(\"\"): %v", err)
+	} else if _, ok := rep.(*tempo.Process); !ok {
+		t.Errorf("empty engine name resolved to %T, want Tempo", rep)
+	}
+	if _, err := New("caesar", topo.Processes()[0].ID, topo, Config{}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func sampleCmd(seq uint64) *command.Command {
+	c := command.New(ids.Dot{Source: 3, Seq: seq},
+		command.Op{Kind: command.Put, Key: "alpha", Value: []byte("v-alpha")},
+		command.Op{Kind: command.Get, Key: "beta"},
+	)
+	c.Padding = 64
+	return c
+}
+
+// compareSampleMessages covers every message type of the compare-bench
+// engines' wire codecs (EPaxos and FPaxos; the Tempo codec has its own
+// suite in internal/tempo) with representative field values, including
+// empty/nil optional fields.
+func compareSampleMessages() []proto.Message {
+	cmd := sampleCmd(41)
+	deps := []ids.Dot{{Source: 1, Seq: 3}, {Source: 2, Seq: 9}}
+	q := epaxos.Quorums{0: {1, 2, 3}, 1: {4, 5}}
+	return []proto.Message{
+		&epaxos.ESubmit{ID: ids.Dot{Source: 1, Seq: 7}, Cmd: cmd, Quorums: q},
+		&epaxos.EPreAccept{ID: ids.Dot{Source: 1, Seq: 8}, Cmd: cmd, Quorums: q, Seq: 4, Deps: deps},
+		&epaxos.EPreAccept{ID: ids.Dot{Source: 1, Seq: 9}, Cmd: cmd, Seq: 1},
+		&epaxos.EPreAcceptAck{ID: ids.Dot{Source: 2, Seq: 10}, Seq: 5, Deps: deps},
+		&epaxos.EPreAcceptAck{ID: ids.Dot{Source: 2, Seq: 11}, Seq: 2},
+		&epaxos.EAccept{ID: ids.Dot{Source: 3, Seq: 12}, Ballot: 7, Seq: 6, Deps: deps},
+		&epaxos.EAcceptAck{ID: ids.Dot{Source: 3, Seq: 13}, Ballot: 7},
+		&epaxos.ECommit{ID: ids.Dot{Source: 4, Seq: 14}, Shard: 1, Cmd: cmd, Seq: 8, Deps: deps},
+		&epaxos.ECommitReq{ID: ids.Dot{Source: 4, Seq: 15}},
+		&fpaxos.FForward{Cmds: []*command.Command{cmd, sampleCmd(42)}},
+		&fpaxos.FForward{},
+		&fpaxos.FAccept{Slot: 9, Ballot: 1, Cmds: []*command.Command{cmd}},
+		&fpaxos.FAcceptAck{Slot: 9, Ballot: 1},
+		&fpaxos.FCommit{Slot: 9, Cmds: []*command.Command{cmd}},
+		&fpaxos.FSlotReq{Next: 10},
+	}
+}
+
+// TestCompareCodecRoundTrip pins the acceptance property for the new
+// engine codecs: every message round-trips byte-identically.
+func TestCompareCodecRoundTrip(t *testing.T) {
+	for _, m := range compareSampleMessages() {
+		b1, err := proto.AppendMessage(nil, m)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		m2, rest, err := proto.DecodeMessage(b1)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%T: %d trailing bytes", m, len(rest))
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("%T: decoded %+v != original %+v", m, m2, m)
+		}
+		b2, err := proto.AppendMessage(nil, m2)
+		if err != nil {
+			t.Fatalf("%T: re-encode: %v", m, err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%T: re-encode not byte-identical:\n  %x\n  %x", m, b1, b2)
+		}
+	}
+}
+
+// FuzzCompareCodecRoundTrip fuzzes the EPaxos/FPaxos decoders with raw
+// bytes: anything that decodes must re-encode byte-identically
+// (canonical bytes) and decode back DeepEqual; corrupt or truncated
+// input must be rejected with an error, never mis-decoded into another
+// engine's message type.
+func FuzzCompareCodecRoundTrip(f *testing.F) {
+	for _, m := range compareSampleMessages() {
+		b, err := proto.AppendMessage(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, _, err := proto.DecodeMessage(data)
+		if err != nil {
+			return // corrupt input rejected: fine
+		}
+		b1, err := proto.AppendMessage(nil, msg)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", msg, err)
+		}
+		msg2, rest2, err := proto.DecodeMessage(b1)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-decode %T: %v (%d trailing)", msg, err, len(rest2))
+		}
+		if !reflect.DeepEqual(msg, msg2) {
+			t.Fatalf("round trip changed %T:\n  %+v\n  %+v", msg, msg, msg2)
+		}
+		b2, err := proto.AppendMessage(nil, msg2)
+		if err != nil || !bytes.Equal(b1, b2) {
+			t.Fatalf("%T encoding not canonical", msg)
+		}
+	})
+}

@@ -48,6 +48,13 @@ type Config struct {
 	// analogous); it breaks cross-replica ordering and must only be used
 	// for throughput measurements.
 	ExecuteOnCommit bool
+	// ResendInterval arms the recovery machinery for lossy transports
+	// (the cluster runtime): every interval, Tick resends the pending
+	// round of commands this process coordinates and requests re-commits
+	// for dependencies the executor is blocked on (ECommitReq). Zero
+	// disables it — the simulator and testnet runs are loss-free and
+	// expect no spontaneous traffic.
+	ResendInterval time.Duration
 }
 
 // FastQuorumSize returns the variant's fast-quorum size.
@@ -81,6 +88,9 @@ type cmdState struct {
 	shardDeps map[ids.ShardID][]ids.Dot
 	committed bool
 	seen      bool // registered in the conflict index
+	// born is the tick-clock time this process became coordinator, so
+	// recovery resends only rounds that have actually stalled.
+	born time.Duration
 }
 
 // Process is an EPaxos/Atlas replica. It implements proto.Replica.
@@ -102,11 +112,19 @@ type Process struct {
 	crashed     bool
 	executedOut []proto.Executed
 
+	deferApply bool
+	stableOut  []proto.Stable
+
+	now       time.Duration
+	lastSweep time.Duration
+
 	statFast, statSlow uint64
 }
 
 var _ proto.Replica = (*Process)(nil)
 var _ proto.Crashable = (*Process)(nil)
+var _ proto.IDMinter = (*Process)(nil)
+var _ proto.DeferredApplier = (*Process)(nil)
 
 // New creates a replica for process id.
 func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
@@ -145,10 +163,49 @@ func (p *Process) Stats() (fast, slow uint64) { return p.statFast, p.statSlow }
 // Crash implements proto.Crashable.
 func (p *Process) Crash() { p.crashed = true }
 
-// NextID mints a fresh command identifier.
+// NextID mints a fresh command identifier. It implements proto.IDMinter.
 func (p *Process) NextID() ids.Dot {
 	p.nextSeq++
 	return ids.Dot{Source: p.id, Seq: p.nextSeq}
+}
+
+// Shard returns the one shard this replica replicates. The cluster
+// runtime uses it to route client requests.
+func (p *Process) Shard() ids.ShardID { return p.shard }
+
+// OpsShard returns the shard owning every key of ops and true, or false
+// when the ops span shards. It reads only immutable topology, so it is
+// safe to call concurrently with protocol steps.
+func (p *Process) OpsShard(ops []command.Op) (ids.ShardID, bool) {
+	if len(ops) == 0 {
+		return 0, false
+	}
+	s := p.topo.ShardOf(ops[0].Key)
+	for _, op := range ops[1:] {
+		if p.topo.ShardOf(op.Key) != s {
+			return 0, false
+		}
+	}
+	return s, true
+}
+
+// SetDeferredApply implements proto.DeferredApplier.
+func (p *Process) SetDeferredApply(on bool) { p.deferApply = on }
+
+// DrainStable implements proto.DeferredApplier.
+func (p *Process) DrainStable() []proto.Stable {
+	out := p.stableOut
+	p.stableOut = nil
+	return out
+}
+
+// ApplyStable implements proto.DeferredApplier. The ts argument is
+// ignored: EPaxos sequence numbers are not monotone along execution
+// order (SCC topological order can execute a low-seq command after a
+// high-seq one), so the store's watermark entry point cannot be used.
+// Re-apply idempotency is not needed — the baselines are not Durable.
+func (p *Process) ApplyStable(cmd *command.Command, _ uint64) *command.Result {
+	return p.store.Apply(cmd, p.shard, p.topo.ShardOf)
 }
 
 // Submit implements proto.Replica.
@@ -174,9 +231,64 @@ func (p *Process) Handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 	return p.route(p.handle(from, msg))
 }
 
-// Tick implements proto.Replica. EPaxos has no periodic machinery in the
-// failure-free runs.
-func (p *Process) Tick(time.Duration) []proto.Action { return nil }
+// Tick implements proto.Replica. With Config.ResendInterval set it
+// drives recovery on lossy transports: stalled rounds this process
+// coordinates are resent (pre-accepts and accepts are idempotent at the
+// receivers; the coordinator ignores duplicate acks), and dependencies
+// the executor is blocked on are re-requested with ECommitReq. Without
+// it EPaxos has no periodic machinery — the failure-free runs of the
+// paper.
+func (p *Process) Tick(now time.Duration) []proto.Action {
+	if p.crashed {
+		return nil
+	}
+	p.now = now
+	if p.cfg.ResendInterval <= 0 || now-p.lastSweep < p.cfg.ResendInterval {
+		return nil
+	}
+	p.lastSweep = now
+	var acts []proto.Action
+	for id, st := range p.cmds {
+		if st.committed || st.acks == nil || now-st.born < p.cfg.ResendInterval {
+			continue
+		}
+		if st.slowPath {
+			acc := &EAccept{ID: id, Ballot: ids.InitialBallot(p.rank), Seq: st.seq, Deps: st.deps}
+			acts = append(acts, proto.Send(acc, othersOf(p.shardProcs, p.id)...))
+			continue
+		}
+		pa := &EPreAccept{ID: id, Cmd: st.cmd, Quorums: st.quorums, Seq: st.seq, Deps: st.deps}
+		acts = append(acts, proto.Send(pa, othersOf(st.quorums[p.shard], p.id)...))
+	}
+	for _, d := range p.graph.MissingDeps() {
+		to := othersOf(p.shardProcs, p.id)
+		if d.Source != p.id && !containsProc(to, d.Source) {
+			to = append(to, d.Source)
+		}
+		acts = append(acts, proto.Send(&ECommitReq{ID: d}, to...))
+	}
+	return p.route(acts)
+}
+
+// othersOf returns procs minus self.
+func othersOf(procs []ids.ProcessID, self ids.ProcessID) []ids.ProcessID {
+	var out []ids.ProcessID
+	for _, q := range procs {
+		if q != self {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func containsProc(procs []ids.ProcessID, q ids.ProcessID) bool {
+	for _, x := range procs {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
 
 // Drain implements proto.Replica.
 func (p *Process) Drain() []proto.Executed {
@@ -224,6 +336,8 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 		return p.onAcceptAck(from, m)
 	case *ECommit:
 		return p.onCommit(m)
+	case *ECommitReq:
+		return p.onCommitReq(from, m)
 	default:
 		panic(fmt.Sprintf("epaxos: unknown message %T", msg))
 	}
@@ -311,6 +425,7 @@ func (p *Process) onSubmit(m *ESubmit) []proto.Action {
 	st.shards = p.topo.CmdShards(m.Cmd)
 	st.quorums = m.Quorums
 	st.seq, st.deps = seq, deps
+	st.born = p.now
 	st.acks = map[ids.ProcessID]*EPreAcceptAck{
 		p.id: {ID: m.ID, Seq: seq, Deps: deps},
 	}
@@ -512,7 +627,7 @@ func (p *Process) onCommit(m *ECommit) []proto.Action {
 	}
 	p.register(m.Cmd, seq)
 	if p.cfg.ExecuteOnCommit {
-		p.executeNow(st.cmd)
+		p.executeNow(st.cmd, seq)
 		return nil
 	}
 	p.graph.Commit(m.ID, seq, deps, st.cmd)
@@ -520,15 +635,37 @@ func (p *Process) onCommit(m *ECommit) []proto.Action {
 	return nil
 }
 
+// onCommitReq answers a peer's re-commit request for a command this
+// process has committed: one ECommit per shard decision, rebuilding what
+// the requester lost on a cut link. Uncommitted or unknown ids are
+// silently ignored (the requester retries next sweep).
+func (p *Process) onCommitReq(from ids.ProcessID, m *ECommitReq) []proto.Action {
+	st, ok := p.cmds[m.ID]
+	if !ok || !st.committed {
+		return nil
+	}
+	var acts []proto.Action
+	for _, s := range st.shards {
+		seq, ok := st.shardSeq[s]
+		if !ok {
+			continue
+		}
+		mc := &ECommit{ID: m.ID, Shard: s, Cmd: st.cmd, Seq: seq, Deps: st.shardDeps[s]}
+		acts = append(acts, proto.Send(mc, from))
+	}
+	return acts
+}
+
 func (p *Process) runExecutor() {
 	for _, n := range p.graph.Executable() {
-		p.executeNow(n.Cmd)
+		p.executeNow(n.Cmd, n.Seq)
 	}
 }
 
-func (p *Process) executeNow(cmd *command.Command) {
+func (p *Process) executeNow(cmd *command.Command, seq uint64) {
+	shards := p.topo.CmdShards(cmd)
 	touchesShard := false
-	for _, s := range p.topo.CmdShards(cmd) {
+	for _, s := range shards {
 		if s == p.shard {
 			touchesShard = true
 		}
@@ -536,6 +673,11 @@ func (p *Process) executeNow(cmd *command.Command) {
 	if !touchesShard {
 		// Janus non-genuine: the command is in our graph only for
 		// ordering; nothing to apply locally.
+		return
+	}
+	if p.deferApply {
+		p.stableOut = append(p.stableOut,
+			proto.Stable{Cmd: cmd, Shard: p.shard, TS: seq, Multi: len(shards) > 1})
 		return
 	}
 	res := p.store.Apply(cmd, p.shard, p.topo.ShardOf)

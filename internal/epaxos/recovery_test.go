@@ -1,0 +1,78 @@
+package epaxos
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/testnet"
+)
+
+// The cluster runtime delivers Tick to every engine identically; these
+// tests pin down that EPaxos turns those ticks into actual recovery on a
+// lossy transport — a stalled replica's round is resent, and a replica
+// blocked on a dependency whose commit was lost re-requests it.
+
+// TestResendPreAcceptAfterStall cuts the coordinator's pre-accept to the
+// rest of its fast quorum, so the round stalls with no acks. Ticking past
+// ResendInterval must resend the pre-accepts and complete the commit.
+func TestResendPreAcceptAfterStall(t *testing.T) {
+	topo := lineTopo(t, 3, 1, 1)
+	procs, net := makeNet(t, topo, Config{ResendInterval: 10 * time.Millisecond})
+	a := at(topo, 0, 0)
+	drop := true
+	net.Drop = func(e testnet.Env) bool {
+		_, isPA := e.Msg.(*EPreAccept)
+		return drop && isPA
+	}
+	cmd := command.NewPut(procs[a].NextID(), "x", []byte("v"))
+	net.Submit(a, cmd)
+	net.Drain(0)
+	if got := procs[a].graph.Executed(); got != 0 {
+		t.Fatalf("command executed despite dropped pre-accepts: %d", got)
+	}
+	drop = false
+	net.Settle(4, 20*time.Millisecond)
+	for pid, p := range procs {
+		if got := p.graph.Executed(); got != 1 {
+			t.Fatalf("process %d executed %d after recovery, want 1", pid, got)
+		}
+	}
+}
+
+// TestCommitReqUnblocksMissedDependency loses the commit of cmd1 at one
+// replica, then commits a conflicting cmd2: the replica learns cmd2 but
+// its executor blocks on the unknown dependency cmd1. Ticking past
+// ResendInterval must issue ECommitReq and unblock execution.
+func TestCommitReqUnblocksMissedDependency(t *testing.T) {
+	topo := lineTopo(t, 3, 1, 1)
+	procs, net := makeNet(t, topo, Config{ResendInterval: 10 * time.Millisecond})
+	a, c := at(topo, 0, 0), at(topo, 2, 0)
+	drop := true
+	net.Drop = func(e testnet.Env) bool {
+		_, isCommit := e.Msg.(*ECommit)
+		return drop && isCommit && e.To == c
+	}
+	cmd1 := command.NewPut(procs[a].NextID(), "x", []byte("v1"))
+	net.Submit(a, cmd1)
+	net.Drain(0)
+	drop = false
+	cmd2 := command.NewPut(procs[a].NextID(), "x", []byte("v2"))
+	net.Submit(a, cmd2)
+	net.Drain(0)
+	if got := procs[c].graph.Executed(); got != 0 {
+		t.Fatalf("replica executed %d commands despite missing dependency commit", got)
+	}
+	if missing := procs[c].graph.MissingDeps(); len(missing) != 1 || missing[0] != cmd1.ID {
+		t.Fatalf("missing deps = %v, want [%v]", missing, cmd1.ID)
+	}
+	net.Settle(4, 20*time.Millisecond)
+	for pid, p := range procs {
+		if got := p.graph.Executed(); got != 2 {
+			t.Fatalf("process %d executed %d after recovery, want 2", pid, got)
+		}
+		if v, ok := p.Store().Get("x"); !ok || string(v) != "v2" {
+			t.Errorf("process %d: x = %q, want v2", pid, v)
+		}
+	}
+}

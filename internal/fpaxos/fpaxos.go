@@ -22,11 +22,15 @@ import (
 )
 
 // FForward carries client commands from a follower site to the leader.
+//
+//tempo:wire
 type FForward struct {
 	Cmds []*command.Command
 }
 
 // FAccept is Paxos phase 2 for one log slot.
+//
+//tempo:wire
 type FAccept struct {
 	Slot   uint64
 	Ballot ids.Ballot
@@ -34,15 +38,30 @@ type FAccept struct {
 }
 
 // FAcceptAck acknowledges FAccept.
+//
+//tempo:wire
 type FAcceptAck struct {
 	Slot   uint64
 	Ballot ids.Ballot
 }
 
 // FCommit announces a decided slot to every replica.
+//
+//tempo:wire
 type FCommit struct {
 	Slot uint64
 	Cmds []*command.Command
+}
+
+// FSlotReq asks the leader to resend decided slots starting at Next.
+// Followers issue it from Tick when their execution cursor is stuck
+// behind a slot they have seen proposed or decided (an FCommit lost on
+// a cut link would otherwise stall execution forever); the leader
+// answers with FCommit per retained slot.
+//
+//tempo:wire
+type FSlotReq struct {
+	Next uint64
 }
 
 const hdr = 16
@@ -67,6 +86,9 @@ func (m *FAcceptAck) Size() int { return hdr + 16 }
 // Size implements proto.Message.
 func (m *FCommit) Size() int { return hdr + 8 + cmdsSize(m.Cmds) }
 
+// Size implements proto.Message.
+func (m *FSlotReq) Size() int { return hdr }
+
 // Config tunes a replica.
 type Config struct {
 	// Batching aggregates commands at each site before forwarding or
@@ -75,6 +97,15 @@ type Config struct {
 	Batching    bool
 	BatchWindow time.Duration
 	MaxBatch    int
+	// ResendInterval arms the recovery machinery for lossy transports
+	// (the cluster runtime): every interval, the leader re-runs phase 2
+	// for stalled uncommitted slots and followers with a stuck execution
+	// cursor request decided slots back with FSlotReq. Zero disables it
+	// — the simulator and testnet runs are loss-free.
+	ResendInterval time.Duration
+	// HistorySlots bounds how many executed slots each replica retains
+	// to answer FSlotReq catch-ups (default 4096).
+	HistorySlots uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 105 // the paper's batch cap
 	}
+	if c.HistorySlots == 0 {
+		c.HistorySlots = 4096
+	}
 	return c
 }
 
@@ -91,6 +125,9 @@ type slot struct {
 	cmds      []*command.Command
 	acks      map[ids.ProcessID]bool
 	committed bool
+	// born is the tick-clock time this slot was proposed here, so
+	// recovery resends only rounds that have actually stalled.
+	born time.Duration
 }
 
 // Process is an FPaxos replica. It implements proto.Replica.
@@ -115,11 +152,25 @@ type Process struct {
 	executedOut []proto.Executed
 	crashed     bool
 	proposed    uint64
+
+	deferApply bool
+	stableOut  []proto.Stable
+
+	// Recovery state: the tick clock, the last recovery sweep, the
+	// highest slot seen proposed or decided, and the retained window of
+	// executed slots answering FSlotReq.
+	now       time.Duration
+	lastSweep time.Duration
+	maxSlot   uint64
+	hist      map[uint64][]*command.Command
+	histMin   uint64
 }
 
 var _ proto.Replica = (*Process)(nil)
 var _ proto.LeaderAware = (*Process)(nil)
 var _ proto.Crashable = (*Process)(nil)
+var _ proto.IDMinter = (*Process)(nil)
+var _ proto.DeferredApplier = (*Process)(nil)
 
 // New creates an FPaxos replica; the initial leader is rank 1.
 func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
@@ -139,6 +190,8 @@ func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
 		log:        make(map[uint64]*slot),
 		execNext:   1,
 		store:      kvstore.New(),
+		hist:       make(map[uint64][]*command.Command),
+		histMin:    1,
 	}
 }
 
@@ -157,10 +210,49 @@ func (p *Process) SetLeader(rank ids.Rank) { p.leaderRank = rank }
 // Crash implements proto.Crashable.
 func (p *Process) Crash() { p.crashed = true }
 
-// NextID mints a fresh command identifier.
+// NextID mints a fresh command identifier. It implements proto.IDMinter.
 func (p *Process) NextID() ids.Dot {
 	p.nextID++
 	return ids.Dot{Source: p.id, Seq: p.nextID}
+}
+
+// Shard returns the one shard this replica replicates. The cluster
+// runtime uses it to route client requests.
+func (p *Process) Shard() ids.ShardID { return p.shard }
+
+// OpsShard returns the shard owning every key of ops and true, or false
+// when the ops span shards. It reads only immutable topology, so it is
+// safe to call concurrently with protocol steps.
+func (p *Process) OpsShard(ops []command.Op) (ids.ShardID, bool) {
+	if len(ops) == 0 {
+		return 0, false
+	}
+	s := p.topo.ShardOf(ops[0].Key)
+	for _, op := range ops[1:] {
+		if p.topo.ShardOf(op.Key) != s {
+			return 0, false
+		}
+	}
+	return s, true
+}
+
+// SetDeferredApply implements proto.DeferredApplier.
+func (p *Process) SetDeferredApply(on bool) { p.deferApply = on }
+
+// DrainStable implements proto.DeferredApplier.
+func (p *Process) DrainStable() []proto.Stable {
+	out := p.stableOut
+	p.stableOut = nil
+	return out
+}
+
+// ApplyStable implements proto.DeferredApplier. The ts argument (the
+// slot number) is ignored: slots carry multiple commands, so the slot
+// number is not unique per command and the store's watermark entry
+// point cannot be used. Re-apply idempotency is not needed — the
+// baselines are not Durable.
+func (p *Process) ApplyStable(cmd *command.Command, _ uint64) *command.Result {
+	return p.store.Apply(cmd, p.shard, p.topo.ShardOf)
 }
 
 func (p *Process) leaderID() ids.ProcessID {
@@ -203,7 +295,10 @@ func (p *Process) propose(cmds []*command.Command) []proto.Action {
 	p.nextSlot++
 	p.proposed++
 	s := p.nextSlot
-	st := &slot{cmds: cmds, acks: map[ids.ProcessID]bool{}}
+	if s > p.maxSlot {
+		p.maxSlot = s
+	}
+	st := &slot{cmds: cmds, acks: map[ids.ProcessID]bool{}, born: p.now}
 	p.log[s] = st
 	quorum := p.topo.FastQuorum(p.id, p.f+1)
 	return []proto.Action{proto.Send(&FAccept{Slot: s, Ballot: ids.Ballot(p.rank), Cmds: cmds}, quorum...)}
@@ -262,6 +357,13 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 		return p.propose(m.Cmds)
 	case *FAccept:
 		// Failure-free phase 2: accept unconditionally.
+		if m.Slot > p.maxSlot {
+			p.maxSlot = m.Slot
+		}
+		if m.Slot < p.execNext {
+			// Already executed here (a recovery resend): re-ack only.
+			return []proto.Action{proto.Send(&FAcceptAck{Slot: m.Slot, Ballot: m.Ballot}, from)}
+		}
 		if _, ok := p.log[m.Slot]; !ok {
 			p.log[m.Slot] = &slot{cmds: m.Cmds}
 		}
@@ -278,6 +380,12 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 		st.acks = nil
 		return []proto.Action{proto.Send(&FCommit{Slot: m.Slot, Cmds: st.cmds}, p.topo.ShardProcesses(p.shard)...)}
 	case *FCommit:
+		if m.Slot > p.maxSlot {
+			p.maxSlot = m.Slot
+		}
+		if m.Slot < p.execNext {
+			return nil // already executed here (a recovery resend)
+		}
 		st, ok := p.log[m.Slot]
 		if !ok {
 			st = &slot{cmds: m.Cmds}
@@ -286,12 +394,16 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 		st.committed = true
 		p.executeReady()
 		return nil
+	case *FSlotReq:
+		return p.onSlotReq(from, m)
 	default:
 		panic(fmt.Sprintf("fpaxos: unknown message %T", msg))
 	}
 }
 
-// executeReady applies committed slots in order.
+// executeReady applies committed slots in order. Executed slot payloads
+// move to the bounded history window so this replica can answer a
+// lagging peer's FSlotReq.
 func (p *Process) executeReady() {
 	for {
 		st, ok := p.log[p.execNext]
@@ -299,24 +411,98 @@ func (p *Process) executeReady() {
 			return
 		}
 		for _, c := range st.cmds {
+			if p.deferApply {
+				p.stableOut = append(p.stableOut,
+					proto.Stable{Cmd: c, Shard: p.shard, TS: p.execNext})
+				continue
+			}
 			res := p.store.Apply(c, p.shard, p.topo.ShardOf)
 			p.executedOut = append(p.executedOut, proto.Executed{Cmd: c, Shard: p.shard, Result: res})
 		}
+		p.hist[p.execNext] = st.cmds
 		delete(p.log, p.execNext)
 		p.execNext++
 	}
+	// Pruned lazily in Tick; execution stays allocation-flat.
 }
 
-// Tick implements proto.Replica: flushes batches.
+// onSlotReq resends decided slots from Next, from the history window or
+// the committed-but-unexecuted log, stopping at the first slot this
+// replica has not decided (the requester retries next sweep if still
+// stuck). The reply batch is bounded to keep messages small.
+func (p *Process) onSlotReq(from ids.ProcessID, m *FSlotReq) []proto.Action {
+	const maxBatch = 64
+	var acts []proto.Action
+	for s := m.Next; s < m.Next+maxBatch; s++ {
+		if cmds, ok := p.hist[s]; ok {
+			acts = append(acts, proto.Send(&FCommit{Slot: s, Cmds: cmds}, from))
+			continue
+		}
+		if st, ok := p.log[s]; ok && st.committed {
+			acts = append(acts, proto.Send(&FCommit{Slot: s, Cmds: st.cmds}, from))
+			continue
+		}
+		break
+	}
+	return acts
+}
+
+// Tick implements proto.Replica: flushes batches, and with
+// Config.ResendInterval set drives recovery on lossy transports — the
+// leader re-runs phase 2 for stalled uncommitted slots, and a follower
+// whose execution cursor is stuck behind a slot it has seen requests the
+// decided slots back from the leader.
 func (p *Process) Tick(now time.Duration) []proto.Action {
 	if p.crashed {
 		return nil
 	}
+	p.now = now
+	var acts []proto.Action
 	if p.cfg.Batching && now-p.lastFlush >= p.cfg.BatchWindow {
 		p.lastFlush = now
-		return p.route(p.flush())
+		acts = p.flush()
 	}
-	return nil
+	if p.cfg.ResendInterval > 0 && now-p.lastSweep >= p.cfg.ResendInterval {
+		p.lastSweep = now
+		acts = append(acts, p.recoverySweep(now)...)
+		p.pruneHist()
+	}
+	if len(acts) == 0 {
+		return nil
+	}
+	return p.route(acts)
+}
+
+// recoverySweep emits the resends and catch-up requests for one sweep.
+func (p *Process) recoverySweep(now time.Duration) []proto.Action {
+	var acts []proto.Action
+	if p.isLeader() {
+		for s, st := range p.log {
+			if st.committed || st.acks == nil || now-st.born < p.cfg.ResendInterval {
+				continue
+			}
+			quorum := p.topo.FastQuorum(p.id, p.f+1)
+			acts = append(acts, proto.Send(&FAccept{Slot: s, Ballot: ids.Ballot(p.rank), Cmds: st.cmds}, quorum...))
+		}
+		return acts
+	}
+	if p.execNext <= p.maxSlot {
+		if st, ok := p.log[p.execNext]; !ok || !st.committed {
+			acts = append(acts, proto.Send(&FSlotReq{Next: p.execNext}, p.leaderID()))
+		}
+	}
+	return acts
+}
+
+// pruneHist drops retained slots older than the history window.
+func (p *Process) pruneHist() {
+	if p.execNext <= p.cfg.HistorySlots {
+		return
+	}
+	floor := p.execNext - p.cfg.HistorySlots
+	for ; p.histMin < floor; p.histMin++ {
+		delete(p.hist, p.histMin)
+	}
 }
 
 // Drain implements proto.Replica.

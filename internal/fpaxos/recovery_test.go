@@ -1,0 +1,73 @@
+package fpaxos
+
+import (
+	"testing"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/testnet"
+)
+
+// The cluster runtime delivers Tick to every engine identically; these
+// tests pin down that FPaxos turns those ticks into actual recovery on a
+// lossy transport — the leader re-runs phase 2 for a stalled slot, and a
+// follower with a stuck execution cursor requests decided slots back.
+
+// TestLeaderResendsStalledAccept cuts the leader's FAccept to the other
+// phase-2 quorum member, so the slot stalls below quorum. Ticking past
+// ResendInterval must re-run phase 2 and commit everywhere.
+func TestLeaderResendsStalledAccept(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{ResendInterval: 10 * time.Millisecond})
+	leader := topo.ProcessAt(0, 0)
+	drop := true
+	net.Drop = func(e testnet.Env) bool {
+		_, isAcc := e.Msg.(*FAccept)
+		return drop && isAcc && e.To != leader
+	}
+	c := command.NewPut(procs[leader].NextID(), "k", []byte("v"))
+	net.Submit(leader, c)
+	net.Drain(0)
+	if len(procs[leader].Drain()) != 0 {
+		t.Fatal("slot committed despite dropped accepts")
+	}
+	drop = false
+	net.Settle(4, 20*time.Millisecond)
+	for pid, p := range procs {
+		if v, ok := p.Store().Get("k"); !ok || string(v) != "v" {
+			t.Errorf("process %d store missing k after recovery (got %q)", pid, v)
+		}
+	}
+}
+
+// TestSlotReqCatchesUpMissedCommit loses slot 1's FCommit at one
+// follower; when slot 2 decides, that follower's execution cursor is
+// stuck behind the gap. Ticking past ResendInterval must issue FSlotReq
+// and replay both slots in order.
+func TestSlotReqCatchesUpMissedCommit(t *testing.T) {
+	topo, procs, net := makeNet(t, 1, Config{ResendInterval: 10 * time.Millisecond})
+	leader := topo.ProcessAt(0, 0)
+	lagger := topo.ProcessAt(4, 0)
+	drop := true
+	net.Drop = func(e testnet.Env) bool {
+		fc, isFC := e.Msg.(*FCommit)
+		return drop && isFC && fc.Slot == 1 && e.To == lagger
+	}
+	c1 := command.NewPut(procs[leader].NextID(), "k", []byte("v1"))
+	net.Submit(leader, c1)
+	net.Drain(0)
+	c2 := command.NewPut(procs[leader].NextID(), "k", []byte("v2"))
+	net.Submit(leader, c2)
+	net.Drain(0)
+	drop = false
+	if ex := procs[lagger].Drain(); len(ex) != 0 {
+		t.Fatalf("lagger executed %d commands across the gap", len(ex))
+	}
+	net.Settle(4, 20*time.Millisecond)
+	ex := procs[lagger].Drain()
+	if len(ex) != 2 || ex[0].Cmd.ID != c1.ID || ex[1].Cmd.ID != c2.ID {
+		t.Fatalf("lagger executed %d commands after recovery, want [c1 c2]", len(ex))
+	}
+	if v, ok := procs[lagger].Store().Get("k"); !ok || string(v) != "v2" {
+		t.Errorf("lagger store k = %q, want v2", v)
+	}
+}

@@ -138,6 +138,16 @@ type Replica interface {
 	Drain() []Executed
 }
 
+// IDMinter is implemented by replicas that can mint globally-unique
+// command identifiers on behalf of clients. The cluster runtime requires
+// it: each submitted client command is stamped with NextID before it
+// enters the protocol, so waiters can claim completion by Dot. NextID is
+// called under the runtime's protocol lock (serialized with
+// Submit/Handle/Tick).
+type IDMinter interface {
+	NextID() ids.Dot
+}
+
 // LeaderAware is implemented by protocols that depend on a leader oracle
 // (the Ω failure detector of the paper, or the FPaxos leader). Runtimes
 // call SetLeader when the oracle's output changes.

@@ -1,6 +1,8 @@
 package tempo
 
 import (
+	"encoding/gob"
+
 	"tempo/internal/command"
 	"tempo/internal/ids"
 	"tempo/internal/proto"
@@ -47,6 +49,24 @@ func init() {
 	proto.RegisterWire(tagMCommitRequest, decodeMCommitRequest)
 	proto.RegisterWire(tagMPromises, decodeMPromises)
 	proto.RegisterWire(tagMStable, decodeMStable)
+
+	// Concrete-type registrations for the legacy gob peer codec; each
+	// engine registers its own messages so the cluster runtime stays
+	// protocol-agnostic.
+	gob.Register(&MSubmit{})
+	gob.Register(&MPayload{})
+	gob.Register(&MPropose{})
+	gob.Register(&MProposeAck{})
+	gob.Register(&MBump{})
+	gob.Register(&MCommit{})
+	gob.Register(&MConsensus{})
+	gob.Register(&MConsensusAck{})
+	gob.Register(&MRec{})
+	gob.Register(&MRecAck{})
+	gob.Register(&MRecNAck{})
+	gob.Register(&MCommitRequest{})
+	gob.Register(&MPromises{})
+	gob.Register(&MStable{})
 }
 
 // --- shared field helpers ---

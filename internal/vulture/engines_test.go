@@ -1,0 +1,126 @@
+package vulture
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/cluster"
+	"tempo/internal/epaxos"
+	"tempo/internal/ids"
+	"tempo/internal/topology"
+)
+
+// startEPaxosCluster boots a 3-replica EPaxos loopback cluster sharing
+// one Shaper for fault injection. No Incremental checker is attached:
+// that checker asserts a per-shard total order, which EPaxos — ordering
+// only conflicting commands — deliberately does not provide. The
+// vulture's own single-writer register checking is engine-agnostic.
+func startEPaxosCluster(t *testing.T) (map[ids.ProcessID]string, *cluster.Shaper) {
+	t.Helper()
+	const r = 3
+	names := make([]string, r)
+	rtt := make([][]time.Duration, r)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+		rtt[i] = make([]time.Duration, r)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make(map[ids.ProcessID]string)
+	lns := make(map[ids.ProcessID]net.Listener)
+	for _, pi := range topo.Processes() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[pi.ID] = ln
+		addrs[pi.ID] = ln.Addr().String()
+	}
+	shaper := cluster.NewShaper(nil)
+	t.Cleanup(shaper.Close)
+	for _, pi := range topo.Processes() {
+		rep := epaxos.New(pi.ID, topo, epaxos.Config{ResendInterval: 50 * time.Millisecond})
+		n := cluster.NewNode(pi.ID, rep, addrs)
+		n.SetShaper(shaper)
+		if err := n.StartListener(lns[pi.ID]); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+	}
+	return addrs, shaper
+}
+
+// TestVultureOverEPaxos points the consistency vulture at a non-Tempo
+// engine: probing an EPaxos cluster through a partition and heal must
+// produce zero safety violations, and the stall while the client-facing
+// replica is isolated must surface as an availability window attributed
+// to an injected fault event.
+func TestVultureOverEPaxos(t *testing.T) {
+	addrs, shaper := startEPaxosCluster(t)
+	v, err := New(Config{
+		Client: client.Config{
+			Addrs:          addrs,
+			RequestTimeout: 300 * time.Millisecond,
+		},
+		Writers:         2,
+		Readers:         2,
+		Keys:            8,
+		Interval:        time.Millisecond,
+		OutageThreshold: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	var runErr atomic.Value
+	go func() {
+		defer close(done)
+		if err := v.Run(ctx); err != nil {
+			runErr.Store(err)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond) // healthy probing establishes version floors
+	// Clients route to the lowest-id reachable replica, and the shaper
+	// leaves client TCP alone — so isolating replica 1 stalls every
+	// probe without disconnecting anyone.
+	v.Event("partition")
+	shaper.Isolate(1)
+	time.Sleep(700 * time.Millisecond)
+	v.Event("heal")
+	shaper.Rejoin(1)
+	time.Sleep(1200 * time.Millisecond) // recovery resends commit the backlog; probes succeed again
+	cancel()
+	<-done
+	if err, ok := runErr.Load().(error); ok {
+		t.Fatalf("run: %v", err)
+	}
+
+	if dropped := shaper.Dropped(); dropped == 0 {
+		t.Fatal("shaper dropped nothing; the partition never bit")
+	}
+	r := v.Report()
+	if r.Ops < 50 {
+		t.Fatalf("only %d ops completed", r.Ops)
+	}
+	if err := v.Failed(); err != nil {
+		t.Fatalf("vulture flagged EPaxos: %v", err)
+	}
+	if len(r.Outages) == 0 {
+		t.Fatalf("no availability window recorded across a %v isolation", 700*time.Millisecond)
+	}
+	for _, o := range r.Outages {
+		if o.After == "" {
+			t.Fatalf("outage window %+v not attributed to any injected event", o)
+		}
+	}
+}
