@@ -5,7 +5,7 @@ GO ?= go
 ## (the container has no module proxy access).
 GOVULNCHECK_VERSION ?= golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: ci fmt vet lint doc-check build test test-race conformance bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault bench-shard bench-wan bench-compare soak soak-short FORCE
+.PHONY: ci fmt vet lint doc-check build test test-race conformance bench-smoke fuzz-smoke bench-micro bench-cluster bench-fault bench-shard bench-wan bench-compare bench-reconfig soak soak-short FORCE
 
 ## ci: the main CI job, in order (the race and bench-smoke jobs run in
 ## parallel in the workflow)
@@ -60,11 +60,13 @@ conformance:
 	$(GO) test -race -run 'TestConformance' -count=1 ./internal/cluster/
 
 ## bench-smoke: one iteration of every benchmark plus a short run of the
-## micro, cluster, fault and shard experiments — catches perf-path
-## regressions that compile but deadlock or stall, not perf itself. The
-## fault run is a real kill-restart of subprocess replicas with durable
-## directories; the shard run is a real 2-shard partial-replication
-## deployment of psmr groups.
+## micro, cluster, fault, shard, compare and reconfig experiments —
+## catches perf-path regressions that compile but deadlock or stall, not
+## perf itself. The fault run is a real kill-restart of subprocess
+## replicas with durable directories; the shard run is a real 2-shard
+## partial-replication deployment of psmr groups; the reconfig run
+## replaces every site of a live durable cluster (drain + two SIGKILLs)
+## with the vulture attached and fails on any consistency violation.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/bench -exp micro -microout /tmp/bench_micro_smoke.json
@@ -76,6 +78,8 @@ bench-smoke:
 		-shardout /tmp/bench_shard_smoke.json
 	$(GO) run ./cmd/bench -exp compare -comparedur 300ms -comparewarm 200ms \
 		-compareout /tmp/bench_compare_smoke.json
+	$(GO) run ./cmd/bench -exp reconfig -reconfigphase 1500ms -reconfigavail -1 \
+		-reconfigout /tmp/bench_reconfig_smoke.json
 	$(MAKE) soak-short
 
 ## fuzz-smoke: a short run of each fuzz target
@@ -112,6 +116,14 @@ bench-wan:
 ## fpaxos on the paper's 5-site ring WAN, conflict ratios 0/5/50%)
 bench-compare:
 	$(GO) run ./cmd/bench -exp compare
+
+## bench-reconfig: regenerate BENCH_reconfig.json (rolling replacement
+## of every site of a live durable cluster — graceful drain plus two
+## SIGKILL crash-replaces — under closed-loop load with the consistency
+## vulture attached; fails on any violation or on availability below
+## 0.75x steady outside the takeover windows)
+bench-reconfig:
+	$(GO) run ./cmd/bench -exp reconfig
 
 ## soak: the full chaos soak — the consistency vulture probing a shaped
 ## durable cluster for 10 minutes through a partition, a SIGKILL+restart

@@ -35,6 +35,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tempo/internal/command"
@@ -62,6 +63,10 @@ var (
 	// outside it. The serving side returns the same sentinel when a
 	// request reaches a process that does not replicate the key's shard.
 	ErrWrongShard = command.ErrWrongShard
+	// ErrDraining reports a submission to a replica that is gracefully
+	// leaving the cluster; retry against another replica. Sessions with
+	// Config.Refresh re-route automatically on the next refresh.
+	ErrDraining = command.ErrDraining
 )
 
 // Config configures a Session.
@@ -102,6 +107,16 @@ type Config struct {
 	// travels with the request, so the replica itself fails the command
 	// with ErrTimeout if it cannot execute it in time.
 	RequestTimeout time.Duration
+	// Refresh enables membership-aware routing against deployments with
+	// dynamic membership (internal/psmr): the session refetches the
+	// cluster configuration from a live replica when a reply reports
+	// draining/wrong-shard/shutdown or when every candidate replica is
+	// unreachable, then re-routes across the new epoch — redirecting
+	// around draining replicas and redialing slots whose replica was
+	// replaced at a new address. Addrs seeds epoch 0; process ids are
+	// stable across epochs (the quorum geometry is fixed for the
+	// deployment's lifetime), only addresses and statuses change.
+	Refresh bool
 }
 
 // Session is a client session. It is safe for concurrent use; requests
@@ -121,8 +136,9 @@ type Session struct {
 	// rng jitters redial backoffs; guarded by mu.
 	rng *rand.Rand
 	// dialMu serializes dialing per replica so a burst of first
-	// requests shares one connection instead of racing dials. Keys are
-	// fixed at New; only the mutexes are contended.
+	// requests shares one connection instead of racing dials. Guarded
+	// by mu (a membership refresh may add slots the initial address set
+	// did not cover); only the mutexes themselves are contended.
 	dialMu map[ids.ProcessID]*sync.Mutex
 
 	// mintMu guards the session's pre-minted command-id block, consumed
@@ -130,6 +146,15 @@ type Session struct {
 	mintMu   sync.Mutex
 	mintNext ids.Dot
 	mintLeft int
+
+	// route is the swappable routing state: the per-replica addresses
+	// and statuses of the latest installed configuration epoch (see
+	// membership.go). Loaded lock-free on every request.
+	route atomic.Pointer[route]
+	// refreshMu serializes configuration refreshes; lastRefresh
+	// (unix nanos) rate-limits the asynchronous ones.
+	refreshMu   sync.Mutex
+	lastRefresh atomic.Int64
 }
 
 // New creates a session from a full configuration.
@@ -167,6 +192,7 @@ func New(cfg Config) (*Session, error) {
 		s.dialMu[id] = new(sync.Mutex)
 	}
 	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	s.route.Store(staticRoute(cfg.Addrs))
 	return s, nil
 }
 
@@ -205,30 +231,27 @@ func (s *Session) Close() error {
 // routing-preference order: the session's home replica (Prefer) first,
 // then — with a topology — the owning shard's replica at the session's
 // site and the shard's other replicas, or every replica in id order
-// without one. Replicas absent from the session's address set are
-// dropped: an empty result means no dialed replica serves the key's
-// shard (ErrWrongShard).
+// without one. Replicas absent from the current route (no address, or
+// fenced at the installed epoch) are dropped: an empty result means no
+// routable replica serves the key's shard (ErrWrongShard). Replicas
+// that are addressed but not accepting new submissions (joining or
+// draining) are used only when no fully active one remains.
 func (s *Session) candidates(key command.Key) []ids.ProcessID {
+	rt := s.route.Load()
 	t := s.cfg.Topo
 	var base []ids.ProcessID
 	if t == nil {
-		base = s.order
+		base = rt.filter(s.order, true)
+		if len(base) == 0 {
+			base = rt.filter(s.order, false)
+		}
 	} else {
 		shard := t.ShardOf(key)
 		procs := t.ShardProcesses(shard)
-		base = make([]ids.ProcessID, 0, len(procs))
-		if p := t.ProcessAt(s.cfg.Site, shard); p != 0 {
-			if _, ok := s.cfg.Addrs[p]; ok {
-				base = append(base, p)
-			}
-		}
-		for _, p := range procs {
-			if len(base) > 0 && p == base[0] {
-				continue
-			}
-			if _, ok := s.cfg.Addrs[p]; ok {
-				base = append(base, p)
-			}
+		local := t.ProcessAt(s.cfg.Site, shard)
+		base = rt.shardOrder(procs, local, true)
+		if len(base) == 0 {
+			base = rt.shardOrder(procs, local, false)
 		}
 	}
 	home := s.cfg.Prefer
@@ -355,13 +378,40 @@ func (s *Session) sendRouted(f *Future, key command.Key, send func(c *conn) erro
 }
 
 // sendCandidates tries each candidate replica in turn until one accepts
-// the request. The first pass skips replicas in dial backoff (fail over
-// fast while a replica is down); the second pass retries them anyway,
-// so a fully backed-off candidate set still makes a real attempt
-// instead of failing on stale knowledge.
+// the request, failing f when none does. When every candidate is
+// unreachable and membership refresh is enabled, the stale replica list
+// itself may be the problem (replicas moved or were replaced at a newer
+// epoch): the session refetches the configuration from any live replica
+// and, if a newer epoch was installed, retries the candidates once
+// across it instead of failing over forever within the old addresses.
 func (s *Session) sendCandidates(f *Future, cands []ids.ProcessID, send func(c *conn) error) {
-	var lastErr error
-	try := func(pid ids.ProcessID) (done bool) {
+	done, lastErr := s.tryCandidates(f, cands, send)
+	if done {
+		return
+	}
+	if s.refreshSync() {
+		var err2 error
+		if done, err2 = s.tryCandidates(f, cands, send); done {
+			return
+		}
+		if err2 != nil {
+			lastErr = err2
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no candidate replicas")
+	}
+	f.fulfill(nil, fmt.Errorf("client: no replica reachable: %w", lastErr))
+}
+
+// tryCandidates makes one routing pass over cands: the first sweep
+// skips replicas in dial backoff (fail over fast while a replica is
+// down); the second retries them anyway, so a fully backed-off
+// candidate set still makes a real attempt instead of failing on stale
+// knowledge. done reports that f was handed to a connection (or
+// fulfilled with ErrClosed).
+func (s *Session) tryCandidates(f *Future, cands []ids.ProcessID, send func(c *conn) error) (done bool, lastErr error) {
+	try := func(pid ids.ProcessID) bool {
 		c, err := s.conn(pid)
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
@@ -385,18 +435,15 @@ func (s *Session) sendCandidates(f *Future, cands []ids.ProcessID, send func(c *
 			continue
 		}
 		if try(pid) {
-			return
+			return true, nil
 		}
 	}
 	for _, pid := range skipped {
 		if try(pid) {
-			return
+			return true, nil
 		}
 	}
-	if lastErr == nil {
-		lastErr = errors.New("no candidate replicas")
-	}
-	f.fulfill(nil, fmt.Errorf("client: no replica reachable: %w", lastErr))
+	return false, lastErr
 }
 
 // Execute submits a command and waits for its per-op results.
@@ -441,21 +488,28 @@ func (s *Session) conn(pid ids.ProcessID) (*conn, error) {
 	if c, err, ok := live(); ok {
 		return c, err
 	}
-	dmu, ok := s.dialMu[pid]
+	addr, ok := s.route.Load().addrs[pid]
 	if !ok {
-		return nil, fmt.Errorf("client: unknown replica %d", pid)
+		return nil, fmt.Errorf("client: no address for replica %d", pid)
 	}
+	s.mu.Lock()
+	dmu := s.dialMu[pid]
+	if dmu == nil { // slot first addressed by a membership refresh
+		dmu = new(sync.Mutex)
+		s.dialMu[pid] = dmu
+	}
+	s.mu.Unlock()
 	dmu.Lock()
 	defer dmu.Unlock()
 	if c, err, ok := live(); ok { // someone dialed while we waited
 		return c, err
 	}
-	nc, err := dial(s.cfg.Addrs[pid], s.cfg.DialTimeout)
+	nc, err := dial(addr, s.cfg.DialTimeout)
 	if err != nil {
 		s.noteDialFailure(pid)
 		return nil, err
 	}
-	fresh := newConn(pid, nc)
+	fresh := newConn(pid, addr, nc, s.noteWireErr, s.noteConnLoss)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()

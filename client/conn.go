@@ -18,8 +18,18 @@ import (
 // writes), and tracked in a pending map the read loop uses to
 // demultiplex replies back to their futures.
 type conn struct {
-	pid ids.ProcessID
-	nc  net.Conn
+	pid  ids.ProcessID
+	addr string // address dialed; a refresh closes conns whose replica moved
+	nc   net.Conn
+
+	// onWireErr, when set, observes every typed error reply before it
+	// fails the future (the session's membership refresh trigger). Set
+	// at construction, never changed; must not block.
+	onWireErr func(command.ErrCode)
+	// onLost, when set, observes a genuine transport loss (read or
+	// write failure, not a deliberate teardown) — the session's
+	// connection-loss refresh trigger. Same contract as onWireErr.
+	onLost func()
 
 	//tempo:guard
 	mu      sync.Mutex
@@ -49,13 +59,16 @@ func dial(addr string, timeout time.Duration) (net.Conn, error) {
 	return nc, nil
 }
 
-func newConn(pid ids.ProcessID, nc net.Conn) *conn {
+func newConn(pid ids.ProcessID, addr string, nc net.Conn, onWireErr func(command.ErrCode), onLost func()) *conn {
 	c := &conn{
-		pid:     pid,
-		nc:      nc,
-		pending: make(map[uint64]*Future),
-		kick:    make(chan struct{}, 1),
-		dead:    make(chan struct{}),
+		pid:       pid,
+		addr:      addr,
+		nc:        nc,
+		onWireErr: onWireErr,
+		onLost:    onLost,
+		pending:   make(map[uint64]*Future),
+		kick:      make(chan struct{}, 1),
+		dead:      make(chan struct{}),
 	}
 	go c.writeLoop()
 	go c.readLoop()
@@ -153,7 +166,7 @@ func (c *conn) writeLoop() {
 			continue
 		}
 		if _, err := c.nc.Write(out); err != nil {
-			c.fail(fmt.Errorf("client: write to replica %d: %w", c.pid, err))
+			c.lost(fmt.Errorf("client: write to replica %d: %w", c.pid, err))
 			return
 		}
 		free = out[:0]
@@ -167,7 +180,7 @@ func (c *conn) readLoop() {
 	for {
 		body, err := cluster.ReadFrame(br, cluster.MaxClientFrameBytes, &buf)
 		if err != nil {
-			c.fail(fmt.Errorf("client: connection to replica %d lost: %w", c.pid, err))
+			c.lost(fmt.Errorf("client: connection to replica %d lost: %w", c.pid, err))
 			return
 		}
 		reqID, werr, values, err := cluster.DecodeClientReply(body)
@@ -183,6 +196,9 @@ func (c *conn) readLoop() {
 			continue // abandoned request; drop the late reply
 		}
 		if werr.Code != command.ErrCodeNone {
+			if c.onWireErr != nil {
+				c.onWireErr(werr.Code)
+			}
 			f.fulfill(nil, wireError(werr))
 		} else {
 			f.fulfill(values, nil)
@@ -199,8 +215,20 @@ func wireError(e command.WireError) error {
 		return fmt.Errorf("%w: %s", ErrClosed, e.Msg)
 	case command.ErrCodeWrongShard:
 		return fmt.Errorf("%w: %s", ErrWrongShard, e.Msg)
+	case command.ErrCodeDraining:
+		return fmt.Errorf("%w: %s", ErrDraining, e.Msg)
 	default:
 		return fmt.Errorf("client: replica error %d: %s", e.Code, e.Msg)
+	}
+}
+
+// lost is fail for transport failures: it additionally fires the
+// session's connection-loss hook (a membership refresh trigger — the
+// replica may have been replaced at a new address).
+func (c *conn) lost(err error) {
+	c.fail(err)
+	if c.onLost != nil {
+		c.onLost()
 	}
 }
 

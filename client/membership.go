@@ -1,0 +1,253 @@
+package client
+
+import (
+	"errors"
+	"time"
+
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/membership"
+)
+
+// Membership-aware routing. Deployments with dynamic membership
+// (internal/psmr) change their configuration while serving: a replica
+// drains out, a crashed one is fenced, a successor joins at a new
+// address and incarnation. Sessions keep up by holding a swappable
+// route — the address and status of every slot at the latest installed
+// epoch — and refreshing it from the replicas themselves over the
+// membership config protocol, rather than failing over forever within
+// the replica list they were dialed with.
+//
+// Refresh triggers (all gated on Config.Refresh):
+//   - a reply carries a draining, wrong-shard or shutdown error
+//     (asynchronous, rate-limited: the request itself still fails and
+//     the caller retries, but the next attempt routes on fresh state);
+//   - every candidate replica of a request is unreachable
+//     (synchronous: the request retries once across the new epoch).
+//
+// Because the quorum geometry is fixed for a deployment's lifetime,
+// process ids never change — an epoch only rebinds a slot's address
+// and status. A refresh therefore never invalidates in-flight
+// requests; it closes connections to slots whose address changed
+// (their futures fail, callers retry on the new address) and leaves
+// everything else untouched.
+
+// route is the session's routing state at one configuration epoch:
+// which replicas are addressable at all, and which of them accept new
+// submissions. Immutable once installed; swapped atomically.
+type route struct {
+	epoch uint64
+	addrs map[ids.ProcessID]string
+	// active marks replicas accepting new submissions (Active status).
+	// Addressed-but-inactive replicas (joining, draining) are routed to
+	// only when no active one remains.
+	active map[ids.ProcessID]bool
+}
+
+// staticRoute lifts a fixed address set into the pre-refresh epoch 0:
+// every addressed replica counts as active.
+func staticRoute(addrs map[ids.ProcessID]string) *route {
+	rt := &route{
+		epoch:  0,
+		addrs:  make(map[ids.ProcessID]string, len(addrs)),
+		active: make(map[ids.ProcessID]bool, len(addrs)),
+	}
+	for pid, a := range addrs {
+		if a == "" {
+			continue
+		}
+		rt.addrs[pid] = a
+		rt.active[pid] = true
+	}
+	return rt
+}
+
+// usable reports whether pid may serve a request: active when
+// activeOnly, else merely addressed.
+func (rt *route) usable(pid ids.ProcessID, activeOnly bool) bool {
+	if activeOnly {
+		return rt.active[pid]
+	}
+	_, ok := rt.addrs[pid]
+	return ok
+}
+
+// filter keeps the usable replicas of order, preserving it.
+func (rt *route) filter(order []ids.ProcessID, activeOnly bool) []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(order))
+	for _, pid := range order {
+		if rt.usable(pid, activeOnly) {
+			out = append(out, pid)
+		}
+	}
+	return out
+}
+
+// shardOrder orders a shard's usable replicas for routing: the
+// session-local one (local, 0 if none) first, then the rest in id
+// order.
+func (rt *route) shardOrder(procs []ids.ProcessID, local ids.ProcessID, activeOnly bool) []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(procs))
+	if local != 0 && rt.usable(local, activeOnly) {
+		out = append(out, local)
+	}
+	for _, p := range procs {
+		if len(out) > 0 && p == out[0] {
+			continue
+		}
+		if rt.usable(p, activeOnly) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Epoch returns the configuration epoch the session routes on: 0 until
+// a refresh installed a fetched configuration.
+func (s *Session) Epoch() uint64 { return s.route.Load().epoch }
+
+// RefreshConfig forces a synchronous configuration refresh: the
+// session fetches the current membership config from its replicas and
+// re-routes on it. It reports whether a newer epoch was installed.
+// Requires Config.Refresh.
+func (s *Session) RefreshConfig() (bool, error) {
+	if !s.cfg.Refresh {
+		return false, errors.New("client: membership refresh not enabled")
+	}
+	return s.doRefresh()
+}
+
+// refreshSync is the candidate-exhaustion trigger: refresh now, and
+// report whether routing state actually changed (so the caller knows a
+// retry has new information to work with).
+func (s *Session) refreshSync() bool {
+	if !s.cfg.Refresh {
+		return false
+	}
+	installed, _ := s.doRefresh()
+	return installed
+}
+
+// noteWireErr observes every typed error reply (conn read loops call
+// it): codes that indicate stale routing — a draining replica, a
+// wrong-shard redirect, a replica shutting down — schedule an
+// asynchronous, rate-limited refresh. The failed request is not
+// retried here; callers retry and route on the refreshed state.
+func (s *Session) noteWireErr(code command.ErrCode) {
+	if !s.cfg.Refresh {
+		return
+	}
+	switch code {
+	case command.ErrCodeDraining, command.ErrCodeWrongShard, command.ErrCodeShutdown:
+	default:
+		return
+	}
+	s.refreshAsync()
+}
+
+// noteConnLoss observes a transport loss on an established connection
+// (conn read/write loops call it): the replica may have been replaced
+// at a new address, so schedule an asynchronous, rate-limited refresh.
+func (s *Session) noteConnLoss() {
+	if !s.cfg.Refresh {
+		return
+	}
+	s.refreshAsync()
+}
+
+// refreshAsync schedules one background refresh, rate-limited so reply
+// storms and cascading conn failures collapse into a single fetch.
+func (s *Session) refreshAsync() {
+	const gap = 300 * time.Millisecond
+	now := time.Now().UnixNano()
+	last := s.lastRefresh.Load()
+	if now-last < int64(gap) || !s.lastRefresh.CompareAndSwap(last, now) {
+		return // a recent (or concurrent) refresh already covers this
+	}
+	go s.doRefresh()
+}
+
+// doRefresh fetches the membership config from the first answering
+// replica and installs it if it is newer than the installed route.
+// Serialized: concurrent triggers collapse into one fetch round.
+func (s *Session) doRefresh() (bool, error) {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	s.lastRefresh.Store(time.Now().UnixNano())
+	rt := s.route.Load()
+	seen := make(map[string]bool, len(rt.addrs))
+	var addrs []string
+	appendAddrs := func(m map[ids.ProcessID]string) {
+		for _, a := range m {
+			if a != "" && !seen[a] {
+				seen[a] = true
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	appendAddrs(rt.addrs)
+	appendAddrs(s.cfg.Addrs) // fall back to the seed set if the route went fully stale
+	timeout := s.cfg.DialTimeout
+	var lastErr error
+	for _, a := range addrs {
+		cfg, err := membership.Fetch(a, timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return s.installConfig(cfg)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no replica to fetch the configuration from")
+	}
+	return false, lastErr
+}
+
+// installConfig swaps the session's route to a fetched configuration
+// epoch, if newer. Connections to slots whose address changed are
+// failed (their in-flight requests error and callers retry against the
+// new address); connections to unchanged slots keep serving across the
+// epoch bump.
+func (s *Session) installConfig(cfg *membership.Config) (bool, error) {
+	topo, err := cfg.Topology()
+	if err != nil {
+		return false, err
+	}
+	rt := &route{
+		epoch:  cfg.Epoch,
+		addrs:  make(map[ids.ProcessID]string),
+		active: make(map[ids.ProcessID]bool),
+	}
+	for _, pi := range topo.Processes() {
+		m, ok := cfg.Member(pi.Site)
+		if !ok || m.Addr == "" || m.Status == membership.Dead || m.Status == membership.Left {
+			continue
+		}
+		rt.addrs[pi.ID] = m.Addr
+		if m.Status == membership.Active {
+			rt.active[pi.ID] = true
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	if cur := s.route.Load(); cfg.Epoch <= cur.epoch {
+		s.mu.Unlock()
+		return false, nil
+	}
+	var moved []*conn
+	for pid, c := range s.conns {
+		if na, ok := rt.addrs[pid]; c != nil && (!ok || na != c.addr) {
+			moved = append(moved, c)
+			delete(s.conns, pid)
+		}
+	}
+	s.route.Store(rt)
+	s.mu.Unlock()
+	for _, c := range moved {
+		c.fail(errors.New("client: replica readdressed by a configuration change"))
+	}
+	return true, nil
+}

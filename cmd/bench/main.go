@@ -13,10 +13,11 @@
 //	bench -exp wan                 # durable 3-region clusters under WAN profiles -> BENCH_wan.json
 //	bench -exp chaos               # vulture soak under partition+SIGKILL+slow-fsync -> BENCH_chaos.json
 //	bench -exp compare             # consensus engines on the ring WAN across conflict ratios -> BENCH_compare.json
+//	bench -exp reconfig            # rolling replacement of every site under load -> BENCH_reconfig.json
 //
 // Experiments: fig5, fig6, fig7, fig8, fig9, ablation-mbump,
 // ablation-piggyback, ablation-f, micro, cluster, fault, shard, wan,
-// chaos, compare, all.
+// chaos, compare, reconfig, all.
 // See EXPERIMENTS.md for the paper-vs-reproduction comparison. The
 // micro experiment writes its results to -microout (default
 // BENCH_micro.json); the cluster experiment — a real loopback cluster
@@ -36,8 +37,14 @@
 // experiment — every registered consensus engine (tempo, epaxos,
 // fpaxos) on the paper's 5-site EC2 topology under the ring chaos
 // profile, swept across key-conflict ratios — writes -compareout
-// (default BENCH_compare.json). Successive PRs track the hot-path,
-// failure-path and scaling trajectory through these files.
+// (default BENCH_compare.json); the reconfig experiment — a rolling
+// replacement of all three sites of a durable psmr deployment (one
+// graceful drain, two SIGKILL + fence replacements) under load with
+// the vulture attached, exiting non-zero on any violation or when
+// availability outside the takeover windows drops below 0.75x steady
+// — writes -reconfigout (default BENCH_reconfig.json). Successive PRs
+// track the hot-path, failure-path and scaling trajectory through
+// these files.
 package main
 
 import (
@@ -74,13 +81,20 @@ func main() {
 	compareOut := flag.String("compareout", "BENCH_compare.json", "output path for the engine-comparison experiment")
 	compareDur := flag.Duration("comparedur", 3*time.Second, "measured wall-clock time per compare load point")
 	compareWarm := flag.Duration("comparewarm", 1*time.Second, "compare-experiment warmup before measurement")
+	reconfigOut := flag.String("reconfigout", "BENCH_reconfig.json", "output path for the reconfig experiment")
+	reconfigPhase := flag.Duration("reconfigphase", 3*time.Second, "steady-state measurement length of the reconfig experiment")
+	reconfigAvail := flag.Float64("reconfigavail", 0.75, "reconfig availability gate (avail/steady); negative disables the gate, violations stay fatal")
 
 	// Node-runner mode: the fault and chaos experiments re-exec this
 	// binary as the cluster's replica processes, so a SIGKILL is a real
 	// process death.
 	faultNode := flag.Bool("fault-node", false, "internal: run as one durable replica of the fault experiment")
 	chaosNode := flag.Bool("chaos-node", false, "internal: run as one durable shaped replica of the chaos soak")
+	reconfigNode := flag.Bool("reconfig-node", false, "internal: run as one durable psmr site of the reconfig experiment")
 	nodeID := flag.Int("node-id", 0, "internal: node-runner replica id")
+	nodeSite := flag.Int("node-site", 0, "internal: reconfig-node site id")
+	nodeAddr := flag.String("node-addr", "", "internal: reconfig-node advertised address (join mode)")
+	nodeJoin := flag.String("node-join", "", "internal: reconfig-node join seed replica address")
 	nodePeers := flag.String("node-peers", "", "internal: node-runner peer addresses")
 	nodeDir := flag.String("node-dir", "", "internal: node-runner data directory")
 	nodeFsync := flag.Duration("node-fsync", 2*time.Millisecond, "internal: node-runner WAL fsync interval")
@@ -97,6 +111,13 @@ func main() {
 	}
 	if *chaosNode {
 		if err := bench.RunChaosNode(*nodeID, *nodePeers, *nodeDir, *nodeFsync, *nodeFsyncDelay, *nodeProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *reconfigNode {
+		if err := bench.RunReconfigNode(*nodeSite, *nodePeers, *nodeAddr, *nodeJoin, *nodeDir, *nodeFsync); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -207,6 +228,19 @@ func main() {
 		fmt.Printf("wrote %s\n", *compareOut)
 	}
 
+	runReconfig := func() {
+		res, err := bench.RunReconfig(os.Stdout, bench.ReconfigOptions{Phase: *reconfigPhase, AvailGate: *reconfigAvail})
+		if werr := bench.WriteReconfigJSON(*reconfigOut, res); werr != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *reconfigOut, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *reconfigOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reconfig experiment: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	experiments := map[string]func(){
 		"fig5":               func() { bench.Fig5(o) },
 		"fig6":               func() { bench.Fig6(o) },
@@ -223,9 +257,10 @@ func main() {
 		"wan":                runWAN,
 		"chaos":              runChaos,
 		"compare":            runCompare,
+		"reconfig":           runReconfig,
 	}
 	order := []string{"fig5", "fig6", "fig7", "fig8", "fig9",
-		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault", "shard", "wan", "chaos", "compare"}
+		"ablation-mbump", "ablation-piggyback", "ablation-f", "micro", "cluster", "fault", "shard", "wan", "chaos", "compare", "reconfig"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -79,6 +79,7 @@ import (
 	"tempo/internal/cluster"
 	"tempo/internal/engine"
 	"tempo/internal/ids"
+	"tempo/internal/membership"
 	"tempo/internal/metrics"
 	"tempo/internal/psmr"
 	"tempo/internal/topology"
@@ -92,6 +93,7 @@ func main() {
 	sites := flag.String("sites", "", "sharded mode: comma-separated site addresses; hosts one replica per locally replicated shard")
 	shards := flag.Int("shards", 1, "sharded mode: number of shards")
 	shardSites := flag.String("shard-sites", "", "sharded mode: per-shard site lists, e.g. \"0,1,2;1,2,3\" (default: every site replicates every shard)")
+	joinSeed := flag.String("join", "", "sharded mode: join a running deployment instead of bootstrapping one — fetch the configuration from this seed replica address, take over this site's slot (which must be Dead or Left) at a new incarnation, catch up from peers, then flip Active")
 	f := flag.Int("f", 1, "tolerated failures")
 	batchOps := flag.Int("batch-ops", cluster.DefaultBatchOps, "max client ops coalesced into one command (<=1 disables batching)")
 	batchWindow := flag.Duration("batch-window", cluster.DefaultBatchWindow, "submit-batch flush window (<=0 disables batching)")
@@ -119,21 +121,25 @@ func main() {
 	var nodes []*cluster.Node
 	var closeAll func()
 	var ctl *chaosCtl
+	var group *psmr.Group
 	if *sites != "" {
 		if *engineName != engine.Tempo {
 			log.Fatalf("-engine %s is single-shard only; sharded deployments (-sites) run tempo", *engineName)
 		}
-		nodes, closeAll, ctl = startSharded(*site, *sites, *shards, *shardSites, *f,
+		nodes, closeAll, ctl, group = startSharded(*site, *sites, *shards, *shardSites, *f,
 			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery,
-			*chaosProfile, *chaosFsyncDelay)
+			*chaosProfile, *chaosFsyncDelay, *joinSeed)
 	} else {
+		if *joinSeed != "" {
+			log.Fatal("-join requires sharded mode (-sites)")
+		}
 		nodes, closeAll, ctl = startSingleShard(*id, *engineName, *peers, *f,
 			*batchOps, *batchWindow, *batchPace, *dataDir, *fsync, *snapshotEvery,
 			*chaosProfile, *chaosFsyncDelay)
 	}
 
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, nodes, ctl)
+		serveMetrics(*metricsAddr, nodes, ctl, group)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -258,9 +264,11 @@ func engineRuntimeConfig() engine.Config {
 
 // startSharded runs one site of a partial-replication deployment: one
 // hosted replica per shard the site replicates, behind one listener.
+// With joinSeed the site joins a running deployment (psmr.Join) instead
+// of bootstrapping one.
 func startSharded(site int, sites string, shards int, shardSitesSpec string, f, batchOps int,
 	batchWindow, batchPace time.Duration, dataDir string, fsync time.Duration, snapshotEvery int,
-	chaosProfile string, chaosFsyncDelay time.Duration) ([]*cluster.Node, func(), *chaosCtl) {
+	chaosProfile string, chaosFsyncDelay time.Duration, joinSeed string) ([]*cluster.Node, func(), *chaosCtl, *psmr.Group) {
 	addrList := strings.Split(sites, ",")
 	if site < 0 || site >= len(addrList) {
 		log.Fatalf("-site %d out of range 0..%d", site, len(addrList)-1)
@@ -302,7 +310,12 @@ func startSharded(site int, sites string, shards int, shardSitesSpec string, f, 
 	if ctl != nil {
 		cfg.Shaper = ctl.sh
 	}
-	g, err := psmr.Start(cfg)
+	var g *psmr.Group
+	if joinSeed != "" {
+		g, err = psmr.Join(cfg, joinSeed, 0)
+	} else {
+		g, err = psmr.Start(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -310,12 +323,12 @@ func startSharded(site int, sites string, shards int, shardSitesSpec string, f, 
 	if dataDir != "" {
 		mode = "data-dir=" + dataDir
 	}
-	log.Printf("tempo site %d serving %d shard(s) on %s (sites=%d, f=%d, %s)",
-		site, len(g.Nodes()), g.Addr(), len(addrList), f, mode)
+	log.Printf("tempo site %d serving %d shard(s) on %s (sites=%d, f=%d, epoch=%d, %s)",
+		site, len(g.Nodes()), g.Addr(), len(addrList), f, g.Epoch(), mode)
 	return g.Nodes(), func() {
 		g.Close()
 		stopChaos()
-	}, ctl
+	}, ctl, g
 }
 
 // durableSync maps the -fsync flag onto DurableConfig.SyncInterval
@@ -348,26 +361,31 @@ func parseShardSites(spec string, shards, sites int) ([][]int, error) {
 }
 
 // serveMetrics exposes the nodes' serving counters as JSON: cumulative
-// per-shard counters plus ops/s computed between successive scrapes.
-func serveMetrics(addr string, nodes []*cluster.Node, ctl *chaosCtl) {
+// per-shard counters plus ops/s computed between successive scrapes,
+// the membership epoch, per-peer link state, and — on sharded
+// deployments — the /membership admin verbs (see mountMembership).
+func serveMetrics(addr string, nodes []*cluster.Node, ctl *chaosCtl, group *psmr.Group) {
 	start := time.Now()
 	rates := metrics.NewRateTracker()
 	snapshot := func() any {
 		type shardStats struct {
 			cluster.Stats
-			OpsPerSec     float64 `json:"ops_per_sec"`
-			ReqsPerSec    float64 `json:"reqs_per_sec"`
-			MeanBatchSize float64 `json:"mean_batch_size"`
+			OpsPerSec     float64                             `json:"ops_per_sec"`
+			ReqsPerSec    float64                             `json:"reqs_per_sec"`
+			MeanBatchSize float64                             `json:"mean_batch_size"`
+			Draining      bool                                `json:"draining"`
+			Links         map[ids.ProcessID]cluster.LinkState `json:"links,omitempty"`
 		}
 		out := struct {
 			UptimeSec  float64      `json:"uptime_sec"`
+			Epoch      uint64       `json:"epoch"`
 			OpsPerSec  float64      `json:"ops_per_sec"`
 			ReqsPerSec float64      `json:"reqs_per_sec"`
 			Shards     []shardStats `json:"shards"`
 		}{UptimeSec: time.Since(start).Seconds()}
 		for i, n := range nodes {
 			st := n.Stats()
-			ss := shardStats{Stats: st}
+			ss := shardStats{Stats: st, Draining: n.Draining(), Links: n.Links()}
 			// Operations vs requests: one multi-op command carries many
 			// client ops, so the two rates differ by the mean batch size.
 			ss.OpsPerSec = rates.Rate(fmt.Sprintf("ops-%d", i), st.SubmittedOps)
@@ -377,6 +395,7 @@ func serveMetrics(addr string, nodes []*cluster.Node, ctl *chaosCtl) {
 			}
 			out.OpsPerSec += ss.OpsPerSec
 			out.ReqsPerSec += ss.ReqsPerSec
+			out.Epoch = max(out.Epoch, n.Epoch())
 			out.Shards = append(out.Shards, ss)
 		}
 		return out
@@ -386,12 +405,102 @@ func serveMetrics(addr string, nodes []*cluster.Node, ctl *chaosCtl) {
 	if ctl != nil {
 		mountChaos(mux, ctl)
 	}
+	if group != nil {
+		mountMembership(mux, group)
+	}
 	go func() {
 		if err := http.ListenAndServe(addr, mux); err != nil {
 			log.Printf("metrics: %v", err)
 		}
 	}()
 	log.Printf("metrics serving on http://%s/metrics", addr)
+}
+
+// mountMembership wires the dynamic-membership admin verbs beside
+// /metrics (sharded deployments only):
+//
+//	curl 'host:9090/membership'                    # current config epoch
+//	curl 'host:9090/membership/join?site=2&addr=d:7001'  # pre-flight a successor
+//	curl 'host:9090/membership/drain'              # gracefully leave (this site)
+//	curl 'host:9090/membership/remove?site=2'      # fence a crashed site
+//
+// drain runs the full graceful departure of THIS site — clients
+// re-route, pipelines flush, the slot goes Left — and leaves the
+// process running but fenced; terminate it afterwards. remove fences a
+// crashed site without drain (the operator asserts it is really gone;
+// see docs/OPERATIONS.md). join validates that a slot is ready for a
+// successor and replies with the flags the new process must start
+// with: the join itself runs at process start (-join), because the
+// successor has to bootstrap state before it can serve.
+func mountMembership(mux *http.ServeMux, g *psmr.Group) {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+	}
+	timeoutOf := func(r *http.Request) time.Duration {
+		if d, err := time.ParseDuration(r.URL.Query().Get("timeout")); err == nil && d > 0 {
+			return d
+		}
+		return 30 * time.Second
+	}
+	mux.HandleFunc("/membership", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.View().State().Config)
+	})
+	mux.HandleFunc("/membership/join", func(w http.ResponseWriter, r *http.Request) {
+		site, err := strconv.Atoi(r.URL.Query().Get("site"))
+		if err != nil || site < 0 {
+			http.Error(w, "need ?site=<site>[&addr=<host:port>]", http.StatusBadRequest)
+			return
+		}
+		cfg := g.View().State().Config
+		m, ok := cfg.Member(ids.SiteID(site))
+		if !ok {
+			http.Error(w, fmt.Sprintf("site %d not in the configuration", site), http.StatusBadRequest)
+			return
+		}
+		if m.Status != membership.Dead && m.Status != membership.Left {
+			http.Error(w, fmt.Sprintf("site %d is %s at epoch %d; drain or remove it first", site, m.Status, cfg.Epoch), http.StatusConflict)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			addr = "<host:port>"
+		}
+		writeJSON(w, struct {
+			Epoch       uint64 `json:"epoch"`
+			Site        int    `json:"site"`
+			Status      string `json:"status"`
+			Incarnation uint64 `json:"next_incarnation"`
+			Start       string `json:"start"`
+		}{cfg.Epoch, site, m.Status.String(), m.Incarnation + 1,
+			fmt.Sprintf("tempo-server -site %d -sites ...,%s,... -join <live-replica-addr>", site, addr)})
+	})
+	mux.HandleFunc("/membership/drain", func(w http.ResponseWriter, r *http.Request) {
+		err := g.Leave(timeoutOf(r))
+		resp := struct {
+			Epoch      uint64     `json:"epoch"`
+			Site       ids.SiteID `json:"site"`
+			Status     string     `json:"status"`
+			DrainError string     `json:"drain_error,omitempty"`
+		}{g.Epoch(), g.Site(), "left", ""}
+		if err != nil {
+			resp.DrainError = err.Error()
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/membership/remove", func(w http.ResponseWriter, r *http.Request) {
+		site, err := strconv.Atoi(r.URL.Query().Get("site"))
+		if err != nil || site < 0 {
+			http.Error(w, "need ?site=<site>", http.StatusBadRequest)
+			return
+		}
+		cfg, err := psmr.Remove(g.Addr(), ids.SiteID(site), timeoutOf(r))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, cfg)
+	})
 }
 
 // mountChaos wires the runtime fault-injection endpoints beside

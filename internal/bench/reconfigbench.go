@@ -1,0 +1,524 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"tempo/client"
+	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/membership"
+	"tempo/internal/psmr"
+	"tempo/internal/tempo"
+	"tempo/internal/topology"
+	"tempo/internal/vulture"
+)
+
+// The reconfiguration experiment (`bench -exp reconfig`): a rolling
+// replacement of every site of a 3-site durable psmr deployment, under
+// client load and with the consistency vulture attached. Site 0 is
+// replaced gracefully (drain via Leave, successor joins at a fresh
+// address); sites 1 and 2 are replaced the hard way (SIGKILL, fenced
+// with Remove, successor joins with frontier-derived floors). By the
+// end every process, address and data directory differs from the
+// start, yet the deployment never stopped serving: the run FAILS on
+// any consistency violation, or when throughput outside the takeover
+// windows drops below 0.75x the pre-reconfig steady state. Results go
+// to BENCH_reconfig.json.
+//
+// The replicas are real OS processes (the bench re-execs itself, see
+// RunReconfigNode) because both halves matter: SIGKILL must be a real
+// process death, and the successor must bootstrap over the wire into
+// a cold directory.
+
+// ReconfigOptions configures the reconfig experiment.
+type ReconfigOptions struct {
+	// Phase is the steady-state measurement length (and paces the
+	// settle gaps between replacements). Default 3s.
+	Phase time.Duration
+	// Sessions is the number of concurrent load sessions, spread
+	// round-robin over the sites via per-session home routing
+	// (default 6 = 2 per site).
+	Sessions int
+	// Inflight is the pipelined requests per session (default 32).
+	Inflight int
+	// AvailGate fails the run when AvailOverSteady lands below it
+	// (default 0.75). Negative disables the gate — the CI smoke leg
+	// runs phases too short to amortize the post-takeover settle, but
+	// consistency violations stay fatal regardless.
+	AvailGate float64
+}
+
+func (o ReconfigOptions) withDefaults() ReconfigOptions {
+	if o.Phase == 0 {
+		o.Phase = 3 * time.Second
+	}
+	if o.Sessions == 0 {
+		o.Sessions = 6
+	}
+	if o.Inflight == 0 {
+		o.Inflight = 32
+	}
+	if o.AvailGate == 0 {
+		o.AvailGate = 0.75
+	}
+	return o
+}
+
+// ReconfigStage is one site replacement on the timeline.
+type ReconfigStage struct {
+	// Name tags the stage ("drain-replace-0", "crash-replace-1", ...).
+	Name string `json:"name"`
+	// Kind is "graceful" (drain) or "crash" (SIGKILL + Remove).
+	Kind string `json:"kind"`
+	// Site is the replaced site id.
+	Site int `json:"site"`
+	// NewAddr is the successor's address.
+	NewAddr string `json:"new_addr"`
+	// StartSec/ReadySec bound the takeover window (offsets from run
+	// start): first disruptive action to successor serving.
+	StartSec float64 `json:"start_sec"`
+	ReadySec float64 `json:"ready_sec"`
+	// TakeoverMS = ReadySec-StartSec: drain/fence plus join (frontier
+	// queries, bootstrap, activation).
+	TakeoverMS float64 `json:"takeover_ms"`
+}
+
+// ReconfigResult is the schema of BENCH_reconfig.json.
+type ReconfigResult struct {
+	Generated string  `json:"generated"`
+	Go        string  `json:"go"`
+	PhaseMS   float64 `json:"phase_ms"`
+	Sessions  int     `json:"sessions"`
+	Inflight  int     `json:"inflight"`
+
+	// SteadyOpsPerSec is the pre-reconfig throughput.
+	SteadyOpsPerSec float64 `json:"steady_ops_per_sec"`
+	// Stages lists the three replacements in order.
+	Stages []ReconfigStage `json:"stages"`
+	// FinalEpoch is the configuration epoch after the last activation
+	// (the static wiring is epoch 1).
+	FinalEpoch uint64 `json:"final_epoch"`
+	// AvailOpsPerSec is the throughput over the whole reconfig span
+	// with the takeover windows excluded.
+	AvailOpsPerSec float64 `json:"avail_ops_per_sec"`
+	// AvailOverSteady = AvailOpsPerSec/SteadyOpsPerSec; the acceptance
+	// bar is >= 0.75.
+	AvailOverSteady float64 `json:"avail_over_steady"`
+	// PostOpsPerSec is the steady throughput on the fully replaced
+	// cluster.
+	PostOpsPerSec float64 `json:"post_ops_per_sec"`
+
+	// TimelineOpsPerSec is completed ops/s in 100ms buckets across the
+	// run; StageIndexes marks each stage's start bucket.
+	TimelineOpsPerSec []float64 `json:"timeline_ops_per_sec"`
+	StageIndexes      []int     `json:"stage_indexes"`
+
+	// Vulture is the prober's report: violations must be zero.
+	Vulture vulture.Report `json:"vulture"`
+}
+
+// RunReconfigNode is the reconfig node-runner mode of cmd/bench: one
+// durable psmr site in this process. With join empty it starts as an
+// initial member of the static 3-site wiring (peersCSV); with join set
+// it ignores peersCSV and joins the running deployment through the
+// seed replica, advertising addr (psmr.Join: fetch config, announce
+// Joining, frontier floors, bootstrap, activate). It prints NODE_READY
+// once serving, then waits on stdin: the line "leave" drains the site
+// out gracefully (psmr.Leave) and exits; EOF or a kill just stops it.
+func RunReconfigNode(site int, peersCSV, addr, join, dir string, fsync time.Duration) error {
+	cfg := psmr.Config{
+		Site: ids.SiteID(site),
+		// A crash-replace stalls execution until recovery (Algorithm 5)
+		// decides the killed coordinator's in-flight commands — their
+		// attached promises at the survivors hold the stability frontier
+		// until then. On a loopback deployment the default 500ms timeout
+		// dominates the takeover window, so detect faster.
+		Tempo: tempo.Config{
+			PromiseInterval: time.Millisecond,
+			RecoveryTimeout: 150 * time.Millisecond,
+		},
+		DataDir:       dir,
+		FsyncInterval: fsync,
+	}
+	var g *psmr.Group
+	var err error
+	if join != "" {
+		cfg.SiteAddrs = map[ids.SiteID]string{ids.SiteID(site): addr}
+		g, err = psmr.Join(cfg, join, 10*time.Second)
+	} else {
+		peers := strings.Split(peersCSV, ",")
+		names := make([]string, len(peers))
+		rtt := make([][]time.Duration, len(peers))
+		sa := make(map[ids.SiteID]string, len(peers))
+		for i, a := range peers {
+			names[i] = fmt.Sprintf("s%d", i)
+			rtt[i] = make([]time.Duration, len(peers))
+			sa[ids.SiteID(i)] = a
+		}
+		cfg.Topo, err = topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+		if err != nil {
+			return err
+		}
+		cfg.SiteAddrs = sa
+		g, err = psmr.Start(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	fmt.Println("NODE_READY")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "leave" {
+			if err := g.Leave(10 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "reconfig-node: leave:", err)
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// spawnReconfigMember starts an initial member of the static wiring.
+func spawnReconfigMember(site int, peers []string, dir string) (*faultProc, error) {
+	return spawnNode(site, []string{
+		"-reconfig-node",
+		"-node-site", fmt.Sprint(site),
+		"-node-peers", strings.Join(peers, ","),
+		"-node-dir", dir,
+	})
+}
+
+// spawnReconfigJoiner starts a successor that joins through seed,
+// advertising addr. The NODE_READY wait covers the whole join flow —
+// fencing push, frontier queries, state bootstrap, activation.
+func spawnReconfigJoiner(site int, addr, seed, dir string) (*faultProc, error) {
+	return spawnNode(site, []string{
+		"-reconfig-node",
+		"-node-site", fmt.Sprint(site),
+		"-node-addr", addr,
+		"-node-join", seed,
+		"-node-dir", dir,
+	})
+}
+
+// RunReconfig runs the rolling-replacement experiment. The returned
+// error is non-nil when the vulture saw a violation or the
+// availability gate failed; the result is meaningful either way.
+func RunReconfig(out io.Writer, opts ReconfigOptions) (ReconfigResult, error) {
+	opts = opts.withDefaults()
+	res := ReconfigResult{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		PhaseMS:   float64(opts.Phase.Milliseconds()),
+		Sessions:  opts.Sessions,
+		Inflight:  opts.Inflight,
+	}
+
+	const r = 3
+	freeAddr := func() (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		a := ln.Addr().String()
+		ln.Close()
+		return a, nil
+	}
+	cur := make([]string, r) // current address per site
+	for i := range cur {
+		a, err := freeAddr()
+		if err != nil {
+			return res, err
+		}
+		cur[i] = a
+	}
+	base, err := os.MkdirTemp("", "tempo-reconfig-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(base)
+	procs := make([]*faultProc, r)
+	for i := 0; i < r; i++ {
+		p, err := spawnReconfigMember(i, cur, filepath.Join(base, fmt.Sprintf("site-%d-inc1", i)))
+		if err != nil {
+			return res, err
+		}
+		procs[i] = p
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil {
+				p.kill()
+			}
+		}
+	}()
+	fmt.Fprintf(out, "reconfig: 3 durable sites up (%s)\n", strings.Join(cur, " "))
+
+	addrMap := make(map[ids.ProcessID]string, r)
+	for i, a := range cur {
+		addrMap[ids.ProcessID(i+1)] = a
+	}
+
+	// The vulture probes with membership-aware sessions: draining
+	// replies and lost connections trigger its config refreshes.
+	v, err := vulture.New(vulture.Config{
+		Client: client.Config{
+			Addrs:          addrMap,
+			Refresh:        true,
+			RequestTimeout: 3 * time.Second,
+			DialTimeout:    500 * time.Millisecond,
+			RedialBackoff:  250 * time.Millisecond,
+		},
+		Writers:  2,
+		Readers:  2,
+		Keys:     32,
+		Interval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	vctx, vcancel := context.WithCancel(context.Background())
+	defer vcancel()
+	vDone := make(chan error, 1)
+	go func() { vDone <- v.Run(vctx) }()
+
+	// Load sessions: closed-loop, per-site home routing, refresh on.
+	type sessStats struct {
+		mu   sync.Mutex
+		done []time.Duration
+	}
+	start := time.Now()
+	since := func() time.Duration { return time.Since(start) }
+	stats := make([]sessStats, opts.Sessions)
+	sessions := make([]*client.Session, opts.Sessions)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for si := 0; si < opts.Sessions; si++ {
+		sess, err := client.New(client.Config{
+			Addrs:         addrMap,
+			Prefer:        ids.ProcessID(si%r + 1),
+			Refresh:       true,
+			RedialBackoff: 250 * time.Millisecond,
+			DialTimeout:   500 * time.Millisecond,
+		})
+		if err != nil {
+			close(stop)
+			vcancel()
+			<-vDone
+			return res, err
+		}
+		sessions[si] = sess
+		defer sess.Close()
+		wg.Add(1)
+		go func(si int, sess *client.Session) {
+			defer wg.Done()
+			st := &stats[si]
+			op := command.Op{Kind: command.Put, Key: command.Key(fmt.Sprintf("reconfig-%d", si)), Value: []byte("x")}
+			ctx := context.Background()
+			futs := make([]*client.Future, 0, opts.Inflight)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				futs = futs[:0]
+				for i := 0; i < opts.Inflight; i++ {
+					futs = append(futs, sess.Do(ctx, op))
+				}
+				for _, f := range futs {
+					wctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+					_, err := f.Wait(wctx)
+					cancel()
+					if err == nil {
+						st.mu.Lock()
+						st.done = append(st.done, since())
+						st.mu.Unlock()
+					}
+				}
+			}
+		}(si, sess)
+	}
+
+	// Steady state.
+	time.Sleep(opts.Phase / 2) // warmup
+	steadyFrom := since()
+	time.Sleep(opts.Phase)
+	steadyTo := since()
+
+	// liveSeed returns a replica address other than the given site's —
+	// the fetch/push contact point for that site's replacement.
+	liveSeed := func(site int) string { return cur[(site+1)%r] }
+
+	replace := func(site int, graceful bool) (ReconfigStage, error) {
+		st := ReconfigStage{Site: site}
+		if graceful {
+			st.Name, st.Kind = fmt.Sprintf("drain-replace-%d", site), "graceful"
+		} else {
+			st.Name, st.Kind = fmt.Sprintf("crash-replace-%d", site), "crash"
+		}
+		from := since()
+		st.StartSec = from.Seconds()
+		if graceful {
+			v.Event(fmt.Sprintf("drain-%d", site))
+			fmt.Fprintf(out, "reconfig: draining site %d\n", site)
+			chaosCmd(procs[site], "leave") // Leave: drain, then exit
+			procs[site].cmd.Wait()
+			procs[site] = nil
+		} else {
+			v.Event(fmt.Sprintf("kill-%d", site))
+			fmt.Fprintf(out, "reconfig: SIGKILL site %d\n", site)
+			procs[site].kill()
+			procs[site] = nil
+			if _, err := psmr.Remove(liveSeed(site), ids.SiteID(site), 5*time.Second); err != nil {
+				return st, fmt.Errorf("remove site %d: %w", site, err)
+			}
+			v.Event(fmt.Sprintf("remove-%d", site))
+		}
+		newAddr, err := freeAddr()
+		if err != nil {
+			return st, err
+		}
+		v.Event(fmt.Sprintf("join-%d", site))
+		p, err := spawnReconfigJoiner(site, newAddr, liveSeed(site),
+			filepath.Join(base, fmt.Sprintf("site-%d-inc2", site)))
+		if err != nil {
+			return st, fmt.Errorf("join site %d: %w", site, err)
+		}
+		procs[site] = p
+		cur[site] = newAddr
+		ready := since()
+		st.NewAddr = newAddr
+		st.ReadySec = ready.Seconds()
+		st.TakeoverMS = float64((ready - from).Microseconds()) / 1e3
+		fmt.Fprintf(out, "reconfig: site %d replaced at %s (%s, takeover %.0fms)\n",
+			site, newAddr, st.Kind, st.TakeoverMS)
+		// Nudge the load sessions onto the new epoch, as an operator
+		// notification would; the vulture's sessions are left to their
+		// own triggers (draining replies, lost connections).
+		for _, sess := range sessions {
+			sess.RefreshConfig()
+		}
+		return st, nil
+	}
+
+	finish := func() {
+		close(stop)
+		wg.Wait()
+		vcancel()
+		<-vDone
+	}
+
+	for site := 0; site < r; site++ {
+		st, err := replace(site, site == 0)
+		if err != nil {
+			finish()
+			return res, err
+		}
+		res.Stages = append(res.Stages, st)
+		time.Sleep(opts.Phase / 2) // settle, measured as available time
+	}
+
+	// Post-reconfig steady state on the fully replaced cluster.
+	postFrom := since()
+	time.Sleep(opts.Phase)
+	end := since()
+	finish()
+
+	if cfg, err := membership.Fetch(cur[0], 2*time.Second); err == nil {
+		res.FinalEpoch = cfg.Epoch
+	}
+
+	// Collate: throughput windows and the 100ms timeline.
+	var all []time.Duration
+	for si := range stats {
+		all = append(all, stats[si].done...)
+	}
+	inStage := func(d time.Duration) bool {
+		s := d.Seconds()
+		for _, st := range res.Stages {
+			if s >= st.StartSec && s < st.ReadySec+0.5 { // +0.5s: sessions re-route
+				return true
+			}
+		}
+		return false
+	}
+	count := func(from, to time.Duration, excludeStages bool) (int, float64) {
+		n := 0
+		for _, d := range all {
+			if d >= from && d < to && !(excludeStages && inStage(d)) {
+				n++
+			}
+		}
+		span := (to - from).Seconds()
+		if excludeStages {
+			for _, st := range res.Stages {
+				lo, hi := max(st.StartSec, from.Seconds()), min(st.ReadySec+0.5, to.Seconds())
+				if hi > lo {
+					span -= hi - lo
+				}
+			}
+		}
+		return n, span
+	}
+	n, span := count(steadyFrom, steadyTo, false)
+	res.SteadyOpsPerSec = float64(n) / span
+	n, span = count(steadyTo, end, true)
+	if span > 0 {
+		res.AvailOpsPerSec = float64(n) / span
+	}
+	if res.SteadyOpsPerSec > 0 {
+		res.AvailOverSteady = res.AvailOpsPerSec / res.SteadyOpsPerSec
+	}
+	n, span = count(postFrom, end, false)
+	res.PostOpsPerSec = float64(n) / span
+
+	const bucket = 100 * time.Millisecond
+	buckets := make([]float64, int(end/bucket)+1)
+	for _, d := range all {
+		buckets[int(d/bucket)] += 1 / bucket.Seconds()
+	}
+	res.TimelineOpsPerSec = buckets
+	for _, st := range res.Stages {
+		res.StageIndexes = append(res.StageIndexes, int(st.StartSec/bucket.Seconds()))
+	}
+
+	res.Vulture = v.Report()
+	rep := res.Vulture
+	fmt.Fprintf(out, "reconfig: steady %.0f ops/s | avail %.0f ops/s (%.2fx) | post %.0f ops/s | final epoch %d\n",
+		res.SteadyOpsPerSec, res.AvailOpsPerSec, res.AvailOverSteady, res.PostOpsPerSec, res.FinalEpoch)
+	fmt.Fprintf(out, "reconfig: vulture ops=%d errors=%d timeouts=%d violations=%d outages=%d\n",
+		rep.Ops, rep.Errors, rep.Timeouts, rep.Violations, len(rep.Outages))
+	for _, o := range rep.Outages {
+		fmt.Fprintf(out, "reconfig:   outage %.1fs..%.1fs (%.0fms) after %q\n", o.StartSec, o.EndSec, o.DurationMS, o.After)
+	}
+	if err := v.Failed(); err != nil {
+		return res, err
+	}
+	if opts.AvailGate > 0 && res.AvailOverSteady < opts.AvailGate {
+		return res, fmt.Errorf("reconfig: availability %.2fx steady is below the %.2fx gate", res.AvailOverSteady, opts.AvailGate)
+	}
+	return res, nil
+}
+
+// WriteReconfigJSON writes the result to path in the
+// BENCH_reconfig.json schema.
+func WriteReconfigJSON(path string, res ReconfigResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

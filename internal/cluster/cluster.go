@@ -60,6 +60,7 @@ import (
 
 	"tempo/internal/command"
 	"tempo/internal/ids"
+	"tempo/internal/membership"
 	"tempo/internal/proto"
 )
 
@@ -137,6 +138,22 @@ type Node struct {
 	// replicas of this node's own shard (nil: every address, the
 	// single-shard default).
 	syncPeers []ids.ProcessID
+
+	// view, when set (SetMembership), supplies epoch-versioned peer
+	// addressing and the fencing of Dead/Left slots; without one the
+	// static addrs map rules forever. draining flips when Drain starts
+	// (new submissions are rejected); joinClock/joinSeq are the
+	// successor-safety floors of a joining replica (SetJoinFloor),
+	// applied by startCore. See membership.go.
+	view      *membership.View
+	draining  atomic.Bool
+	joinClock uint64
+	joinSeq   uint64
+
+	// linkMu guards lastRecv, the per-peer inbound-liveness stamps
+	// behind the Links metrics snapshot.
+	linkMu   sync.Mutex
+	lastRecv map[ids.ProcessID]int64
 
 	// stat collects the serving counters exposed by Stats.
 	stat nodeStats
@@ -244,6 +261,7 @@ func NewNode(id ids.ProcessID, rep proto.Replica, addrs map[ids.ProcessID]string
 		out:         make(map[ids.ProcessID]chan proto.Message),
 		waiters:     make(map[ids.Dot]*pendingCmd),
 		parked:      make(map[ids.Dot]parkedResult),
+		lastRecv:    make(map[ids.ProcessID]int64),
 		clientConns: make(map[*clientConn]struct{}),
 		peerConns:   make(map[net.Conn]struct{}),
 		done:        make(chan struct{}),
@@ -397,8 +415,12 @@ func (n *Node) validateEngine() error {
 }
 
 // startCore arms the execution pipeline and the submit batcher and
-// flips the node to ready.
+// flips the node to ready. The join floor (if any) is applied first:
+// it must precede the first protocol step, and with a durable
+// configuration it composes with the recovery-time reservations
+// (engines' Restore/JoinFloor take maxes).
 func (n *Node) startCore() {
+	n.applyJoinFloor()
 	if dr, ok := n.rep.(proto.DeferredApplier); ok {
 		dr.SetDeferredApply(true)
 		n.defRep = dr
@@ -509,6 +531,8 @@ func (n *Node) serveConn(conn net.Conn) {
 			serveClientStream(n, conn, br, magic == ClientMagic2)
 		case SyncMagic:
 			n.serveSync(conn, br)
+		case membership.ConfigMagic:
+			n.serveMembership(conn, br)
 		}
 		return
 	}
@@ -708,6 +732,15 @@ func (w *waiter) fail(e command.WireError) {
 // (the serving shard's segment); version-2 clients obtain the other
 // shards' segments via watch registrations.
 func (n *Node) submit(w *waiter, ops []command.Op) {
+	if n.draining.Load() {
+		// Graceful drain: the replica finishes what it accepted but
+		// takes nothing new; the session fails over and refreshes its
+		// configuration.
+		if n.claimOne(w) {
+			w.fail(command.WireError{Code: command.ErrCodeDraining, Msg: "replica draining; retry another replica"})
+		}
+		return
+	}
 	if n.sharder != nil {
 		shard, single := n.sharder.OpsShard(ops)
 		if single && n.batcher != nil {
@@ -934,6 +967,9 @@ func (cc *clientConn) abandon() {
 
 // deliver feeds a message into the replica.
 func (n *Node) deliver(from ids.ProcessID, msg proto.Message) {
+	if n.fenced(from) {
+		return
+	}
 	n.mu.Lock()
 	acts := n.rep.Handle(from, msg)
 	n.afterStepLocked(acts)
@@ -943,10 +979,14 @@ func (n *Node) deliver(from ids.ProcessID, msg proto.Message) {
 // deliverBatch feeds every message of a decoded frame into the replica
 // under one lock acquisition. Actions are consumed after each step (the
 // replica's action slices are scratch, valid only until its next step).
+// Traffic from fenced slots (Dead/Left members whose id may already
+// serve under a successor) drops here, before any protocol state sees
+// it.
 func (n *Node) deliverBatch(from ids.ProcessID, msgs []proto.Message) {
-	if len(msgs) == 0 {
+	if len(msgs) == 0 || n.fenced(from) {
 		return
 	}
+	n.noteRecv(from)
 	n.mu.Lock()
 	for _, msg := range msgs {
 		acts := n.rep.Handle(from, msg)
@@ -1078,6 +1118,9 @@ func (n *Node) sendLocked(to ids.ProcessID, msg proto.Message) {
 // the message to the shared transport instead. Safe off the protocol
 // lock (shaper link goroutines call it after the delay elapses).
 func (n *Node) forward(from, to ids.ProcessID, msg proto.Message) {
+	if n.fenced(to) {
+		return
+	}
 	if n.transport != nil {
 		n.transport.Send(from, to, msg)
 		return
@@ -1099,11 +1142,15 @@ func (n *Node) forward(from, to ids.ProcessID, msg proto.Message) {
 // writer drains a peer's outbound queue over a (re)dialed connection,
 // coalescing everything queued at wake-up into one framed, buffered
 // write: a protocol step or tick that fans out many messages to the same
-// destination costs one syscall, not one encode+write per message.
+// destination costs one syscall, not one encode+write per message. The
+// destination address is resolved per batch, so an epoch that rebinds
+// the peer's slot (node replacement) redirects the link without a
+// restart.
 func (n *Node) writer(to ids.ProcessID, ch chan proto.Message) {
 	var conn net.Conn
 	var bw *bufio.Writer
 	var enc *gob.Encoder // CodecGob only
+	var dialed string    // address conn was dialed to
 	var head, body []byte
 	batch := make([]proto.Message, 0, maxWriteBatch)
 	defer func() {
@@ -1129,8 +1176,17 @@ func (n *Node) writer(to ids.ProcessID, ch chan proto.Message) {
 			}
 		}
 		for attempt := 0; attempt < 2; attempt++ {
+			addr := n.addrOf(to)
+			if addr == "" {
+				break // unroutable (fenced or unknown): drop
+			}
+			if conn != nil && addr != dialed {
+				// The slot moved to a new address this epoch.
+				conn.Close()
+				conn, bw, enc = nil, nil, nil
+			}
 			if conn == nil {
-				c, err := net.DialTimeout("tcp", n.addrs[to], 2*time.Second)
+				c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 				if err != nil {
 					break // drop; liveness machinery retries
 				}
@@ -1146,7 +1202,7 @@ func (n *Node) writer(to ids.ProcessID, ch chan proto.Message) {
 					c.Close()
 					break
 				}
-				conn, bw, enc = c, w, e
+				conn, bw, enc, dialed = c, w, e, addr
 			}
 			err := n.writeBatch(bw, enc, batch, &head, &body)
 			if err == nil {

@@ -31,6 +31,7 @@ import (
 	"tempo/internal/cluster"
 	"tempo/internal/command"
 	"tempo/internal/ids"
+	"tempo/internal/membership"
 	"tempo/internal/proto"
 	"tempo/internal/topology"
 )
@@ -124,9 +125,13 @@ type Cluster struct {
 	eng  Engine
 	opts Options
 	rec  *recorder
+	// baseCfg is the epoch-1 membership configuration every node's view
+	// starts from (the static wiring lifted; see internal/membership).
+	baseCfg *membership.Config
 
 	mu    sync.Mutex
 	nodes map[ids.ProcessID]*cluster.Node
+	views map[ids.ProcessID]*membership.View
 }
 
 // Start boots a conformance cluster running e's replicas.
@@ -140,6 +145,7 @@ func Start(e Engine, opts Options) (*Cluster, error) {
 		opts:   opts,
 		rec:    newRecorder(),
 		nodes:  make(map[ids.ProcessID]*cluster.Node),
+		views:  make(map[ids.ProcessID]*membership.View),
 	}
 	lns := make(map[ids.ProcessID]net.Listener)
 	for _, pi := range topo.Processes() {
@@ -151,6 +157,16 @@ func Start(e Engine, opts Options) (*Cluster, error) {
 		lns[pi.ID] = ln
 		c.Addrs[pi.ID] = ln.Addr().String()
 	}
+	// Lift the fixed wiring into the epoch-1 membership config, so every
+	// node runs under a live view: the reconfig scenario drives epoch
+	// changes through the wire config protocol, and the remaining
+	// scenarios prove the views change nothing while the config is
+	// static.
+	siteAddrs := make(map[ids.SiteID]string)
+	for _, pi := range topo.Processes() {
+		siteAddrs[pi.Site] = c.Addrs[pi.ID]
+	}
+	c.baseCfg = membership.FromTopology(topo, siteAddrs)
 	for _, pi := range topo.Processes() {
 		if err := c.startNode(pi.ID, lns[pi.ID]); err != nil {
 			for id, ln := range lns {
@@ -181,6 +197,11 @@ func (c *Cluster) startNode(id ids.ProcessID, ln net.Listener) error {
 		n.SetBatch(1, 0)
 	}
 	n.SetExecObserver(c.rec.observer(id))
+	view, err := membership.NewView(c.baseCfg, c.Topo)
+	if err != nil {
+		return err
+	}
+	n.SetMembership(view)
 	if c.opts.DataDir != "" {
 		if err := n.SetDurable(cluster.DurableConfig{
 			Dir:          filepath.Join(c.opts.DataDir, fmt.Sprintf("node-%d", id)),
@@ -189,7 +210,6 @@ func (c *Cluster) startNode(id ids.ProcessID, ln net.Listener) error {
 			return err
 		}
 	}
-	var err error
 	if ln != nil {
 		err = n.StartListener(ln)
 	} else {
@@ -200,8 +220,16 @@ func (c *Cluster) startNode(id ids.ProcessID, ln net.Listener) error {
 	}
 	c.mu.Lock()
 	c.nodes[id] = n
+	c.views[id] = view
 	c.mu.Unlock()
 	return nil
+}
+
+// node returns process id's running node (nil when stopped).
+func (c *Cluster) node(id ids.ProcessID) *cluster.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
 }
 
 // Stop closes process id's node; its listener and links die with it.

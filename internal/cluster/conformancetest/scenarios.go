@@ -4,12 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"testing"
 	"time"
 
 	"tempo/client"
+	"tempo/internal/cluster"
 	"tempo/internal/command"
+	"tempo/internal/ids"
+	"tempo/internal/membership"
+	"tempo/internal/proto"
 )
 
 // Scenario is one conformance property: an error-returning check over an
@@ -32,6 +37,7 @@ func Scenarios() []Scenario {
 		{Name: "Deadline", Run: Deadline},
 		{Name: "PartitionHeal", Run: PartitionHeal},
 		{Name: "DurableRestart", NeedsDurable: true, Run: DurableRestart},
+		{Name: "Reconfig", Run: Reconfig},
 	}
 }
 
@@ -336,6 +342,223 @@ func DurableRestart(e Engine) error {
 	got, err := c.Get(ctx, probe, "dr-live")
 	if err != nil || got != "dr-after-restart" {
 		return fmt.Errorf("conformance: %s: read-back through restarted replica = %q, %v", e.Name, got, err)
+	}
+	return c.Verify(false)
+}
+
+// Reconfig drains the quorum-external replica out of the cluster and
+// admits a fresh successor on a new address and incarnation — a full
+// dynamic-membership epoch change, mid-run, driven entirely through
+// the wire config protocol (push, frontier query) against every
+// engine. Liveness: writes must keep completing through every phase,
+// a refresh-enabled session homed on the victim must re-route off the
+// draining replica and return to the slot once the successor is
+// active, and the successor must serve. Safety: the captured logs
+// must still verify across the epoch change (without the total-order
+// check — the successor's log starts mid-stream, like a restart).
+func Reconfig(e Engine) error {
+	c, err := Start(e, Options{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	//tempo:allowctx scenario is a self-contained check and bounds its own run
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	const cfgTimeout = 5 * time.Second
+	vicSite := c.Topo.Process(victim).Site
+
+	// The session under test: homed on the victim, membership refresh
+	// on. Draining replies and dial failures must push it off the slot;
+	// an explicit refresh after the replacement must bring it back.
+	addrs := make(map[ids.ProcessID]string, len(c.Addrs))
+	for id, a := range c.Addrs {
+		addrs[id] = a
+	}
+	sess, err := client.New(client.Config{
+		Addrs:          addrs,
+		Prefer:         victim,
+		Refresh:        true,
+		RequestTimeout: 10 * time.Second,
+		RedialBackoff:  100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	// put writes through sess, retrying draining rejections (the reply
+	// every in-flight-at-drain or stale-routed submission legitimately
+	// gets; each one also triggers the session's async refresh).
+	put := func(key, val string) error {
+		retryBy := time.Now().Add(15 * time.Second)
+		for {
+			err := c.Put(ctx, sess, key, val)
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, client.ErrDraining) || time.Now().After(retryBy) {
+				return err
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := put(fmt.Sprintf("rc-%d", i%4), fmt.Sprintf("rc-pre-%d", i)); err != nil {
+			return fmt.Errorf("conformance: %s: pre-reconfig put %d: %w", e.Name, i, err)
+		}
+	}
+
+	// Phase 1 — drain: announce Draining over the wire to every node
+	// (including the victim), flush the victim's pipeline, announce
+	// Left, stop the process. Writes must keep completing throughout.
+	draining, err := c.baseCfg.WithStatus(vicSite, membership.Draining)
+	if err != nil {
+		return err
+	}
+	for id, a := range c.Addrs {
+		if _, err := membership.Push(a, draining, cfgTimeout); err != nil {
+			return fmt.Errorf("conformance: %s: push draining epoch to node %d: %w", e.Name, id, err)
+		}
+	}
+	if err := c.node(victim).Drain(10 * time.Second); err != nil {
+		return fmt.Errorf("conformance: %s: drain: %w", e.Name, err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := put("rc-drain", fmt.Sprintf("rc-mid-%d", i)); err != nil {
+			return fmt.Errorf("conformance: %s: put during drain: %w", e.Name, err)
+		}
+	}
+	left, err := draining.WithStatus(vicSite, membership.Left)
+	if err != nil {
+		return err
+	}
+	for id, a := range c.Addrs {
+		if _, err := membership.Push(a, left, cfgTimeout); err != nil {
+			return fmt.Errorf("conformance: %s: push left epoch to node %d: %w", e.Name, id, err)
+		}
+	}
+	c.Stop(victim)
+
+	// Phase 2 — admit the successor: a fresh replica takes over the
+	// slot at a new address and incarnation. Announce Joining first
+	// (the fence precedes the frontier measurement), then collect the
+	// successor-safety floors from BOTH survivors over the wire.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	newAddr := ln.Addr().String()
+	old, _ := left.Member(vicSite)
+	joining, err := left.WithMember(membership.Member{
+		Site:        vicSite,
+		Name:        old.Name,
+		Addr:        newAddr,
+		Status:      membership.Joining,
+		Incarnation: old.Incarnation + 1,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	var floorClock, floorSeq uint64
+	for _, pid := range []ids.ProcessID{1, 2} {
+		if _, err := membership.Push(c.Addrs[pid], joining, cfgTimeout); err != nil {
+			ln.Close()
+			return fmt.Errorf("conformance: %s: push joining epoch to node %d: %w", e.Name, pid, err)
+		}
+		clock, seq, ok, err := membership.QueryFrontier(c.Addrs[pid], victim, cfgTimeout)
+		if err != nil || !ok {
+			ln.Close()
+			return fmt.Errorf("conformance: %s: frontier of %d from node %d: ok=%v err=%v", e.Name, victim, pid, ok, err)
+		}
+		floorClock, floorSeq = max(floorClock, clock), max(floorSeq, seq)
+	}
+	floorClock += membership.FrontierMargin
+	floorSeq += membership.FrontierMargin
+
+	rep := c.eng.New(victim, c.Topo)
+	succAddrs := make(map[ids.ProcessID]string, len(c.Addrs))
+	for id, a := range c.Addrs {
+		succAddrs[id] = a
+	}
+	succAddrs[victim] = newAddr
+	n := cluster.NewNode(victim, rep, succAddrs)
+	n.SetShaper(c.Shaper)
+	n.SetBatch(1, 0)
+	n.SetExecObserver(c.rec.observer(victim))
+	view, err := membership.NewView(joining, c.Topo)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	n.SetMembership(view)
+	n.SetJoinFloor(floorClock, floorSeq)
+	if _, durable := rep.(proto.Durable); durable {
+		if err := n.BootstrapFromPeers(); err != nil {
+			ln.Close()
+			return fmt.Errorf("conformance: %s: successor bootstrap: %w", e.Name, err)
+		}
+	}
+	if err := n.StartListener(ln); err != nil {
+		return fmt.Errorf("conformance: %s: start successor: %w", e.Name, err)
+	}
+	c.mu.Lock()
+	c.nodes[victim] = n
+	c.views[victim] = view
+	c.mu.Unlock()
+	active, err := joining.WithStatus(vicSite, membership.Active)
+	if err != nil {
+		return err
+	}
+	for pid, a := range map[ids.ProcessID]string{1: c.Addrs[1], 2: c.Addrs[2], victim: newAddr} {
+		if _, err := membership.Push(a, active, cfgTimeout); err != nil {
+			return fmt.Errorf("conformance: %s: push active epoch to node %d: %w", e.Name, pid, err)
+		}
+	}
+
+	// Phase 3 — liveness across the epoch change: the successor must
+	// serve, and the session under test must re-route back onto the
+	// slot at its new address after a refresh.
+	probe, err := client.New(client.Config{
+		Addrs:          map[ids.ProcessID]string{victim: newAddr},
+		RequestTimeout: 10 * time.Second,
+		RedialBackoff:  100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer probe.Close()
+	serveBy := time.Now().Add(20 * time.Second)
+	for i := 0; ; i++ {
+		//tempo:allowctx scenario is a self-contained check and bounds its own run
+		pctx, pcancel := context.WithTimeout(context.Background(), time.Second)
+		err := c.Put(pctx, probe, "rc-succ", fmt.Sprintf("rc-succ-%d", i))
+		pcancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(serveBy) {
+			return fmt.Errorf("conformance: %s: successor still rejects writes: %w", e.Name, err)
+		}
+	}
+	if installed, err := sess.RefreshConfig(); err != nil {
+		return fmt.Errorf("conformance: %s: session refresh: %w", e.Name, err)
+	} else if !installed && sess.Epoch() < active.Epoch {
+		return fmt.Errorf("conformance: %s: session refresh stuck at epoch %d, want %d", e.Name, sess.Epoch(), active.Epoch)
+	}
+	if got := sess.Epoch(); got != active.Epoch {
+		return fmt.Errorf("conformance: %s: session routes on epoch %d, want %d", e.Name, got, active.Epoch)
+	}
+	for i := 0; i < 10; i++ {
+		if err := put("rc-post", fmt.Sprintf("rc-post-%d", i)); err != nil {
+			return fmt.Errorf("conformance: %s: post-reconfig put %d: %w", e.Name, i, err)
+		}
+	}
+
+	// The survivors hold the full history; the successor's incarnation
+	// starts mid-stream, so logs verify without the total-order check.
+	if err := c.WaitExecuted([]ids.ProcessID{1, 2}, c.AckedOps(), 30*time.Second); err != nil {
+		return err
 	}
 	return c.Verify(false)
 }

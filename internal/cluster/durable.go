@@ -363,22 +363,29 @@ func tsPointLess(aTS uint64, aID ids.Dot, bTS uint64, bID ids.Dot) bool {
 // heal the WAL's unsynced tail. The peer set defaults to every address
 // (the single-shard deployments) and is restricted by SetSyncPeers in
 // sharded ones, where other shards' processes hold a different state
-// machine.
+// machine. It needs only proto.Durable, not a data directory: the join
+// flow bootstraps fresh (possibly non-durable) replicas through the
+// same round (BootstrapFromPeers), and addresses resolve through the
+// membership view when one is installed.
 func (n *Node) syncFromPeers() {
-	d := n.dur
+	rep, isDurable := n.rep.(proto.Durable)
+	if !isDurable {
+		return
+	}
 	caughtUp := false
+	addrs := n.peerAddrs()
 	peers := n.syncPeers
 	if peers == nil {
-		for pid := range n.addrs {
+		for pid := range addrs {
 			peers = append(peers, pid)
 		}
 	}
 	for _, pid := range peers {
-		addr, ok := n.addrs[pid]
+		addr, ok := addrs[pid]
 		if pid == n.id || !ok {
 			continue
 		}
-		myTS, myID := d.rep.AppliedWM()
+		myTS, myID := rep.AppliedWM()
 		snap, err := fetchPeerSnapshot(addr, n.id, myTS, myID, n.frameLimit)
 		if err != nil {
 			// Dial failures are the normal cold-start case; anything
@@ -394,14 +401,14 @@ func (n *Node) syncFromPeers() {
 		if snap == nil {
 			continue
 		}
-		if _, _, err := d.rep.RestoreFrom(bytes.NewReader(snap)); err != nil {
+		if _, _, err := rep.RestoreFrom(bytes.NewReader(snap)); err != nil {
 			log.Printf("cluster: node %d peer snapshot from %d install failed: %v", n.id, pid, err)
 			continue
 		}
 		caughtUp = true
 	}
 	if caughtUp {
-		ts, id := d.rep.AppliedWM()
+		ts, id := rep.AppliedWM()
 		log.Printf("cluster: node %d caught up from peers (wm ts=%d id=%v)", n.id, ts, id)
 	}
 }

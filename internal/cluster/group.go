@@ -10,6 +10,7 @@ import (
 
 	"tempo/internal/command"
 	"tempo/internal/ids"
+	"tempo/internal/membership"
 	"tempo/internal/proto"
 )
 
@@ -74,6 +75,11 @@ type Group struct {
 	// shaper, when set, interposes WAN emulation and runtime partitions
 	// on every outgoing inter-process message; see SetShaper.
 	shaper *Shaper
+
+	// view, when set (SetMembership), supplies epoch-versioned
+	// addressing and fencing for the shared links, and the config
+	// protocol is served on the shared listener; see membership.go.
+	view *membership.View
 }
 
 // NewGroup creates a group for the given global address and shard maps
@@ -184,6 +190,9 @@ func (g *Group) Send(from, to ids.ProcessID, msg proto.Message) {
 // Never blocks; full queues drop (the protocol's liveness machinery
 // retries). Safe from shaper link goroutines.
 func (g *Group) forward(from, to ids.ProcessID, msg proto.Message) {
+	if g.fenced(to) {
+		return
+	}
 	if q, ok := g.localQ[to]; ok {
 		select {
 		case q <- groupMsg{from, to, msg}:
@@ -191,8 +200,8 @@ func (g *Group) forward(from, to ids.ProcessID, msg proto.Message) {
 		}
 		return
 	}
-	addr, ok := g.addrs[to]
-	if !ok {
+	addr := g.addrOf(to)
+	if addr == "" {
 		return
 	}
 	g.outMu.Lock()
@@ -389,6 +398,8 @@ func (g *Group) serveConn(conn net.Conn) {
 		serveClientStream(g, conn, br, magic == ClientMagic2)
 	case SyncMagic:
 		g.serveSync(conn, br)
+	case membership.ConfigMagic:
+		g.serveMembership(conn, br)
 	}
 }
 
@@ -404,7 +415,7 @@ func (g *Group) servePeer(br *bufio.Reader) {
 		if len(msgs) == 0 {
 			return
 		}
-		if n := g.nodes[curTo]; n != nil && n.ready.Load() {
+		if n := g.nodes[curTo]; n != nil && n.ready.Load() && !g.fenced(curFrom) {
 			n.Deliver(curFrom, msgs)
 		}
 		clear(msgs)
@@ -451,7 +462,7 @@ func (g *Group) serveSync(conn net.Conn, br *bufio.Reader) {
 	if req.From != 0 {
 		// The requester must be a known process: an unknown pid would
 		// map to the zero shard and be handed the wrong state machine.
-		if shard, ok := g.shardOf[req.From]; ok {
+		if shard, ok := g.shardOfPid(req.From); ok {
 			n = g.byShard[shard]
 		}
 	} else if len(g.list) == 1 {

@@ -236,6 +236,11 @@ const (
 	// protocol (submit-at + watch), which merges per-shard result
 	// segments instead of silently returning one shard's values.
 	ErrCodeCrossShard ErrCode = 5
+	// ErrCodeDraining reports a submission to a replica that is leaving
+	// the cluster (dynamic membership's graceful drain): it still
+	// finishes accepted commands but takes no new ones. Clients retry
+	// against another replica and refresh their configuration.
+	ErrCodeDraining ErrCode = 6
 )
 
 // Typed client-visible errors mirroring the wire codes. They live here,
@@ -255,6 +260,10 @@ var (
 	// replicated by any reachable process (a partial-replication topology
 	// where the session dialed only a subset of the shards).
 	ErrWrongShard = errors.New("tempo: key's shard not replicated by any dialed replica")
+	// ErrDraining reports a submission to a replica that is gracefully
+	// leaving the cluster; retry against another replica (sessions with
+	// membership refresh re-route automatically).
+	ErrDraining = errors.New("tempo: replica draining")
 )
 
 // WireError is a typed error plus detail message as carried by the

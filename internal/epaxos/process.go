@@ -108,7 +108,10 @@ type Process struct {
 	graph      *depgraph.Graph
 	store      *kvstore.Store
 
-	nextSeq     uint64
+	nextSeq uint64
+	// seenSeq tracks the highest command-sequence number observed per
+	// source process — the membership frontier (see ObservedFrom).
+	seenSeq     map[ids.ProcessID]uint64
 	crashed     bool
 	executedOut []proto.Executed
 
@@ -125,6 +128,7 @@ var _ proto.Replica = (*Process)(nil)
 var _ proto.Crashable = (*Process)(nil)
 var _ proto.IDMinter = (*Process)(nil)
 var _ proto.DeferredApplier = (*Process)(nil)
+var _ proto.Joiner = (*Process)(nil)
 
 // New creates a replica for process id.
 func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
@@ -143,6 +147,7 @@ func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
 		shardProcs: topo.ShardProcesses(pi.Shard),
 		keys:       make(map[command.Key]*keyInfo),
 		cmds:       make(map[ids.Dot]*cmdState),
+		seenSeq:    make(map[ids.ProcessID]uint64),
 		graph:      depgraph.New(),
 		store:      kvstore.New(),
 	}
@@ -344,6 +349,9 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 }
 
 func (p *Process) state(id ids.Dot) *cmdState {
+	if id.Seq > p.seenSeq[id.Source] {
+		p.seenSeq[id.Source] = id.Seq
+	}
 	st, ok := p.cmds[id]
 	if !ok {
 		st = &cmdState{
@@ -353,6 +361,22 @@ func (p *Process) state(id ids.Dot) *cmdState {
 		p.cmds[id] = st
 	}
 	return st
+}
+
+// ObservedFrom implements proto.Joiner: EPaxos has no logical clock,
+// so the frontier is the highest command-sequence number (instance id)
+// observed from pid — dots double as instance ids, and every message
+// that references an instance passes through state.
+func (p *Process) ObservedFrom(pid ids.ProcessID) (clock, seq uint64) {
+	return 0, p.seenSeq[pid]
+}
+
+// JoinFloor implements proto.Joiner: a successor must not re-mint its
+// predecessor's dots (they ARE the instance ids).
+func (p *Process) JoinFloor(clock, seq uint64) {
+	if seq > p.nextSeq {
+		p.nextSeq = seq
+	}
 }
 
 // localDeps computes (deps, seq) for cmd against the local conflict index

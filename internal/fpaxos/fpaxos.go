@@ -142,9 +142,12 @@ type Process struct {
 	leaderRank ids.Rank
 	nextSlot   uint64
 	nextID     uint64
-	log        map[uint64]*slot
-	execNext   uint64
-	store      *kvstore.Store
+	// seenSeq tracks the highest command-sequence number observed per
+	// source process — the membership frontier (see ObservedFrom).
+	seenSeq  map[ids.ProcessID]uint64
+	log      map[uint64]*slot
+	execNext uint64
+	store    *kvstore.Store
 
 	pending   []*command.Command
 	lastFlush time.Duration
@@ -171,6 +174,7 @@ var _ proto.LeaderAware = (*Process)(nil)
 var _ proto.Crashable = (*Process)(nil)
 var _ proto.IDMinter = (*Process)(nil)
 var _ proto.DeferredApplier = (*Process)(nil)
+var _ proto.Joiner = (*Process)(nil)
 
 // New creates an FPaxos replica; the initial leader is rank 1.
 func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
@@ -187,6 +191,7 @@ func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
 		topo:       topo,
 		cfg:        cfg.withDefaults(),
 		leaderRank: 1,
+		seenSeq:    make(map[ids.ProcessID]uint64),
 		log:        make(map[uint64]*slot),
 		execNext:   1,
 		store:      kvstore.New(),
@@ -214,6 +219,42 @@ func (p *Process) Crash() { p.crashed = true }
 func (p *Process) NextID() ids.Dot {
 	p.nextID++
 	return ids.Dot{Source: p.id, Seq: p.nextID}
+}
+
+// noteCmds records the highest command-sequence number seen per source
+// process — the membership frontier (commands enter a replica via
+// propose, FAccept and FCommit).
+func (p *Process) noteCmds(cmds []*command.Command) {
+	for _, c := range cmds {
+		if c.ID.Seq > p.seenSeq[c.ID.Source] {
+			p.seenSeq[c.ID.Source] = c.ID.Seq
+		}
+	}
+}
+
+// ObservedFrom implements proto.Joiner: the highest slot this replica
+// has seen proposed (the leader's "clock") and the highest
+// command-sequence number observed from pid. FPaxos leader replacement
+// is out of membership's scope — replacing the leader's slot requires
+// a leader-change protocol (SetLeader is the oracle hook); followers
+// replace cleanly via slot catch-up (FSlotReq).
+func (p *Process) ObservedFrom(pid ids.ProcessID) (clock, seq uint64) {
+	return p.maxSlot, p.seenSeq[pid]
+}
+
+// JoinFloor implements proto.Joiner: a successor must not re-mint its
+// predecessor's command ids, and — should it ever lead — not reuse
+// slots the shard has seen.
+func (p *Process) JoinFloor(clock, seq uint64) {
+	if seq > p.nextID {
+		p.nextID = seq
+	}
+	if clock > p.nextSlot {
+		p.nextSlot = clock
+	}
+	if clock > p.maxSlot {
+		p.maxSlot = clock
+	}
 }
 
 // Shard returns the one shard this replica replicates. The cluster
@@ -292,6 +333,7 @@ func (p *Process) dispatch(cmds []*command.Command) []proto.Action {
 // propose assigns the next slot and runs phase 2 on the f+1 nearest
 // acceptors (including self).
 func (p *Process) propose(cmds []*command.Command) []proto.Action {
+	p.noteCmds(cmds)
 	p.nextSlot++
 	p.proposed++
 	s := p.nextSlot
@@ -357,6 +399,7 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 		return p.propose(m.Cmds)
 	case *FAccept:
 		// Failure-free phase 2: accept unconditionally.
+		p.noteCmds(m.Cmds)
 		if m.Slot > p.maxSlot {
 			p.maxSlot = m.Slot
 		}
@@ -380,6 +423,7 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 		st.acks = nil
 		return []proto.Action{proto.Send(&FCommit{Slot: m.Slot, Cmds: st.cmds}, p.topo.ShardProcesses(p.shard)...)}
 	case *FCommit:
+		p.noteCmds(m.Cmds)
 		if m.Slot > p.maxSlot {
 			p.maxSlot = m.Slot
 		}

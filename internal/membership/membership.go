@@ -1,0 +1,419 @@
+// Package membership is the cluster's dynamic-configuration control
+// plane: an epoch-stamped description of the deployment — which site
+// runs at which address, in which lifecycle state, replicating which
+// shards — that replicas agree on and can change while serving.
+//
+// The static wiring (`-sites/-shards` flags frozen at process start)
+// becomes epoch 1 of a Config. Reconfiguration produces a new Config
+// with a higher epoch and pushes it to every live replica; a replica
+// installs any config whose epoch exceeds its own (configs are
+// totally ordered by epoch because every transition is produced by one
+// orchestrator — an operator verb or a joining node — from the current
+// config; concurrent conflicting transitions are not arbitrated here
+// but by the admission procedure in internal/psmr).
+//
+// The key design choice is that reconfiguration is *slot-based*:
+// process ids, ranks, shard→site assignment and therefore the quorum
+// geometry (r, f, fast/slow quorum sizes) are fixed for the lifetime of
+// a deployment. An epoch rebinds a site's slot to a new address and
+// incarnation and moves it through a lifecycle (Active → Draining →
+// Left, or Active → Dead → Joining → Active for a replacement), but
+// never changes r or f. That keeps every quorum intersection argument
+// of the paper intact across reconfigurations: a successor process
+// takes over the dead process's id and rank, and the paper's recovery
+// protocol (Algorithm 5) — which is rank-based — applies unchanged.
+// What the successor must NOT do is reuse promises or command ids its
+// predecessor already handed out; see the frontier protocol in wire.go
+// and the caveats on FrontierMargin.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+	"tempo/internal/topology"
+)
+
+// Status is a member's lifecycle state within the current epoch.
+type Status uint8
+
+// The member lifecycle. Active serves; Joining is admitted but still
+// bootstrapping (peers link to it, clients do not route to it);
+// Draining rejects new submissions while flushing; Dead was removed
+// without drain (its old incarnation is fenced); Left drained out
+// cleanly. Dead and Left slots can be re-admitted as Joining with a
+// higher incarnation.
+const (
+	Active Status = iota
+	Joining
+	Draining
+	Dead
+	Left
+)
+
+// String renders the status for logs and JSON.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Joining:
+		return "joining"
+	case Draining:
+		return "draining"
+	case Dead:
+		return "dead"
+	case Left:
+		return "left"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler so JSON reports read
+// "active", not 0.
+func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Member is one site's slot in the configuration: its current serving
+// address, lifecycle state, and incarnation (bumped every time the slot
+// is re-admitted, so two processes can never both believe they are the
+// site's current incarnation).
+//
+//tempo:wire encode=appendMember decode=decodeMember
+type Member struct {
+	// Site is the slot: the 0-based site index of the topology.
+	Site ids.SiteID `json:"site"`
+	// Name labels the site ("site-0", an EC2 region, ...).
+	Name string `json:"name"`
+	// Addr is the slot's serving address ("" when the slot never ran).
+	Addr string `json:"addr"`
+	// Status is the slot's lifecycle state.
+	Status Status `json:"status"`
+	// Incarnation counts admissions of this slot, starting at 1.
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// Config is one epoch of the cluster configuration. It is immutable
+// once built; transitions go through WithMember, which returns an
+// epoch+1 copy.
+//
+//tempo:wire encode=AppendConfig decode=DecodeConfig
+type Config struct {
+	// Epoch versions the configuration, starting at 1.
+	Epoch uint64 `json:"epoch"`
+	// F is the per-shard failure tolerance (fixed for the deployment).
+	F int `json:"f"`
+	// NumShards is the shard count (fixed for the deployment).
+	NumShards int `json:"num_shards"`
+	// ShardSites lists, per shard, the site indices replicating it
+	// (nil: every site replicates every shard). Fixed for the
+	// deployment — reconfiguration rebinds slots, it does not move
+	// shards.
+	ShardSites [][]int `json:"shard_sites,omitempty"`
+	// Members holds one entry per site, in site order.
+	Members []Member `json:"members"`
+}
+
+// Validate checks structural invariants: a positive epoch, one member
+// per site in site order with positive incarnations, and a shard map
+// the topology package accepts.
+func (c *Config) Validate() error {
+	if c.Epoch == 0 {
+		return fmt.Errorf("membership: epoch 0 (epochs start at 1)")
+	}
+	if len(c.Members) == 0 {
+		return fmt.Errorf("membership: no members")
+	}
+	for i, m := range c.Members {
+		if m.Site != ids.SiteID(i) {
+			return fmt.Errorf("membership: member %d has site %d; members must be in site order", i, m.Site)
+		}
+		if m.Incarnation == 0 {
+			return fmt.Errorf("membership: site %d has incarnation 0 (incarnations start at 1)", i)
+		}
+	}
+	if _, err := c.Topology(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Topology derives the quorum topology of this configuration. The RTT
+// matrix is zero: quorum *selection* prefers low RTT and breaks ties
+// by process id, so derived topologies pick deterministic quorums;
+// quorum *intersection* (safety) does not depend on RTT at all.
+// Deployments that want latency-aware quorums keep their original
+// topology alongside the view (see NewView).
+func (c *Config) Topology() (*topology.Topology, error) {
+	names := make([]string, len(c.Members))
+	rtt := make([][]time.Duration, len(c.Members))
+	for i, m := range c.Members {
+		names[i] = m.Name
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("site-%d", i)
+		}
+		rtt[i] = make([]time.Duration, len(c.Members))
+	}
+	return topology.New(topology.Config{
+		SiteNames:  names,
+		RTT:        rtt,
+		NumShards:  c.NumShards,
+		F:          c.F,
+		ShardSites: c.ShardSites,
+	})
+}
+
+// Member returns the slot for a site.
+func (c *Config) Member(site ids.SiteID) (Member, bool) {
+	if int(site) >= len(c.Members) {
+		return Member{}, false
+	}
+	return c.Members[site], true
+}
+
+// WithMember returns a copy of c at epoch+1 with the site's slot
+// replaced by m. It is the single transition constructor: every
+// reconfiguration is one slot change per epoch.
+func (c *Config) WithMember(m Member) (*Config, error) {
+	if int(m.Site) >= len(c.Members) {
+		return nil, fmt.Errorf("membership: site %d out of range 0..%d", m.Site, len(c.Members)-1)
+	}
+	nc := c.Clone()
+	nc.Epoch = c.Epoch + 1
+	nc.Members[m.Site] = m
+	return nc, nil
+}
+
+// WithStatus returns a copy of c at epoch+1 with only the site's
+// status changed (address and incarnation kept).
+func (c *Config) WithStatus(site ids.SiteID, st Status) (*Config, error) {
+	m, ok := c.Member(site)
+	if !ok {
+		return nil, fmt.Errorf("membership: site %d out of range 0..%d", site, len(c.Members)-1)
+	}
+	m.Status = st
+	return c.WithMember(m)
+}
+
+// MatchesTopology reports (as an error) whether c's quorum geometry
+// differs from topo's — deployments that pair a latency-aware
+// topology with a fetched config must check before installing.
+func (c *Config) MatchesTopology(topo *topology.Topology) error {
+	return sameGeometry(FromTopology(topo, nil), c)
+}
+
+// Clone deep-copies the config.
+func (c *Config) Clone() *Config {
+	nc := *c
+	nc.Members = append([]Member(nil), c.Members...)
+	if c.ShardSites != nil {
+		nc.ShardSites = make([][]int, len(c.ShardSites))
+		for i, ss := range c.ShardSites {
+			nc.ShardSites[i] = append([]int(nil), ss...)
+		}
+	}
+	return &nc
+}
+
+// Addrs lists every distinct non-empty member address, Active members
+// first — the contact order for config fetch/push fan-out.
+func (c *Config) Addrs() []string {
+	seen := make(map[string]bool)
+	var active, rest []string
+	for _, m := range c.Members {
+		if m.Addr == "" || seen[m.Addr] {
+			continue
+		}
+		seen[m.Addr] = true
+		if m.Status == Active {
+			active = append(active, m.Addr)
+		} else {
+			rest = append(rest, m.Addr)
+		}
+	}
+	return append(active, rest...)
+}
+
+// FromTopology lifts static wiring into epoch 1: every site Active at
+// incarnation 1, addressed per siteAddrs. It is how existing
+// deployments enter the membership world without new flags.
+func FromTopology(topo *topology.Topology, siteAddrs map[ids.SiteID]string) *Config {
+	sites := topo.Sites()
+	c := &Config{
+		Epoch:     1,
+		F:         topo.F(),
+		NumShards: topo.NumShards(),
+		Members:   make([]Member, len(sites)),
+	}
+	// Recover the shard→site lists from the process table so the derived
+	// topology reproduces the original process-id assignment exactly.
+	full := true
+	c.ShardSites = make([][]int, topo.NumShards())
+	for s := 0; s < topo.NumShards(); s++ {
+		for _, pid := range topo.ShardProcesses(ids.ShardID(s)) {
+			c.ShardSites[s] = append(c.ShardSites[s], int(topo.Process(pid).Site))
+		}
+		if len(c.ShardSites[s]) != len(sites) || !sort.IntsAreSorted(c.ShardSites[s]) {
+			full = false
+		}
+	}
+	if full {
+		// Full replication in site order is the nil default; keep the
+		// config canonical.
+		allDefault := true
+		for _, ss := range c.ShardSites {
+			for i, v := range ss {
+				if v != i {
+					allDefault = false
+				}
+			}
+		}
+		if allDefault {
+			c.ShardSites = nil
+		}
+	}
+	for i, s := range sites {
+		c.Members[i] = Member{
+			Site:        s.ID,
+			Name:        s.Name,
+			Addr:        siteAddrs[s.ID],
+			Status:      Active,
+			Incarnation: 1,
+		}
+	}
+	return c
+}
+
+// --- binary codec ---
+
+// AppendConfig appends the wire encoding of c to buf: epoch, f,
+// shard map, then the members.
+func AppendConfig(buf []byte, c *Config) []byte {
+	buf = proto.AppendUvarint(buf, c.Epoch)
+	buf = proto.AppendUvarint(buf, uint64(c.F))
+	buf = proto.AppendUvarint(buf, uint64(c.NumShards))
+	buf = proto.AppendUvarint(buf, uint64(len(c.ShardSites)))
+	for _, ss := range c.ShardSites {
+		buf = proto.AppendUvarint(buf, uint64(len(ss)))
+		for _, site := range ss {
+			buf = proto.AppendUvarint(buf, uint64(site))
+		}
+	}
+	buf = proto.AppendUvarint(buf, uint64(len(c.Members)))
+	for i := range c.Members {
+		buf = appendMember(buf, &c.Members[i])
+	}
+	return buf
+}
+
+// DecodeConfig decodes a config encoded by AppendConfig.
+func DecodeConfig(b []byte) (*Config, error) {
+	c := &Config{}
+	var v uint64
+	var err error
+	if c.Epoch, b, err = proto.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if v, b, err = proto.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	c.F = int(v)
+	if v, b, err = proto.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	c.NumShards = int(v)
+	var nss uint64
+	if nss, b, err = proto.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if nss > maxSlice {
+		return nil, proto.ErrCorrupt
+	}
+	if nss > 0 {
+		c.ShardSites = make([][]int, nss)
+		for i := range c.ShardSites {
+			var n uint64
+			if n, b, err = proto.ReadUvarint(b); err != nil {
+				return nil, err
+			}
+			if n > maxSlice {
+				return nil, proto.ErrCorrupt
+			}
+			c.ShardSites[i] = make([]int, n)
+			for j := range c.ShardSites[i] {
+				if v, b, err = proto.ReadUvarint(b); err != nil {
+					return nil, err
+				}
+				c.ShardSites[i][j] = int(v)
+			}
+		}
+	}
+	var nm uint64
+	if nm, b, err = proto.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if nm > maxSlice {
+		return nil, proto.ErrCorrupt
+	}
+	c.Members = make([]Member, nm)
+	for i := range c.Members {
+		if b, err = decodeMember(b, &c.Members[i]); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// maxSlice bounds decoded slice lengths against corrupt frames.
+const maxSlice = 1 << 16
+
+// appendMember appends one member's wire encoding.
+func appendMember(buf []byte, m *Member) []byte {
+	buf = proto.AppendUvarint(buf, uint64(m.Site))
+	buf = proto.AppendUvarint(buf, uint64(len(m.Name)))
+	buf = append(buf, m.Name...)
+	buf = proto.AppendUvarint(buf, uint64(len(m.Addr)))
+	buf = append(buf, m.Addr...)
+	buf = append(buf, byte(m.Status))
+	buf = proto.AppendUvarint(buf, m.Incarnation)
+	return buf
+}
+
+// decodeMember decodes one member, returning the remaining bytes.
+func decodeMember(b []byte, m *Member) ([]byte, error) {
+	var v uint64
+	var err error
+	if v, b, err = proto.ReadUvarint(b); err != nil {
+		return b, err
+	}
+	m.Site = ids.SiteID(v)
+	if m.Name, b, err = readString(b); err != nil {
+		return b, err
+	}
+	if m.Addr, b, err = readString(b); err != nil {
+		return b, err
+	}
+	if len(b) == 0 {
+		return b, proto.ErrCorrupt
+	}
+	m.Status = Status(b[0])
+	b = b[1:]
+	if m.Incarnation, b, err = proto.ReadUvarint(b); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+// readString reads a uvarint-length-prefixed string.
+func readString(b []byte) (string, []byte, error) {
+	n, b, err := proto.ReadUvarint(b)
+	if err != nil {
+		return "", b, err
+	}
+	if n > uint64(len(b)) {
+		return "", b, proto.ErrCorrupt
+	}
+	return string(b[:n]), b[n:], nil
+}

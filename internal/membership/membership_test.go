@@ -1,0 +1,165 @@
+package membership
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"tempo/internal/ids"
+	"tempo/internal/topology"
+)
+
+func testConfig(t *testing.T) *Config {
+	t.Helper()
+	return &Config{
+		Epoch:     1,
+		F:         1,
+		NumShards: 2,
+		ShardSites: [][]int{
+			{0, 1, 2},
+			{1, 2, 3},
+		},
+		Members: []Member{
+			{Site: 0, Name: "a", Addr: "127.0.0.1:7001", Status: Active, Incarnation: 1},
+			{Site: 1, Name: "b", Addr: "127.0.0.1:7002", Status: Active, Incarnation: 1},
+			{Site: 2, Name: "c", Addr: "127.0.0.1:7003", Status: Active, Incarnation: 1},
+			{Site: 3, Name: "d", Addr: "127.0.0.1:7004", Status: Active, Incarnation: 1},
+		},
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	c := testConfig(t)
+	c.Members[2].Status = Draining
+	c.Members[3] = Member{Site: 3, Name: "d", Addr: "", Status: Dead, Incarnation: 4}
+	got, err := DecodeConfig(AppendConfig(nil, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", c, got)
+	}
+}
+
+func TestTopologyMatchesStatic(t *testing.T) {
+	// The derived topology must reproduce the static process-id
+	// assignment (shard-major, rank = position+1), or epoch-1 configs
+	// lifted from flags would disagree with running replicas.
+	c := testConfig(t)
+	derived, err := c.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d"}
+	rtt := make([][]time.Duration, 4)
+	for i := range rtt {
+		rtt[i] = make([]time.Duration, 4)
+	}
+	static, err := topology.New(topology.Config{
+		SiteNames: names, RTT: rtt, NumShards: 2, F: 1,
+		ShardSites: [][]int{{0, 1, 2}, {1, 2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(static.Processes(), derived.Processes()) {
+		t.Fatalf("derived process table differs from static:\n  static  %+v\n  derived %+v",
+			static.Processes(), derived.Processes())
+	}
+}
+
+func TestFromTopologyRoundTrip(t *testing.T) {
+	names := []string{"s0", "s1", "s2"}
+	rtt := make([][]time.Duration, 3)
+	for i := range rtt {
+		rtt[i] = make([]time.Duration, 3)
+	}
+	topo, err := topology.New(topology.Config{SiteNames: names, RTT: rtt, NumShards: 1, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[ids.SiteID]string{0: "h0:1", 1: "h1:1", 2: "h2:1"}
+	c := FromTopology(topo, addrs)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.ShardSites != nil {
+		t.Fatalf("full replication should canonicalize to nil ShardSites, got %v", c.ShardSites)
+	}
+	derived, err := c.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(topo.Processes(), derived.Processes()) {
+		t.Fatalf("FromTopology lost the process table")
+	}
+}
+
+func TestViewInstall(t *testing.T) {
+	c := testConfig(t)
+	v, err := NewView(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", v.Epoch())
+	}
+	// Shard 0 is sites {0,1,2} → pids 1..3; shard 1 is sites {1,2,3} → 4..6.
+	st := v.State()
+	if st.Addrs[ids.ProcessID(1)] != "127.0.0.1:7001" || st.Addrs[ids.ProcessID(6)] != "127.0.0.1:7004" {
+		t.Fatalf("derived addrs wrong: %v", st.Addrs)
+	}
+
+	var notified uint64
+	v.Subscribe(func(s *State) { notified = s.Epoch() })
+
+	next, err := c.WithMember(Member{Site: 3, Name: "d", Addr: "127.0.0.1:8004", Status: Dead, Incarnation: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := v.Install(next)
+	if err != nil || !ok {
+		t.Fatalf("install = %v, %v", ok, err)
+	}
+	if notified != 2 {
+		t.Fatalf("subscriber saw epoch %d, want 2", notified)
+	}
+	st = v.State()
+	if !st.Fenced(ids.ProcessID(6)) {
+		t.Fatal("pid 6 (site 3) should be fenced after Dead")
+	}
+	if _, ok := st.Addrs[ids.ProcessID(6)]; ok {
+		t.Fatal("fenced pid should have no serving address")
+	}
+	if st.Fenced(ids.ProcessID(1)) {
+		t.Fatal("pid 1 should not be fenced")
+	}
+
+	// Re-installing an old epoch is a no-op.
+	ok, err = v.Install(c)
+	if err != nil || ok {
+		t.Fatalf("stale install = %v, %v; want false, nil", ok, err)
+	}
+
+	// Geometry changes are rejected.
+	bad := next.Clone()
+	bad.Epoch++
+	bad.F = 2
+	if _, err := v.Install(bad); err == nil {
+		t.Fatal("geometry-changing install must fail")
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	c := testConfig(t)
+	d1, err := c.WithStatus(2, Draining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Epoch != 2 || d1.Members[2].Status != Draining || c.Members[2].Status != Active {
+		t.Fatalf("WithStatus mutated in place or mis-bumped: %+v", d1)
+	}
+	if got := d1.Addrs(); got[len(got)-1] != "127.0.0.1:7003" {
+		t.Fatalf("draining member should sort after active ones in Addrs(): %v", got)
+	}
+}

@@ -1,0 +1,183 @@
+package membership
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tempo/internal/ids"
+	"tempo/internal/topology"
+)
+
+// State is one immutable, fully-derived epoch of the configuration:
+// the config itself plus everything the runtime needs per message
+// (address lookups, fencing) precomputed, so hot paths pay one atomic
+// load and a map read.
+type State struct {
+	// Config is the epoch's configuration.
+	Config *Config
+	// Topo is the quorum topology (shared across epochs when the
+	// geometry is unchanged, which slot-based reconfiguration
+	// guarantees).
+	Topo *topology.Topology
+	// Addrs maps every process of a routable slot (status not Dead or
+	// Left) to its serving address.
+	Addrs map[ids.ProcessID]string
+	// ShardOf maps every process to its shard.
+	ShardOf map[ids.ProcessID]ids.ShardID
+
+	siteOf map[ids.ProcessID]ids.SiteID
+	fenced map[ids.ProcessID]bool
+}
+
+// Epoch returns the state's configuration epoch.
+func (s *State) Epoch() uint64 { return s.Config.Epoch }
+
+// Fenced reports whether a process's slot is Dead or Left: its traffic
+// must be dropped, because a successor incarnation may be serving (or
+// about to serve) under the same process id.
+func (s *State) Fenced(pid ids.ProcessID) bool { return s.fenced[pid] }
+
+// Status returns the lifecycle state of a process's slot (Active for
+// unknown pids, the static-deployment default).
+func (s *State) Status(pid ids.ProcessID) Status {
+	site, ok := s.siteOf[pid]
+	if !ok {
+		return Active
+	}
+	return s.Config.Members[site].Status
+}
+
+// SiteOf returns the site owning a process's slot.
+func (s *State) SiteOf(pid ids.ProcessID) (ids.SiteID, bool) {
+	site, ok := s.siteOf[pid]
+	return site, ok
+}
+
+// newState derives a State from a validated config. topo overrides the
+// derived zero-RTT topology when the caller has a latency-aware one
+// with identical geometry (the static-deployment entry path).
+func newState(cfg *Config, topo *topology.Topology) (*State, error) {
+	if topo == nil {
+		var err error
+		if topo, err = cfg.Topology(); err != nil {
+			return nil, err
+		}
+	}
+	s := &State{
+		Config:  cfg,
+		Topo:    topo,
+		Addrs:   make(map[ids.ProcessID]string),
+		ShardOf: make(map[ids.ProcessID]ids.ShardID),
+		siteOf:  make(map[ids.ProcessID]ids.SiteID),
+		fenced:  make(map[ids.ProcessID]bool),
+	}
+	for _, p := range topo.Processes() {
+		s.ShardOf[p.ID] = p.Shard
+		s.siteOf[p.ID] = p.Site
+		m := cfg.Members[p.Site]
+		switch m.Status {
+		case Dead, Left:
+			s.fenced[p.ID] = true
+		default:
+			if m.Addr != "" {
+				s.Addrs[p.ID] = m.Addr
+			}
+		}
+	}
+	return s, nil
+}
+
+// View is a node's live handle on the configuration: an atomically
+// swappable State plus install-time subscribers. One View is shared by
+// every node of a process (all shards of a psmr group) and by the
+// group's listener.
+type View struct {
+	cur  atomic.Pointer[State]
+	mu   sync.Mutex // serializes Install and guards subs
+	subs []func(*State)
+}
+
+// NewView builds a view at cfg. topo, when non-nil, overrides the
+// derived topology (it must have the same geometry; the static entry
+// path passes the deployment's latency-aware topology).
+func NewView(cfg *Config, topo *topology.Topology) (*View, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := newState(cfg, topo)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{}
+	v.cur.Store(st)
+	return v, nil
+}
+
+// State returns the current state. The result is immutable; hot paths
+// may hold it across a batch but must re-load per message loop to see
+// installs.
+func (v *View) State() *State { return v.cur.Load() }
+
+// Epoch returns the current epoch.
+func (v *View) Epoch() uint64 { return v.State().Epoch() }
+
+// Install adopts cfg if its epoch exceeds the current one, returning
+// whether it was installed. Geometry (r, f, shards) must match the
+// current state; the topology object is carried over so quorum
+// selection stays latency-aware across epochs.
+func (v *View) Install(cfg *Config) (bool, error) {
+	if err := cfg.Validate(); err != nil {
+		return false, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cur := v.cur.Load()
+	if cfg.Epoch <= cur.Epoch() {
+		return false, nil
+	}
+	if err := sameGeometry(cur.Config, cfg); err != nil {
+		return false, err
+	}
+	st, err := newState(cfg, cur.Topo)
+	if err != nil {
+		return false, err
+	}
+	v.cur.Store(st)
+	for _, fn := range v.subs {
+		fn(st)
+	}
+	return true, nil
+}
+
+// Subscribe registers fn to run (under the install lock, after the
+// swap) on every future install. Used for cache invalidation — closing
+// connections to re-addressed slots — not for heavy work.
+func (v *View) Subscribe(fn func(*State)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.subs = append(v.subs, fn)
+}
+
+// sameGeometry checks the slot-based invariant: epochs may rebind
+// slots, never change the quorum geometry.
+func sameGeometry(a, b *Config) error {
+	if a.F != b.F || a.NumShards != b.NumShards || len(a.Members) != len(b.Members) {
+		return fmt.Errorf("membership: epoch %d changes geometry (f=%d shards=%d sites=%d -> f=%d shards=%d sites=%d); slots are fixed for a deployment",
+			b.Epoch, a.F, a.NumShards, len(a.Members), b.F, b.NumShards, len(b.Members))
+	}
+	if len(a.ShardSites) != len(b.ShardSites) {
+		return fmt.Errorf("membership: epoch %d changes the shard map", b.Epoch)
+	}
+	for i := range a.ShardSites {
+		if len(a.ShardSites[i]) != len(b.ShardSites[i]) {
+			return fmt.Errorf("membership: epoch %d changes shard %d's replica set", b.Epoch, i)
+		}
+		for j := range a.ShardSites[i] {
+			if a.ShardSites[i][j] != b.ShardSites[i][j] {
+				return fmt.Errorf("membership: epoch %d changes shard %d's replica set", b.Epoch, i)
+			}
+		}
+	}
+	return nil
+}

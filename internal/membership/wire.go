@@ -1,0 +1,251 @@
+package membership
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"tempo/internal/ids"
+	"tempo/internal/proto"
+)
+
+// --- configuration wire protocol ---
+//
+// One frame each way on a fresh connection to a replica's shared
+// listen port (the listener auto-detects the magic, like the peer,
+// client and sync protocols):
+//
+//	request:  ConfigMagic || frame( kind, ... )
+//	            kind 0 (fetch):    no operands
+//	            kind 1 (push):     config bytes
+//	            kind 2 (frontier): subject process id
+//	reply:    fetch/push → frame( config bytes )   — the replica's
+//	            current config, after installing a pushed one if newer
+//	          frontier   → frame( ok, clock, seq ) — the highest
+//	            logical-clock value and command-sequence number the
+//	            replica has observed *from* the subject process
+//	            (ok=0: the replica cannot answer for that shard)
+//
+// Fetch is how clients and joiners discover the current epoch; push is
+// the reconfiguration fan-out (the reply doubles as an ack carrying
+// the receiver's view, so the pusher learns if it lost a race to a
+// higher epoch); frontier is the successor-safety query of the replace
+// flow (see FrontierMargin).
+
+// ConfigMagic prefixes configuration-protocol connections ('M' for
+// membership; 'C' is taken by the client protocol).
+var ConfigMagic = [4]byte{0xFF, 'T', 'M', 1}
+
+// Request kinds.
+const (
+	// KindFetch asks for the replica's current config.
+	KindFetch = 0
+	// KindPush offers a config; the replica installs it if newer.
+	KindPush = 1
+	// KindFrontier asks for the replica's observed frontier of a
+	// (typically dead) process.
+	KindFrontier = 2
+)
+
+// FrameLimit bounds config frames; configurations are small (one
+// member per site).
+const FrameLimit = 1 << 20
+
+// FrontierMargin is added to a dead process's observed frontier before
+// its successor adopts it as a floor for fresh logical-clock values
+// and command ids.
+//
+// The safety argument for a drain-less replacement: any promise or
+// command id minted by the dead incarnation that can still affect a
+// commit must have reached some live shard peer (commits need quorum
+// acks, and promise gossip is continuous), so max-ing the frontier
+// over the live peers bounds everything observable. What it cannot
+// bound is values the dead process minted but that never left its
+// process — those are harmless (they are in no quorum) — and values
+// in flight from a peer that itself died after observing them. The
+// margin absorbs that residue the same way the durable runtime's
+// crash reservation chunk does (internal/cluster reserves 1<<19 per
+// restart); the replacement flow additionally requires that the
+// shard's surviving replicas have been continuously live since the
+// dead node last communicated, which the operator asserts by issuing
+// the remove. This mirrors the paper's fail-stop recovery assumption
+// (Algorithm 5 recovers in-flight commands via live quorums).
+const FrontierMargin = 1 << 19
+
+// Fetch asks the replica at addr for its current configuration.
+func Fetch(addr string, timeout time.Duration) (*Config, error) {
+	req := proto.AppendUvarint(nil, KindFetch)
+	reply, err := roundTrip(addr, req, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeConfig(reply)
+}
+
+// Push offers cfg to the replica at addr and returns the replica's
+// resulting configuration (cfg itself when installed, a newer one when
+// the push lost a race, the replica's older one only when cfg failed
+// validation there).
+func Push(addr string, cfg *Config, timeout time.Duration) (*Config, error) {
+	req := proto.AppendUvarint(nil, KindPush)
+	req = AppendConfig(req, cfg)
+	reply, err := roundTrip(addr, req, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeConfig(reply)
+}
+
+// PushAll pushes cfg to every address, returning the number of
+// replicas that now hold an epoch >= cfg's and the first error when
+// none do.
+func PushAll(addrs []string, cfg *Config, timeout time.Duration) (int, error) {
+	var firstErr error
+	n := 0
+	for _, addr := range addrs {
+		got, err := Push(addr, cfg, timeout)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("push to %s: %w", addr, err)
+			}
+			continue
+		}
+		if got.Epoch >= cfg.Epoch {
+			n++
+		}
+	}
+	if n == 0 && firstErr != nil {
+		return 0, firstErr
+	}
+	return n, nil
+}
+
+// QueryFrontier asks the replica at addr for the highest clock value
+// and command-sequence number it has observed from the subject
+// process. ok=false means the replica does not replicate the
+// subject's shard (or cannot answer).
+func QueryFrontier(addr string, subject ids.ProcessID, timeout time.Duration) (clock, seq uint64, ok bool, err error) {
+	req := proto.AppendUvarint(nil, KindFrontier)
+	req = proto.AppendUvarint(req, uint64(subject))
+	reply, err := roundTrip(addr, req, timeout)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	var okv uint64
+	if okv, reply, err = proto.ReadUvarint(reply); err != nil {
+		return 0, 0, false, err
+	}
+	if clock, reply, err = proto.ReadUvarint(reply); err != nil {
+		return 0, 0, false, err
+	}
+	if seq, _, err = proto.ReadUvarint(reply); err != nil {
+		return 0, 0, false, err
+	}
+	return clock, seq, okv == 1, nil
+}
+
+// roundTrip performs one config-protocol exchange: magic, one request
+// frame, one reply frame.
+func roundTrip(addr string, body []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * timeout))
+	req := append([]byte(nil), ConfigMagic[:]...)
+	req = proto.AppendUvarint(req, uint64(len(body)))
+	req = append(req, body...)
+	if _, err := conn.Write(req); err != nil {
+		return nil, err
+	}
+	return readRawFrame(bufio.NewReader(conn), FrameLimit)
+}
+
+// Request is one decoded configuration-protocol request.
+//
+//tempo:wire encode=- decode=ReadRequest
+type Request struct {
+	// Kind selects fetch, push or frontier.
+	Kind uint64
+	// Cfg is the offered configuration (push only).
+	Cfg *Config
+	// Subject is the queried process (frontier only).
+	Subject ids.ProcessID
+}
+
+// ReadRequest reads and decodes the one request frame of a config
+// connection (the magic has already been consumed by the listener).
+func ReadRequest(br *bufio.Reader) (Request, error) {
+	body, err := readRawFrame(br, FrameLimit)
+	if err != nil {
+		return Request{}, err
+	}
+	var r Request
+	if r.Kind, body, err = proto.ReadUvarint(body); err != nil {
+		return r, err
+	}
+	switch r.Kind {
+	case KindFetch:
+	case KindPush:
+		if r.Cfg, err = DecodeConfig(body); err != nil {
+			return r, err
+		}
+	case KindFrontier:
+		var subj uint64
+		if subj, _, err = proto.ReadUvarint(body); err != nil {
+			return r, err
+		}
+		r.Subject = ids.ProcessID(subj)
+	default:
+		return r, fmt.Errorf("membership: unknown request kind %d: %w", r.Kind, proto.ErrCorrupt)
+	}
+	return r, nil
+}
+
+// WriteConfigReply writes the reply frame of a fetch or push.
+func WriteConfigReply(w io.Writer, cfg *Config) error {
+	body := AppendConfig(nil, cfg)
+	out := proto.AppendUvarint(nil, uint64(len(body)))
+	_, err := w.Write(append(out, body...))
+	return err
+}
+
+// WriteFrontierReply writes the reply frame of a frontier query.
+func WriteFrontierReply(w io.Writer, ok bool, clock, seq uint64) error {
+	var body []byte
+	if ok {
+		body = proto.AppendUvarint(body, 1)
+	} else {
+		body = proto.AppendUvarint(body, 0)
+	}
+	body = proto.AppendUvarint(body, clock)
+	body = proto.AppendUvarint(body, seq)
+	out := proto.AppendUvarint(nil, uint64(len(body)))
+	_, err := w.Write(append(out, body...))
+	return err
+}
+
+// readRawFrame reads one uvarint-length-prefixed frame. (The cluster
+// package has an identical helper; duplicated here because cluster
+// imports membership.)
+func readRawFrame(br *bufio.Reader, limit uint64) ([]byte, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if size > limit {
+		return nil, proto.ErrCorrupt
+	}
+	b := make([]byte, size)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

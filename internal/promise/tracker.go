@@ -138,6 +138,14 @@ func (t *Tracker) HighestContiguous(rank ids.Rank) uint64 {
 	return t.hc[rank-1]
 }
 
+// Max returns the highest timestamp this tracker has ever seen promised
+// by rank (attached or detached), contiguous or not. It bounds what the
+// rank's process could have handed out as far as this process observed —
+// the membership frontier query for node replacement.
+func (t *Tracker) Max(rank ids.Rank) uint64 {
+	return t.perRank[rank-1].Max()
+}
+
 // Stable returns the highest stable timestamp per Theorem 1: the largest s
 // such that some majority (⌊r/2⌋+1 processes) have all promises up to s.
 // Sorting the per-rank highest contiguous promises ascending, this is the

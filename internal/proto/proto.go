@@ -148,6 +148,27 @@ type IDMinter interface {
 	NextID() ids.Dot
 }
 
+// Joiner is implemented by replicas whose slot can be taken over by a
+// fresh successor process (dynamic membership's drain-less replace):
+// the successor must never mint a command id, nor promise a
+// logical-clock timestamp, that its dead predecessor may already have
+// handed out.
+//
+//   - ObservedFrom returns the highest logical-clock value and the
+//     highest command-sequence number this replica has observed from
+//     process pid (promises it made, command ids it minted). Protocols
+//     without a logical clock return clock 0.
+//   - JoinFloor raises the replica's own clock and id-sequence floors;
+//     called once before any protocol step on a successor, with the
+//     max of the live peers' ObservedFrom answers plus a safety margin
+//     (membership.FrontierMargin documents the argument).
+//
+// Both run under the runtime's protocol lock.
+type Joiner interface {
+	ObservedFrom(pid ids.ProcessID) (clock, seq uint64)
+	JoinFloor(clock, seq uint64)
+}
+
 // LeaderAware is implemented by protocols that depend on a leader oracle
 // (the Ω failure detector of the paper, or the FPaxos leader). Runtimes
 // call SetLeader when the oracle's output changes.

@@ -1,0 +1,277 @@
+package psmr
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tempo/internal/ids"
+	"tempo/internal/membership"
+)
+
+// Dynamic membership orchestration: the join, drain and replace flows
+// of the control plane. The membership package defines the epoch
+// configs and their wire protocol, internal/cluster the runtime
+// mechanisms (fencing, frontier answers, drain, bootstrap); this file
+// sequences them into the three operator-visible verbs:
+//
+//   - Join: a fresh process takes over a Dead or Left slot — fetch the
+//     current config from a seed replica, announce itself Joining at
+//     the next incarnation, query the surviving shard peers for the
+//     predecessor's observed frontier (the successor-safety floors),
+//     bootstrap state over the sync protocol, start serving, then
+//     flip the slot Active.
+//   - Leave (graceful drain): mark the site Draining so clients
+//     re-route, flush every hosted pipeline and the durable state,
+//     then mark the slot Left — fenced until a successor joins.
+//   - Remove: fence a crashed site (Dead) without drain, the first
+//     half of a replacement; the paper's recovery protocol finishes
+//     the dead rank's in-flight commands via the surviving quorums.
+
+// Floor carries one joining replica's successor-safety floors: the
+// max of the live shard peers' observed frontier for the slot's
+// process id, plus membership.FrontierMargin.
+type Floor struct {
+	// Clock floors the logical clock (no pre-crash promise is reissued).
+	Clock uint64
+	// Seq floors the command-id sequence (no Dot is minted twice).
+	Seq uint64
+}
+
+// View returns the group's live configuration view (never nil).
+func (g *Group) View() *membership.View { return g.view }
+
+// Epoch returns the group's current configuration epoch.
+func (g *Group) Epoch() uint64 { return g.view.Epoch() }
+
+// Site returns the site this group runs.
+func (g *Group) Site() ids.SiteID { return g.cfg.Site }
+
+// pushTimeout bounds one config round trip when the caller gave none.
+const pushTimeout = 2 * time.Second
+
+// Join admits this process into a running deployment at cfg.Site's
+// slot, which must be Dead or Left (drain with Leave or fence with
+// Remove first — joining over a live member would fork the slot).
+// cfg.SiteAddrs needs only the local entry: the address this process
+// binds and advertises; every other address comes from the fetched
+// config. cfg.Topo may be nil (the config's derived topology is
+// used). On return the group serves and the slot is Active at a new
+// incarnation.
+func Join(cfg Config, seed string, timeout time.Duration) (*Group, error) {
+	if timeout <= 0 {
+		timeout = pushTimeout
+	}
+	advertise, ok := cfg.SiteAddrs[cfg.Site]
+	if !ok {
+		return nil, fmt.Errorf("psmr: join needs the local site %d address", cfg.Site)
+	}
+	cur, err := membership.Fetch(seed, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("psmr: fetch config from %s: %w", seed, err)
+	}
+	old, ok := cur.Member(cfg.Site)
+	if !ok {
+		return nil, fmt.Errorf("psmr: site %d not in the fetched config (epoch %d)", cfg.Site, cur.Epoch)
+	}
+	if old.Status != membership.Dead && old.Status != membership.Left {
+		return nil, fmt.Errorf("psmr: site %d is %s at epoch %d; drain (Leave) or fence (Remove) it before joining a successor",
+			cfg.Site, old.Status, cur.Epoch)
+	}
+	if cfg.Topo == nil {
+		if cfg.Topo, err = cur.Topology(); err != nil {
+			return nil, err
+		}
+	}
+	joining, err := cur.WithMember(membership.Member{
+		Site:        cfg.Site,
+		Name:        old.Name,
+		Addr:        advertise,
+		Status:      membership.Joining,
+		Incarnation: old.Incarnation + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Announce the Joining epoch to every live peer before anything
+	// else: from here on the predecessor incarnation stays fenced (it
+	// was Dead/Left already) and peers route this slot's traffic to the
+	// new address. A push answered with a higher epoch means another
+	// transition won the slot; abort rather than fork.
+	for _, addr := range remoteAddrs(joining, cfg.Site) {
+		got, err := membership.Push(addr, joining, timeout)
+		if err != nil {
+			return nil, fmt.Errorf("psmr: push joining epoch %d to %s: %w", joining.Epoch, addr, err)
+		}
+		if got.Epoch > joining.Epoch {
+			return nil, fmt.Errorf("psmr: join lost an epoch race (%s is at epoch %d)", addr, got.Epoch)
+		}
+	}
+	// Successor-safety floors: every live replica of each hosted shard
+	// must answer for the predecessor's process id — the frontier
+	// argument needs the max over all of them (see
+	// membership.FrontierMargin for what the margin absorbs).
+	floors := make(map[ids.ProcessID]Floor)
+	for _, pi := range cfg.Topo.Processes() {
+		if pi.Site != cfg.Site {
+			continue
+		}
+		var maxClock, maxSeq uint64
+		answered := 0
+		for _, peer := range cfg.Topo.ShardProcesses(pi.Shard) {
+			ps := cfg.Topo.Process(peer).Site
+			if ps == cfg.Site {
+				continue
+			}
+			pm, ok := joining.Member(ps)
+			if !ok || pm.Addr == "" || pm.Status == membership.Dead || pm.Status == membership.Left {
+				continue
+			}
+			clock, seq, ok, err := membership.QueryFrontier(pm.Addr, pi.ID, timeout)
+			if err != nil || !ok {
+				return nil, fmt.Errorf("psmr: frontier of process %d unavailable from site %d (%s): ok=%v err=%v; every live shard peer must answer",
+					pi.ID, ps, pm.Addr, ok, err)
+			}
+			maxClock, maxSeq = max(maxClock, clock), max(maxSeq, seq)
+			answered++
+		}
+		if answered == 0 {
+			return nil, fmt.Errorf("psmr: no live peer replicates shard %d; cannot admit a successor", pi.Shard)
+		}
+		floors[pi.ID] = Floor{Clock: maxClock + membership.FrontierMargin, Seq: maxSeq + membership.FrontierMargin}
+	}
+	// Start serving under the Joining config: state bootstraps over the
+	// sync protocol (inside durable recovery, or BootstrapFromPeers for
+	// memory-only nodes), the floors apply before the first protocol
+	// step, and peers already link to us.
+	sa := make(map[ids.SiteID]string)
+	for _, m := range joining.Members {
+		if m.Addr != "" {
+			sa[m.Site] = m.Addr
+		}
+	}
+	sa[cfg.Site] = advertise
+	cfg.SiteAddrs = sa
+	cfg.Membership = joining
+	cfg.Bootstrap = true
+	cfg.JoinFloors = floors
+	g, err := Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Caught up and serving: flip the slot Active and fan the epoch
+	// out. Peers that miss the push hand it to clients on their next
+	// refresh anyway (configs spread epidemically through fetch).
+	active, err := joining.WithStatus(cfg.Site, membership.Active)
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	if _, err := g.view.Install(active); err != nil {
+		g.Close()
+		return nil, err
+	}
+	if _, err := membership.PushAll(remoteAddrs(active, cfg.Site), active, timeout); err != nil {
+		log.Printf("psmr: activation epoch %d fan-out incomplete (config spreads via fetch): %v", active.Epoch, err)
+	}
+	log.Printf("psmr: site %d joined at %s (epoch %d, incarnation %d)", cfg.Site, advertise, active.Epoch, old.Incarnation+1)
+	return g, nil
+}
+
+// Leave drains this site out of the deployment: one epoch marks it
+// Draining (clients re-route as they refresh, new submissions are
+// rejected with the draining error), every hosted node flushes its
+// pipeline and rotates its durable state, and a final epoch marks the
+// slot Left — fenced until a successor joins. The caller closes the
+// group afterwards. A drain error (unflushed pipeline at timeout) is
+// returned but the departure completes anyway: the surviving quorums
+// recover whatever was in flight, as with a crash.
+func (g *Group) Leave(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = pushTimeout
+	}
+	cur := g.view.State().Config
+	draining, err := cur.WithStatus(g.cfg.Site, membership.Draining)
+	if err != nil {
+		return err
+	}
+	if _, err := g.view.Install(draining); err != nil {
+		return err
+	}
+	if _, err := membership.PushAll(remoteAddrs(draining, g.cfg.Site), draining, timeout); err != nil {
+		log.Printf("psmr: draining epoch %d fan-out incomplete: %v", draining.Epoch, err)
+	}
+	var drainErr error
+	for _, n := range g.nodes {
+		if err := n.Drain(timeout); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	left, err := draining.WithStatus(g.cfg.Site, membership.Left)
+	if err != nil {
+		return err
+	}
+	if _, err := membership.PushAll(remoteAddrs(left, g.cfg.Site), left, timeout); err != nil {
+		return fmt.Errorf("psmr: no replica accepted the departure epoch %d: %w", left.Epoch, err)
+	}
+	// Install Left locally last: it fences this site's own slots.
+	if _, err := g.view.Install(left); err != nil {
+		return err
+	}
+	log.Printf("psmr: site %d left (epoch %d)", g.cfg.Site, left.Epoch)
+	return drainErr
+}
+
+// Remove fences a crashed site without drain — the first half of a
+// replacement. It is idempotent; the caller asserts the site is
+// really gone AND that the shard's surviving replicas have been
+// continuously live since the site last communicated (the frontier
+// assumption, see membership.FrontierMargin). The returned config is
+// the Dead epoch as accepted by the live replicas.
+func Remove(seed string, site ids.SiteID, timeout time.Duration) (*membership.Config, error) {
+	if timeout <= 0 {
+		timeout = pushTimeout
+	}
+	cur, err := membership.Fetch(seed, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("psmr: fetch config from %s: %w", seed, err)
+	}
+	m, ok := cur.Member(site)
+	if !ok {
+		return nil, fmt.Errorf("psmr: site %d not in the config (epoch %d)", site, cur.Epoch)
+	}
+	if m.Status == membership.Dead {
+		return cur, nil
+	}
+	dead, err := cur.WithStatus(site, membership.Dead)
+	if err != nil {
+		return nil, err
+	}
+	n, err := membership.PushAll(remoteAddrs(dead, site), dead, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("psmr: removal epoch %d rejected everywhere: %w", dead.Epoch, err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("psmr: no replica accepted the removal epoch %d", dead.Epoch)
+	}
+	log.Printf("psmr: site %d fenced (epoch %d, %d replicas accepted)", site, dead.Epoch, n)
+	return dead, nil
+}
+
+// remoteAddrs lists the config fan-out targets: every routable member
+// address except the subject site's own.
+func remoteAddrs(c *membership.Config, self ids.SiteID) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range c.Members {
+		if m.Site == self || m.Addr == "" || seen[m.Addr] {
+			continue
+		}
+		if m.Status == membership.Dead || m.Status == membership.Left {
+			continue
+		}
+		seen[m.Addr] = true
+		out = append(out, m.Addr)
+	}
+	return out
+}

@@ -29,6 +29,7 @@ import (
 
 	"tempo/internal/cluster"
 	"tempo/internal/ids"
+	"tempo/internal/membership"
 	"tempo/internal/proto"
 	"tempo/internal/tempo"
 	"tempo/internal/topology"
@@ -75,13 +76,27 @@ type Config struct {
 	// ExecObserver, when set, is called by each hosted node's executor
 	// for every command just before it is applied (instrumentation).
 	ExecObserver func(proto.Stable)
+	// Membership, when set, is the configuration epoch to start under
+	// (a joiner passes the fetched Joining config); nil lifts the
+	// static Topo/SiteAddrs wiring into epoch 1. Either way the group
+	// and every hosted node share one live membership.View.
+	Membership *membership.Config
+	// Bootstrap runs a pre-serve state-catch-up round even without a
+	// data directory (the join flow's snapshot bootstrap; durable
+	// nodes sync inside recovery regardless).
+	Bootstrap bool
+	// JoinFloors carries a joining replica's successor-safety floors,
+	// applied per hosted process before its first protocol step.
+	JoinFloors map[ids.ProcessID]Floor
 }
 
-// Group is one running site: a cluster.Group plus its hosted nodes.
+// Group is one running site: a cluster.Group plus its hosted nodes
+// and the site's live configuration view.
 type Group struct {
 	cfg   Config
 	cg    *cluster.Group
 	nodes []*cluster.Node
+	view  *membership.View
 }
 
 // Start binds the site's listen address and runs the group.
@@ -114,11 +129,26 @@ func StartListener(cfg Config, ln net.Listener) (*Group, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every deployment runs under a membership view: the static wiring
+	// becomes epoch 1, a joiner starts at its fetched epoch. The
+	// latency-aware topology rides along so quorum selection is
+	// unaffected.
+	mcfg := cfg.Membership
+	if mcfg == nil {
+		mcfg = membership.FromTopology(cfg.Topo, cfg.SiteAddrs)
+	} else if err := mcfg.MatchesTopology(cfg.Topo); err != nil {
+		return nil, fmt.Errorf("psmr: membership config does not match the topology: %w", err)
+	}
+	view, err := membership.NewView(mcfg, cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
 	cg := cluster.NewGroup(addrs, shardOf)
+	cg.SetMembership(view)
 	if cfg.Shaper != nil {
 		cg.SetShaper(cfg.Shaper)
 	}
-	g := &Group{cfg: cfg, cg: cg}
+	g := &Group{cfg: cfg, cg: cg, view: view}
 	for _, pi := range cfg.Topo.Processes() {
 		if pi.Site != cfg.Site {
 			continue
@@ -140,6 +170,10 @@ func StartListener(cfg Config, ln net.Listener) (*Group, error) {
 			n.SetBatchPace(cfg.BatchPace)
 		}
 		n.SetSyncPeers(cfg.Topo.ShardProcesses(pi.Shard))
+		n.SetMembership(view)
+		if f, ok := cfg.JoinFloors[pi.ID]; ok {
+			n.SetJoinFloor(f.Clock, f.Seq)
+		}
 		if cfg.ExecObserver != nil {
 			n.SetExecObserver(cfg.ExecObserver)
 		}
@@ -165,6 +199,12 @@ func StartListener(cfg Config, ln net.Listener) (*Group, error) {
 	// sites' groups (already listening, serving sync even mid-recovery),
 	// never to a sibling node of this group.
 	for _, n := range g.nodes {
+		if cfg.Bootstrap && cfg.DataDir == "" {
+			if err := n.BootstrapFromPeers(); err != nil {
+				g.Close()
+				return nil, err
+			}
+		}
 		if err := n.StartHosted(); err != nil {
 			g.Close()
 			return nil, err

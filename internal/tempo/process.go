@@ -225,6 +225,10 @@ type Process struct {
 
 	cmds    map[ids.Dot]*cmdInfo
 	nextSeq uint64
+	// seenSeq[rank-1] is the highest command-sequence number observed
+	// from the rank's process — the id half of the membership frontier
+	// (see ObservedFrom).
+	seenSeq []uint64
 	leader  ids.Rank
 	crashed bool
 	now     time.Duration
@@ -290,6 +294,7 @@ func New(id ids.ProcessID, topo *topology.Topology, cfg Config) *Process {
 		uncommittedSeen: make(map[ids.Dot]time.Duration),
 		lastCommitReq:   make(map[ids.Dot]time.Duration),
 		rankToProc:      make([]ids.ProcessID, topo.R()),
+		seenSeq:         make([]uint64, topo.R()),
 		store:           kvstore.New(),
 		leader:          1,
 	}
@@ -508,6 +513,7 @@ func (p *Process) handle(from ids.ProcessID, msg proto.Message) []proto.Action {
 
 // info returns (creating if needed) the state for a command id.
 func (p *Process) info(id ids.Dot) *cmdInfo {
+	p.noteDot(id)
 	ci, ok := p.cmds[id]
 	if !ok {
 		if v := p.ciPool.Get(); v != nil {
@@ -942,6 +948,7 @@ func (p *Process) onMPromises(m *MPromises) []proto.Action {
 	p.tracker.AddDetachedPairs(m.Rank, m.Detached)
 	var acts []proto.Action
 	for _, a := range m.Attached {
+		p.noteDot(a.ID)
 		incorporated := p.tracker.AddAttached(promise.Attached{Owner: m.Rank, ID: a.ID, TS: a.TS})
 		if incorporated || p.tracker.IsCommitted(a.ID) {
 			continue
